@@ -1,0 +1,48 @@
+package samurai
+
+import (
+	"samurai/internal/montecarlo"
+	"samurai/internal/sram"
+)
+
+// ArrayRunner adapts the full methodology (Run) as the per-cell worker
+// for montecarlo.RunArray. A scale of 0 simulates the cell without RTN
+// (variation-only reference); otherwise the RTN pass runs with the
+// given amplitude scale.
+func ArrayRunner() montecarlo.Runner {
+	return func(cell sram.CellConfig, pattern sram.Pattern, scale float64, seed uint64) (errors, slow, traps int, err error) {
+		cfg := Config{
+			Tech:    cell.Tech,
+			Cell:    cell,
+			Pattern: pattern,
+			Seed:    seed,
+			Scale:   scale,
+		}
+		if scale == 0 {
+			// Clean-only evaluation: variation can by itself break the
+			// write; the RTN machinery is skipped entirely.
+			wl, bl, blb, werr := pattern.Waveforms()
+			if werr != nil {
+				return 0, 0, 0, werr
+			}
+			c, berr := sram.Build(cell, wl, bl, blb)
+			if berr != nil {
+				return 0, 0, 0, berr
+			}
+			run, eerr := c.Evaluate(pattern, 0)
+			if eerr != nil {
+				return 0, 0, 0, eerr
+			}
+			return run.NumError, run.NumSlow, 0, nil
+		}
+		res, rerr := Run(cfg)
+		if rerr != nil {
+			return 0, 0, 0, rerr
+		}
+		total := 0
+		for _, p := range res.Profiles {
+			total += len(p.Traps)
+		}
+		return res.WithRTN.NumError, res.WithRTN.NumSlow, total, nil
+	}
+}

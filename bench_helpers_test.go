@@ -1,0 +1,53 @@
+package samurai_test
+
+import (
+	"testing"
+
+	"samurai/internal/device"
+	"samurai/internal/markov"
+	"samurai/internal/rng"
+	"samurai/internal/sram"
+	"samurai/internal/trap"
+)
+
+func benchCoreUniformise(b *testing.B) {
+	tech := device.Node("90nm")
+	ctx := tech.TrapContext(tech.Vdd)
+	tr := trap.Trap{Y: 0.45 * ctx.Tox, E: 0}
+	ls := ctx.RateSum(tr)
+	horizon := 1e4 / ls
+	r := rng.New(1)
+	b.ResetTimer()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		p, err := markov.Uniformise(ctx, tr, markov.ConstantBias(tech.Vdd), 0, horizon, r.Split(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += p.Transitions()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "transitions/op")
+}
+
+func benchCellTransient(b *testing.B) {
+	tech := device.Node("90nm")
+	p := sram.Fig8Pattern(tech.Vdd)
+	wl, bl, blb, err := p.Waveforms()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cell, err := sram.Build(sram.CellConfig{Tech: tech}, wl, bl, blb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run, err := cell.Evaluate(p, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if run.NumError != 0 {
+			b.Fatal("clean transient failed")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Command samurai runs the full SAMURAI+SPICE methodology on a 6T SRAM
+// cell: a clean bias-extraction pass, trap-level non-stationary RTN
+// generation by Markov uniformisation, and an RTN-injected re-simulation
+// with write-error classification.
+//
+// Example:
+//
+//	samurai -tech 32nm -vdd-frac 0.667 -scale 30 -marginal -pattern 110101001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	samurai "samurai"
+	"samurai/internal/device"
+	"samurai/internal/sram"
+	"samurai/internal/waveform"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("samurai: ")
+
+	var (
+		techName = flag.String("tech", "32nm", "technology node (130nm, 90nm, 65nm, 45nm, 32nm)")
+		vddFrac  = flag.Float64("vdd-frac", 1.0, "supply as a fraction of the node's nominal Vdd")
+		scale    = flag.Float64("scale", 1, "RTN amplitude scale (paper uses 30 for accelerated testing)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		pattern  = flag.String("pattern", "110101001", "bit pattern to write (the default is the paper's Fig 8 pattern)")
+		marginal = flag.Bool("marginal", false, "calibrate the cell so the clean write barely fits the WL window")
+		coupled  = flag.Bool("coupled", false, "use bidirectionally-coupled co-simulation instead of the two-pass methodology")
+		dumpDir  = flag.String("dump-dir", "", "write Q/Q̄ waveforms and per-transistor RTN traces as CSV into this directory")
+	)
+	flag.Parse()
+	if *dumpDir != "" {
+		if err := os.MkdirAll(*dumpDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	tech := device.Node(*techName)
+	vdd := *vddFrac * tech.Vdd
+
+	bits := make([]int, 0, len(*pattern))
+	for _, c := range *pattern {
+		switch c {
+		case '0':
+			bits = append(bits, 0)
+		case '1':
+			bits = append(bits, 1)
+		default:
+			log.Fatalf("pattern must be a string of 0s and 1s, got %q", *pattern)
+		}
+	}
+	if len(bits) == 0 {
+		log.Fatal("empty pattern")
+	}
+
+	cellCfg := sram.CellConfig{Tech: tech, Vdd: vdd}
+	if *marginal {
+		var err error
+		cellCfg, err = sram.MarginalCellConfig(cellCfg)
+		if err != nil {
+			log.Fatalf("calibration failed: %v", err)
+		}
+		fmt.Printf("calibrated storage-node capacitance: %.3g fF\n", cellCfg.CNode*1e15)
+	}
+
+	cfg := samurai.Config{
+		Tech: tech,
+		Cell: cellCfg,
+		Pattern: sram.Pattern{
+			Bits:   bits,
+			Timing: sram.DefaultTiming(),
+			Vdd:    vdd,
+		},
+		Seed:  *seed,
+		Scale: *scale,
+	}
+
+	if *coupled {
+		res, err := samurai.RunCoupled(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printCycles(res.Cycles)
+		fmt.Printf("coupled co-simulation: %d write errors, %d slowdowns over %d writes\n",
+			res.NumError, res.NumSlow, len(res.Cycles))
+		if res.NumError > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	res, err := samurai.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trap populations: ")
+	for _, name := range sram.Transistors {
+		fmt.Printf("%s=%d ", name, len(res.Profiles[name].Traps))
+	}
+	fmt.Println()
+	fmt.Printf("clean pass: %d errors / %d writes\n", res.Clean.NumError, len(res.Clean.Cycles))
+	printCycles(res.WithRTN.Cycles)
+	fmt.Printf("with RTN (×%.3g): %d write errors, %d slowdowns\n",
+		cfg.Scale, res.WriteErrors(), res.Slowdowns())
+	if *dumpDir != "" {
+		if err := dumpRun(*dumpDir, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("waveforms written to %s\n", *dumpDir)
+	}
+	if res.WriteErrors() > 0 {
+		os.Exit(1)
+	}
+}
+
+// dumpRun writes the storage-node waveforms and every RTN trace as CSV.
+func dumpRun(dir string, res *samurai.Result) error {
+	dump := func(name string, w *waveform.PWL) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return w.WriteCSV(f)
+	}
+	if err := dump("q_clean.csv", res.Clean.Q); err != nil {
+		return err
+	}
+	if err := dump("q_rtn.csv", res.WithRTN.Q); err != nil {
+		return err
+	}
+	if err := dump("qb_rtn.csv", res.WithRTN.QB); err != nil {
+		return err
+	}
+	for _, name := range sram.Transistors {
+		w, err := res.Traces[name].PWL()
+		if err != nil {
+			return err
+		}
+		if err := dump("irtn_"+strings.ToLower(name)+".csv", w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printCycles(cycles []sram.CycleResult) {
+	fmt.Printf("%6s %4s %10s %9s %12s\n", "cycle", "bit", "Q end (V)", "written", "outcome")
+	for _, c := range cycles {
+		outcome := "ok"
+		switch {
+		case !c.Written:
+			outcome = "WRITE ERROR"
+		case c.Slow:
+			outcome = "slow"
+		}
+		fmt.Printf("%6d %4d %10.3f %9v %12s\n", c.Index, c.Bit, c.QAtCycleEnd, c.Written, outcome)
+	}
+}

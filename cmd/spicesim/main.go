@@ -1,0 +1,104 @@
+// Command spicesim runs a SPICE-style netlist deck through the
+// built-in circuit simulator: DC operating point when no .tran card is
+// present, transient analysis otherwise, with results written as CSV
+// (one column per node).
+//
+// Example deck:
+//
+//	.tech 90nm
+//	VDD vdd 0 DC 1.2
+//	VIN in 0 PULSE(0 1.2 1n 50p 50p 2n 4n)
+//	MN out in 0 NMOS W=180n L=90n
+//	MP out in vdd PMOS W=360n L=90n
+//	C1 out 0 2f
+//	.tran 10p 10n
+//
+// Usage: spicesim [-o out.csv] deck.sp   (or pipe the deck on stdin)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+
+	"samurai/internal/circuit"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spicesim: ")
+
+	outPath := flag.String("o", "", "output CSV path (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	deck, err := circuit.ParseDeck(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	if !deck.HasTran {
+		op, err := deck.Circuit.OperatingPoint(deck.Tran.InitialV, circuit.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes := sortedKeys(op)
+		fmt.Fprintln(w, "node,voltage_V")
+		for _, n := range nodes {
+			fmt.Fprintf(w, "%s,%.9g\n", n, op[n])
+		}
+		return
+	}
+
+	res, err := deck.RunTran()
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := sortedKeys(res.V)
+	fmt.Fprint(w, "time_s")
+	for _, n := range nodes {
+		fmt.Fprintf(w, ",v(%s)", n)
+	}
+	fmt.Fprintln(w)
+	for i, t := range res.Times {
+		fmt.Fprintf(w, "%.9e", t)
+		for _, n := range nodes {
+			fmt.Fprintf(w, ",%.6e", res.V[n][i])
+		}
+		fmt.Fprintln(w)
+	}
+	log.Printf("simulated %d steps over %g s (%d nodes)", len(res.Times)-1, deck.Tran.T1, len(nodes))
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,67 @@
+// Command validate runs the paper's Fig 7 validation: Algorithm 1 at
+// constant bias compared against the analytical stationary R(τ) and
+// S(f) expressions, sweeping V_gs, E_tr and y_tr over their active
+// ranges.
+//
+// Exit status is non-zero if any sweep's error exceeds the tolerance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"samurai/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("validate: ")
+
+	var (
+		sweepName = flag.String("sweep", "all", "parameter to sweep: vgs, etr, ytr or all")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		samples   = flag.Int("samples", 1<<19, "trace samples per configuration")
+		sweepN    = flag.Int("points", 5, "sweep points")
+		accTol    = flag.Float64("acc-tol", 0.10, "max permitted R(tau) relative error")
+		psdTol    = flag.Float64("psd-tol", 0.25, "max permitted S(f) relative error")
+	)
+	flag.Parse()
+
+	var sweeps []experiments.Fig7Sweep
+	switch *sweepName {
+	case "vgs":
+		sweeps = []experiments.Fig7Sweep{experiments.SweepVgs}
+	case "etr":
+		sweeps = []experiments.Fig7Sweep{experiments.SweepEtr}
+	case "ytr":
+		sweeps = []experiments.Fig7Sweep{experiments.SweepYtr}
+	case "all":
+		sweeps = []experiments.Fig7Sweep{experiments.SweepVgs, experiments.SweepEtr, experiments.SweepYtr}
+	default:
+		log.Fatalf("unknown sweep %q", *sweepName)
+	}
+
+	failed := false
+	for _, sweep := range sweeps {
+		res, err := experiments.Fig7(sweep, experiments.Fig7Config{
+			Seed: *seed, Samples: *samples, SweepN: *sweepN,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.WriteText(os.Stdout)
+		acc, psd := res.MaxErr()
+		status := "PASS"
+		if acc > *accTol || psd > *psdTol {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("sweep %s: max R(tau) err %.4f (tol %.2f), max S(f) err %.4f (tol %.2f) — %s\n\n",
+			sweep, acc, *accTol, psd, *psdTol, status)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,24 @@
+package samurai_test
+
+import (
+	"fmt"
+
+	samurai "samurai"
+)
+
+// ExampleRun shows the minimal methodology invocation: one call runs
+// the clean bias-extraction pass, trap-level RTN generation by Markov
+// uniformisation, and the RTN-injected re-simulation.
+func ExampleRun() {
+	res, err := samurai.Run(samurai.Config{Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("clean errors: %d\n", res.Clean.NumError)
+	fmt.Printf("with RTN:     %d errors, %d slowdowns\n", res.WriteErrors(), res.Slowdowns())
+	fmt.Printf("transistors traced: %d\n", len(res.Traces))
+	// Output:
+	// clean errors: 0
+	// with RTN:     0 errors, 0 slowdowns
+	// transistors traced: 6
+}

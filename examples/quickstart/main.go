@@ -1,0 +1,50 @@
+// Quickstart: run the complete SAMURAI methodology on a 90nm 6T SRAM
+// cell with default settings and inspect what comes out — the shortest
+// possible tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	samurai "samurai"
+	"samurai/internal/sram"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// One call runs the paper's whole flowchart (Fig 8, left):
+	//   1. clean SPICE pass        → per-transistor bias waveforms
+	//   2. trap sampling + Markov uniformisation → occupancy paths
+	//   3. Eq (3)                  → I_RTN(t) traces
+	//   4. RTN-injected SPICE pass → write-error classification
+	res, err := samurai.Run(samurai.Config{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("SAMURAI quickstart — 90nm cell, paper Fig 8 pattern")
+	fmt.Printf("pattern: %v\n", res.Config.Pattern.Bits)
+	fmt.Printf("clean pass:    %d errors / %d writes\n",
+		res.Clean.NumError, len(res.Clean.Cycles))
+	fmt.Printf("with RTN (×1): %d errors, %d slowdowns\n\n",
+		res.WriteErrors(), res.Slowdowns())
+
+	fmt.Println("per-transistor RTN summary:")
+	for _, name := range sram.Transistors {
+		profile := res.Profiles[name]
+		trace := res.Traces[name]
+		transitions := 0
+		for _, p := range res.Paths[name] {
+			transitions += p.Transitions()
+		}
+		fmt.Printf("  %s: %2d traps, %4d transitions, max |I_RTN| = %8.3g A\n",
+			name, len(profile.Traps), transitions, trace.MaxAbs())
+	}
+
+	// The storage-node waveform is available for plotting.
+	q := res.WithRTN.Q
+	fmt.Printf("\nQ waveform: %d samples over %.1f ns, final value %.3f V\n",
+		q.Len(), q.End()*1e9, q.Eval(q.End()))
+}

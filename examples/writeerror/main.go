@@ -1,0 +1,70 @@
+// Writeerror reproduces the headline result of the paper (§IV-B): on a
+// low-voltage cell whose clean write barely fits the wordline window,
+// unscaled RTN causes no errors (they are rare events), while ×30
+// accelerated RTN immediately produces write errors — and the identical
+// trap populations are used for both runs, so the contrast is purely
+// the amplitude scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	samurai "samurai"
+	"samurai/internal/device"
+	"samurai/internal/sram"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	tech := device.Node("32nm")
+	vdd := 2.0 / 3.0 * tech.Vdd
+
+	// Calibrate the cell so the clean write completes just inside the
+	// wordline window — the operating regime of the paper's Fig 5/8.
+	cellCfg, err := sram.MarginalCellConfig(sram.CellConfig{Tech: tech, Vdd: vdd})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("marginal 32nm cell at Vdd = %.2f V (CNode = %.1f fF)\n\n",
+		vdd, cellCfg.CNode*1e15)
+
+	pattern := sram.Fig8Pattern(vdd)
+	base := samurai.Config{
+		Tech: tech, Cell: cellCfg, Pattern: pattern, Seed: 1,
+	}
+
+	// Accelerated run first; reuse its trap populations for the
+	// unscaled contrast run.
+	accel := base
+	accel.Scale = 30
+	scaled, err := samurai.Run(accel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain := base
+	plain.Scale = 1
+	plain.Profiles = scaled.Profiles
+	unscaled, err := samurai.Run(plain)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %8s %8s\n", "run", "errors", "slow")
+	fmt.Printf("%-28s %8d %8d\n", "clean (no RTN)", scaled.Clean.NumError, scaled.Clean.NumSlow)
+	fmt.Printf("%-28s %8d %8d\n", "RTN ×1 (physical)", unscaled.WriteErrors(), unscaled.Slowdowns())
+	fmt.Printf("%-28s %8d %8d\n", "RTN ×30 (accelerated test)", scaled.WriteErrors(), scaled.Slowdowns())
+
+	fmt.Println("\ncycle-by-cycle at ×30:")
+	for _, c := range scaled.WithRTN.Cycles {
+		mark := "ok"
+		switch {
+		case !c.Written:
+			mark = "WRITE ERROR"
+		case c.Slow:
+			mark = "slow"
+		}
+		fmt.Printf("  write %d of bit %d → Q = %6.3f V  %s\n", c.Index, c.Bit, c.QAtCycleEnd, mark)
+	}
+}

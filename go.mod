@@ -1,0 +1,3 @@
+module samurai
+
+go 1.22

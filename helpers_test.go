@@ -1,0 +1,6 @@
+package samurai
+
+import "samurai/internal/waveform"
+
+// constWave is a test helper building a constant waveform.
+func constWave(v float64) *waveform.PWL { return waveform.Constant(v) }

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"samurai/internal/num"
+	"samurai/internal/trap"
+	"samurai/internal/units"
+)
+
+func lp() LorentzianParams {
+	return LorentzianParams{DeltaI: 2e-6, Lc: 3e5, Le: 1e5}
+}
+
+func TestLorentzianBasics(t *testing.T) {
+	p := lp()
+	if math.Abs(p.POcc()-0.75) > 1e-12 {
+		t.Fatalf("POcc = %g", p.POcc())
+	}
+	if p.RateSum() != 4e5 {
+		t.Fatalf("RateSum = %g", p.RateSum())
+	}
+	wantVar := p.DeltaI * p.DeltaI * 0.75 * 0.25
+	if math.Abs(p.VarCurrent()-wantVar) > 1e-18 {
+		t.Fatalf("VarCurrent = %g", p.VarCurrent())
+	}
+}
+
+func TestAutocorrelationLimits(t *testing.T) {
+	p := lp()
+	// R(0) = Var + mean².
+	m := p.MeanCurrent()
+	if got := p.Autocorrelation(0); math.Abs(got-(p.VarCurrent()+m*m)) > 1e-18 {
+		t.Fatalf("R(0) = %g", got)
+	}
+	// R(∞) → mean².
+	if got := p.Autocorrelation(1e3); math.Abs(got-m*m) > 1e-15*m*m {
+		t.Fatalf("R(inf) = %g, want %g", got, m*m)
+	}
+	// Symmetric in τ.
+	if p.Autocorrelation(1e-6) != p.Autocorrelation(-1e-6) {
+		t.Fatal("R not even")
+	}
+}
+
+// Wiener–Khinchin: ∫S(f)df over one side equals the variance.
+func TestPSDIntegratesToVariance(t *testing.T) {
+	p := lp()
+	fs := num.Logspace(0, 9, 20000)
+	ys := make([]float64, len(fs))
+	for i, f := range fs {
+		ys[i] = p.PSD(f)
+	}
+	got := num.Trapz(fs, ys)
+	// Add the DC-to-first-point sliver analytically: S≈S(0) there.
+	got += p.PSD(0) * fs[0]
+	want := p.VarCurrent()
+	if math.Abs(got-want) > 0.01*want {
+		t.Fatalf("∫S df = %g, want %g", got, want)
+	}
+}
+
+func TestPSDCorner(t *testing.T) {
+	p := lp()
+	fc := p.CornerFrequency()
+	if math.Abs(fc-p.RateSum()/(2*math.Pi)) > 1e-9 {
+		t.Fatal("corner frequency wrong")
+	}
+	// At the corner the PSD is half its DC value.
+	if r := p.PSD(fc) / p.PSD(0); math.Abs(r-0.5) > 1e-9 {
+		t.Fatalf("PSD(corner)/PSD(0) = %g", r)
+	}
+}
+
+func TestSampledPSDConvergesToLorentzian(t *testing.T) {
+	p := lp()
+	f := p.CornerFrequency()
+	// As dt → 0 the sampled spectrum approaches the continuous one.
+	cont := p.PSD(f)
+	fine := p.SampledPSD(f, 1e-9)
+	if math.Abs(fine-cont) > 0.01*cont {
+		t.Fatalf("sampled PSD at tiny dt %g, want %g", fine, cont)
+	}
+	// At coarse dt aliasing raises the high-frequency level.
+	dt := 0.5 / (20 * p.CornerFrequency())
+	hf := 10 * p.CornerFrequency()
+	if p.SampledPSD(hf, dt) <= p.PSD(hf) {
+		t.Fatal("aliased PSD should exceed continuous PSD near Nyquist")
+	}
+}
+
+func TestMultiTrapAdds(t *testing.T) {
+	a, b := lp(), LorentzianParams{DeltaI: 1e-6, Lc: 1e4, Le: 4e4}
+	f := 1e4
+	want := a.PSD(f) + b.PSD(f)
+	if got := MultiTrapPSD([]LorentzianParams{a, b}, f); math.Abs(got-want) > 1e-20 {
+		t.Fatal("MultiTrapPSD not additive")
+	}
+	tau := 1e-5
+	wantR := a.VarCurrent()*math.Exp(-a.RateSum()*tau) + b.VarCurrent()*math.Exp(-b.RateSum()*tau)
+	m := a.MeanCurrent() + b.MeanCurrent()
+	wantR += m * m
+	if got := MultiTrapAutocorrelation([]LorentzianParams{a, b}, tau); math.Abs(got-wantR) > 1e-18 {
+		t.Fatalf("MultiTrapAutocorrelation = %g, want %g", got, wantR)
+	}
+}
+
+func TestFromTrap(t *testing.T) {
+	ctx := trap.DefaultContext(1.9e-9, 1.2)
+	tr := trap.Trap{Y: 0.45 * ctx.Tox, E: 0}
+	p := FromTrap(ctx, tr, 1.2, 1e-6)
+	lc, le := ctx.Rates(tr, 1.2)
+	if p.Lc != lc || p.Le != le || p.DeltaI != 1e-6 {
+		t.Fatal("FromTrap copied wrong values")
+	}
+}
+
+func TestAutocorrelationEstimatorOnSine(t *testing.T) {
+	// For x(t)=sin(ωt), R(τ) ≈ cos(ωτ)/2.
+	n := 8192
+	dt := 1e-3
+	x := make([]float64, n)
+	w := 2 * math.Pi * 50
+	for i := range x {
+		x[i] = math.Sin(w * float64(i) * dt)
+	}
+	lags, r, err := Autocorrelation(x, dt, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 100; k += 25 {
+		want := math.Cos(w*lags[k]) / 2
+		if math.Abs(r[k]-want) > 0.02 {
+			t.Fatalf("R(%g) = %g, want %g", lags[k], r[k], want)
+		}
+	}
+}
+
+// Property: FFT-based autocorrelation equals the direct estimator.
+func TestAutocorrelationFFTMatchesDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(int64(s>>11)) / float64(1<<52)
+		}
+		n := 257
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = next()
+		}
+		_, direct, err := Autocorrelation(x, 1, 40)
+		if err != nil {
+			return false
+		}
+		_, viaFFT, err := AutocorrelationFFT(x, 1, 40)
+		if err != nil {
+			return false
+		}
+		for k := range direct {
+			if math.Abs(direct[k]-viaFFT[k]) > 1e-9*(1+math.Abs(direct[k])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodogramSineTone(t *testing.T) {
+	// A pure tone's power concentrates in its bin: total power = A²/2.
+	n := 4096
+	dt := 1e-4
+	freq := 400.0 // exactly bin 163.84? choose a bin-aligned tone
+	k := 128
+	freq = float64(k) / (float64(n) * dt)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 3 * math.Sin(2*math.Pi*freq*float64(i)*dt)
+	}
+	freqs, psd, err := Periodogram(x, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := freqs[1] - freqs[0]
+	total := 0.0
+	for _, p := range psd {
+		total += p * df
+	}
+	want := 9.0 / 2
+	if math.Abs(total-want) > 0.01*want {
+		t.Fatalf("tone power = %g, want %g", total, want)
+	}
+}
+
+func TestWelchWhiteNoiseLevel(t *testing.T) {
+	// White noise of variance σ² has a flat one-sided PSD 2σ²·dt.
+	n := 1 << 16
+	dt := 1e-5
+	s := uint64(12345)
+	x := make([]float64, n)
+	for i := range x {
+		s = s*6364136223846793005 + 1442695040888963407
+		x[i] = float64(s>>11) / float64(1<<53)
+	}
+	variance := num.Variance(x)
+	freqs, psd, err := Welch(x, dt, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * variance * dt
+	got := num.Mean(psd)
+	if math.Abs(got-want) > 0.05*want {
+		t.Fatalf("white PSD level = %g, want %g", got, want)
+	}
+	_ = freqs
+}
+
+func TestWelchTooShort(t *testing.T) {
+	if _, _, err := Welch([]float64{1, 2, 3}, 1, 8); err == nil {
+		t.Fatal("short series accepted")
+	}
+}
+
+func TestLogBin(t *testing.T) {
+	x := []float64{1, 2, 5, 10, 20, 50, 100}
+	y := []float64{1, 1, 1, 2, 2, 2, 3}
+	cx, cy := LogBin(x, y, 1)
+	if len(cx) != 3 {
+		t.Fatalf("bins = %v %v", cx, cy)
+	}
+	if cy[0] != 1 || cy[1] != 2 || cy[2] != 3 {
+		t.Fatalf("bin means = %v", cy)
+	}
+}
+
+func TestLogLogSlopeExactPowerLaw(t *testing.T) {
+	x := num.Logspace(1, 5, 50)
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 7 / v // slope -1
+	}
+	slope, resid := LogLogSlope(x, y)
+	if math.Abs(slope+1) > 1e-9 || resid > 1e-9 {
+		t.Fatalf("slope %g resid %g", slope, resid)
+	}
+}
+
+func TestOneOverFModelLevel(t *testing.T) {
+	// The model must integrate (over the covered band) to roughly the
+	// total variance it was built from.
+	totalVar := 4e-12
+	lMin, lMax := 1e2, 1e8
+	model := OneOverFModel(totalVar, lMin, lMax)
+	// ∫ K/f df from f1 to f2 = K·ln(f2/f1); over the full band this is
+	// K·ln(λmax/λmin) = totalVar.
+	k := model(1) * 1
+	got := k * math.Log(lMax/lMin)
+	if math.Abs(got-totalVar) > 0.01*totalVar {
+		t.Fatalf("1/f total power = %g, want %g", got, totalVar)
+	}
+	if model(10) != model(1)/10 {
+		t.Fatal("not 1/f")
+	}
+}
+
+func TestThermalNoisePSD(t *testing.T) {
+	got := ThermalNoisePSD(units.BoltzmannJPerK, 300, 1e-3)
+	want := 8.0 / 3.0 * units.BoltzmannJPerK * 300 * 1e-3
+	if math.Abs(got-want) > 1e-30 {
+		t.Fatal("thermal PSD formula wrong")
+	}
+	if ThermalNoisePSD(units.BoltzmannJPerK, 300, -1e-3) != want {
+		t.Fatal("negative gm must use magnitude")
+	}
+}

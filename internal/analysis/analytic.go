@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"math"
+
+	"samurai/internal/trap"
+)
+
+// LorentzianParams are the stationary statistics of a single trap's
+// telegraph signal: amplitude step deltaI (A), capture and emission
+// propensities lc, le (1/s).
+type LorentzianParams struct {
+	DeltaI float64
+	Lc, Le float64
+}
+
+// FromTrap evaluates a trap's stationary parameters at constant bias.
+func FromTrap(ctx trap.Context, tr trap.Trap, vgs, deltaI float64) LorentzianParams {
+	lc, le := ctx.Rates(tr, vgs)
+	return LorentzianParams{DeltaI: deltaI, Lc: lc, Le: le}
+}
+
+// POcc returns the stationary probability the trap is filled.
+func (p LorentzianParams) POcc() float64 { return p.Lc / (p.Lc + p.Le) }
+
+// RateSum returns λ_c + λ_e.
+func (p LorentzianParams) RateSum() float64 { return p.Lc + p.Le }
+
+// MeanCurrent returns E[I] = ΔI·p.
+func (p LorentzianParams) MeanCurrent() float64 { return p.DeltaI * p.POcc() }
+
+// VarCurrent returns Var[I] = ΔI²·p·(1−p).
+func (p LorentzianParams) VarCurrent() float64 {
+	q := p.POcc()
+	return p.DeltaI * p.DeltaI * q * (1 - q)
+}
+
+// Autocorrelation returns the analytical R(τ) = E[I(t)·I(t+τ)] for the
+// stationary telegraph process (paper refs [3], [5]):
+//
+//	R(τ) = ΔI²·p(1−p)·e^(−(λc+λe)|τ|) + (ΔI·p)²
+//
+// including the mean-square term, matching the paper's Fig 7 convention.
+func (p LorentzianParams) Autocorrelation(tau float64) float64 {
+	m := p.MeanCurrent()
+	return p.VarCurrent()*math.Exp(-p.RateSum()*math.Abs(tau)) + m*m
+}
+
+// PSD returns the analytical one-sided power spectral density of the
+// current *fluctuation* (mean removed) — the Lorentzian
+//
+//	S(f) = 4·ΔI²·p(1−p)·λs / (λs² + (2πf)²),  λs = λc+λe
+//
+// in A²/Hz. Equivalent to the Kirton–Uren form
+// 4·ΔI²/((τc+τe)·((1/τc+1/τe)² + ω²)).
+func (p LorentzianParams) PSD(f float64) float64 {
+	ls := p.RateSum()
+	w := 2 * math.Pi * f
+	return 4 * p.VarCurrent() * ls / (ls*ls + w*w)
+}
+
+// SampledPSD returns the exact one-sided PSD of the telegraph process
+// *sampled at interval dt* — i.e. the aliased spectrum an FFT-based
+// estimator actually converges to. The sampled process has
+// autocovariance σ²·a^|k| with a = e^(−λs·dt), whose discrete-time
+// spectrum is the closed form below; as dt → 0 it converges to PSD(f).
+func (p LorentzianParams) SampledPSD(f, dt float64) float64 {
+	a := math.Exp(-p.RateSum() * dt)
+	w := 2 * math.Pi * f * dt
+	den := 1 - 2*a*math.Cos(w) + a*a
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return 2 * dt * p.VarCurrent() * (1 - a*a) / den
+}
+
+// CornerFrequency returns the Lorentzian corner f_c = λs/(2π).
+func (p LorentzianParams) CornerFrequency() float64 {
+	return p.RateSum() / (2 * math.Pi)
+}
+
+// MultiTrapPSD sums the Lorentzians of independent traps — the
+// analytical reference for a multi-trap device at constant bias.
+func MultiTrapPSD(params []LorentzianParams, f float64) float64 {
+	s := 0.0
+	for _, p := range params {
+		s += p.PSD(f)
+	}
+	return s
+}
+
+// MultiTrapAutocorrelation returns the analytical R(τ) for the sum of
+// independent telegraph processes: covariances add, and the mean of the
+// sum is the sum of means.
+func MultiTrapAutocorrelation(params []LorentzianParams, tau float64) float64 {
+	cov := 0.0
+	mean := 0.0
+	for _, p := range params {
+		cov += p.VarCurrent() * math.Exp(-p.RateSum()*math.Abs(tau))
+		mean += p.MeanCurrent()
+	}
+	return cov + mean*mean
+}
+
+// OneOverFModel returns the classical analytical 1/f fit obtained by
+// statistically averaging over a large trap population with log-uniform
+// time constants between lambdaMin and lambdaMax (the regime of Fig 3's
+// older technology):
+//
+//	S(f) ≈ K/f   for  λ_min/2π ≪ f ≪ λ_max/2π
+//
+// with K = σ²_total/ln(λmax/λmin), the value obtained by integrating
+// the Lorentzian over the log-uniform rate distribution:
+// ∫ 4σ²λ/(λ²+ω²) · dλ/(λ·ln r) = σ²/(f·ln r) for λmin ≪ ω ≪ λmax.
+// totalVar is the summed ΔI²·p(1−p) of the population.
+func OneOverFModel(totalVar, lambdaMin, lambdaMax float64) func(f float64) float64 {
+	span := math.Log(lambdaMax / lambdaMin)
+	if span <= 0 {
+		span = 1
+	}
+	k := totalVar / span
+	return func(f float64) float64 {
+		if f <= 0 {
+			return math.Inf(1)
+		}
+		return k / f
+	}
+}
+
+// ThermalNoisePSD is the paper's device thermal-noise reference
+// S_thermal = (8/3)·k·T·g_m (A²/Hz) — re-exported here so experiment
+// code depending only on analysis can draw the floor line.
+func ThermalNoisePSD(kBoltzmann, tempK, gm float64) float64 {
+	return 8.0 / 3.0 * kBoltzmann * tempK * math.Abs(gm)
+}

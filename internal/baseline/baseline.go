@@ -1,0 +1,103 @@
+// Package baseline implements the comparison methods the paper argues
+// against:
+//
+//   - StationaryTrace follows the spirit of Ye et al. (paper ref [10]):
+//     RTN-like waveforms generated with trap statistics frozen at a
+//     single reference bias, blind to the bias-dependent non-stationary
+//     behaviour that dominates SRAM operation.
+//   - WorstCasePower is the classical "stationary analysis" bound: the
+//     RTN noise power evaluated with every trap held at its
+//     worst-case-activity bias. Comparing it against the power realised
+//     under an actual switching bias quantifies the pessimism the paper
+//     cites (§I-B, up to ~15 dB).
+package baseline
+
+import (
+	"math"
+
+	"samurai/internal/device"
+	"samurai/internal/markov"
+	"samurai/internal/rng"
+	"samurai/internal/rtn"
+	"samurai/internal/trap"
+	"samurai/internal/waveform"
+)
+
+// StationaryTrace generates an RTN trace with every trap simulated as a
+// *stationary* telegraph process whose rates are frozen at vgsRef,
+// regardless of the actual bias waveform. The amplitude composition
+// (Eq 3) still uses the true drain current so the comparison against
+// SAMURAI isolates the statistics, not the amplitude model.
+func StationaryTrace(profile trap.Profile, dev device.MOSParams, vgsRef float64, vgs, id *waveform.PWL, t0, t1 float64, n int, r *rng.Stream) (*rtn.Trace, []*markov.Path, error) {
+	paths := make([]*markov.Path, len(profile.Traps))
+	for i, tr := range profile.Traps {
+		p, err := markov.Gillespie(profile.Ctx, tr, vgsRef, t0, t1, r.Split(uint64(i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		paths[i] = p
+	}
+	trace, err := rtn.Compose(paths, dev, vgs, id, t0, t1, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trace, paths, nil
+}
+
+// WorstCaseBias returns, for each trap, the bias in [vLo, vHi] at which
+// its activity 4p(1−p) peaks (scanned on a uniform grid), together with
+// the peak activity.
+func WorstCaseBias(ctx trap.Context, tr trap.Trap, vLo, vHi float64, grid int) (vgs, activity float64) {
+	if grid < 2 {
+		grid = 2
+	}
+	best, bestV := -1.0, vLo
+	for i := 0; i < grid; i++ {
+		v := vLo + (vHi-vLo)*float64(i)/float64(grid-1)
+		a := ctx.Activity(tr, v)
+		if a > best {
+			best, bestV = a, v
+		}
+	}
+	return bestV, best
+}
+
+// WorstCasePower returns the stationary RTN noise power (A²) predicted
+// by holding every trap at its individual worst-case bias — the upper
+// bound a stationary analysis would have to assume for a device whose
+// gate swings across [vLo, vHi]. deltaI is the per-trap Eq (3) step
+// amplitude at the worst-case bias.
+func WorstCasePower(profile trap.Profile, dev device.MOSParams, idAtWorst float64, vLo, vHi float64) float64 {
+	total := 0.0
+	for _, tr := range profile.Traps {
+		v, _ := WorstCaseBias(profile.Ctx, tr, vLo, vHi, 1024)
+		p := profile.Ctx.OccupancyProb(tr, v)
+		dI := rtn.StepAmplitude(dev, v, idAtWorst)
+		total += dI * dI * p * (1 - p)
+	}
+	return total
+}
+
+// EmpiricalPower returns the variance of a sampled trace (A²).
+func EmpiricalPower(tr *rtn.Trace) float64 {
+	if len(tr.I) == 0 {
+		return 0
+	}
+	mean := tr.Mean()
+	s := 0.0
+	for _, v := range tr.I {
+		d := v - mean
+		s += d * d
+	}
+	return s / float64(len(tr.I))
+}
+
+// PessimismDB returns 10·log10(predicted/actual) — the dB gap between a
+// stationary worst-case prediction and the realised non-stationary
+// power.
+func PessimismDB(predicted, actual float64) float64 {
+	if actual <= 0 || predicted <= 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(predicted/actual)
+}

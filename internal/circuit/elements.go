@@ -1,0 +1,239 @@
+package circuit
+
+import (
+	"samurai/internal/device"
+	"samurai/internal/num"
+	"samurai/internal/waveform"
+)
+
+// Method selects the implicit integration scheme for transient runs.
+type Method int
+
+const (
+	// BackwardEuler is L-stable and the robust default for the stiff,
+	// strongly nonlinear SRAM write transients.
+	BackwardEuler Method = iota
+	// Trapezoidal is A-stable and second-order accurate; preferred for
+	// the validation circuits where waveform fidelity matters.
+	Trapezoidal
+)
+
+// String names the method for logs and tables.
+func (m Method) String() string {
+	if m == Trapezoidal {
+		return "trapezoidal"
+	}
+	return "backward-euler"
+}
+
+// stampCtx carries everything an element needs to contribute to one
+// Newton iteration of one (DC or transient) solve.
+type stampCtx struct {
+	a      *num.Matrix // MNA matrix, Size×Size
+	b      []float64   // RHS
+	x      []float64   // current Newton iterate
+	nNodes int         // node-voltage unknowns; branch k is nNodes+k
+	time   float64     // evaluation time (end of step for implicit)
+	dt     float64     // step size; 0 means DC
+	method Method
+	gmin   float64 // conductance to ground on every node
+}
+
+// element is the internal per-device interface. stamp adds the
+// element's linearised contribution; advance commits per-element state
+// after an accepted timestep.
+type element interface {
+	name() string
+	stamp(st *stampCtx)
+	advance(st *stampCtx)
+}
+
+// --- resistor -------------------------------------------------------
+
+type resistorElem struct {
+	id   string
+	a, b int
+	g    float64
+}
+
+func (r *resistorElem) name() string { return r.id }
+
+func (r *resistorElem) stamp(st *stampCtx) {
+	stampConductance(st, r.a, r.b, r.g)
+}
+
+func (r *resistorElem) advance(*stampCtx) {}
+
+func stampConductance(st *stampCtx, a, b int, g float64) {
+	if a >= 0 {
+		st.a.Add(a, a, g)
+	}
+	if b >= 0 {
+		st.a.Add(b, b, g)
+	}
+	if a >= 0 && b >= 0 {
+		st.a.Add(a, b, -g)
+		st.a.Add(b, a, -g)
+	}
+}
+
+// stampCurrent injects current i flowing out of node a into node b
+// (i.e. adds +i to b's KCL inflow and −i to a's).
+func stampCurrent(st *stampCtx, a, b int, i float64) {
+	if a >= 0 {
+		st.b[a] -= i
+	}
+	if b >= 0 {
+		st.b[b] += i
+	}
+}
+
+// --- capacitor ------------------------------------------------------
+
+type capacitorElem struct {
+	id    string
+	a, b  int
+	c     float64
+	vPrev float64 // branch voltage at the last accepted step
+	iPrev float64 // branch current at the last accepted step (TRAP)
+	init  bool
+}
+
+func (e *capacitorElem) name() string { return e.id }
+
+func (e *capacitorElem) stamp(st *stampCtx) {
+	if st.dt == 0 {
+		// DC: open circuit. A tiny conductance keeps otherwise
+		// cap-only nodes non-singular.
+		stampConductance(st, e.a, e.b, 1e-12)
+		return
+	}
+	var geq, ieq float64
+	switch st.method {
+	case Trapezoidal:
+		geq = 2 * e.c / st.dt
+		ieq = geq*e.vPrev + e.iPrev
+	default: // backward Euler
+		geq = e.c / st.dt
+		ieq = geq * e.vPrev
+	}
+	// Companion model: i = geq·v − ieq, i.e. a conductance in
+	// parallel with a history current source pushing ieq from b to a.
+	stampConductance(st, e.a, e.b, geq)
+	stampCurrent(st, e.b, e.a, ieq)
+}
+
+func (e *capacitorElem) advance(st *stampCtx) {
+	v := voltage(st.x, e.a) - voltage(st.x, e.b)
+	if st.dt == 0 {
+		e.vPrev = v
+		e.iPrev = 0
+		e.init = true
+		return
+	}
+	switch st.method {
+	case Trapezoidal:
+		geq := 2 * e.c / st.dt
+		i := geq*(v-e.vPrev) - e.iPrev
+		e.iPrev = i
+	default:
+		// iPrev unused by BE; keep it for method switches mid-run.
+		e.iPrev = e.c / st.dt * (v - e.vPrev)
+	}
+	e.vPrev = v
+	e.init = true
+}
+
+// --- voltage source -------------------------------------------------
+
+type vsourceElem struct {
+	id     string
+	p, n   int
+	w      *waveform.PWL
+	branch int
+}
+
+func (e *vsourceElem) name() string { return e.id }
+
+func (e *vsourceElem) stamp(st *stampCtx) {
+	br := st.nNodes + e.branch
+	if e.p >= 0 {
+		st.a.Add(e.p, br, 1)
+		st.a.Add(br, e.p, 1)
+	}
+	if e.n >= 0 {
+		st.a.Add(e.n, br, -1)
+		st.a.Add(br, e.n, -1)
+	}
+	st.b[br] += e.w.Eval(st.time)
+}
+
+func (e *vsourceElem) advance(*stampCtx) {}
+
+// --- current source -------------------------------------------------
+
+type isourceElem struct {
+	id   string
+	p, n int
+	w    *waveform.PWL
+}
+
+func (e *isourceElem) name() string { return e.id }
+
+func (e *isourceElem) stamp(st *stampCtx) {
+	stampCurrent(st, e.p, e.n, e.w.Eval(st.time))
+}
+
+func (e *isourceElem) advance(*stampCtx) {}
+
+// --- MOSFET ---------------------------------------------------------
+
+type mosfetElem struct {
+	id      string
+	d, g, s int
+	p       device.MOSParams
+}
+
+func (e *mosfetElem) name() string { return e.id }
+
+func (e *mosfetElem) stamp(st *stampCtx) {
+	vd := voltage(st.x, e.d)
+	vg := voltage(st.x, e.g)
+	vs := voltage(st.x, e.s)
+	op := e.p.Eval(vg-vs, vd-vs)
+	// Linearised channel current entering the drain:
+	// i_d ≈ Ids + gm·(Δvgs) + gds·(Δvds)
+	// Stamp the Jacobian and the history current
+	// ieq = Ids − gm·vgs0 − gds·vds0.
+	ieq := op.Ids - op.Gm*(vg-vs) - op.Gds*(vd-vs)
+	if e.d >= 0 {
+		st.a.Add(e.d, e.d, op.Gds)
+		if e.g >= 0 {
+			st.a.Add(e.d, e.g, op.Gm)
+		}
+		if e.s >= 0 {
+			st.a.Add(e.d, e.s, -(op.Gm + op.Gds))
+		}
+		st.b[e.d] -= ieq
+	}
+	if e.s >= 0 {
+		st.a.Add(e.s, e.s, op.Gm+op.Gds)
+		if e.g >= 0 {
+			st.a.Add(e.s, e.g, -op.Gm)
+		}
+		if e.d >= 0 {
+			st.a.Add(e.s, e.d, -op.Gds)
+		}
+		st.b[e.s] += ieq
+	}
+}
+
+func (e *mosfetElem) advance(*stampCtx) {}
+
+// opAt evaluates the device operating point from a solution vector.
+func (e *mosfetElem) opAt(x []float64) device.OpPoint {
+	vd := voltage(x, e.d)
+	vg := voltage(x, e.g)
+	vs := voltage(x, e.s)
+	return e.p.Eval(vg-vs, vd-vs)
+}

@@ -1,0 +1,305 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"samurai/internal/device"
+	"samurai/internal/waveform"
+)
+
+// Deck is a parsed SPICE-style netlist: the circuit plus the analysis
+// directives found in the text.
+//
+// Supported cards (case-insensitive, '*' comments, continuation not
+// needed because sources use parentheses):
+//
+//	.tech 90nm                    — technology for MOSFET defaults
+//	Vxxx n+ n- DC <v>             — constant voltage source
+//	Vxxx n+ n- PWL(t1 v1 t2 v2 …) — piecewise-linear source
+//	Vxxx n+ n- PULSE(v1 v2 td tr tf pw per)
+//	Ixxx n+ n- DC <i> | PWL(…)    — current source (n+ → n−)
+//	Rxxx a b <ohms>
+//	Cxxx a b <farads>
+//	Mxxx d g s NMOS|PMOS W=… L=… [VT=…]
+//	.ic node=<v> [node=<v> …]
+//	.tran <dt> <tstop> [uic]
+//	.end
+//
+// Engineering suffixes (f p n u m k meg g t) are accepted everywhere.
+type Deck struct {
+	Circuit *Circuit
+	Tran    TransientSpec
+	HasTran bool
+	Tech    device.Technology
+}
+
+// ParseDeck parses netlist text. Sources with PULSE specs need the
+// .tran card to appear anywhere in the deck (the pulse train is
+// elaborated over the analysis window).
+func ParseDeck(r io.Reader) (*Deck, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var lines []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	deck := &Deck{Circuit: New(), Tech: device.Node("90nm")}
+	deck.Tran.InitialV = map[string]float64{}
+
+	// Pass 1: directives that later cards depend on (.tech, .tran).
+	for _, line := range lines {
+		f := fields(line)
+		if len(f) == 0 {
+			// Lines made solely of punctuation (e.g. a stray "(")
+			// tokenise to nothing; treat them like blank lines.
+			continue
+		}
+		switch strings.ToLower(f[0]) {
+		case ".tech":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("circuit: .tech wants one argument: %q", line)
+			}
+			tech, ok := device.NodeOK(f[1])
+			if !ok {
+				return nil, fmt.Errorf("circuit: unknown technology node %q", f[1])
+			}
+			deck.Tech = tech
+		case ".tran":
+			if len(f) < 3 {
+				return nil, fmt.Errorf("circuit: .tran wants dt and tstop: %q", line)
+			}
+			dt, err := waveform.ParseEng(f[1])
+			if err != nil {
+				return nil, err
+			}
+			stop, err := waveform.ParseEng(f[2])
+			if err != nil {
+				return nil, err
+			}
+			deck.Tran.Dt = dt
+			deck.Tran.T1 = stop
+			deck.HasTran = true
+			if len(f) > 3 && strings.EqualFold(f[3], "uic") {
+				deck.Tran.UIC = true
+			}
+		}
+	}
+
+	// Pass 2: elements and initial conditions.
+	for lineNo, line := range lines {
+		f := fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		card := strings.ToUpper(f[0])
+		var err error
+		switch {
+		case strings.HasPrefix(card, "R"):
+			err = deck.parseR(f)
+		case strings.HasPrefix(card, "C"):
+			err = deck.parseC(f)
+		case strings.HasPrefix(card, "V"):
+			err = deck.parseSource(f, true)
+		case strings.HasPrefix(card, "I"):
+			err = deck.parseSource(f, false)
+		case strings.HasPrefix(card, "M"):
+			err = deck.parseM(f)
+		case card == ".IC":
+			err = deck.parseIC(f)
+		case card == ".TECH", card == ".TRAN", card == ".END":
+			// handled in pass 1 / terminator
+		default:
+			err = fmt.Errorf("unknown card %q", f[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("circuit: line %d (%q): %w", lineNo+1, line, err)
+		}
+	}
+	return deck, nil
+}
+
+// fields splits a card, keeping parenthesised groups (PWL/PULSE args)
+// as part of their keyword token stream: "PWL(0 0 1n 1)" becomes
+// ["PWL", "0", "0", "1n", "1"].
+func fields(line string) []string {
+	replaced := strings.NewReplacer("(", " ", ")", " ", ",", " ", "=", "=").Replace(line)
+	return strings.Fields(replaced)
+}
+
+func (d *Deck) parseR(f []string) error {
+	if len(f) != 4 {
+		return fmt.Errorf("resistor wants 'Rname a b value'")
+	}
+	v, err := waveform.ParseEng(f[3])
+	if err != nil {
+		return err
+	}
+	return d.Circuit.AddResistor(f[0], f[1], f[2], v)
+}
+
+func (d *Deck) parseC(f []string) error {
+	if len(f) != 4 {
+		return fmt.Errorf("capacitor wants 'Cname a b value'")
+	}
+	v, err := waveform.ParseEng(f[3])
+	if err != nil {
+		return err
+	}
+	return d.Circuit.AddCapacitor(f[0], f[1], f[2], v)
+}
+
+func (d *Deck) parseSource(f []string, isV bool) error {
+	if len(f) < 5 {
+		return fmt.Errorf("source wants 'name n+ n- DC|PWL|PULSE args'")
+	}
+	name, np, nn := f[0], f[1], f[2]
+	var w *waveform.PWL
+	switch strings.ToUpper(f[3]) {
+	case "DC":
+		v, err := waveform.ParseEng(f[4])
+		if err != nil {
+			return err
+		}
+		w = waveform.Constant(v)
+	case "PWL":
+		var err error
+		w, err = waveform.ParsePWLSpec(strings.Join(f[4:], " "))
+		if err != nil {
+			return err
+		}
+	case "PULSE":
+		if len(f) != 11 {
+			return fmt.Errorf("PULSE wants 7 arguments (v1 v2 td tr tf pw per)")
+		}
+		if !d.HasTran {
+			return fmt.Errorf("PULSE sources need a .tran card to define the pulse-train window")
+		}
+		args := make([]float64, 7)
+		for i := range args {
+			v, err := waveform.ParseEng(f[4+i])
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		var err error
+		w, err = pulseWave(args, d.Tran.T1)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown source kind %q", f[3])
+	}
+	if isV {
+		return d.Circuit.AddVSource(name, np, nn, w)
+	}
+	return d.Circuit.AddISource(name, np, nn, w)
+}
+
+// pulseWave elaborates a SPICE PULSE(v1 v2 td tr tf pw per) over
+// [0, tstop].
+func pulseWave(a []float64, tstop float64) (*waveform.PWL, error) {
+	v1, v2, td, tr, tf, pw, per := a[0], a[1], a[2], a[3], a[4], a[5], a[6]
+	if tr <= 0 || tf <= 0 || pw <= 0 || per <= 0 {
+		return nil, fmt.Errorf("PULSE timing values must be positive")
+	}
+	if tr+pw+tf > per {
+		return nil, fmt.Errorf("PULSE period %g shorter than tr+pw+tf", per)
+	}
+	if n := (tstop + per - td) / per; !(n > 0) || n > 2e5 {
+		return nil, fmt.Errorf("PULSE train needs %g periods over the .tran window; limit is 2e5", n)
+	}
+	ts := []float64{0}
+	vs := []float64{v1}
+	add := func(t, v float64) {
+		if t > ts[len(ts)-1] {
+			ts = append(ts, t)
+			vs = append(vs, v)
+		}
+	}
+	for start := td; start < tstop+per; start += per {
+		add(start, v1)
+		add(start+tr, v2)
+		add(start+tr+pw, v2)
+		add(start+tr+pw+tf, v1)
+	}
+	return waveform.New(ts, vs)
+}
+
+func (d *Deck) parseM(f []string) error {
+	if len(f) < 5 {
+		return fmt.Errorf("mosfet wants 'Mname d g s NMOS|PMOS W=.. L=..'")
+	}
+	typ := device.NMOS
+	switch strings.ToUpper(f[4]) {
+	case "NMOS":
+	case "PMOS":
+		typ = device.PMOS
+	default:
+		return fmt.Errorf("unknown device type %q", f[4])
+	}
+	var w, l, vt float64
+	haveVt := false
+	for _, kv := range f[5:] {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad parameter %q", kv)
+		}
+		v, err := waveform.ParseEng(parts[1])
+		if err != nil {
+			return err
+		}
+		switch strings.ToUpper(parts[0]) {
+		case "W":
+			w = v
+		case "L":
+			l = v
+		case "VT":
+			vt, haveVt = v, true
+		default:
+			return fmt.Errorf("unknown MOSFET parameter %q", parts[0])
+		}
+	}
+	if w <= 0 || l <= 0 {
+		return fmt.Errorf("MOSFET needs positive W= and L=")
+	}
+	params := device.NewMOS(d.Tech, typ, w, l)
+	if haveVt {
+		params.Vt = vt
+	}
+	return d.Circuit.AddMOSFET(f[0], f[1], f[2], f[3], params)
+}
+
+func (d *Deck) parseIC(f []string) error {
+	for _, kv := range f[1:] {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad .ic entry %q", kv)
+		}
+		v, err := waveform.ParseEng(parts[1])
+		if err != nil {
+			return err
+		}
+		d.Tran.InitialV[parts[0]] = v
+	}
+	return nil
+}
+
+// RunTran executes the deck's transient analysis.
+func (d *Deck) RunTran() (*TransientResult, error) {
+	if !d.HasTran {
+		return nil, fmt.Errorf("circuit: deck has no .tran card")
+	}
+	return d.Circuit.Transient(d.Tran)
+}

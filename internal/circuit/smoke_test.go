@@ -1,0 +1,126 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"samurai/internal/device"
+	"samurai/internal/waveform"
+)
+
+func TestResistorDividerDC(t *testing.T) {
+	c := New()
+	if err := c.AddDCVSource("V1", "in", Ground, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddResistor("R1", "in", "mid", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddResistor("R2", "mid", Ground, 3000); err != nil {
+		t.Fatal(err)
+	}
+	op, err := c.OperatingPoint(nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 * 3000 / 4000
+	if math.Abs(op["mid"]-want) > 1e-6 {
+		t.Fatalf("divider mid = %g, want %g", op["mid"], want)
+	}
+}
+
+func TestRCStepResponse(t *testing.T) {
+	// 1V step into RC with tau = 1ms; v(t) = 1 - exp(-t/tau).
+	c := New()
+	step, _ := waveform.New([]float64{0, 1e-9}, []float64{0, 1})
+	if err := c.AddVSource("V1", "in", Ground, step); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddResistor("R1", "in", "out", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddCapacitor("C1", "out", Ground, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientSpec{
+		T0: 0, T1: 5e-3, Dt: 1e-6, UIC: true,
+		Options: Options{Method: Trapezoidal},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.Voltage("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := 1e-3
+	for _, tt := range []float64{0.5e-3, 1e-3, 2e-3, 4e-3} {
+		want := 1 - math.Exp(-tt/tau)
+		got := v.Eval(tt)
+		if math.Abs(got-want) > 2e-3 {
+			t.Errorf("v(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestNMOSInverterTransfer(t *testing.T) {
+	// Resistor-load NMOS inverter: output high when input low and
+	// vice versa.
+	tech := device.Node("90nm")
+	c := New()
+	if err := c.AddDCVSource("VDD", "vdd", Ground, tech.Vdd); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddDCVSource("VIN", "in", Ground, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddResistor("RL", "vdd", "out", 100e3); err != nil {
+		t.Fatal(err)
+	}
+	nm := device.NewMOS(tech, device.NMOS, 4*tech.Lmin, tech.Lmin)
+	if err := c.AddMOSFET("M1", "out", "in", Ground, nm); err != nil {
+		t.Fatal(err)
+	}
+	op, err := c.OperatingPoint(map[string]float64{"vdd": tech.Vdd, "out": tech.Vdd}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op["out"] < 0.9*tech.Vdd {
+		t.Fatalf("inverter out with Vin=0: %g, want ≈ %g", op["out"], tech.Vdd)
+	}
+
+	// Now drive the gate high.
+	c2 := New()
+	c2.AddDCVSource("VDD", "vdd", Ground, tech.Vdd)
+	c2.AddDCVSource("VIN", "in", Ground, tech.Vdd)
+	c2.AddResistor("RL", "vdd", "out", 100e3)
+	c2.AddMOSFET("M1", "out", "in", Ground, nm)
+	op2, err := c2.OperatingPoint(map[string]float64{"vdd": tech.Vdd, "out": 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op2["out"] > 0.2*tech.Vdd {
+		t.Fatalf("inverter out with Vin=Vdd: %g, want near 0", op2["out"])
+	}
+}
+
+func TestCMOSInverterDC(t *testing.T) {
+	tech := device.Node("90nm")
+	for _, vin := range []float64{0, tech.Vdd} {
+		c := New()
+		c.AddDCVSource("VDD", "vdd", Ground, tech.Vdd)
+		c.AddDCVSource("VIN", "in", Ground, vin)
+		nm := device.NewMOS(tech, device.NMOS, 2*tech.Lmin, tech.Lmin)
+		pm := device.NewMOS(tech, device.PMOS, 4*tech.Lmin, tech.Lmin)
+		c.AddMOSFET("MN", "out", "in", Ground, nm)
+		c.AddMOSFET("MP", "out", "in", "vdd", pm)
+		op, err := c.OperatingPoint(map[string]float64{"vdd": tech.Vdd, "out": tech.Vdd / 2}, Options{})
+		if err != nil {
+			t.Fatalf("vin=%g: %v", vin, err)
+		}
+		want := tech.Vdd - vin
+		if math.Abs(op["out"]-want) > 0.05*tech.Vdd {
+			t.Fatalf("CMOS inverter: vin=%g → out=%g, want ≈ %g", vin, op["out"], want)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"samurai/internal/num"
+	"samurai/internal/waveform"
+)
+
+// Options tunes the nonlinear solver and transient integrator. The zero
+// value is completed by Defaults (applied automatically).
+type Options struct {
+	// MaxNewton is the Newton iteration cap per solve.
+	MaxNewton int
+	// VTol is the node-voltage convergence tolerance, V.
+	VTol float64
+	// ResTol is the KCL residual tolerance, A.
+	ResTol float64
+	// MaxStepV limits the per-iteration voltage update (damping), V.
+	MaxStepV float64
+	// Gmin is the convergence-aid conductance from every node to
+	// ground.
+	Gmin float64
+	// Method selects the transient integration scheme.
+	Method Method
+}
+
+// Defaults fills unset fields with robust values.
+func (o Options) Defaults() Options {
+	if o.MaxNewton == 0 {
+		o.MaxNewton = 200
+	}
+	if o.VTol == 0 {
+		o.VTol = 1e-6
+	}
+	if o.ResTol == 0 {
+		o.ResTol = 1e-9
+	}
+	if o.MaxStepV == 0 {
+		o.MaxStepV = 0.5
+	}
+	if o.Gmin == 0 {
+		o.Gmin = 1e-12
+	}
+	return o
+}
+
+// ErrNoConvergence is returned when Newton iteration fails to settle.
+var ErrNoConvergence = errors.New("circuit: Newton iteration did not converge")
+
+// newtonSolve runs damped Newton–Raphson at a fixed time/step,
+// overwriting st.x with the solution.
+func (c *Circuit) newtonSolve(st *stampCtx, opt Options) error {
+	n := c.Size()
+	for iter := 0; iter < opt.MaxNewton; iter++ {
+		st.a.Zero()
+		for i := range st.b {
+			st.b[i] = 0
+		}
+		for _, e := range c.elems {
+			e.stamp(st)
+		}
+		// gmin on every node keeps the Jacobian nonsingular when
+		// devices are fully off.
+		for i := 0; i < st.nNodes; i++ {
+			st.a.Add(i, i, st.gmin)
+		}
+		lu, err := num.Factor(st.a)
+		if err != nil {
+			return fmt.Errorf("circuit: singular MNA matrix (floating node or source loop?): %w", err)
+		}
+		xNew := lu.Solve(st.b)
+		// Damp node-voltage updates; branch currents move freely.
+		maxDv := 0.0
+		for i := 0; i < st.nNodes; i++ {
+			dv := xNew[i] - st.x[i]
+			if a := math.Abs(dv); a > maxDv {
+				maxDv = a
+			}
+		}
+		scale := 1.0
+		if maxDv > opt.MaxStepV {
+			scale = opt.MaxStepV / maxDv
+		}
+		for i := 0; i < n; i++ {
+			if i < st.nNodes {
+				st.x[i] += scale * (xNew[i] - st.x[i])
+			} else {
+				st.x[i] = xNew[i]
+			}
+		}
+		if scale == 1.0 && maxDv < opt.VTol {
+			return nil
+		}
+	}
+	return ErrNoConvergence
+}
+
+// OperatingPoint computes the DC solution with capacitors open. guess,
+// if non-nil, seeds the Newton iteration — essential for bistable
+// circuits like the SRAM cell, where the seed selects the stable state.
+// The returned map holds every non-ground node voltage.
+func (c *Circuit) OperatingPoint(guess map[string]float64, opt Options) (map[string]float64, error) {
+	opt = opt.Defaults()
+	n := c.Size()
+	st := &stampCtx{
+		a:      num.NewMatrix(n, n),
+		b:      make([]float64, n),
+		x:      make([]float64, n),
+		nNodes: len(c.nodeNames),
+		method: opt.Method,
+		gmin:   opt.Gmin,
+	}
+	for name, v := range guess {
+		if idx, ok := c.nodeIndex[name]; ok && idx >= 0 {
+			st.x[idx] = v
+		}
+	}
+	// gmin stepping: start with a heavy convergence aid and relax it.
+	var err error
+	for _, g := range []float64{1e-3, 1e-6, 1e-9, opt.Gmin} {
+		st.gmin = g
+		if err = c.newtonSolve(st, opt); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range c.elems {
+		e.advance(st)
+	}
+	out := map[string]float64{}
+	for i, name := range c.nodeNames {
+		out[name] = st.x[i]
+	}
+	return out, nil
+}
+
+// TransientResult holds the sampled solution of a transient run.
+type TransientResult struct {
+	Times []float64
+	// V maps node name → voltage samples aligned with Times.
+	V map[string][]float64
+	// DeviceID maps MOSFET name → channel-current samples (drain
+	// convention); DeviceVgs/DeviceVds hold the terminal biases — the
+	// waveforms SAMURAI consumes.
+	DeviceID  map[string][]float64
+	DeviceVgs map[string][]float64
+	DeviceVds map[string][]float64
+	// SourceI maps voltage-source name → branch-current samples (the
+	// MNA branch unknowns, flowing from the + terminal through the
+	// source to the − terminal). Supply-current integrals give write
+	// energy and similar power metrics.
+	SourceI map[string][]float64
+}
+
+// Voltage returns the PWL waveform of a node.
+func (r *TransientResult) Voltage(node string) (*waveform.PWL, error) {
+	vs, ok := r.V[node]
+	if !ok {
+		return nil, fmt.Errorf("circuit: node %q not recorded", node)
+	}
+	return waveform.New(r.Times, vs)
+}
+
+// SourceCurrent returns the branch-current waveform of a voltage
+// source.
+func (r *TransientResult) SourceCurrent(name string) (*waveform.PWL, error) {
+	is, ok := r.SourceI[name]
+	if !ok {
+		return nil, fmt.Errorf("circuit: source %q not recorded", name)
+	}
+	return waveform.New(r.Times, is)
+}
+
+// DeviceBias returns the (Vgs, Id) waveforms of a MOSFET — the inputs
+// SAMURAI's trace generator needs for that device.
+func (r *TransientResult) DeviceBias(name string) (vgs, id *waveform.PWL, err error) {
+	gv, ok := r.DeviceVgs[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("circuit: device %q not recorded", name)
+	}
+	iv := r.DeviceID[name]
+	vgs, err = waveform.New(r.Times, gv)
+	if err != nil {
+		return nil, nil, err
+	}
+	id, err = waveform.New(r.Times, iv)
+	return vgs, id, err
+}
+
+// TransientSpec describes a transient analysis.
+type TransientSpec struct {
+	T0, T1 float64
+	// Dt is the fixed timestep.
+	Dt float64
+	// UIC, when true, skips the DC operating point and starts from the
+	// provided InitialV (SPICE's "use initial conditions"). Nodes not
+	// listed start at 0.
+	UIC      bool
+	InitialV map[string]float64
+	Options  Options
+}
+
+// Runner advances a transient analysis one step at a time. It exists so
+// that higher layers can co-simulate with the circuit — the
+// bidirectionally-coupled RTN mode updates trap states and RTN source
+// values between steps (paper future-work #1).
+type Runner struct {
+	c   *Circuit
+	st  *stampCtx
+	opt Options
+	res *TransientResult
+	t   float64
+	t1  float64
+}
+
+// NewRunner initialises a transient analysis (performing the DC
+// operating point unless spec.UIC is set) and records the initial
+// state.
+func (c *Circuit) NewRunner(spec TransientSpec) (*Runner, error) {
+	opt := spec.Options.Defaults()
+	if spec.Dt <= 0 || spec.T1 <= spec.T0 {
+		return nil, errors.New("circuit: transient needs T1 > T0 and Dt > 0")
+	}
+	n := c.Size()
+	st := &stampCtx{
+		a:      num.NewMatrix(n, n),
+		b:      make([]float64, n),
+		x:      make([]float64, n),
+		nNodes: len(c.nodeNames),
+		method: opt.Method,
+		gmin:   opt.Gmin,
+		time:   spec.T0,
+	}
+	if spec.UIC {
+		for name, v := range spec.InitialV {
+			if idx, ok := c.nodeIndex[name]; ok && idx >= 0 {
+				st.x[idx] = v
+			}
+		}
+	} else {
+		op, err := c.OperatingPoint(spec.InitialV, opt)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: transient DC seed failed: %w", err)
+		}
+		for name, v := range op {
+			st.x[c.nodeIndex[name]] = v
+		}
+		// One in-place DC solve so the branch-current unknowns (which
+		// OperatingPoint does not return) are consistent at the first
+		// recorded sample.
+		if err := c.newtonSolve(st, opt); err != nil {
+			return nil, fmt.Errorf("circuit: transient DC seed failed: %w", err)
+		}
+	}
+	// Initialise per-element history from the starting point.
+	st.dt = 0
+	for _, e := range c.elems {
+		e.advance(st)
+	}
+	r := &Runner{
+		c: c, st: st, opt: opt, t: spec.T0, t1: spec.T1,
+		res: &TransientResult{
+			V:         map[string][]float64{},
+			DeviceID:  map[string][]float64{},
+			DeviceVgs: map[string][]float64{},
+			DeviceVds: map[string][]float64{},
+			SourceI:   map[string][]float64{},
+		},
+	}
+	r.record()
+	return r, nil
+}
+
+// Time returns the current simulation time.
+func (r *Runner) Time() float64 { return r.t }
+
+// Done reports whether the run has reached its end time.
+func (r *Runner) Done() bool { return r.t >= r.t1 }
+
+// NodeVoltage returns the present voltage of a node (0 for ground,
+// an error for unknown names).
+func (r *Runner) NodeVoltage(name string) (float64, error) {
+	idx, ok := r.c.nodeIndex[name]
+	if !ok {
+		return 0, fmt.Errorf("circuit: unknown node %q", name)
+	}
+	return voltage(r.st.x, idx), nil
+}
+
+// DeviceOp returns the present bias (vgs, vds) and channel current of a
+// MOSFET.
+func (r *Runner) DeviceOp(name string) (vgs, vds, id float64, err error) {
+	for _, m := range r.c.mosfets {
+		if m.id == name {
+			op := m.opAt(r.st.x)
+			return voltage(r.st.x, m.g) - voltage(r.st.x, m.s),
+				voltage(r.st.x, m.d) - voltage(r.st.x, m.s),
+				op.Ids, nil
+		}
+	}
+	return 0, 0, 0, fmt.Errorf("circuit: no MOSFET named %q", name)
+}
+
+// Step advances the analysis by dt (clamped to the end time) and
+// records the solution. If Newton fails to converge at the full step,
+// the step is retried as a sequence of halved sub-steps (up to 6
+// levels) before giving up — strongly nonlinear transients (e.g. large
+// injected RTN spikes during switching) occasionally need the shorter
+// horizon.
+func (r *Runner) Step(dt float64) error {
+	if r.Done() {
+		return errors.New("circuit: runner already at end time")
+	}
+	t := r.t + dt
+	if t > r.t1 {
+		t = r.t1
+	}
+	if err := r.advanceTo(t, 0); err != nil {
+		return err
+	}
+	r.record()
+	return nil
+}
+
+func (r *Runner) advanceTo(t float64, depth int) error {
+	saved := append([]float64(nil), r.st.x...)
+	r.st.time = t
+	r.st.dt = t - r.t
+	if err := r.c.newtonSolve(r.st, r.opt); err != nil {
+		copy(r.st.x, saved)
+		if depth >= 6 {
+			return fmt.Errorf("circuit: step at t=%.4g s: %w", t, err)
+		}
+		mid := r.t + (t-r.t)/2
+		if err := r.advanceTo(mid, depth+1); err != nil {
+			return err
+		}
+		return r.advanceTo(t, depth+1)
+	}
+	for _, e := range r.c.elems {
+		e.advance(r.st)
+	}
+	r.t = t
+	return nil
+}
+
+func (r *Runner) record() {
+	res := r.res
+	res.Times = append(res.Times, r.t)
+	for i, name := range r.c.nodeNames {
+		res.V[name] = append(res.V[name], r.st.x[i])
+	}
+	for _, m := range r.c.mosfets {
+		op := m.opAt(r.st.x)
+		res.DeviceID[m.id] = append(res.DeviceID[m.id], op.Ids)
+		res.DeviceVgs[m.id] = append(res.DeviceVgs[m.id], voltage(r.st.x, m.g)-voltage(r.st.x, m.s))
+		res.DeviceVds[m.id] = append(res.DeviceVds[m.id], voltage(r.st.x, m.d)-voltage(r.st.x, m.s))
+	}
+	for name, vs := range r.c.vsources {
+		res.SourceI[name] = append(res.SourceI[name], r.st.x[r.st.nNodes+vs.branch])
+	}
+}
+
+// Result returns the samples recorded so far.
+func (r *Runner) Result() *TransientResult { return r.res }
+
+// Transient runs a fixed-step implicit transient analysis and records
+// every node voltage and every MOSFET bias/current at each step.
+func (c *Circuit) Transient(spec TransientSpec) (*TransientResult, error) {
+	r, err := c.NewRunner(spec)
+	if err != nil {
+		return nil, err
+	}
+	for !r.Done() {
+		if err := r.Step(spec.Dt); err != nil {
+			return nil, err
+		}
+	}
+	return r.Result(), nil
+}

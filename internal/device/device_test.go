@@ -1,0 +1,214 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"samurai/internal/units"
+)
+
+func TestNodesEnumeration(t *testing.T) {
+	names := Nodes()
+	if len(names) != 5 {
+		t.Fatalf("expected 5 nodes, got %d", len(names))
+	}
+	prevL := math.Inf(1)
+	prevVdd := math.Inf(1)
+	prevDensity := 0.0
+	for _, n := range names {
+		tech := Node(n)
+		if tech.Lmin >= prevL {
+			t.Fatalf("nodes not in descending feature size at %s", n)
+		}
+		if tech.Vdd >= prevVdd {
+			t.Fatalf("Vdd must scale down at %s", n)
+		}
+		if tech.TrapDensity <= prevDensity {
+			t.Fatalf("trap density must grow with scaling at %s", n)
+		}
+		prevL, prevVdd, prevDensity = tech.Lmin, tech.Vdd, tech.TrapDensity
+	}
+}
+
+func TestNodeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown node did not panic")
+		}
+	}()
+	Node("7nm")
+}
+
+func testDev() MOSParams {
+	return NewMOS(Node("90nm"), NMOS, 180e-9, 90e-9)
+}
+
+func TestValidate(t *testing.T) {
+	if err := testDev().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testDev()
+	bad.W = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero width accepted")
+	}
+	bad = testDev()
+	bad.SlopeN = 0.5
+	if bad.Validate() == nil {
+		t.Fatal("sub-unity slope factor accepted")
+	}
+}
+
+func TestCutoffCurrentTiny(t *testing.T) {
+	d := testDev()
+	op := d.Eval(0, 1.0)
+	// Subthreshold at vgs=0 with Vt≈0.32: current must be far below
+	// the on-current.
+	on := d.Eval(1.2, 1.0)
+	if op.Ids > 1e-6*on.Ids {
+		t.Fatalf("off current %g vs on %g", op.Ids, on.Ids)
+	}
+}
+
+func TestSquareLawSaturation(t *testing.T) {
+	d := testDev()
+	d.Lambda = 0 // pure square law for the check
+	vgs := 1.0
+	op := d.Eval(vgs, 2.0)
+	if !op.Saturated {
+		t.Fatal("expected saturation")
+	}
+	want := 0.5 * d.KP() * op.VovEff * op.VovEff
+	if math.Abs(op.Ids-want) > 1e-9*want {
+		t.Fatalf("sat current %g, want %g", op.Ids, want)
+	}
+}
+
+func TestTriodeSaturationContinuity(t *testing.T) {
+	d := testDev()
+	vgs := 1.0
+	vov := d.Eval(vgs, 0).VovEff
+	below := d.Eval(vgs, vov*(1-1e-9))
+	above := d.Eval(vgs, vov*(1+1e-9))
+	if math.Abs(below.Ids-above.Ids) > 1e-6*above.Ids {
+		t.Fatalf("current discontinuous at pinch-off: %g vs %g", below.Ids, above.Ids)
+	}
+	if math.Abs(below.Gds-above.Gds) > 1e-3*math.Abs(above.Gds)+1e-12 {
+		t.Fatalf("gds discontinuous at pinch-off: %g vs %g", below.Gds, above.Gds)
+	}
+}
+
+// Property: source-drain symmetry I(vgs, vds) = −I(vgs−vds, −vds).
+func TestSourceDrainSymmetryProperty(t *testing.T) {
+	d := testDev()
+	f := func(vgsRaw, vdsRaw float64) bool {
+		vgs := math.Mod(vgsRaw, 1.5)
+		vds := math.Mod(vdsRaw, 1.5)
+		if math.IsNaN(vgs + vds) {
+			return true
+		}
+		a := d.Eval(vgs, vds).Ids
+		b := -d.Eval(vgs-vds, -vds).Ids
+		return math.Abs(a-b) <= 1e-12+1e-9*math.Max(math.Abs(a), math.Abs(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the analytic Gm/Gds match finite differences.
+func TestDerivativesMatchFiniteDifferenceProperty(t *testing.T) {
+	d := testDev()
+	f := func(vgsRaw, vdsRaw float64) bool {
+		vgs := math.Mod(math.Abs(vgsRaw), 1.3)
+		vds := math.Mod(vdsRaw, 1.3)
+		if math.IsNaN(vgs + vds) {
+			return true
+		}
+		const h = 1e-7
+		op := d.Eval(vgs, vds)
+		gmFD := (d.Eval(vgs+h, vds).Ids - d.Eval(vgs-h, vds).Ids) / (2 * h)
+		gdsFD := (d.Eval(vgs, vds+h).Ids - d.Eval(vgs, vds-h).Ids) / (2 * h)
+		scale := math.Abs(op.Ids)/0.05 + 1e-9
+		okGm := math.Abs(op.Gm-gmFD) < 1e-4*scale+1e-4*math.Abs(gmFD)
+		okGds := math.Abs(op.Gds-gdsFD) < 1e-4*scale+1e-3*math.Abs(gdsFD)
+		return okGm && okGds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPMOSMirror(t *testing.T) {
+	tech := Node("90nm")
+	n := NewMOS(tech, NMOS, 180e-9, 90e-9)
+	p := NewMOS(tech, PMOS, 180e-9, 90e-9)
+	p.Vt = n.Vt
+	p.Mu = n.Mu // equalise for the mirror check
+	a := n.Eval(1.0, 0.5).Ids
+	b := p.Eval(-1.0, -0.5).Ids
+	if math.Abs(a+b) > 1e-12*math.Abs(a) {
+		t.Fatalf("PMOS mirror broken: %g vs %g", a, b)
+	}
+	// A conducting PMOS carries negative Ids.
+	if p.Eval(-1.0, -0.5).Ids >= 0 {
+		t.Fatal("conducting PMOS should have negative Ids")
+	}
+}
+
+func TestCarrierDensityBehaviour(t *testing.T) {
+	d := testDev()
+	nOn := d.CarrierDensity(1.2)
+	nOff := d.CarrierDensity(0)
+	if nOn <= nOff {
+		t.Fatal("carrier density must grow with gate bias")
+	}
+	// Strong inversion: N ≈ Cox(Vgs−Vt)/q.
+	want := d.CoxArea * (1.2 - d.Vt) / units.ElectronCharge
+	if math.Abs(nOn-want) > 0.05*want {
+		t.Fatalf("N = %g, want ≈%g", nOn, want)
+	}
+	// Floor keeps it positive when the channel is off.
+	if nOff <= 0 {
+		t.Fatal("carrier density must stay positive")
+	}
+}
+
+func TestCarrierCountScalesWithArea(t *testing.T) {
+	tech := Node("90nm")
+	small := NewMOS(tech, NMOS, 90e-9, 90e-9)
+	big := NewMOS(tech, NMOS, 900e-9, 90e-9)
+	r := big.CarrierCount(1.0) / small.CarrierCount(1.0)
+	if math.Abs(r-10) > 1e-9 {
+		t.Fatalf("carrier count ratio = %g, want 10", r)
+	}
+}
+
+func TestThermalNoiseProportionalToGm(t *testing.T) {
+	d := testDev()
+	op := d.Eval(1.2, 1.2)
+	want := 8.0 / 3.0 * units.BoltzmannJPerK * d.TempK * op.Gm
+	if got := d.ThermalNoisePSD(1.2, 1.2); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("thermal PSD = %g, want %g", got, want)
+	}
+}
+
+func TestGateCap(t *testing.T) {
+	d := testDev()
+	want := d.CoxArea * d.W * d.L
+	if d.GateCap() != want {
+		t.Fatal("gate cap wrong")
+	}
+}
+
+func TestTrapContextUsesTechTox(t *testing.T) {
+	tech := Node("45nm")
+	ctx := tech.TrapContext(1.0)
+	if ctx.Tox != tech.Tox || ctx.VRef != 1.0 {
+		t.Fatal("TrapContext mis-wired")
+	}
+	if tech.TrapProfiler().Density != tech.TrapDensity {
+		t.Fatal("TrapProfiler mis-wired")
+	}
+}

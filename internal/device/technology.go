@@ -1,0 +1,110 @@
+// Package device provides MOSFET compact models and technology
+// descriptors for the SAMURAI reproduction.
+//
+// The paper runs BSIM-4 in SpiceOPUS; we substitute a SPICE level-1
+// (square-law) model with channel-length modulation, a smooth
+// subthreshold tail and linear gate capacitances. SAMURAI itself only
+// consumes bias waveforms — V_gs(t) and I_d(t) — so the substitution
+// preserves every behaviour the experiments depend on (see DESIGN.md).
+package device
+
+import (
+	"fmt"
+
+	"samurai/internal/trap"
+	"samurai/internal/units"
+)
+
+// Technology describes a CMOS node: nominal geometry, supply, threshold
+// and oxide parameters, plus trap statistics. The numbers are
+// representative textbook values per node; the experiments only rely on
+// their relative scaling.
+type Technology struct {
+	Name string
+	// Lmin is the minimum drawn channel length, m.
+	Lmin float64
+	// WminSRAM is the nominal SRAM pull-down width, m.
+	WminSRAM float64
+	// Tox is the (equivalent) gate oxide thickness, m.
+	Tox float64
+	// Vdd is the nominal supply voltage, V.
+	Vdd float64
+	// Vtn and Vtp are nominal NMOS/PMOS threshold magnitudes, V.
+	Vtn, Vtp float64
+	// MuN and MuP are effective channel mobilities, m²/(V·s).
+	MuN, MuP float64
+	// CoxArea is the oxide capacitance per unit area, F/m².
+	CoxArea float64
+	// TrapDensity is the oxide trap volumetric density, traps/m³.
+	TrapDensity float64
+	// SigmaVt is the local threshold-voltage variation (1σ) for a
+	// minimum device, V — used by the Monte-Carlo array experiments.
+	SigmaVt float64
+}
+
+// epsOx is the permittivity of SiO2, F/m.
+const epsOx = 3.9 * 8.8541878128e-12
+
+func coxFor(tox float64) float64 { return epsOx / tox }
+
+// Node returns the descriptor for one of the built-in technology nodes:
+// "130nm", "90nm", "65nm", "45nm", "32nm". It panics on unknown names
+// (the set is a closed enumeration used by the experiments); callers
+// handling untrusted input should use NodeOK.
+func Node(name string) Technology {
+	t, ok := NodeOK(name)
+	if !ok {
+		panic(fmt.Sprintf("device: unknown technology node %q", name))
+	}
+	return t
+}
+
+// NodeOK is the non-panicking lookup for untrusted node names.
+func NodeOK(name string) (Technology, bool) {
+	t, ok := nodes[name]
+	return t, ok
+}
+
+// Nodes returns the built-in node names in descending feature size.
+func Nodes() []string {
+	return []string{"130nm", "90nm", "65nm", "45nm", "32nm"}
+}
+
+var nodes = map[string]Technology{
+	"130nm": makeNode("130nm", 130*units.Nano, 2.2*units.Nano, 1.30, 0.34, 0.36, 430e-4, 6.5e23, 18*units.Milli),
+	"90nm":  makeNode("90nm", 90*units.Nano, 1.9*units.Nano, 1.20, 0.32, 0.34, 400e-4, 1.3e24, 24*units.Milli),
+	"65nm":  makeNode("65nm", 65*units.Nano, 1.7*units.Nano, 1.10, 0.31, 0.33, 380e-4, 2.4e24, 30*units.Milli),
+	"45nm":  makeNode("45nm", 45*units.Nano, 1.4*units.Nano, 1.00, 0.30, 0.32, 350e-4, 4.0e24, 38*units.Milli),
+	"32nm":  makeNode("32nm", 32*units.Nano, 1.2*units.Nano, 0.90, 0.29, 0.31, 320e-4, 6.5e24, 46*units.Milli),
+}
+
+func makeNode(name string, lmin, tox, vdd, vtn, vtp, mun, trapDensity, sigmaVt float64) Technology {
+	return Technology{
+		Name:        name,
+		Lmin:        lmin,
+		WminSRAM:    2 * lmin,
+		Tox:         tox,
+		Vdd:         vdd,
+		Vtn:         vtn,
+		Vtp:         vtp,
+		MuN:         mun,
+		MuP:         mun * 0.45,
+		CoxArea:     coxFor(tox),
+		TrapDensity: trapDensity,
+		SigmaVt:     sigmaVt,
+	}
+}
+
+// TrapContext returns a trap.Context configured for this technology
+// with the given reference gate bias.
+func (t Technology) TrapContext(vref float64) trap.Context {
+	return trap.DefaultContext(t.Tox, vref)
+}
+
+// TrapProfiler returns the statistical profiler tuned to this
+// technology's trap density.
+func (t Technology) TrapProfiler() trap.Profiler {
+	p := trap.DefaultProfiler()
+	p.Density = t.TrapDensity
+	return p
+}

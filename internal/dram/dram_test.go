@@ -1,0 +1,126 @@
+package dram
+
+import (
+	"math"
+	"testing"
+
+	"samurai/internal/rng"
+	"samurai/internal/trap"
+	"samurai/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultCellConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultCellConfig()
+	bad.VTrip = bad.VStore
+	if bad.Validate() == nil {
+		t.Fatal("VTrip == VStore accepted")
+	}
+	bad = DefaultCellConfig()
+	bad.CStorage = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero storage cap accepted")
+	}
+}
+
+func TestLeakageMonotoneInVt(t *testing.T) {
+	cfg := DefaultCellConfig()
+	v := cfg.VStore
+	base := cfg.LeakageCurrent(v, 0)
+	raised := cfg.LeakageCurrent(v, 0.02)
+	if base <= 0 {
+		t.Fatalf("leakage = %g", base)
+	}
+	if raised >= base {
+		t.Fatal("raising Vt must suppress leakage")
+	}
+	// Exponential subthreshold: 20 mV should cut the current by
+	// roughly exp(2·0.02/s) with s = SlopeN·vth.
+	s := 1.5 * units.ThermalVoltage(cfg.TempK)
+	want := math.Exp(2 * 0.02 / s)
+	if r := base / raised; math.Abs(r-want) > 0.3*want {
+		t.Fatalf("leakage ratio %g, want ≈%g", r, want)
+	}
+}
+
+func TestRetentionTimeScalesWithCap(t *testing.T) {
+	cfg := DefaultCellConfig()
+	t1, err := cfg.RetentionTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 <= 0 {
+		t.Fatalf("retention = %g", t1)
+	}
+	cfg.CStorage *= 2
+	t2, err := cfg.RetentionTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(t2-2*t1) > 1e-6*t2 {
+		t.Fatalf("retention not linear in C: %g vs %g", t2, 2*t1)
+	}
+}
+
+func TestRetentionLongerWithTrappedCharge(t *testing.T) {
+	cfg := DefaultCellConfig()
+	base, err := cfg.RetentionTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filled, err := cfg.RetentionTime(cfg.DeltaVtPerTrap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled <= base {
+		t.Fatal("trapped electron must lengthen retention")
+	}
+}
+
+func TestSimulateVRTBimodal(t *testing.T) {
+	cfg := DefaultCellConfig()
+	ctx := trap.DefaultContext(cfg.Tox, 0)
+	// A deep, slow trap that is active at the retention bias: E = 0 at
+	// VRef = 0 keeps β ≈ 1 (it toggles), and y close to t_ox makes it
+	// slow.
+	tr := trap.Trap{Y: 0.8 * cfg.Tox, E: 0}
+	res, err := SimulateVRT(cfg, tr, ctx, 400, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transitions < 5 {
+		t.Fatalf("trap toggled only %d times — not a VRT demonstration", res.Transitions)
+	}
+	// Exactly two discrete retention levels must appear.
+	if res.LevelRatio() <= 1.01 {
+		t.Fatalf("VRT levels not separated: ratio %g", res.LevelRatio())
+	}
+	seen := map[float64]bool{}
+	for _, e := range res.Epochs {
+		seen[e.Retention] = true
+		if e.TrapFilled && e.Retention != res.TFilled {
+			t.Fatal("filled epoch with wrong level")
+		}
+		if !e.TrapFilled && e.Retention != res.TEmpty {
+			t.Fatal("empty epoch with wrong level")
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("expected exactly 2 retention levels, saw %d", len(seen))
+	}
+	// Both states visited a non-trivial fraction of the time (β ≈ 1).
+	if res.FractionFilled < 0.1 || res.FractionFilled > 0.9 {
+		t.Fatalf("occupancy fraction %g — trap effectively pinned", res.FractionFilled)
+	}
+}
+
+func TestSimulateVRTValidation(t *testing.T) {
+	cfg := DefaultCellConfig()
+	ctx := trap.DefaultContext(cfg.Tox, 0)
+	tr := trap.Trap{Y: 0.5 * cfg.Tox, E: 0}
+	if _, err := SimulateVRT(cfg, tr, ctx, 1, rng.New(1)); err == nil {
+		t.Fatal("1 epoch accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	samurai "samurai"
+	"samurai/internal/circuit"
+	"samurai/internal/device"
+	"samurai/internal/sram"
+)
+
+// Ablations probe the design choices DESIGN.md calls out: the implicit
+// integration scheme, the RTN trace sampling resolution, and the
+// write-margin calibration target. Each reports how the headline
+// outcome (write errors under accelerated RTN) responds to the knob.
+
+// AblationRow is one knob setting's outcome.
+type AblationRow struct {
+	Label  string
+	Errors int
+	Slow   int
+	// Aux carries a knob-specific scalar (e.g. trip fraction).
+	Aux float64
+}
+
+// AblationResult is a table of knob settings.
+type AblationResult struct {
+	Name string
+	Note string
+	Rows []AblationRow
+}
+
+// WriteText renders the ablation table.
+func (r *AblationResult) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "Ablation — %s\n", r.Name)
+	if r.Note != "" {
+		fmt.Fprintf(w, "(%s)\n", r.Note)
+	}
+	fmt.Fprintf(w, "%24s %8s %8s %10s\n", "setting", "errors", "slow", "aux")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%24s %8d %8d %10.4g\n", row.Label, row.Errors, row.Slow, row.Aux)
+	}
+}
+
+func fig8StyleConfig(seed uint64) (samurai.Config, error) {
+	tech := device.Node("32nm")
+	vdd := 2.0 / 3.0 * tech.Vdd
+	cellCfg, err := sram.MarginalCellConfig(sram.CellConfig{Tech: tech, Vdd: vdd})
+	if err != nil {
+		return samurai.Config{}, err
+	}
+	return samurai.Config{
+		Tech: tech, Cell: cellCfg,
+		Pattern: sram.Fig8Pattern(vdd),
+		Seed:    seed, Scale: 30,
+	}, nil
+}
+
+// AblateIntegrationMethod reruns the headline experiment under backward
+// Euler and trapezoidal integration. The write-error verdicts must not
+// depend on the scheme (they are decided by margins of tens of mV, far
+// above the integration error at the default step).
+func AblateIntegrationMethod(seed uint64) (*AblationResult, error) {
+	cfg, err := fig8StyleConfig(seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{
+		Name: "implicit integration scheme",
+		Note: "identical trap populations; outcome must be scheme-independent",
+	}
+	var profiles = cfg.Profiles
+	for _, m := range []circuit.Method{circuit.BackwardEuler, circuit.Trapezoidal} {
+		c := cfg
+		c.Method = m
+		c.Profiles = profiles
+		out, err := samurai.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		profiles = out.Profiles // pin for the second scheme
+		res.Rows = append(res.Rows, AblationRow{
+			Label:  m.String(),
+			Errors: out.WithRTN.NumError,
+			Slow:   out.WithRTN.NumSlow,
+		})
+	}
+	return res, nil
+}
+
+// AblateTraceResolution sweeps the number of samples per RTN trace.
+// Too-coarse traces blur glitch edges; the outcome must converge by the
+// default (4096) resolution.
+func AblateTraceResolution(seed uint64) (*AblationResult, error) {
+	cfg, err := fig8StyleConfig(seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{
+		Name: "RTN trace sampling resolution",
+		Note: "aux = samples per trace; verdict must converge by 4096",
+	}
+	var profiles = cfg.Profiles
+	for _, n := range []int{256, 1024, 4096, 16384} {
+		c := cfg
+		c.TraceSamples = n
+		c.Profiles = profiles
+		out, err := samurai.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		profiles = out.Profiles
+		res.Rows = append(res.Rows, AblationRow{
+			Label:  fmt.Sprintf("%d samples", n),
+			Errors: out.WithRTN.NumError,
+			Slow:   out.WithRTN.NumSlow,
+			Aux:    float64(n),
+		})
+	}
+	return res, nil
+}
+
+// AblateWriteMargin sweeps the calibration target (where in the WL
+// window the clean write crosses the trip point) and reports the
+// accelerated-RTN error rate: the tighter the margin, the more errors —
+// the quantitative form of "the timing of RTN glitches plays a crucial
+// role".
+func AblateWriteMargin(seed uint64) (*AblationResult, error) {
+	tech := device.Node("32nm")
+	vdd := 2.0 / 3.0 * tech.Vdd
+	res := &AblationResult{
+		Name: "write margin (clean trip-point position in the WL window)",
+		Note: "aux = trip fraction; errors at RTN ×30 grow as margin tightens",
+	}
+	for _, frac := range []float64{0.10, 0.16, 0.22, 0.28} {
+		cnode, err := sram.CalibrateCNode(sram.CellConfig{Tech: tech, Vdd: vdd}, sram.DefaultTiming(), frac)
+		if err != nil {
+			return nil, err
+		}
+		cell := sram.CellConfig{Tech: tech, Vdd: vdd, CNode: cnode}
+		errorsTotal, slowTotal := 0, 0
+		for s := uint64(0); s < 3; s++ {
+			out, err := samurai.Run(samurai.Config{
+				Tech: tech, Cell: cell,
+				Pattern: sram.Fig8Pattern(vdd),
+				Seed:    seed + s, Scale: 30,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if out.Clean.NumError != 0 {
+				return nil, fmt.Errorf("experiments: clean write failed at frac %g", frac)
+			}
+			errorsTotal += out.WithRTN.NumError
+			slowTotal += out.WithRTN.NumSlow
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Label:  fmt.Sprintf("trip at %.0f%% of WL", frac*100),
+			Errors: errorsTotal,
+			Slow:   slowTotal,
+			Aux:    frac,
+		})
+	}
+	return res, nil
+}

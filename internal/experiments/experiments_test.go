@@ -1,0 +1,455 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The experiment tests run reduced-size configurations: they assert the
+// paper's qualitative claims (who wins, in which direction) rather than
+// absolute numbers, and finish in seconds. The full-size runs live in
+// the benchmark harness.
+
+func TestFig2Claims(t *testing.T) {
+	res, err := Fig2(Fig2Config{Seed: 1, SampleDevices: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Claim 1: the RTN increment grows monotonically under scaling.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].RTNIncrement <= res.Rows[i-1].RTNIncrement {
+			t.Fatalf("RTN increment not growing at %s", res.Rows[i].Tech)
+		}
+	}
+	if res.RTNGrowth() < 2 {
+		t.Fatalf("RTN growth = %g, want ≥2 across nodes", res.RTNGrowth())
+	}
+	// Claim 2: active trap counts shrink into the "5–10" regime at the
+	// newest node.
+	newest := res.Rows[len(res.Rows)-1]
+	if newest.ActiveTraps < 3 || newest.ActiveTraps > 15 {
+		t.Fatalf("active traps at 32nm = %g, want a handful", newest.ActiveTraps)
+	}
+	// Claim 3: the newest node is pushed over the scaling line by RTN
+	// specifically.
+	if !newest.OverLine || !newest.FitsWithoutRTN {
+		t.Fatalf("32nm should be RTN-limited: %+v", newest)
+	}
+	// Older nodes still fit.
+	if res.Rows[0].OverLine {
+		t.Fatal("130nm must not be margin-limited")
+	}
+	var buf bytes.Buffer
+	res.WriteText(&buf)
+	if !strings.Contains(buf.String(), "RTN-LIMITED") {
+		t.Fatal("rendered table lacks the RTN-limited verdict")
+	}
+}
+
+func TestFig3Claims(t *testing.T) {
+	res, err := Fig3(Fig3Config{Seed: 5, Devices: 6, Samples: 1 << 16, Window: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old tech: many traps; new tech: order-of-magnitude fewer.
+	if res.Old.MeanTraps < 5*res.New.MeanTraps {
+		t.Fatalf("trap count contrast too weak: %g vs %g", res.Old.MeanTraps, res.New.MeanTraps)
+	}
+	// The old technology must fit 1/f: slope near −1, tight scatter.
+	if math.Abs(res.Old.MeanSlope+1) > 0.35 {
+		t.Fatalf("old-tech slope %g, want ≈−1", res.Old.MeanSlope)
+	}
+	// The few-trap panel must scatter more.
+	if res.New.SlopeStd < res.Old.SlopeStd {
+		t.Fatalf("new-tech slope scatter (%g) not larger than old (%g)",
+			res.New.SlopeStd, res.Old.SlopeStd)
+	}
+}
+
+func TestFig5Claims(t *testing.T) {
+	res, err := Fig5(Fig5Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanOK, midSlow, edgeError := res.Classify()
+	if !cleanOK {
+		t.Fatal("clean write failed")
+	}
+	if !midSlow {
+		t.Fatal("mid-window glitch did not slow the write")
+	}
+	if !edgeError {
+		t.Fatal("WL-edge glitch did not produce a write error")
+	}
+	var buf bytes.Buffer
+	res.WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "WRITE ERROR") || !strings.Contains(out, "SLOWDOWN") {
+		t.Fatalf("rendered table missing outcomes:\n%s", out)
+	}
+}
+
+func TestFig7Claims(t *testing.T) {
+	for _, sweep := range []Fig7Sweep{SweepVgs, SweepEtr, SweepYtr} {
+		res, err := Fig7(sweep, Fig7Config{Seed: 1, Samples: 1 << 16, SweepN: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", sweep, err)
+		}
+		acc, psd := res.MaxErr()
+		if acc > 0.10 {
+			t.Fatalf("%s: autocorrelation error %g too large", sweep, acc)
+		}
+		if psd > 0.35 {
+			t.Fatalf("%s: PSD error %g too large", sweep, psd)
+		}
+		for _, p := range res.Points {
+			if p.Transitions < 100 {
+				t.Fatalf("%s: too few transitions (%d) for valid statistics", sweep, p.Transitions)
+			}
+			if p.ThermalPSD <= 0 {
+				t.Fatalf("%s: missing thermal floor", sweep)
+			}
+		}
+	}
+}
+
+func TestFig7RateSumInvariant(t *testing.T) {
+	// Within the Vgs sweep, λ_c+λ_e must be identical at every bias
+	// (Eq 1) — the property that makes uniformisation exact.
+	res, err := Fig7(SweepVgs, Fig7Config{Seed: 2, Samples: 1 << 14, SweepN: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Points[0].RateSum
+	for _, p := range res.Points {
+		if math.Abs(p.RateSum-first) > 1e-9*first {
+			t.Fatalf("rate sum varies across bias: %g vs %g", p.RateSum, first)
+		}
+	}
+}
+
+func TestFig8Claims(t *testing.T) {
+	res, err := Fig8(Fig8Config{Seed: 1, OccupancyEnsemble: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CleanOK {
+		t.Fatal("plot (a): clean pattern must write correctly")
+	}
+	if len(res.ErrorCycles) == 0 {
+		t.Fatal("plot (e): ×30 RTN must produce at least one write error")
+	}
+	if res.UnscaledErrors != 0 {
+		t.Fatal("unscaled RTN must not produce errors (they are rare events)")
+	}
+	m5, m6 := res.NonStationaryContrast()
+	if m5 < 1.2 || m6 < 1.2 {
+		t.Fatalf("non-stationary activity contrast too weak: M5 %g, M6 %g", m5, m6)
+	}
+	if res.M2TraceMax <= 0 {
+		t.Fatal("plot (d): M2 trace empty")
+	}
+}
+
+func TestT1Claims(t *testing.T) {
+	res, err := T1(T1Config{Seed: 1, Paths: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := res.Rows[0]
+	fine := res.Rows[len(res.Rows)-1]
+	// The baseline's coarse-step bias must dominate the Monte-Carlo
+	// noise floor, and shrink with dt.
+	if coarse.BaselineErr < 3*coarse.UniformErr {
+		t.Fatalf("coarse baseline bias %g not ≫ uniformisation error %g",
+			coarse.BaselineErr, coarse.UniformErr)
+	}
+	if fine.BaselineErr > coarse.BaselineErr/3 {
+		t.Fatalf("baseline bias did not shrink: %g → %g", coarse.BaselineErr, fine.BaselineErr)
+	}
+	// Cost: the fine baseline does far more work than uniformisation.
+	if fine.BaselineSteps < 10*fine.UniformEvents {
+		t.Fatalf("baseline steps %g vs uniform events %g", fine.BaselineSteps, fine.UniformEvents)
+	}
+}
+
+func TestT2Claims(t *testing.T) {
+	res, err := T2(T2Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stationary worst-case must over-predict at every duty cycle.
+	for i, db := range res.PessimismDB {
+		if db < 0 {
+			t.Fatalf("duty %g: negative pessimism %g dB", res.Duty[i], db)
+		}
+	}
+	if res.MaxPessimism() < 2 {
+		t.Fatalf("max pessimism %g dB, want a clear gap", res.MaxPessimism())
+	}
+}
+
+func TestX1Claims(t *testing.T) {
+	res, err := X1(X1Config{Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feedback must actually matter: waveforms differ visibly.
+	if res.MaxQDiff < 0.05 {
+		t.Fatalf("coupled and two-pass nearly identical (ΔQ=%g V)", res.MaxQDiff)
+	}
+}
+
+func TestX2Claims(t *testing.T) {
+	res, err := X2(X2Config{Cells: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithRTNFailed < res.VarOnlyFailed {
+		t.Fatalf("RTN cannot reduce failures: %d vs %d", res.WithRTNFailed, res.VarOnlyFailed)
+	}
+	if res.WithRTNFailed == res.VarOnlyFailed {
+		t.Fatalf("accelerated RTN should add failures at this margin (var %d, rtn %d)",
+			res.VarOnlyFailed, res.WithRTNFailed)
+	}
+}
+
+func TestF9Claims(t *testing.T) {
+	res, err := F9(F9Config{Seed: 1, Reads: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DisturbedUnscaled != 0 || res.WrongValueUnscaled != 0 {
+		t.Fatalf("physical-amplitude RTN must not break reads: %+v", res)
+	}
+	if res.DisturbedScaled == 0 {
+		t.Fatal("accelerated RTN should produce at least one destructive read")
+	}
+	// Sense margin must erode among surviving reads.
+	if absF(res.ScaledDeltaVMin) >= absF(res.CleanDeltaV) {
+		t.Fatalf("sense margin did not erode: clean %g, worst scaled %g",
+			res.CleanDeltaV, res.ScaledDeltaVMin)
+	}
+}
+
+func TestX3Claims(t *testing.T) {
+	res, err := X3(X3Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positive, significant correlation (se ≈ 1/√400 = 0.05).
+	if res.Pearson < 0.1 {
+		t.Fatalf("RTN–NBTI correlation %g, want clearly positive", res.Pearson)
+	}
+	if res.MarginCreditFrac <= 0 {
+		t.Fatalf("joint budgeting yields no credit: %g", res.MarginCreditFrac)
+	}
+	if res.MeanRTNmV <= 0 || res.MeanNBTImV <= 0 {
+		t.Fatal("degenerate metrics")
+	}
+}
+
+func TestX4Claims(t *testing.T) {
+	res, err := X4(X4Config{Seed: 1, Horizon: 6e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CleanCycles < 20 || res.RTNCycles < 20 {
+		t.Fatalf("too few oscillation cycles: %d/%d", res.CleanCycles, res.RTNCycles)
+	}
+	// RTN must add visible cycle-to-cycle jitter over the numerical
+	// floor of the clean run.
+	if res.RTNJitterPs < 3*res.CleanJitterPs {
+		t.Fatalf("RTN jitter %g ps not clearly above clean floor %g ps",
+			res.RTNJitterPs, res.CleanJitterPs)
+	}
+}
+
+func TestAblationIntegrationMethodInvariant(t *testing.T) {
+	res, err := AblateIntegrationMethod(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].Errors != res.Rows[1].Errors {
+		t.Fatalf("write-error verdict depends on integration scheme: %+v", res.Rows)
+	}
+}
+
+func TestAblationTraceResolutionConverges(t *testing.T) {
+	res, err := AblateTraceResolution(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two finest settings must agree.
+	n := len(res.Rows)
+	if res.Rows[n-1].Errors != res.Rows[n-2].Errors {
+		t.Fatalf("outcome not converged at fine resolution: %+v", res.Rows)
+	}
+}
+
+func TestAblationWriteMarginMonotone(t *testing.T) {
+	res, err := AblateWriteMargin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Errors < res.Rows[i-1].Errors {
+			t.Fatalf("error count not monotone in margin tightness: %+v", res.Rows)
+		}
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.Errors <= first.Errors {
+		t.Fatalf("tightest margin (%d errors) not worse than loosest (%d)", last.Errors, first.Errors)
+	}
+}
+
+func TestX5Claims(t *testing.T) {
+	res, err := X5(X5Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VRT: exactly two discrete levels, clearly separated, with the
+	// trap toggling between them.
+	if res.LevelRatio < 1.05 {
+		t.Fatalf("VRT levels not separated: %g", res.LevelRatio)
+	}
+	if res.Transitions < 3 {
+		t.Fatalf("trap toggled only %d times", res.Transitions)
+	}
+	// DRV: trapped charge must raise the minimum retention voltage.
+	if res.DRVShifted <= res.DRVBase {
+		t.Fatalf("trapped charge did not raise DRV: %g → %g", res.DRVBase, res.DRVShifted)
+	}
+	// The shift must be on the order of the injected ΔVt (tens of mV),
+	// not numerically negligible.
+	if res.DRVShifted-res.DRVBase < 0.005 {
+		t.Fatalf("DRV shift implausibly small: %g V", res.DRVShifted-res.DRVBase)
+	}
+}
+
+func TestT3Claims(t *testing.T) {
+	// Reduced scan around the known transition region for speed.
+	res, err := T3(T3Config{VLo: 0.44, VHi: 0.52, Seeds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RTNVmin <= res.CleanVmin {
+		t.Fatalf("physical RTN must raise V_min: clean %g, rtn %g", res.CleanVmin, res.RTNVmin)
+	}
+	if res.DeltaVminMV < 5 || res.DeltaVminMV > 100 {
+		t.Fatalf("ΔV_min = %g mV implausible", res.DeltaVminMV)
+	}
+	// Error counts must be monotone non-decreasing as Vdd falls.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].CleanErrs < res.Rows[i-1].CleanErrs {
+			t.Fatalf("clean errors not monotone in Vdd: %+v", res.Rows)
+		}
+	}
+}
+
+func TestX6Claims(t *testing.T) {
+	res, err := X6(X6Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.DeltaFOverLock < 1 {
+			if row.Slips != 0 {
+				t.Fatalf("slips inside the lock range at δf ratio %g: %d", row.DeltaFOverLock, row.Slips)
+			}
+			continue
+		}
+		if row.Slips == 0 {
+			t.Fatalf("no slips at δf ratio %g", row.DeltaFOverLock)
+		}
+		// Above threshold the count must track the analytical beat
+		// rate within a few percent.
+		if diff := float64(row.Slips) - row.Predicted; diff > 0.05*row.Predicted+3 || -diff > 0.05*row.Predicted+3 {
+			t.Fatalf("slips %d vs predicted %g at ratio %g", row.Slips, row.Predicted, row.DeltaFOverLock)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	f7, err := Fig7(SweepVgs, Fig7Config{Seed: 1, Samples: 1 << 14, SweepN: 2, Curves: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f7.WriteCurvesCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range f7.Points {
+		if p.Curve == nil || len(p.Curve.LagS) == 0 || len(p.Curve.FreqHz) == 0 {
+			t.Fatal("curves not captured")
+		}
+		if len(p.Curve.LagS) != len(p.Curve.REmp) || len(p.Curve.FreqHz) != len(p.Curve.SAna) {
+			t.Fatal("curve columns misaligned")
+		}
+	}
+	f8, err := Fig8(Fig8Config{Seed: 1, OccupancyEnsemble: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f8.WriteSeriesCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	t3, err := T3(T3Config{VLo: 0.47, VHi: 0.50, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t3.WriteSeriesCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig7_Vgs_point0_autocorr.csv", "fig7_Vgs_point0_psd.csv",
+		"fig8_q_waveforms.csv", "fig8_nfilled_m5.csv", "fig8_irtn_m2.csv",
+		"t3_vmin_scan.csv",
+	} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing export %s: %v", name, err)
+		}
+		if fi.Size() < 40 {
+			t.Fatalf("export %s suspiciously small (%d bytes)", name, fi.Size())
+		}
+	}
+}
+
+func TestX7Claims(t *testing.T) {
+	res, err := X7(X7Config{Seed: 1, Seeds: 2, Reads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write assist must strictly reduce error count, reaching zero at
+	// the strongest level.
+	if res.AssistErrors[0] == 0 {
+		t.Fatal("baseline (no assist) shows no errors — stress too weak for the claim")
+	}
+	last := len(res.AssistErrors) - 1
+	if res.AssistErrors[last] != 0 {
+		t.Fatalf("strongest assist still fails %d writes", res.AssistErrors[last])
+	}
+	for i := 1; i < len(res.AssistErrors); i++ {
+		if res.AssistErrors[i] > res.AssistErrors[i-1] {
+			t.Fatalf("assist made things worse: %v", res.AssistErrors)
+		}
+	}
+	// The 8T cell must never lose stored data, while the 6T does.
+	if res.Disturbed6T == 0 {
+		t.Fatal("6T baseline shows no destructive reads — stress too weak")
+	}
+	if res.Disturbed8T != 0 {
+		t.Fatalf("8T cell lost data %d times", res.Disturbed8T)
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CSV export of the literal figure series, so the paper's plots can be
+// regenerated with any plotting tool:
+//
+//	go run ./cmd/figures -csvdir out -only fig7,fig8
+//
+// writes fig7_<sweep>_point<k>_{autocorr,psd}.csv and fig8_*.csv.
+
+func writeCSV(dir, name, header string, rows func(w *bufio.Writer)) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, header)
+	rows(w)
+	return w.Flush()
+}
+
+// WriteCurvesCSV dumps every captured point's R(τ) and S(f) series.
+// Points without curves (Fig7Config.Curves unset) are skipped.
+func (r *Fig7Result) WriteCurvesCSV(dir string) error {
+	for k, p := range r.Points {
+		c := p.Curve
+		if c == nil {
+			continue
+		}
+		base := fmt.Sprintf("fig7_%s_point%d", r.Sweep, k)
+		if err := writeCSV(dir, base+"_autocorr.csv", "tau_s,R_sim,R_analytic", func(w *bufio.Writer) {
+			for i := range c.LagS {
+				fmt.Fprintf(w, "%.9e,%.9e,%.9e\n", c.LagS[i], c.REmp[i], c.RAna[i])
+			}
+		}); err != nil {
+			return err
+		}
+		if err := writeCSV(dir, base+"_psd.csv", "freq_hz,S_sim,S_analytic,S_thermal", func(w *bufio.Writer) {
+			for i := range c.FreqHz {
+				fmt.Fprintf(w, "%.9e,%.9e,%.9e,%.9e\n", c.FreqHz[i], c.SEmp[i], c.SAna[i], p.ThermalPSD)
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV dumps the five Fig 8 panels as CSV files.
+func (r *Fig8Result) WriteSeriesCSV(dir string) error {
+	if r.QClean == nil {
+		return fmt.Errorf("experiments: Fig8 series not captured")
+	}
+	if err := writeCSV(dir, "fig8_q_waveforms.csv", "time_s,q_clean_V,q_rtn_V", func(w *bufio.Writer) {
+		const n = 2000
+		t0, t1 := r.QClean.Begin(), r.QClean.End()
+		for i := 0; i <= n; i++ {
+			t := t0 + (t1-t0)*float64(i)/n
+			fmt.Fprintf(w, "%.9e,%.6f,%.6f\n", t, r.QClean.Eval(t), r.QRTN.Eval(t))
+		}
+	}); err != nil {
+		return err
+	}
+	occ := func(name string, times []float64, counts []int) error {
+		return writeCSV(dir, "fig8_nfilled_"+name+".csv", "time_s,n_filled", func(w *bufio.Writer) {
+			for i := range times {
+				fmt.Fprintf(w, "%.9e,%d\n", times[i], counts[i])
+			}
+		})
+	}
+	if err := occ("m5", r.M5Times, r.M5Counts); err != nil {
+		return err
+	}
+	if err := occ("m6", r.M6Times, r.M6Counts); err != nil {
+		return err
+	}
+	return writeCSV(dir, "fig8_irtn_m2.csv", "time_s,i_rtn_A", func(w *bufio.Writer) {
+		for i := range r.M2Trace.T {
+			fmt.Fprintf(w, "%.9e,%.9e\n", r.M2Trace.T[i], r.M2Trace.I[i])
+		}
+	})
+}
+
+// WriteSeriesCSV dumps the Fig 3 per-device spectra would require
+// re-running; instead the T3 scan, being already tabular, exports
+// directly.
+func (r *T3Result) WriteSeriesCSV(dir string) error {
+	return writeCSV(dir, "t3_vmin_scan.csv", "vdd_V,clean_errors,rtn_errors", func(w *bufio.Writer) {
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "%.3f,%d,%d\n", row.Vdd, row.CleanErrs, row.RTNErrs)
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"samurai/internal/device"
+	"samurai/internal/rng"
+	"samurai/internal/rtn"
+	"samurai/internal/units"
+)
+
+// Fig2Row is one technology's V_dd margin stack: the minimum supply
+// required once each non-ideality is added on top of the static-noise
+// baseline (paper Fig 2, originally Renesas measurement data — here a
+// parametric model whose RTN increment comes from this repo's own trap
+// statistics).
+type Fig2Row struct {
+	Tech string
+	// VddScaling is the node's nominal supply — the paper's downward
+	// sloping dashed line.
+	VddScaling float64
+	// Static is the supply needed to overcome static noise alone.
+	Static float64
+	// PlusVariation adds local/global Vt variation (6σ).
+	PlusVariation float64
+	// PlusNBTI adds the NBTI aging guard band.
+	PlusNBTI float64
+	// PlusRTN adds the RTN increment — computed from the trap model:
+	// expected active trap count × per-trap ΔVt × a 3σ tail factor.
+	PlusRTN float64
+	// RTNIncrement is the RTN-only contribution in volts.
+	RTNIncrement float64
+	// ActiveTraps is the expected count of bias-active traps on the
+	// critical (pull-down) device.
+	ActiveTraps float64
+	// CorrelationCredit is the margin recovered when the NBTI–RTN
+	// correlation (common trap origin, §I-B) is accounted for.
+	CorrelationCredit float64
+	// OverLine reports whether the full stack exceeds the scaling line
+	// (margin exhausted) and whether it would still fit without RTN.
+	OverLine, FitsWithoutRTN bool
+}
+
+// Fig2Result is the margin stack across all built-in nodes.
+type Fig2Result struct {
+	Rows []Fig2Row
+}
+
+// Fig2Config controls the margin model.
+type Fig2Config struct {
+	Seed uint64
+	// StaticFrac is the static-noise supply fraction (default 0.62).
+	StaticFrac float64
+	// SigmaCount is the variation guard band in σVt units (default 6).
+	SigmaCount float64
+	// NBTIRef is the NBTI guard band at the 130nm reference (default
+	// 20 mV), scaled by (L_ref/L)^0.7 as stress fields grow.
+	NBTIRef float64
+	// CorrRho is the assumed NBTI–RTN correlation credit factor
+	// (default 0.4 of the smaller contribution).
+	CorrRho float64
+	// ActivityThreshold defines "active" traps (default 0.05).
+	ActivityThreshold float64
+	// SampleDevices is the Monte-Carlo size for estimating the active
+	// trap count (default 200).
+	SampleDevices int
+}
+
+func (c Fig2Config) defaults() Fig2Config {
+	if c.StaticFrac == 0 {
+		c.StaticFrac = 0.62
+	}
+	if c.SigmaCount == 0 {
+		c.SigmaCount = 6
+	}
+	if c.NBTIRef == 0 {
+		c.NBTIRef = 0.020
+	}
+	if c.CorrRho == 0 {
+		c.CorrRho = 0.4
+	}
+	if c.ActivityThreshold == 0 {
+		c.ActivityThreshold = 0.05
+	}
+	if c.SampleDevices == 0 {
+		c.SampleDevices = 200
+	}
+	return c
+}
+
+// Fig2 builds the margin stack for every built-in technology node.
+func Fig2(cfg Fig2Config) (*Fig2Result, error) {
+	cfg = cfg.defaults()
+	root := rng.New(cfg.Seed)
+	res := &Fig2Result{}
+	refL := device.Node("130nm").Lmin
+	for i, name := range device.Nodes() {
+		tech := device.Node(name)
+		pd := device.NewMOS(tech, device.NMOS, 2*tech.Lmin, tech.Lmin)
+
+		// RTN increment from the trap model: expected number of
+		// bias-active traps on the pull-down, each shifting Vt by
+		// q/(Cox·W·L), with a 3× tail factor for the worst cell in a
+		// large array.
+		active := expectedActiveTraps(tech, pd, cfg, root.Split(uint64(i)))
+		dVtPerTrap := rtn.DeltaVt(pd)
+		rtnInc := 3 * active * dVtPerTrap
+
+		nbti := cfg.NBTIRef * math.Pow(refL/tech.Lmin, 0.7)
+		static := cfg.StaticFrac * tech.Vdd
+		variation := cfg.SigmaCount * tech.SigmaVt
+
+		row := Fig2Row{
+			Tech:          name,
+			VddScaling:    tech.Vdd,
+			Static:        static,
+			PlusVariation: static + variation,
+			PlusNBTI:      static + variation + nbti,
+			PlusRTN:       static + variation + nbti + rtnInc,
+			RTNIncrement:  rtnInc,
+			ActiveTraps:   active,
+			// Correlated NBTI/RTN share trap origins: part of the two
+			// guard bands overlaps.
+			CorrelationCredit: cfg.CorrRho * math.Min(nbti, rtnInc),
+		}
+		row.OverLine = row.PlusRTN > row.VddScaling
+		row.FitsWithoutRTN = row.PlusNBTI <= row.VddScaling
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// expectedActiveTraps Monte-Carlo-estimates the mean count of traps on
+// the device whose activity at nominal bias exceeds the threshold.
+func expectedActiveTraps(tech device.Technology, dev device.MOSParams, cfg Fig2Config, r *rng.Stream) float64 {
+	ctx := tech.TrapContext(tech.Vdd)
+	profiler := tech.TrapProfiler()
+	total := 0
+	for d := 0; d < cfg.SampleDevices; d++ {
+		profile := profiler.Sample(dev.W, dev.L, ctx, r.Split(uint64(d)))
+		total += len(profile.ActiveTraps(tech.Vdd, cfg.ActivityThreshold))
+	}
+	return float64(total) / float64(cfg.SampleDevices)
+}
+
+// WriteText renders the stack as the textual equivalent of the paper's
+// stacked-bar figure.
+func (r *Fig2Result) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "Fig 2 — V_dd margin stack vs technology (all voltages in V)")
+	fmt.Fprintf(w, "%6s %8s %8s %8s %8s %8s %9s %8s %10s\n",
+		"tech", "Vdd", "static", "+var", "+NBTI", "+RTN", "RTN inc", "act.trp", "verdict")
+	for _, row := range r.Rows {
+		verdict := "fits"
+		if row.OverLine {
+			verdict = "OVER LINE"
+			if row.FitsWithoutRTN {
+				verdict = "RTN-LIMITED"
+			}
+		}
+		fmt.Fprintf(w, "%6s %8.3f %8.3f %8.3f %8.3f %8.3f %9.4f %8.2f %10s\n",
+			row.Tech, row.VddScaling, row.Static, row.PlusVariation,
+			row.PlusNBTI, row.PlusRTN, row.RTNIncrement, row.ActiveTraps, verdict)
+	}
+	fmt.Fprintf(w, "(RTN increment = 3 × E[active traps] × q/(Cox·W·L); kT = %.4f eV)\n",
+		units.ThermalEnergyEV(units.RoomTemperature))
+}
+
+// RTNGrowth returns the ratio of the newest node's RTN increment to the
+// oldest's — the paper's "steadily increasing impact" claim.
+func (r *Fig2Result) RTNGrowth() float64 {
+	if len(r.Rows) < 2 || r.Rows[0].RTNIncrement == 0 {
+		return math.Inf(1)
+	}
+	return r.Rows[len(r.Rows)-1].RTNIncrement / r.Rows[0].RTNIncrement
+}

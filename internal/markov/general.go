@@ -1,0 +1,137 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+
+	"samurai/internal/rng"
+	"samurai/internal/trap"
+)
+
+// RateFunc returns the instantaneous capture and emission propensities
+// of a two-state chain at time t. It is the fully general form of the
+// trap model: the paper's Eq (1)–(2) model has a bias-invariant sum,
+// but §II-C notes that "more complex models … can be incorporated into
+// SAMURAI just as easily" — this is the hook that does so.
+type RateFunc func(t float64) (lc, le float64)
+
+// ErrMajorantViolated is returned when the chain's exit propensity
+// exceeds the caller-supplied majorant; the thinning construction is
+// only exact while λ_next(t) ≤ λ*.
+var ErrMajorantViolated = errors.New("markov: propensity exceeded the uniformisation majorant")
+
+// UniformiseGeneral simulates an arbitrary two-state inhomogeneous
+// chain over [t0, tf] by uniformisation with the explicit majorant
+// lambdaStar ≥ sup_t max(λ_c(t), λ_e(t)). For the Eq (1) model the
+// natural (and tight) majorant is the invariant sum λ_c+λ_e;
+// Uniformise uses exactly that, so this function generalises it
+// without changing its law.
+func UniformiseGeneral(rates RateFunc, lambdaStar float64, initFilled bool, t0, tf float64, r *rng.Stream) (*Path, error) {
+	if tf <= t0 {
+		return nil, ErrBadInterval
+	}
+	if lambdaStar <= 0 {
+		return nil, fmt.Errorf("markov: non-positive majorant %g", lambdaStar)
+	}
+	p := NewPath(t0, tf, initFilled)
+	filled := initFilled
+	t := t0
+	for {
+		t += r.Exp(lambdaStar)
+		if t > tf {
+			break
+		}
+		lc, le := rates(t)
+		lambdaNext := lc
+		if filled {
+			lambdaNext = le
+		}
+		if lambdaNext > lambdaStar*(1+1e-12) {
+			return nil, fmt.Errorf("%w: λ=%g > λ*=%g at t=%g",
+				ErrMajorantViolated, lambdaNext, lambdaStar, t)
+		}
+		if r.Float64() < lambdaNext/lambdaStar {
+			p.Transition(t)
+			filled = !filled
+		}
+	}
+	return p, nil
+}
+
+// Majorant scans the rate function over [t0, tf] on a uniform grid and
+// returns a safe uniformisation rate: the largest observed single-state
+// propensity times the given safety factor. For rate functions driven
+// by piecewise-linear biases a grid of a few times the breakpoint count
+// is exact up to the safety margin.
+func Majorant(rates RateFunc, t0, tf float64, grid int, safety float64) float64 {
+	if grid < 2 {
+		grid = 2
+	}
+	if safety < 1 {
+		safety = 1
+	}
+	worst := 0.0
+	for i := 0; i < grid; i++ {
+		t := t0 + (tf-t0)*float64(i)/float64(grid-1)
+		lc, le := rates(t)
+		if lc > worst {
+			worst = lc
+		}
+		if le > worst {
+			worst = le
+		}
+	}
+	return worst * safety
+}
+
+// OccupancyODEFunc is OccupancyODE for an arbitrary rate function — the
+// deterministic oracle for general models.
+func OccupancyODEFunc(rates RateFunc, t0, tf, p0 float64, n int) (ts, ps []float64) {
+	if n < 1 {
+		n = 1
+	}
+	ts = make([]float64, n+1)
+	ps = make([]float64, n+1)
+	h := (tf - t0) / float64(n)
+	deriv := func(t, p float64) float64 {
+		lc, le := rates(t)
+		return lc - (lc+le)*p
+	}
+	p := p0
+	for i := 0; i <= n; i++ {
+		t := t0 + float64(i)*h
+		ts[i] = t
+		ps[i] = p
+		if i == n {
+			break
+		}
+		k1 := deriv(t, p)
+		k2 := deriv(t+h/2, p+h/2*k1)
+		k3 := deriv(t+h/2, p+h/2*k2)
+		k4 := deriv(t+h, p+h*k3)
+		p += h / 6 * (k1 + 2*k2 + 2*k3 + k4)
+	}
+	return
+}
+
+// SRHRates builds a Shockley–Read–Hall-style rate function for a trap:
+// the capture propensity scales with the instantaneous inversion-layer
+// carrier density (no carriers → no capture), and emission follows from
+// detailed balance with the Eq (2) occupancy ratio:
+//
+//	λ_c(t) = λ₀ · n(V_gs(t)) / n(V_ref)
+//	λ_e(t) = λ_c(t) · β(t)
+//
+// λ₀ is chosen so the model coincides with the Eq (1) model at the
+// reference bias. The sum λ_c+λ_e is NOT constant here, which is
+// exactly why UniformiseGeneral (with an explicit majorant) exists.
+func SRHRates(ctx trap.Context, tr trap.Trap, vgs BiasFunc, carrierDensity func(vgs float64) float64) RateFunc {
+	nRef := carrierDensity(ctx.VRef)
+	lcRef, _ := ctx.Rates(tr, ctx.VRef)
+	return func(t float64) (lc, le float64) {
+		v := vgs(t)
+		lc = lcRef * carrierDensity(v) / nRef
+		le = lc * ctx.Beta(tr, v)
+		return
+	}
+}

@@ -1,0 +1,153 @@
+// Package markov implements the SAMURAI core: exact stochastic
+// simulation of the two-state time-inhomogeneous Markov chain that
+// governs each oxide trap (§III of the paper).
+//
+// Three simulators are provided:
+//
+//   - Uniformise — Algorithm 1 of the paper. Candidate events are drawn
+//     from a stationary Poisson process at the majorant rate
+//     λ* = λ_c+λ_e (constant per trap by Eq 1) and accepted with
+//     probability λ_next(t)/λ*, which provably restores the exact
+//     non-stationary statistics (paper refs [11]–[13]).
+//   - Gillespie — the classical SSA, exact only under constant bias;
+//     used for cross-validation.
+//   - DiscretisedBernoulli — a naive fixed-step simulator whose error
+//     is O(dt); it is the accuracy/efficiency baseline (EXP-T1).
+//
+// An exact occupancy-probability ODE integrator (OccupancyODE) serves
+// as the deterministic oracle for ensemble tests.
+package markov
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Path is a sample path of a single trap: a piecewise-constant boolean
+// process. Filled[i] is the state on [Times[i], Times[i+1]), and the
+// final state holds until End. Times[0] is the path start.
+type Path struct {
+	Times  []float64
+	Filled []bool
+	End    float64
+}
+
+// NewPath starts a path at time t0 in the given state, extending to tf.
+func NewPath(t0, tf float64, filled bool) *Path {
+	return &Path{Times: []float64{t0}, Filled: []bool{filled}, End: tf}
+}
+
+// Transition appends a state flip at time t. Flips must be appended in
+// nondecreasing time order; out-of-order appends panic (it would mean a
+// simulator bug, not a recoverable condition).
+func (p *Path) Transition(t float64) {
+	last := p.Times[len(p.Times)-1]
+	if t < last {
+		panic(fmt.Sprintf("markov: transition at t=%g before last event %g", t, last))
+	}
+	p.Times = append(p.Times, t)
+	p.Filled = append(p.Filled, !p.Filled[len(p.Filled)-1])
+}
+
+// StateAt returns the trap state at time t (clamped to the path range).
+func (p *Path) StateAt(t float64) bool {
+	if t <= p.Times[0] {
+		return p.Filled[0]
+	}
+	// Find the last event time <= t.
+	i := sort.SearchFloat64s(p.Times, t)
+	if i < len(p.Times) && p.Times[i] == t {
+		return p.Filled[i]
+	}
+	return p.Filled[i-1]
+}
+
+// Transitions returns the number of state flips in the path.
+func (p *Path) Transitions() int { return len(p.Times) - 1 }
+
+// Begin returns the path start time.
+func (p *Path) Begin() float64 { return p.Times[0] }
+
+// FilledFraction returns the fraction of [Begin, End] the trap spent
+// filled — the time-average occupancy of this sample path.
+func (p *Path) FilledFraction() float64 {
+	total := p.End - p.Times[0]
+	if total <= 0 {
+		return 0
+	}
+	filled := 0.0
+	for i, t := range p.Times {
+		next := p.End
+		if i+1 < len(p.Times) {
+			next = p.Times[i+1]
+		}
+		if p.Filled[i] {
+			filled += next - t
+		}
+	}
+	return filled / total
+}
+
+// DwellTimes returns the completed sojourn durations in the filled and
+// empty states (the first and last, censored, sojourns are excluded so
+// the samples are unbiased exponentials).
+func (p *Path) DwellTimes() (filled, empty []float64) {
+	for i := 1; i < len(p.Times)-1; i++ {
+		d := p.Times[i+1] - p.Times[i]
+		if p.Filled[i] {
+			filled = append(filled, d)
+		} else {
+			empty = append(empty, d)
+		}
+	}
+	return
+}
+
+// Sample evaluates the path as 0/1 values at n uniform instants across
+// [t0, t1]; used by the spectral estimators.
+func (p *Path) Sample(t0, t1 float64, n int) (ts []float64, vs []float64) {
+	ts = make([]float64, n)
+	vs = make([]float64, n)
+	if n == 1 {
+		ts[0] = t0
+		if p.StateAt(t0) {
+			vs[0] = 1
+		}
+		return
+	}
+	dt := (t1 - t0) / float64(n-1)
+	// March through events in order rather than binary-searching per
+	// sample: O(n + events).
+	idx := 0
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		ts[i] = t
+		for idx+1 < len(p.Times) && p.Times[idx+1] <= t {
+			idx++
+		}
+		if p.Filled[idx] {
+			vs[i] = 1
+		}
+	}
+	return
+}
+
+// Validate checks internal consistency (monotone times, alternating
+// states); test helpers call it after simulation.
+func (p *Path) Validate() error {
+	if len(p.Times) != len(p.Filled) || len(p.Times) == 0 {
+		return fmt.Errorf("markov: malformed path (%d times, %d states)", len(p.Times), len(p.Filled))
+	}
+	for i := 1; i < len(p.Times); i++ {
+		if p.Times[i] < p.Times[i-1] {
+			return fmt.Errorf("markov: non-monotone event times at %d", i)
+		}
+		if p.Filled[i] == p.Filled[i-1] {
+			return fmt.Errorf("markov: repeated state at %d", i)
+		}
+	}
+	if p.End < p.Times[len(p.Times)-1] {
+		return fmt.Errorf("markov: path end %g before last event %g", p.End, p.Times[len(p.Times)-1])
+	}
+	return nil
+}

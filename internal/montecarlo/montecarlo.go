@@ -1,0 +1,153 @@
+// Package montecarlo performs statistical RTN analysis of SRAM arrays
+// (paper future-work #3): many cell instances, each with its own local
+// threshold-voltage variation and its own sampled trap population, are
+// pushed through the SAMURAI methodology, and the array-level write
+// error / slowdown rates are estimated.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"samurai/internal/device"
+	"samurai/internal/rng"
+	"samurai/internal/sram"
+)
+
+// ArrayConfig describes a Monte-Carlo array experiment.
+type ArrayConfig struct {
+	Tech device.Technology
+	// Cell is the nominal cell; each instance perturbs its Vt values.
+	Cell sram.CellConfig
+	// Pattern is the write pattern applied to every cell.
+	Pattern sram.Pattern
+	// Cells is the number of instances to simulate.
+	Cells int
+	// Scale multiplies RTN amplitudes (accelerated testing).
+	Scale float64
+	// Seed drives all sampling.
+	Seed uint64
+	// WithRTN disables the RTN pass when false (variation-only
+	// reference — isolates how much RTN adds on top of variation).
+	WithRTN bool
+	// Workers bounds parallelism; 0 → GOMAXPROCS.
+	Workers int
+}
+
+// CellOutcome summarises one array cell.
+type CellOutcome struct {
+	Index     int
+	VtShift   map[string]float64
+	TrapCount int
+	Errors    int
+	Slow      int
+	Failed    bool // any write error
+	Err       error
+}
+
+// ArrayResult aggregates the array run.
+type ArrayResult struct {
+	Config    ArrayConfig
+	Outcomes  []CellOutcome
+	NumFailed int
+	// ErrorRate is failed cells / simulated cells.
+	ErrorRate float64
+	// MeanTraps is the average trap population per cell (all six
+	// transistors).
+	MeanTraps float64
+}
+
+// Runner executes the methodology on one cell instance and reports the
+// write-error count, slowdown count and sampled trap total. A scale of
+// 0 means "simulate without RTN" (variation-only reference). The
+// indirection keeps this package from importing the public samurai
+// package; samurai.ArrayRunner provides the standard implementation.
+type Runner func(cell sram.CellConfig, pattern sram.Pattern, scale float64, seed uint64) (errors, slow, traps int, err error)
+
+// SampleVtShifts draws independent N(0, σ) threshold shifts for the six
+// transistors, with σ scaled by the Pelgrom law σ·sqrt(Wmin·Lmin/(W·L)).
+func SampleVtShifts(tech device.Technology, cfg sram.CellConfig, r *rng.Stream) map[string]float64 {
+	cfg = cfg.Defaults()
+	area := func(w float64) float64 { return w * cfg.L }
+	ref := tech.WminSRAM * tech.Lmin
+	sigma := func(w float64) float64 {
+		return tech.SigmaVt * math.Sqrt(ref/area(w))
+	}
+	return map[string]float64{
+		"M1": r.NormMeanStd(0, sigma(cfg.WPassGate)),
+		"M2": r.NormMeanStd(0, sigma(cfg.WPassGate)),
+		"M3": r.NormMeanStd(0, sigma(cfg.WPullUp)),
+		"M4": r.NormMeanStd(0, sigma(cfg.WPullUp)),
+		"M5": r.NormMeanStd(0, sigma(cfg.WPullDown)),
+		"M6": r.NormMeanStd(0, sigma(cfg.WPullDown)),
+	}
+}
+
+// RunArray simulates cfg.Cells independent cells in parallel using the
+// supplied per-cell runner.
+func RunArray(cfg ArrayConfig, run Runner) (*ArrayResult, error) {
+	if cfg.Cells <= 0 {
+		return nil, fmt.Errorf("montecarlo: need a positive cell count, got %d", cfg.Cells)
+	}
+	if run == nil {
+		return nil, fmt.Errorf("montecarlo: nil runner")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	root := rng.New(cfg.Seed)
+	outcomes := make([]CellOutcome, cfg.Cells)
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				outcomes[i] = simulateCell(cfg, run, i, root.Split(uint64(i)))
+			}
+		}()
+	}
+	for i := 0; i < cfg.Cells; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &ArrayResult{Config: cfg, Outcomes: outcomes}
+	trapSum := 0
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return nil, fmt.Errorf("montecarlo: cell %d: %w", o.Index, o.Err)
+		}
+		if o.Failed {
+			res.NumFailed++
+		}
+		trapSum += o.TrapCount
+	}
+	res.ErrorRate = float64(res.NumFailed) / float64(cfg.Cells)
+	res.MeanTraps = float64(trapSum) / float64(cfg.Cells)
+	return res, nil
+}
+
+func simulateCell(cfg ArrayConfig, run Runner, i int, r *rng.Stream) CellOutcome {
+	cell := cfg.Cell
+	cell.Tech = cfg.Tech
+	cell = cell.Defaults()
+	cell.VtShift = SampleVtShifts(cfg.Tech, cell, r.Split(1))
+
+	scale := cfg.Scale
+	if !cfg.WithRTN {
+		scale = 0
+	}
+	errs, slow, traps, err := run(cell, cfg.Pattern, scale, r.Split(2).Uint64())
+	return CellOutcome{
+		Index: i, VtShift: cell.VtShift,
+		TrapCount: traps, Errors: errs, Slow: slow,
+		Failed: errs > 0, Err: err,
+	}
+}

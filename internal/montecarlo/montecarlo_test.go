@@ -1,0 +1,178 @@
+package montecarlo
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"samurai/internal/device"
+	"samurai/internal/rng"
+	"samurai/internal/sram"
+)
+
+func TestSampleVtShiftsStatistics(t *testing.T) {
+	tech := device.Node("45nm")
+	cfg := sram.CellConfig{Tech: tech}.Defaults()
+	r := rng.New(7)
+	const n = 3000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		s := SampleVtShifts(tech, cfg, r.Split(uint64(i)))
+		if len(s) != 6 {
+			t.Fatalf("expected 6 shifts, got %d", len(s))
+		}
+		v := s["M5"]
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	// Pull-down area equals the Pelgrom reference → σ = tech.SigmaVt.
+	if math.Abs(mean) > 0.1*tech.SigmaVt {
+		t.Fatalf("shift mean %g not ≈0", mean)
+	}
+	if math.Abs(std-tech.SigmaVt) > 0.1*tech.SigmaVt {
+		t.Fatalf("shift std %g, want ≈%g", std, tech.SigmaVt)
+	}
+}
+
+func TestSampleVtShiftsPelgromScaling(t *testing.T) {
+	tech := device.Node("45nm")
+	cfg := sram.CellConfig{Tech: tech}.Defaults()
+	r := rng.New(9)
+	const n = 4000
+	var sqPD, sqPU float64
+	for i := 0; i < n; i++ {
+		s := SampleVtShifts(tech, cfg, r.Split(uint64(i)))
+		sqPD += s["M5"] * s["M5"]
+		sqPU += s["M3"] * s["M3"]
+	}
+	// Pull-up is half the pull-down width → variance 2×.
+	ratio := sqPU / sqPD
+	if math.Abs(ratio-2) > 0.3 {
+		t.Fatalf("Pelgrom variance ratio = %g, want ≈2", ratio)
+	}
+}
+
+func TestRunArrayAggregation(t *testing.T) {
+	tech := device.Node("45nm")
+	cfg := ArrayConfig{
+		Tech:    tech,
+		Cell:    sram.CellConfig{Tech: tech},
+		Pattern: sram.Fig8Pattern(tech.Vdd),
+		Cells:   20,
+		Scale:   1,
+		Seed:    5,
+		WithRTN: true,
+		Workers: 4,
+	}
+	// Fake runner: odd cells fail.
+	run := func(cell sram.CellConfig, p sram.Pattern, scale float64, seed uint64) (int, int, int, error) {
+		if cell.VtShift == nil {
+			return 0, 0, 0, errors.New("no VtShift sampled")
+		}
+		if seed%2 == 1 {
+			return 1, 0, 10, nil
+		}
+		return 0, 1, 10, nil
+	}
+	res, err := RunArray(cfg, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 20 {
+		t.Fatalf("outcomes = %d", len(res.Outcomes))
+	}
+	if res.MeanTraps != 10 {
+		t.Fatalf("mean traps = %g", res.MeanTraps)
+	}
+	if res.NumFailed == 0 || res.NumFailed == 20 {
+		t.Fatalf("suspicious failure count %d (seed parity should mix)", res.NumFailed)
+	}
+	if res.ErrorRate != float64(res.NumFailed)/20 {
+		t.Fatal("rate inconsistent")
+	}
+}
+
+func TestRunArrayDeterministicAcrossWorkerCounts(t *testing.T) {
+	tech := device.Node("45nm")
+	base := ArrayConfig{
+		Tech:    tech,
+		Cell:    sram.CellConfig{Tech: tech},
+		Pattern: sram.Fig8Pattern(tech.Vdd),
+		Cells:   16,
+		Scale:   1,
+		Seed:    11,
+		WithRTN: true,
+	}
+	run := func(cell sram.CellConfig, p sram.Pattern, scale float64, seed uint64) (int, int, int, error) {
+		// Deterministic function of the sampled inputs.
+		if cell.VtShift["M5"] > 0 {
+			return 1, 0, int(seed % 7), nil
+		}
+		return 0, 0, int(seed % 7), nil
+	}
+	a := base
+	a.Workers = 1
+	b := base
+	b.Workers = 8
+	ra, err := RunArray(a, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunArray(b, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra.Outcomes {
+		if ra.Outcomes[i].Failed != rb.Outcomes[i].Failed ||
+			ra.Outcomes[i].TrapCount != rb.Outcomes[i].TrapCount {
+			t.Fatal("results depend on worker count")
+		}
+	}
+}
+
+func TestRunArrayErrorsPropagate(t *testing.T) {
+	tech := device.Node("45nm")
+	cfg := ArrayConfig{
+		Tech: tech, Cell: sram.CellConfig{Tech: tech},
+		Pattern: sram.Fig8Pattern(tech.Vdd),
+		Cells:   3, Seed: 1, WithRTN: true,
+	}
+	boom := errors.New("boom")
+	_, err := RunArray(cfg, func(sram.CellConfig, sram.Pattern, float64, uint64) (int, int, int, error) {
+		return 0, 0, 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestRunArrayValidation(t *testing.T) {
+	if _, err := RunArray(ArrayConfig{Cells: 0}, nil); err == nil {
+		t.Fatal("zero cells accepted")
+	}
+	if _, err := RunArray(ArrayConfig{Cells: 5}, nil); err == nil {
+		t.Fatal("nil runner accepted")
+	}
+}
+
+func TestScaleZeroWhenRTNDisabled(t *testing.T) {
+	tech := device.Node("45nm")
+	cfg := ArrayConfig{
+		Tech: tech, Cell: sram.CellConfig{Tech: tech},
+		Pattern: sram.Fig8Pattern(tech.Vdd),
+		Cells:   2, Seed: 1, Scale: 30, WithRTN: false,
+	}
+	sawScale := -1.0
+	_, err := RunArray(cfg, func(_ sram.CellConfig, _ sram.Pattern, scale float64, _ uint64) (int, int, int, error) {
+		sawScale = scale
+		return 0, 0, 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawScale != 0 {
+		t.Fatalf("runner saw scale %g, want 0 when RTN disabled", sawScale)
+	}
+}

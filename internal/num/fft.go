@@ -1,0 +1,143 @@
+package num
+
+import "math"
+
+// FFT computes the in-place-free discrete Fourier transform of x and
+// returns it. Power-of-two lengths use an iterative radix-2
+// Cooley–Tukey; other lengths fall back to Bluestein's chirp-z
+// algorithm, so any length is supported exactly (no silent padding).
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		out := make([]complex128, n)
+		copy(out, x)
+		fftRadix2(out, false)
+		return out
+	}
+	return bluestein(x, false)
+}
+
+// IFFT computes the inverse DFT (with 1/n normalisation).
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	var out []complex128
+	if n&(n-1) == 0 {
+		out = make([]complex128, n)
+		copy(out, x)
+		fftRadix2(out, true)
+	} else {
+		out = bluestein(x, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// fftRadix2 performs an in-place radix-2 FFT. inverse selects the sign
+// of the twiddle exponent; normalisation is the caller's business.
+func fftRadix2(a []complex128, inverse bool) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// which re-expresses the DFT as a convolution that can be evaluated with
+// power-of-two FFTs.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = exp(sign*i*pi*k^2/n)
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for huge n; use mod 2n on the phase index.
+		idx := float64(int64(k) * int64(k) % int64(2*n))
+		ang := sign * math.Pi * idx / float64(n)
+		chirp[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	conj := func(c complex128) complex128 { return complex(real(c), -imag(c)) }
+	b[0] = conj(chirp[0])
+	for k := 1; k < n; k++ {
+		b[k] = conj(chirp[k])
+		b[m-k] = b[k]
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	invM := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invM * chirp[k]
+	}
+	return out
+}
+
+// RealFFT transforms a real sequence and returns the full complex
+// spectrum (length len(x)).
+func RealFFT(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return FFT(c)
+}
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,302 @@
+package num
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 2)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 7 {
+		t.Fatalf("element access broken: %v", m.Data)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+	m.Zero()
+	if m.MaxAbs() != 0 {
+		t.Fatal("Zero did not clear")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	y := m.MulVec([]float64{5, 6})
+	if y[0] != 17 || y[1] != 39 {
+		t.Fatalf("MulVec = %v, want [17 39]", y)
+	}
+}
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	x, err := SolveLinear(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Factor(a); err == nil {
+		t.Fatal("expected ErrSingular for a rank-deficient matrix")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 4)
+	a.Set(1, 1, 2)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-2) > 1e-12 {
+		t.Fatalf("det = %g, want 2", f.Det())
+	}
+}
+
+// Property: for random well-conditioned systems, ‖A·x − b‖ is tiny.
+func TestLUResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%7) + 2
+		if n < 0 {
+			n = 2
+		}
+		a := NewMatrix(n, n)
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(int64(s>>11))/float64(1<<52) - 1
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, next())
+			}
+			a.Add(i, i, float64(n)) // diagonal dominance
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = next()
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		r := VecSub(a.MulVec(x), b)
+		return VecNormInf(r) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTKnownTransform(t *testing.T) {
+	// DFT of [1,0,0,0] is all ones.
+	out := FFT([]complex128{1, 0, 0, 0})
+	for i, v := range out {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 12, 15, 64, 100} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(math.Sin(float64(i)*1.7), math.Cos(float64(i)*0.3))
+		}
+		y := IFFT(FFT(x))
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip broke at %d: %v vs %v", n, i, y[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	for _, n := range []int{16, 37, 128} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(math.Sin(float64(i)), 0.5*math.Cos(2*float64(i)))
+		}
+		timeE := 0.0
+		for _, v := range x {
+			timeE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		spec := FFT(x)
+		freqE := 0.0
+		for _, v := range spec {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqE /= float64(n)
+		if math.Abs(timeE-freqE) > 1e-9*timeE {
+			t.Fatalf("n=%d: Parseval violated: %g vs %g", n, timeE, freqE)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 10)
+		b = math.Mod(b, 10)
+		n := 16
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(math.Sin(float64(i)*0.9), 0)
+			y[i] = complex(math.Cos(float64(i)*1.3), 0)
+		}
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = complex(a, 0)*x[i] + complex(b, 0)*y[i]
+		}
+		fx, fy, fs := FFT(x), FFT(y), FFT(sum)
+		for i := range fs {
+			want := complex(a, 0)*fx[i] + complex(b, 0)*fy[i]
+			if cmplx.Abs(fs[i]-want) > 1e-9*(1+cmplx.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealFFTMatchesComplex(t *testing.T) {
+	x := []float64{1, 2, -1, 3, 0, 1, -2, 4}
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	a, b := RealFFT(x), FFT(c)
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatal("RealFFT disagrees with FFT")
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 64: 64, 65: 128}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(x) != 5 {
+		t.Fatalf("mean = %g", Mean(x))
+	}
+	if StdDev(x) != 2 {
+		t.Fatalf("std = %g", StdDev(x))
+	}
+	if q := Quantile(x, 0.5); math.Abs(q-4.5) > 1e-12 {
+		t.Fatalf("median = %g", q)
+	}
+	if q := Quantile(x, 0); q != 2 {
+		t.Fatalf("q0 = %g", q)
+	}
+	if q := Quantile(x, 1); q != 9 {
+		t.Fatalf("q1 = %g", q)
+	}
+}
+
+func TestLinFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b := LinFit(x, y)
+	if math.Abs(a-1) > 1e-12 || math.Abs(b-2) > 1e-12 {
+		t.Fatalf("fit = (%g, %g), want (1, 2)", a, b)
+	}
+}
+
+func TestTrapzLinear(t *testing.T) {
+	x := Linspace(0, 2, 101)
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3 * v
+	}
+	if got := Trapz(x, y); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("trapz = %g, want 6", got)
+	}
+}
+
+func TestLogspaceLinspace(t *testing.T) {
+	ls := Logspace(0, 2, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if math.Abs(ls[i]-want[i]) > 1e-9 {
+			t.Fatalf("logspace = %v", ls)
+		}
+	}
+	lin := Linspace(1, 3, 5)
+	if lin[0] != 1 || lin[4] != 3 || lin[2] != 2 {
+		t.Fatalf("linspace = %v", lin)
+	}
+}
+
+func TestKSStatExp(t *testing.T) {
+	// A perfect exponential quantile grid should have a tiny KS stat.
+	n := 1000
+	x := make([]float64, n)
+	for i := range x {
+		u := (float64(i) + 0.5) / float64(n)
+		x[i] = -math.Log(1-u) / 2.0
+	}
+	if d := KSStatExp(x, 2.0); d > 0.01 {
+		t.Fatalf("KS stat on exact quantiles = %g", d)
+	}
+	// Against the wrong rate it must be large.
+	if d := KSStatExp(x, 6.0); d < 0.2 {
+		t.Fatalf("KS stat with wrong rate = %g, want large", d)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(1.1, 1.0, 1e-12) != 0.10000000000000009 && math.Abs(RelErr(1.1, 1.0, 1e-12)-0.1) > 1e-12 {
+		t.Fatal("RelErr basic case")
+	}
+	// Floor keeps near-zero references sane.
+	if RelErr(1e-9, 0, 1e-6) != 1e-3 {
+		t.Fatalf("floored RelErr = %g", RelErr(1e-9, 0, 1e-6))
+	}
+}

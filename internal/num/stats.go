@@ -1,0 +1,161 @@
+package num
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of x (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the population variance of x.
+func Variance(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	s := 0.0
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// Quantile returns the q-th quantile (0<=q<=1) of x using linear
+// interpolation between order statistics. x is not modified.
+func Quantile(x []float64, q float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// KSStatExp returns the Kolmogorov–Smirnov statistic of sample x against
+// an exponential distribution with the given rate. Tests use it to check
+// that simulated dwell times have the right law.
+func KSStatExp(x []float64, rate float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	d := 0.0
+	for i, v := range s {
+		cdf := 1 - math.Exp(-rate*v)
+		hi := float64(i+1)/n - cdf
+		lo := cdf - float64(i)/n
+		if hi > d {
+			d = hi
+		}
+		if lo > d {
+			d = lo
+		}
+	}
+	return d
+}
+
+// LinFit fits y ≈ a + b·x by least squares and returns (a, b).
+func LinFit(x, y []float64) (a, b float64) {
+	if len(x) != len(y) || len(x) == 0 {
+		panic("num: LinFit needs equal-length non-empty inputs")
+	}
+	mx, my := Mean(x), Mean(y)
+	num, den := 0.0, 0.0
+	for i := range x {
+		dx := x[i] - mx
+		num += dx * (y[i] - my)
+		den += dx * dx
+	}
+	if den == 0 {
+		return my, 0
+	}
+	b = num / den
+	a = my - b*mx
+	return
+}
+
+// Trapz integrates samples y over abscissae x with the trapezoidal rule.
+func Trapz(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("num: Trapz length mismatch")
+	}
+	s := 0.0
+	for i := 1; i < len(x); i++ {
+		s += 0.5 * (y[i] + y[i-1]) * (x[i] - x[i-1])
+	}
+	return s
+}
+
+// Logspace returns n points logarithmically spaced from 10^lo to 10^hi
+// (exponents lo..hi inclusive).
+func Logspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = math.Pow(10, lo)
+		return out
+	}
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = math.Pow(10, lo+float64(i)*step)
+	}
+	return out
+}
+
+// Linspace returns n evenly spaced points from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = lo
+		return out
+	}
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// RelErr returns |a-b| / max(|b|, floor): a relative error with an
+// absolute floor so comparisons against near-zero references stay
+// meaningful.
+func RelErr(a, b, floor float64) float64 {
+	den := math.Abs(b)
+	if den < floor {
+		den = floor
+	}
+	return math.Abs(a-b) / den
+}

@@ -1,0 +1,125 @@
+// Package pll models RTN-induced cycle slipping in phase-locked loops —
+// the paper's final conjecture in future-work #4 ("We also conjecture
+// that RTN causes cycle slipping in PLLs").
+//
+// The model is the canonical phase-domain loop with a sinusoidal phase
+// detector:
+//
+//	dθ/dt = Δω(t) − K·sin θ
+//
+// where θ is the phase error, K the loop gain (rad/s) and Δω(t) the
+// instantaneous frequency offset. An RTN trap in the VCO's bias devices
+// shifts the oscillator frequency by δf while filled, so
+// Δω(t) = 2π·δf·filled(t). The classical result: the loop holds lock
+// for |Δω| < K, and for |Δω| > K it slips cycles at the beat rate
+// √(Δω² − K²)/2π — giving this package an exact analytical oracle.
+package pll
+
+import (
+	"errors"
+	"math"
+
+	"samurai/internal/markov"
+)
+
+// Config describes the loop and the RTN modulation.
+type Config struct {
+	// K is the loop gain, rad/s.
+	K float64
+	// DeltaF is the VCO frequency shift while the trap is filled, Hz.
+	DeltaF float64
+	// Dt is the integration step; it must resolve both 1/K and the
+	// beat period. Zero → min(0.02/K, 0.02/Δf').
+	Dt float64
+}
+
+func (c Config) defaults() (Config, error) {
+	if c.K <= 0 {
+		return c, errors.New("pll: non-positive loop gain")
+	}
+	if c.Dt == 0 {
+		c.Dt = 0.02 / c.K
+		if c.DeltaF != 0 {
+			if d := 0.02 / (2 * math.Pi * math.Abs(c.DeltaF)); d < c.Dt {
+				c.Dt = d
+			}
+		}
+	}
+	return c, nil
+}
+
+// Result summarises a cycle-slip simulation.
+type Result struct {
+	// Slips is the number of 2π phase wraps observed.
+	Slips int
+	// TimeFilled is the total time the trap spent filled, s.
+	TimeFilled float64
+	// PredictedSlips is the analytical expectation
+	// √(Δω²−K²)/2π · TimeFilled for Δω > K, else 0.
+	PredictedSlips float64
+	// MaxAbsTheta is the peak |θ| excursion, rad.
+	MaxAbsTheta float64
+}
+
+// SlipRate returns the analytical steady-state slip rate (slips/s) for
+// a constant frequency offset dOmega (rad/s) against loop gain k: zero
+// inside the lock range, the beat frequency outside it.
+func SlipRate(k, dOmega float64) float64 {
+	a := math.Abs(dOmega)
+	if a <= k {
+		return 0
+	}
+	return math.Sqrt(a*a-k*k) / (2 * math.Pi)
+}
+
+// Simulate integrates the phase error over the trap path's lifetime
+// with RK4 and counts cycle slips (continuous unwrapped θ crossing 2π
+// boundaries).
+func Simulate(cfg Config, path *markov.Path) (*Result, error) {
+	cfg, err := cfg.defaults()
+	if err != nil {
+		return nil, err
+	}
+	t0, t1 := path.Begin(), path.End
+	if t1 <= t0 {
+		return nil, errors.New("pll: empty trap path")
+	}
+	dOmega := 2 * math.Pi * cfg.DeltaF
+	deriv := func(t, th float64) float64 {
+		dw := 0.0
+		if path.StateAt(t) {
+			dw = dOmega
+		}
+		return dw - cfg.K*math.Sin(th)
+	}
+	res := &Result{}
+	theta := 0.0
+	wraps := 0
+	prevWrap := 0
+	h := cfg.Dt
+	for t := t0; t < t1; t += h {
+		step := h
+		if t+step > t1 {
+			step = t1 - t
+		}
+		k1 := deriv(t, theta)
+		k2 := deriv(t+step/2, theta+step/2*k1)
+		k3 := deriv(t+step/2, theta+step/2*k2)
+		k4 := deriv(t+step, theta+step*k3)
+		theta += step / 6 * (k1 + 2*k2 + 2*k3 + k4)
+		if a := math.Abs(theta); a > res.MaxAbsTheta {
+			res.MaxAbsTheta = a
+		}
+		if w := int(math.Floor(math.Abs(theta) / (2 * math.Pi))); w != prevWrap {
+			if w > prevWrap {
+				wraps += w - prevWrap
+			}
+			prevWrap = w
+		}
+	}
+	res.Slips = wraps
+	// Time filled from the path itself.
+	res.TimeFilled = path.FilledFraction() * (t1 - t0)
+	res.PredictedSlips = SlipRate(cfg.K, dOmega) * res.TimeFilled
+	return res, nil
+}

@@ -1,0 +1,92 @@
+package pll
+
+import (
+	"math"
+	"testing"
+
+	"samurai/internal/markov"
+)
+
+// alwaysFilled returns a path pinned in the filled state over [0, t1].
+func alwaysFilled(t1 float64) *markov.Path {
+	return markov.NewPath(0, t1, true)
+}
+
+func TestNoSlipInsideLockRange(t *testing.T) {
+	// Δω = 0.8·K: the loop must settle to θ = arcsin(Δω/K), no slips.
+	k := 1e6
+	df := 0.8 * k / (2 * math.Pi)
+	res, err := Simulate(Config{K: k, DeltaF: df}, alwaysFilled(200/k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slips != 0 {
+		t.Fatalf("slipped %d times inside the lock range", res.Slips)
+	}
+	want := math.Asin(0.8)
+	if math.Abs(res.MaxAbsTheta-want) > 0.05 {
+		t.Fatalf("settled phase error %g, want ≈%g", res.MaxAbsTheta, want)
+	}
+}
+
+func TestSlipRateMatchesAnalyticalBeat(t *testing.T) {
+	// Δω = 2·K: slips at rate √(Δω²−K²)/2π. Simulate long enough for
+	// ~100 slips and compare.
+	k := 1e6
+	dOmega := 2 * k
+	df := dOmega / (2 * math.Pi)
+	rate := SlipRate(k, dOmega)
+	horizon := 100 / rate
+	res, err := Simulate(Config{K: k, DeltaF: df}, alwaysFilled(horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rate * horizon
+	if math.Abs(float64(res.Slips)-want) > 0.05*want+2 {
+		t.Fatalf("slips = %d, analytical %g", res.Slips, want)
+	}
+	if math.Abs(res.PredictedSlips-want) > 1e-6*want {
+		t.Fatalf("PredictedSlips = %g, want %g", res.PredictedSlips, want)
+	}
+}
+
+func TestSlipsOnlyWhileTrapFilled(t *testing.T) {
+	// The trap fills during [t1/4, t3/4]; slips must match the
+	// analytical count for that window only.
+	k := 1e6
+	dOmega := 3 * k
+	df := dOmega / (2 * math.Pi)
+	rate := SlipRate(k, dOmega)
+	total := 60 / rate
+	p := markov.NewPath(0, total, false)
+	p.Transition(total / 4)
+	p.Transition(3 * total / 4)
+	res, err := Simulate(Config{K: k, DeltaF: df}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rate * total / 2
+	if math.Abs(float64(res.Slips)-want) > 0.1*want+2 {
+		t.Fatalf("slips = %d, want ≈%g over the filled half", res.Slips, want)
+	}
+}
+
+func TestSlipRateFormula(t *testing.T) {
+	if SlipRate(10, 5) != 0 || SlipRate(10, 10) != 0 {
+		t.Fatal("inside/at lock range must be slip-free")
+	}
+	got := SlipRate(3, 5)
+	want := 4.0 / (2 * math.Pi)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SlipRate = %g, want %g", got, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Simulate(Config{K: 0}, alwaysFilled(1)); err == nil {
+		t.Fatal("zero gain accepted")
+	}
+	if _, err := Simulate(Config{K: 1}, markov.NewPath(1, 1, false)); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}

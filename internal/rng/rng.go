@@ -1,0 +1,210 @@
+// Package rng provides reproducible, splittable pseudo-random streams.
+//
+// Every stochastic component in the SAMURAI reproduction takes an
+// explicit *Stream. Streams are derived hierarchically with SplitMix64
+// so that, for example, trap k of transistor M5 always sees the same
+// random sequence regardless of how many other traps exist or in which
+// order devices are simulated. This makes experiments exactly
+// reproducible and lets tests pin down sample paths.
+package rng
+
+import "math"
+
+// Stream is a PCG-XSH-RR 64/32-based generator with a 64-bit state and a
+// 64-bit stream selector (the "inc" in PCG terms). The zero value is not
+// usable; construct streams with New or Split.
+type Stream struct {
+	state uint64
+	inc   uint64 // must be odd
+}
+
+const pcgMult = 6364136223846793005
+
+// New returns a stream seeded from seed with the default sequence
+// selector.
+func New(seed uint64) *Stream {
+	return NewSeq(seed, 0xda3e39cb94b95bdb)
+}
+
+// NewSeq returns a stream seeded from seed on the sequence identified by
+// seq. Distinct seq values give statistically independent streams even
+// for equal seeds.
+func NewSeq(seed, seq uint64) *Stream {
+	s := &Stream{inc: seq<<1 | 1}
+	s.state = 0
+	s.next32()
+	s.state += seed
+	s.next32()
+	return s
+}
+
+// splitmix64 is used to derive child seeds; it is a strong 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Split derives an independent child stream identified by id. The parent
+// stream is not advanced, so Split(i) is a pure function of the parent's
+// identity and i.
+func (s *Stream) Split(id uint64) *Stream {
+	base := s.state ^ s.inc
+	return NewSeq(splitmix64(base^splitmix64(id)), splitmix64(id+0x632be59bd9b4e019))
+}
+
+func (s *Stream) next32() uint32 {
+	old := s.state
+	s.state = old*pcgMult + s.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (s *Stream) Uint64() uint64 {
+	hi := uint64(s.next32())
+	lo := uint64(s.next32())
+	return hi<<32 | lo
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform value in (0, 1), never exactly zero,
+// suitable as input to -log(u) style transforms.
+func (s *Stream) Float64Open() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method, unbiased.
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= uint64(-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	ahi, alo := a>>32, a&mask
+	bhi, blo := b>>32, b&mask
+	t := ahi*blo + (alo*blo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += alo * bhi
+	hi = ahi*bhi + w2 + (w1 >> 32)
+	lo = a * b
+	return
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (s *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp called with rate <= 0")
+	}
+	return -math.Log(s.Float64Open()) / rate
+}
+
+// Norm returns a standard normal variate (Box–Muller, polar form).
+func (s *Stream) Norm() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		r2 := u*u + v*v
+		if r2 > 0 && r2 < 1 {
+			return u * math.Sqrt(-2*math.Log(r2)/r2)
+		}
+	}
+}
+
+// NormMeanStd returns a normal variate with the given mean and standard
+// deviation.
+func (s *Stream) NormMeanStd(mean, std float64) float64 {
+	return mean + std*s.Norm()
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Poisson returns a Poisson variate with the given mean. For small means
+// it uses Knuth's product method; for large means it uses the PTRS
+// transformed-rejection method of Hörmann, which is exact and fast.
+func (s *Stream) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= s.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	return s.poissonPTRS(mean)
+}
+
+func (s *Stream) poissonPTRS(mu float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mu)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logMu := math.Log(mu)
+	for {
+		u := s.Float64() - 0.5
+		v := s.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mu + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logMu-mu-logGamma(k+1) {
+			return int(k)
+		}
+	}
+}
+
+func logGamma(x float64) float64 {
+	lg, _ := math.Lgamma(x)
+	return lg
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

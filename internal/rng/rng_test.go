@@ -1,0 +1,204 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("equal seeds diverged")
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	r := New(11)
+	n := 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %g", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.002 {
+		t.Fatalf("uniform variance = %g", variance)
+	}
+}
+
+func TestIntnUnbiased(t *testing.T) {
+	r := New(3)
+	const n = 5
+	counts := make([]int, n)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-draws/n) > 5*math.Sqrt(draws/n) {
+			t.Fatalf("bucket %d count %d deviates", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(13)
+	const rate = 3.0
+	n := 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(rate)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-1/rate) > 0.01/rate {
+		t.Fatalf("exp mean = %g, want %g", mean, 1/rate)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(17)
+	n := 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq / float64(n)
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %g", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %g", variance)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		r := New(19)
+		n := 50000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(mean))
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / float64(n)
+		variance := sumSq/float64(n) - m*m
+		if math.Abs(m-mean) > 0.05*mean+0.05 {
+			t.Fatalf("Poisson(%g) mean = %g", mean, m)
+		}
+		if math.Abs(variance-mean) > 0.1*mean+0.1 {
+			t.Fatalf("Poisson(%g) variance = %g", mean, variance)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	if New(1).Poisson(0) != 0 || New(1).Poisson(-2) != 0 {
+		t.Fatal("non-positive mean must give 0")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(5)
+	a := root.Split(1)
+	b := root.Split(2)
+	// Child streams must differ from each other.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatal("split children correlated")
+	}
+}
+
+func TestSplitIsPure(t *testing.T) {
+	root := New(5)
+	a1 := root.Split(7)
+	// Drawing from the root must not change what Split(7) returns.
+	root2 := New(5)
+	_ = root2 // fresh identical root
+	for i := 0; i < 100; i++ {
+		root.Uint64()
+	}
+	a2 := New(5).Split(7)
+	for i := 0; i < 32; i++ {
+		if a1.Uint64() != a2.Uint64() {
+			t.Fatal("Split depends on parent draw position")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := int(seed%20) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(23)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %g", v)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package rtn turns trap occupancy paths into RTN current traces using
+// the paper's Eq (3):
+//
+//	I_RTN(t) = I_d(t) / (W·L·N(t)) · N_filled(t)
+//
+// where N(t) is the inversion-layer carrier number density at the
+// instantaneous bias and N_filled(t) the number of filled traps.
+package rtn
+
+import (
+	"errors"
+	"sort"
+
+	"samurai/internal/device"
+	"samurai/internal/markov"
+	"samurai/internal/units"
+	"samurai/internal/waveform"
+)
+
+// Trace is a sampled RTN current waveform.
+type Trace struct {
+	T []float64 // sample instants, s
+	I []float64 // RTN current, A
+}
+
+// NFilled aggregates trap paths into the piecewise-constant count of
+// filled traps. The returned times/counts satisfy: counts[i] holds on
+// [times[i], times[i+1]).
+func NFilled(paths []*markov.Path) (times []float64, counts []int) {
+	type event struct {
+		t     float64
+		delta int
+	}
+	var events []event
+	n0 := 0
+	start := 0.0
+	for _, p := range paths {
+		if p.Begin() < start || len(events) == 0 {
+			start = p.Begin()
+		}
+		if p.Filled[0] {
+			n0++
+		}
+		for i := 1; i < len(p.Times); i++ {
+			d := -1
+			if p.Filled[i] {
+				d = +1
+			}
+			events = append(events, event{p.Times[i], d})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].t < events[j].t })
+	times = append(times, start)
+	counts = append(counts, n0)
+	cur := n0
+	for _, e := range events {
+		cur += e.delta
+		if times[len(times)-1] == e.t {
+			counts[len(counts)-1] = cur
+			continue
+		}
+		times = append(times, e.t)
+		counts = append(counts, cur)
+	}
+	return
+}
+
+// CountAt evaluates an NFilled step function at time t.
+func CountAt(times []float64, counts []int, t float64) int {
+	if len(times) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(times, t)
+	if i < len(times) && times[i] == t {
+		return counts[i]
+	}
+	if i == 0 {
+		return counts[0]
+	}
+	return counts[i-1]
+}
+
+// Compose builds the sampled I_RTN trace per Eq (3) for a device with
+// trap paths, gate-bias waveform vgs and drain-current waveform id,
+// sampled at n uniform instants over [t0, t1].
+func Compose(paths []*markov.Path, dev device.MOSParams, vgs, id *waveform.PWL, t0, t1 float64, n int) (*Trace, error) {
+	if n < 2 {
+		return nil, errors.New("rtn: need at least two samples")
+	}
+	if t1 <= t0 {
+		return nil, errors.New("rtn: empty time interval")
+	}
+	times, counts := NFilled(paths)
+	tr := &Trace{T: make([]float64, n), I: make([]float64, n)}
+	dt := (t1 - t0) / float64(n-1)
+	idx := 0
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		tr.T[i] = t
+		for idx+1 < len(times) && times[idx+1] <= t {
+			idx++
+		}
+		nf := 0
+		if len(counts) > 0 {
+			nf = counts[idx]
+		}
+		if nf == 0 {
+			continue
+		}
+		carriers := dev.CarrierCount(vgs.Eval(t)) // W·L·N(t)
+		tr.I[i] = id.Eval(t) / carriers * float64(nf)
+	}
+	return tr, nil
+}
+
+// ComposeConstant is Compose for constant bias: vgs and id fixed. It is
+// the form used by the Fig 7 validation experiments.
+func ComposeConstant(paths []*markov.Path, dev device.MOSParams, vgs, id, t0, t1 float64, n int) (*Trace, error) {
+	return Compose(paths, dev, waveform.Constant(vgs), waveform.Constant(id), t0, t1, n)
+}
+
+// Scale multiplies the trace amplitude by k in place and returns the
+// trace. The paper scales I_RTN by ×30 to make the (rare) write error
+// observable — the "accelerated RTN testing" device of §IV-B.
+func (tr *Trace) Scale(k float64) *Trace {
+	for i := range tr.I {
+		tr.I[i] *= k
+	}
+	return tr
+}
+
+// PWL converts the trace to a piecewise-linear waveform for injection
+// into the circuit simulator as a current source. The waveform owns
+// copies of the samples, so later in-place edits of the trace (e.g.
+// Scale) do not retroactively change already-exported waveforms.
+func (tr *Trace) PWL() (*waveform.PWL, error) {
+	return waveform.New(
+		append([]float64(nil), tr.T...),
+		append([]float64(nil), tr.I...))
+}
+
+// Mean returns the time-average current of the trace.
+func (tr *Trace) Mean() float64 {
+	s := 0.0
+	for _, v := range tr.I {
+		s += v
+	}
+	if len(tr.I) == 0 {
+		return 0
+	}
+	return s / float64(len(tr.I))
+}
+
+// MaxAbs returns the largest |I| in the trace.
+func (tr *Trace) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range tr.I {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// StepAmplitude returns the Eq (3) single-trap current step
+// ΔI = I_d/(W·L·N) at the given constant bias — the amplitude of one
+// trap's telegraph signal.
+func StepAmplitude(dev device.MOSParams, vgs, id float64) float64 {
+	return id / dev.CarrierCount(vgs)
+}
+
+// DeltaVt returns the threshold-voltage shift equivalent of one trapped
+// electron, q/(Cox·W·L) — the quantity the V_dd margin model of Fig 2
+// accumulates across traps.
+func DeltaVt(dev device.MOSParams) float64 {
+	return units.ElectronCharge / dev.GateCap()
+}

@@ -1,0 +1,130 @@
+package sram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CalibrateCNode finds the storage-node capacitance at which a clean
+// write crosses the cell trip point at targetFrac of the wordline
+// window — i.e. it manufactures the paper's Fig 5 (top) situation where
+// "Q and Q̄ settle to their correct values by the time WL is
+// de-asserted", with a controlled margin.
+//
+// Real SRAM designs budget the wordline pulse close to the actual write
+// time; an uncalibrated idealised cell writes an order of magnitude
+// faster than its WL window and is therefore unrealistically immune to
+// RTN glitch timing. Calibration restores the paper's operating regime.
+//
+// The search brackets CNode geometrically, then bisects. It returns the
+// calibrated capacitance; cfg itself is not modified.
+func CalibrateCNode(cfg CellConfig, timing Timing, targetFrac float64) (float64, error) {
+	if targetFrac <= 0 || targetFrac >= 1 {
+		return 0, errors.New("sram: targetFrac must be in (0,1)")
+	}
+	cfg = cfg.Defaults()
+
+	frac := func(cnode float64) (float64, error) {
+		c := cfg
+		c.CNode = cnode
+		return writeCrossFrac(c, timing)
+	}
+
+	lo, hi := 0.5e-15, 0.5e-15
+	fLo, err := frac(lo)
+	if err != nil {
+		return 0, err
+	}
+	if fLo >= targetFrac {
+		// Even the smallest cap writes too slowly; nothing to do.
+		return lo, nil
+	}
+	fHi := fLo
+	for i := 0; i < 24 && fHi < targetFrac; i++ {
+		hi *= 2
+		fHi, err = frac(hi)
+		if err != nil {
+			// Write failed outright: the cap is beyond the writable
+			// range, which still brackets the target.
+			fHi = 1
+			break
+		}
+	}
+	if fHi < targetFrac {
+		return 0, fmt.Errorf("sram: could not bracket write time (frac=%.3f at CNode=%.3g F)", fHi, hi)
+	}
+	for i := 0; i < 40 && hi/lo > 1.01; i++ {
+		mid := math.Sqrt(lo * hi)
+		fMid, err := frac(mid)
+		if err != nil {
+			fMid = 1
+		}
+		if fMid < targetFrac {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi), nil
+}
+
+// writeCrossFrac builds a cell with the given config, writes a 0 over a
+// held 1, and returns when Q crossed Vdd/2 as a fraction of the WL
+// window. It returns 1 if the write never completed.
+func writeCrossFrac(cfg CellConfig, timing Timing) (float64, error) {
+	p := Pattern{Bits: []int{0}, Timing: timing, Vdd: cfg.Vdd}
+	wl, bl, blb, err := p.Waveforms()
+	if err != nil {
+		return 0, err
+	}
+	cell, err := Build(cfg, wl, bl, blb)
+	if err != nil {
+		return 0, err
+	}
+	run, err := cell.Evaluate(p, 0)
+	if err != nil {
+		return 0, err
+	}
+	wlOn, wlOff := p.WLWindow(0)
+	if run.NumError > 0 {
+		return 1, nil
+	}
+	crossings := run.Q.Crossings(cfg.Vdd / 2)
+	for _, t := range crossings {
+		if t >= wlOn {
+			return (t - wlOn) / (wlOff - wlOn), nil
+		}
+	}
+	// Q never crossed (it was already on the right side?) — treat as
+	// instantaneous.
+	return 0, nil
+}
+
+// MarginalCellTripFrac is the calibration target used by
+// MarginalCellConfig: the clean write's trip-point crossing lands at
+// this fraction of the wordline window. The crossing is only the start
+// of the flip — cross-coupled regeneration and settling consume the
+// rest of the window — so ~0.22 leaves the cell correct but with no
+// timing slack, the regime of the paper's Fig 5/Fig 8 experiments
+// (clean writes always succeed; a well-timed RTN glitch breaks them).
+const MarginalCellTripFrac = 0.22
+
+// MarginalCellConfig returns a cell configuration whose clean write
+// barely completes within the wordline window (see
+// MarginalCellTripFrac).
+func MarginalCellConfig(cfg CellConfig) (CellConfig, error) {
+	cfg = cfg.Defaults()
+	cnode, err := CalibrateCNode(cfg, DefaultTiming(), MarginalCellTripFrac)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.CNode = cnode
+	return cfg, nil
+}
+
+// WriteCrossFracForTest exposes writeCrossFrac for calibration probes
+// and tests.
+func WriteCrossFracForTest(cfg CellConfig, timing Timing) (float64, error) {
+	return writeCrossFrac(cfg, timing)
+}

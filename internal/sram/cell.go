@@ -1,0 +1,221 @@
+// Package sram builds and exercises the paper's 6T SRAM cell (Fig 1)
+// on top of the circuit simulator.
+//
+// Transistor naming follows the paper's description (§IV-B): M1 and M2
+// are the NMOS pass transistors gated by the wordline; M3–M6 form the
+// cross-coupled inverter pair, with M5 the NMOS pull-down whose gate is
+// Q and M6 the NMOS pull-down whose gate is Q̄:
+//
+//	M1: NMOS  BL ↔ Q,   gate WL
+//	M2: NMOS  BLB ↔ Q̄,  gate WL
+//	M3: PMOS  VDD → Q,  gate Q̄
+//	M4: PMOS  VDD → Q̄,  gate Q
+//	M5: NMOS  Q̄ → GND,  gate Q
+//	M6: NMOS  Q → GND,  gate Q̄
+//
+// Every transistor carries a companion RTN current source (initially
+// zero) oriented to oppose the nominal channel current, exactly as in
+// the paper's Fig 4; the methodology swaps real traces in via
+// SetRTNTrace.
+package sram
+
+import (
+	"fmt"
+
+	"samurai/internal/circuit"
+	"samurai/internal/device"
+	"samurai/internal/waveform"
+)
+
+// Node names used by the cell netlist.
+const (
+	NodeVdd = "vdd"
+	NodeQ   = "q"
+	NodeQB  = "qb"
+	NodeWL  = "wl"
+	NodeBL  = "bl"
+	NodeBLB = "blb"
+	// Internal bitline nodes after the driver resistance.
+	nodeBLInt  = "bl_i"
+	nodeBLBInt = "blb_i"
+)
+
+// Transistors enumerates the cell's device names in paper order.
+var Transistors = []string{"M1", "M2", "M3", "M4", "M5", "M6"}
+
+// CellConfig describes a 6T cell instance. Zero fields take
+// technology-appropriate defaults (see Defaults).
+type CellConfig struct {
+	Tech device.Technology
+	// Vdd overrides the technology supply when non-zero.
+	Vdd float64
+	// Channel widths; L is shared. Typical cell ratios: pull-down
+	// strongest, pass intermediate, pull-up weakest.
+	WPassGate, WPullDown, WPullUp, L float64
+	// CNode is extra parasitic capacitance on Q and Q̄, F.
+	CNode float64
+	// RDriver is the bitline driver source resistance, Ω.
+	RDriver float64
+	// CBitline is the bitline wiring capacitance, F.
+	CBitline float64
+	// VtShift holds per-transistor threshold-voltage shifts (keys
+	// "M1".."M6", volts, added to the magnitude) modelling local
+	// parameter variation — used by the Monte-Carlo array analysis.
+	VtShift map[string]float64
+}
+
+// Defaults fills unset fields with conventional 6T sizing: pull-down
+// 2×Lmin wide, pass gate 1.5×, pull-up 1×, and small but realistic
+// parasitics.
+func (c CellConfig) Defaults() CellConfig {
+	if c.Vdd == 0 {
+		c.Vdd = c.Tech.Vdd
+	}
+	if c.L == 0 {
+		c.L = c.Tech.Lmin
+	}
+	if c.WPullDown == 0 {
+		c.WPullDown = 2 * c.Tech.Lmin
+	}
+	if c.WPassGate == 0 {
+		c.WPassGate = 1.5 * c.Tech.Lmin
+	}
+	if c.WPullUp == 0 {
+		c.WPullUp = 1 * c.Tech.Lmin
+	}
+	if c.CNode == 0 {
+		// Storage-node parasitic: roughly the connected gate + drain
+		// caps; a conservative 2 aF/nm of pull-down width.
+		c.CNode = 1.5e-15
+	}
+	if c.RDriver == 0 {
+		c.RDriver = 500
+	}
+	if c.CBitline == 0 {
+		c.CBitline = 5e-15
+	}
+	return c
+}
+
+// Cell is an elaborated 6T SRAM cell ready for transient analysis.
+type Cell struct {
+	Cfg     CellConfig
+	Circuit *circuit.Circuit
+	// Params maps transistor name → device parameters.
+	Params map[string]device.MOSParams
+}
+
+// rtnSourceName returns the companion RTN current source name of a
+// transistor.
+func rtnSourceName(device string) string { return "IRTN_" + device }
+
+// DeviceParams returns the per-transistor parameter sets implied by a
+// cell configuration (after defaulting), including any VtShift
+// perturbations. It returns an error for VtShift keys that do not name
+// a cell transistor.
+func DeviceParams(cfg CellConfig) (map[string]device.MOSParams, error) {
+	cfg = cfg.Defaults()
+	tech := cfg.Tech
+	pass := device.NewMOS(tech, device.NMOS, cfg.WPassGate, cfg.L)
+	pd := device.NewMOS(tech, device.NMOS, cfg.WPullDown, cfg.L)
+	pu := device.NewMOS(tech, device.PMOS, cfg.WPullUp, cfg.L)
+
+	params := map[string]device.MOSParams{
+		"M1": pass, "M2": pass,
+		"M3": pu, "M4": pu,
+		"M5": pd, "M6": pd,
+	}
+	for name, dv := range cfg.VtShift {
+		p, ok := params[name]
+		if !ok {
+			return nil, fmt.Errorf("sram: VtShift for unknown transistor %q", name)
+		}
+		p.Vt += dv
+		params[name] = p
+	}
+	return params, nil
+}
+
+// Build elaborates the cell with the given wordline and bitline drive
+// waveforms (voltages at the driver side of the bitline resistance).
+func Build(cfg CellConfig, wl, bl, blb *waveform.PWL) (*Cell, error) {
+	cfg = cfg.Defaults()
+	ckt := circuit.New()
+
+	params, err := DeviceParams(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	type mos struct{ name, d, g, s string }
+	devicesList := []mos{
+		{"M1", NodeQ, NodeWL, nodeBLInt},
+		{"M2", NodeQB, NodeWL, nodeBLBInt},
+		{"M3", NodeQ, NodeQB, NodeVdd},
+		{"M4", NodeQB, NodeQ, NodeVdd},
+		{"M5", NodeQB, NodeQ, circuit.Ground},
+		{"M6", NodeQ, NodeQB, circuit.Ground},
+	}
+
+	steps := []func() error{
+		func() error { return ckt.AddDCVSource("VDD", NodeVdd, circuit.Ground, cfg.Vdd) },
+		func() error { return ckt.AddVSource("VWL", NodeWL, circuit.Ground, wl) },
+		func() error { return ckt.AddVSource("VBL", NodeBL, circuit.Ground, bl) },
+		func() error { return ckt.AddVSource("VBLB", NodeBLB, circuit.Ground, blb) },
+		func() error { return ckt.AddResistor("RBL", NodeBL, nodeBLInt, cfg.RDriver) },
+		func() error { return ckt.AddResistor("RBLB", NodeBLB, nodeBLBInt, cfg.RDriver) },
+		func() error { return ckt.AddCapacitor("CBL", nodeBLInt, circuit.Ground, cfg.CBitline) },
+		func() error { return ckt.AddCapacitor("CBLB", nodeBLBInt, circuit.Ground, cfg.CBitline) },
+		func() error { return ckt.AddCapacitor("CQ", NodeQ, circuit.Ground, cfg.CNode) },
+		func() error { return ckt.AddCapacitor("CQB", NodeQB, circuit.Ground, cfg.CNode) },
+	}
+	for _, s := range steps {
+		if err := s(); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range devicesList {
+		if err := ckt.AddMOSFET(m.name, m.d, m.g, m.s, params[m.name]); err != nil {
+			return nil, err
+		}
+		// Companion RTN source: injects into the drain node and
+		// extracts from the source node, opposing the channel current
+		// (Fig 4 right). Eq (3) produces signed traces, so PMOS
+		// devices simply carry negative values.
+		if err := ckt.AddISource(rtnSourceName(m.name), m.s, m.d, waveform.Constant(0)); err != nil {
+			return nil, err
+		}
+	}
+	return &Cell{Cfg: cfg, Circuit: ckt, Params: params}, nil
+}
+
+// SetRTNTrace installs an RTN current waveform on a transistor's
+// companion source. Passing nil clears it.
+func (c *Cell) SetRTNTrace(transistor string, w *waveform.PWL) error {
+	if _, ok := c.Params[transistor]; !ok {
+		return fmt.Errorf("sram: unknown transistor %q", transistor)
+	}
+	if w == nil {
+		w = waveform.Constant(0)
+	}
+	return c.Circuit.SetISourceWaveform(rtnSourceName(transistor), w)
+}
+
+// InitialConditions returns a UIC map that stores the given bit in the
+// cell with bitlines idle (both high) and wordline low.
+func (c *Cell) InitialConditions(bit int) map[string]float64 {
+	vq, vqb := 0.0, c.Cfg.Vdd
+	if bit != 0 {
+		vq, vqb = c.Cfg.Vdd, 0.0
+	}
+	return map[string]float64{
+		NodeVdd:    c.Cfg.Vdd,
+		NodeQ:      vq,
+		NodeQB:     vqb,
+		NodeWL:     0,
+		NodeBL:     c.Cfg.Vdd,
+		NodeBLB:    c.Cfg.Vdd,
+		nodeBLInt:  c.Cfg.Vdd,
+		nodeBLBInt: c.Cfg.Vdd,
+	}
+}

@@ -1,0 +1,196 @@
+package sram
+
+import (
+	"fmt"
+
+	"samurai/internal/circuit"
+	"samurai/internal/device"
+	"samurai/internal/waveform"
+)
+
+// The 8T cell is the canonical "re-design" answer to read-stability
+// problems (the paper: a compromised cell means "either V_dd must be
+// increased or the SRAM cell must be re-designed"): a two-transistor
+// read buffer decouples the storage nodes from the read bitline, so a
+// read access can no longer disturb the stored value — no matter how
+// hard RTN squeezes the pull-downs.
+//
+//	M7: NMOS read driver — gate Q̄, source GND, drain X
+//	M8: NMOS read access — gate RWL, source X, drain RBL
+//
+// Reading is single-ended: RBL is precharged high and discharges
+// through M8/M7 only when Q̄ is high (stored 0).
+
+// ReadCell8TConfig extends the 6T configuration with the read buffer.
+type ReadCell8TConfig struct {
+	Cell CellConfig
+	// WReadDriver and WReadAccess size the buffer; zero → 2×Lmin.
+	WReadDriver, WReadAccess float64
+	// WPrecharge and CBitline mirror ReadCellConfig.
+	WPrecharge, CBitline float64
+	Timing               ReadTiming
+}
+
+// Defaults completes the configuration.
+func (c ReadCell8TConfig) Defaults() ReadCell8TConfig {
+	c.Cell = c.Cell.Defaults()
+	if c.WReadDriver == 0 {
+		c.WReadDriver = 2 * c.Cell.Tech.Lmin
+	}
+	if c.WReadAccess == 0 {
+		c.WReadAccess = 2 * c.Cell.Tech.Lmin
+	}
+	if c.WPrecharge == 0 {
+		c.WPrecharge = 3 * c.Cell.Tech.Lmin
+	}
+	if c.CBitline == 0 {
+		c.CBitline = 20e-15
+	}
+	if c.Timing == (ReadTiming{}) {
+		c.Timing = DefaultReadTiming()
+	}
+	return c
+}
+
+// Transistors8T lists the 8T cell's device names: the 6T core plus the
+// read buffer.
+var Transistors8T = []string{"M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8"}
+
+// EvaluateRead8T runs one read cycle on an 8T cell storing bit, with
+// optional RTN traces on any of the eight transistors. The write
+// bitlines stay idle-high and the write wordline stays low (the read
+// path uses RWL/RBL only).
+func EvaluateRead8T(cfg ReadCell8TConfig, bit int, rtnTraces map[string]*waveform.PWL, dt float64) (*ReadResult, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	tm := cfg.Timing
+	vdd := cfg.Cell.Vdd
+
+	pre, err := waveform.New(
+		[]float64{0, tm.PrechargeEnd, tm.PrechargeEnd + tm.Rise},
+		[]float64{0, 0, vdd})
+	if err != nil {
+		return nil, err
+	}
+	rwl, err := waveform.New(
+		[]float64{0, tm.WLStart, tm.WLStart + tm.Rise, tm.WLStop, tm.WLStop + tm.Rise},
+		[]float64{0, 0, vdd, vdd, 0})
+	if err != nil {
+		return nil, err
+	}
+
+	ckt := circuit.New()
+	params, err := DeviceParams(cfg.Cell)
+	if err != nil {
+		return nil, err
+	}
+	steps := []func() error{
+		func() error { return ckt.AddDCVSource("VDD", NodeVdd, circuit.Ground, vdd) },
+		func() error { return ckt.AddVSource("VPRE", "pre", circuit.Ground, pre) },
+		func() error { return ckt.AddVSource("VRWL", "rwl", circuit.Ground, rwl) },
+		// Write path parked: WL low, write bitlines idle high.
+		func() error { return ckt.AddDCVSource("VWL", NodeWL, circuit.Ground, 0) },
+		func() error { return ckt.AddDCVSource("VBL", nodeBLInt, circuit.Ground, vdd) },
+		func() error { return ckt.AddDCVSource("VBLB", nodeBLBInt, circuit.Ground, vdd) },
+		func() error { return ckt.AddCapacitor("CRBL", "rbl", circuit.Ground, cfg.CBitline) },
+		func() error { return ckt.AddCapacitor("CQ", NodeQ, circuit.Ground, cfg.Cell.CNode) },
+		func() error { return ckt.AddCapacitor("CQB", NodeQB, circuit.Ground, cfg.Cell.CNode) },
+	}
+	for _, s := range steps {
+		if err := s(); err != nil {
+			return nil, err
+		}
+	}
+	prePMOS := device.NewMOS(cfg.Cell.Tech, device.PMOS, cfg.WPrecharge, cfg.Cell.L)
+	if err := ckt.AddMOSFET("MPC1", "rbl", "pre", NodeVdd, prePMOS); err != nil {
+		return nil, err
+	}
+	rd := device.NewMOS(cfg.Cell.Tech, device.NMOS, cfg.WReadDriver, cfg.Cell.L)
+	ra := device.NewMOS(cfg.Cell.Tech, device.NMOS, cfg.WReadAccess, cfg.Cell.L)
+
+	type mos struct {
+		name, d, g, s string
+		p             device.MOSParams
+	}
+	devs := []mos{
+		{"M1", NodeQ, NodeWL, nodeBLInt, params["M1"]},
+		{"M2", NodeQB, NodeWL, nodeBLBInt, params["M2"]},
+		{"M3", NodeQ, NodeQB, NodeVdd, params["M3"]},
+		{"M4", NodeQB, NodeQ, NodeVdd, params["M4"]},
+		{"M5", NodeQB, NodeQ, circuit.Ground, params["M5"]},
+		{"M6", NodeQ, NodeQB, circuit.Ground, params["M6"]},
+		{"M7", "x", NodeQB, circuit.Ground, rd},
+		{"M8", "rbl", "rwl", "x", ra},
+	}
+	for _, m := range devs {
+		if err := ckt.AddMOSFET(m.name, m.d, m.g, m.s, m.p); err != nil {
+			return nil, err
+		}
+		if err := ckt.AddISource(rtnSourceName(m.name), m.s, m.d, waveform.Constant(0)); err != nil {
+			return nil, err
+		}
+	}
+	for name, w := range rtnTraces {
+		found := false
+		for _, m := range devs {
+			if m.name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sram: RTN trace for unknown 8T transistor %q", name)
+		}
+		if err := ckt.SetISourceWaveform(rtnSourceName(name), w); err != nil {
+			return nil, err
+		}
+	}
+
+	if dt == 0 {
+		dt = tm.Total / 800
+	}
+	vq, vqb := 0.0, vdd
+	if bit != 0 {
+		vq, vqb = vdd, 0.0
+	}
+	init := map[string]float64{
+		NodeVdd: vdd, NodeQ: vq, NodeQB: vqb,
+		nodeBLInt: vdd, nodeBLBInt: vdd,
+		"rbl": vdd, "x": 0, "pre": 0, "rwl": 0, NodeWL: 0,
+	}
+	res, err := ckt.Transient(circuit.TransientSpec{
+		T0: 0, T1: tm.Total, Dt: dt, UIC: true, InitialV: init,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sram: 8T read transient: %w", err)
+	}
+	rbl, err := res.Voltage("rbl")
+	if err != nil {
+		return nil, err
+	}
+	q, err := res.Voltage(NodeQ)
+	if err != nil {
+		return nil, err
+	}
+	// Single-ended sensing against V_dd/2: RBL stays high for a stored
+	// 1 (Q̄ low → driver off) and discharges for a stored 0. DeltaV is
+	// reported relative to the V_dd/2 reference for symmetry with the
+	// 6T result (positive ⇒ read 1).
+	sense := rbl.Eval(tm.Sense)
+	value := 0
+	if sense > vdd/2 {
+		value = 1
+	}
+	qEnd := q.Eval(tm.Total)
+	return &ReadResult{
+		StoredBit: bit,
+		DeltaV:    sense - vdd/2,
+		Value:     value,
+		Correct:   value == bit,
+		Disturbed: (bit != 0) != (qEnd > vdd/2),
+		QEnd:      qEnd,
+		Trans:     res,
+	}, nil
+}

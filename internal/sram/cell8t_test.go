@@ -1,0 +1,117 @@
+package sram
+
+import (
+	"testing"
+
+	"samurai/internal/device"
+	"samurai/internal/waveform"
+)
+
+func TestRead8TBothValues(t *testing.T) {
+	tech := device.Node("32nm")
+	cfg := ReadCell8TConfig{Cell: CellConfig{Tech: tech, Vdd: 0.6}}
+	for _, bit := range []int{0, 1} {
+		res, err := EvaluateRead8T(cfg, bit, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct {
+			t.Fatalf("bit %d read as %d (ΔV=%g)", bit, res.Value, res.DeltaV)
+		}
+		if res.Disturbed {
+			t.Fatalf("8T read disturbed the cell reading %d", bit)
+		}
+	}
+}
+
+func TestRead8TImmuneToPullDownRTN(t *testing.T) {
+	// The exact stress that flips the read-marginal 6T cell (sustained
+	// opposing current on the active pull-down, found by the 6T test's
+	// threshold search) must leave the 8T cell intact: the storage
+	// nodes never touch the read bitline.
+	tech := device.Node("32nm")
+	tm := DefaultReadTiming()
+	glitch := func(amp float64) *waveform.PWL {
+		w, err := waveform.New(
+			[]float64{0, tm.WLStart, tm.WLStart + 1e-12, tm.Total},
+			[]float64{0, 0, amp, amp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+
+	// Find the 6T disturb threshold.
+	marginal := ReadMarginalCellConfig(tech, 0.6)
+	var thresh float64
+	for amp := 2e-6; amp <= 300e-6; amp *= 1.6 {
+		res, err := EvaluateRead(marginal, 0, map[string]*waveform.PWL{"M6": glitch(amp)}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Disturbed {
+			thresh = amp
+			break
+		}
+	}
+	if thresh == 0 {
+		t.Fatal("could not find 6T disturb threshold")
+	}
+
+	// The 8T cell with the same core sizing shrugs off 5× that stress
+	// on every core pull-down.
+	cfg8 := ReadCell8TConfig{Cell: marginal.Cell}
+	res, err := EvaluateRead8T(cfg8, 0, map[string]*waveform.PWL{
+		"M5": glitch(5 * thresh),
+		"M6": glitch(5 * thresh),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disturbed {
+		t.Fatalf("8T cell disturbed at 5× the 6T threshold (%g A)", 5*thresh)
+	}
+	if !res.Correct {
+		t.Fatalf("8T read wrong under core-only RTN: %+v", res)
+	}
+}
+
+func TestRead8TBufferRTNSlowsButCannotFlip(t *testing.T) {
+	// RTN on the read buffer itself (M7) erodes the single-ended sense
+	// margin but structurally cannot disturb the stored data.
+	tech := device.Node("32nm")
+	tm := DefaultReadTiming()
+	cfg := ReadCell8TConfig{Cell: CellConfig{Tech: tech, Vdd: 0.6}}
+	clean, err := EvaluateRead8T(cfg, 0, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := waveform.New(
+		[]float64{0, tm.WLStart, tm.WLStart + 1e-12, tm.Total},
+		[]float64{0, 0, 10e-6, 10e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := EvaluateRead8T(cfg, 0, map[string]*waveform.PWL{"M7": w}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Disturbed {
+		t.Fatal("buffer RTN disturbed the storage nodes")
+	}
+	// Reading a 0: RBL discharges (sense < ref, ΔV < 0). Opposing M7
+	// slows the discharge → ΔV less negative.
+	if noisy.DeltaV <= clean.DeltaV {
+		t.Fatalf("buffer RTN did not erode the margin: clean %g, noisy %g",
+			clean.DeltaV, noisy.DeltaV)
+	}
+}
+
+func TestRead8TRejectsUnknownTransistor(t *testing.T) {
+	tech := device.Node("32nm")
+	cfg := ReadCell8TConfig{Cell: CellConfig{Tech: tech, Vdd: 0.6}}
+	_, err := EvaluateRead8T(cfg, 0, map[string]*waveform.PWL{"M9": waveform.Constant(0)}, 0)
+	if err == nil {
+		t.Fatal("unknown transistor accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package sram
+
+import (
+	"testing"
+
+	"samurai/internal/circuit"
+	"samurai/internal/device"
+	"samurai/internal/waveform"
+)
+
+func buildDefaultCell(t *testing.T, p Pattern) *Cell {
+	t.Helper()
+	wl, bl, blb, err := p.Waveforms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := Build(CellConfig{Tech: device.Node("90nm")}, wl, bl, blb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cell
+}
+
+func TestCleanWritePatternSucceeds(t *testing.T) {
+	p := Fig8Pattern(device.Node("90nm").Vdd)
+	cell := buildDefaultCell(t, p)
+	run, err := cell.Evaluate(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.NumError != 0 {
+		t.Fatalf("clean pattern produced %d write errors: %+v", run.NumError, run.Cycles)
+	}
+	for _, c := range run.Cycles {
+		if c.Slow {
+			t.Errorf("cycle %d unexpectedly slow (settle %.3g s)", c.Index, c.SettleAfterWL)
+		}
+	}
+}
+
+func TestHoldStateIsStable(t *testing.T) {
+	// With WL low, the cell must hold both logic states indefinitely.
+	tech := device.Node("90nm")
+	for _, bit := range []int{0, 1} {
+		cell, err := Build(CellConfig{Tech: tech},
+			waveform.Constant(0),        // WL low forever
+			waveform.Constant(tech.Vdd), // bitlines idle high
+			waveform.Constant(tech.Vdd))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cell.Circuit.Transient(circuit.TransientSpec{
+			T0: 0, T1: 20e-9, Dt: 10e-12,
+			UIC:      true,
+			InitialV: cell.InitialConditions(bit),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := res.V[NodeQ][len(res.V[NodeQ])-1]
+		want := 0.0
+		if bit != 0 {
+			want = cell.Cfg.Vdd
+		}
+		if diff := q - want; diff > 0.1*cell.Cfg.Vdd || diff < -0.1*cell.Cfg.Vdd {
+			t.Fatalf("hold state %d drifted: Q=%g want %g", bit, q, want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package sram
+
+import (
+	"errors"
+	"fmt"
+
+	"samurai/internal/waveform"
+)
+
+// Timing describes the write-cycle timing discipline used to exercise
+// the cell. All times in seconds; fractions are of the cycle period.
+type Timing struct {
+	// Cycle is the period per bit.
+	Cycle float64
+	// Rise is the edge time of WL/BL drivers.
+	Rise float64
+	// WLStartFrac and WLStopFrac position the wordline pulse within
+	// each cycle.
+	WLStartFrac, WLStopFrac float64
+	// BLSetupFrac positions the bitline data switch (before WL rises).
+	BLSetupFrac float64
+}
+
+// DefaultTiming returns write timing appropriate for the simulated
+// technologies: 2 ns cycles with a 1 ns wordline pulse.
+func DefaultTiming() Timing {
+	return Timing{
+		Cycle:       2e-9,
+		Rise:        50e-12,
+		WLStartFrac: 0.25,
+		WLStopFrac:  0.75,
+		BLSetupFrac: 0.05,
+	}
+}
+
+// Validate checks the timing for consistency.
+func (t Timing) Validate() error {
+	switch {
+	case t.Cycle <= 0:
+		return errors.New("sram: non-positive cycle time")
+	case t.Rise <= 0 || t.Rise > t.Cycle/10:
+		return fmt.Errorf("sram: rise time %g out of range", t.Rise)
+	case !(0 <= t.BLSetupFrac && t.BLSetupFrac < t.WLStartFrac && t.WLStartFrac < t.WLStopFrac && t.WLStopFrac < 1):
+		return errors.New("sram: cycle fractions must satisfy 0 <= setup < wlStart < wlStop < 1")
+	}
+	return nil
+}
+
+// Pattern is a sequence of bits written to the cell, one per cycle —
+// e.g. the paper's Fig 8 pattern [1,1,0,1,0,1,0,0,1].
+type Pattern struct {
+	Bits   []int
+	Timing Timing
+	Vdd    float64
+	// BLUnderdrive is the negative-bitline write-assist level: during
+	// a write, the low-going bitline is driven to −BLUnderdrive
+	// instead of 0 V, strengthening the pass gate's pull-down. This is
+	// one of the cell "re-design" options the paper's methodology is
+	// meant to inform ("either V_dd must be increased or the SRAM cell
+	// must be re-designed"). Zero disables the assist.
+	BLUnderdrive float64
+}
+
+// Fig8Pattern returns the bit pattern used throughout the paper's §IV-B.
+func Fig8Pattern(vdd float64) Pattern {
+	return Pattern{
+		Bits:   []int{1, 1, 0, 1, 0, 1, 0, 0, 1},
+		Timing: DefaultTiming(),
+		Vdd:    vdd,
+	}
+}
+
+// Duration returns the total simulated time for the pattern.
+func (p Pattern) Duration() float64 { return float64(len(p.Bits)) * p.Timing.Cycle }
+
+// CycleStart returns the start time of cycle i.
+func (p Pattern) CycleStart(i int) float64 { return float64(i) * p.Timing.Cycle }
+
+// WLWindow returns the wordline assertion window of cycle i.
+func (p Pattern) WLWindow(i int) (start, stop float64) {
+	t0 := p.CycleStart(i)
+	return t0 + p.Timing.WLStartFrac*p.Timing.Cycle, t0 + p.Timing.WLStopFrac*p.Timing.Cycle
+}
+
+// Waveforms builds the wordline and bitline drive waveforms for the
+// pattern. During each cycle, BL carries the bit value and BLB its
+// complement; WL pulses high inside the cycle.
+func (p Pattern) Waveforms() (wl, bl, blb *waveform.PWL, err error) {
+	if err := p.Timing.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if len(p.Bits) == 0 {
+		return nil, nil, nil, errors.New("sram: empty pattern")
+	}
+	if p.Vdd <= 0 {
+		return nil, nil, nil, errors.New("sram: pattern needs a positive Vdd")
+	}
+	var wlT, wlV, blT, blV, blbT, blbV []float64
+	add := func(ts *[]float64, vs *[]float64, t, v float64) {
+		if n := len(*ts); n > 0 && (*ts)[n-1] >= t {
+			// Skip degenerate/overlapping breakpoints.
+			return
+		}
+		*ts = append(*ts, t)
+		*vs = append(*vs, v)
+	}
+	// Initial state: WL low, both bitlines idle-high.
+	add(&wlT, &wlV, 0, 0)
+	add(&blT, &blV, 0, p.Vdd)
+	add(&blbT, &blbV, 0, p.Vdd)
+	r := p.Timing.Rise
+	for i, bit := range p.Bits {
+		t0 := p.CycleStart(i)
+		setup := t0 + p.Timing.BLSetupFrac*p.Timing.Cycle
+		wlOn, wlOff := p.WLWindow(i)
+		low := -p.BLUnderdrive
+		vBL, vBLB := low, p.Vdd
+		if bit != 0 {
+			vBL, vBLB = p.Vdd, low
+		}
+		// Bitlines switch to the data value before WL rises.
+		add(&blT, &blV, setup, blV[len(blV)-1])
+		add(&blT, &blV, setup+r, vBL)
+		add(&blbT, &blbV, setup, blbV[len(blbV)-1])
+		add(&blbT, &blbV, setup+r, vBLB)
+		// Wordline pulse.
+		add(&wlT, &wlV, wlOn, 0)
+		add(&wlT, &wlV, wlOn+r, p.Vdd)
+		add(&wlT, &wlV, wlOff, p.Vdd)
+		add(&wlT, &wlV, wlOff+r, 0)
+	}
+	end := p.Duration()
+	add(&wlT, &wlV, end, wlV[len(wlV)-1])
+	add(&blT, &blV, end, blV[len(blV)-1])
+	add(&blbT, &blbV, end, blbV[len(blbV)-1])
+	wl, err = waveform.New(wlT, wlV)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bl, err = waveform.New(blT, blV)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	blb, err = waveform.New(blbT, blbV)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return wl, bl, blb, nil
+}

@@ -1,0 +1,272 @@
+package sram
+
+import (
+	"errors"
+	"fmt"
+
+	"samurai/internal/circuit"
+	"samurai/internal/device"
+	"samurai/internal/waveform"
+)
+
+// The paper's footnote 2: "RTN-induced SRAM read failures have also
+// been reported. SAMURAI is capable of predicting these too." This file
+// supplies the read-cycle machinery: PMOS-precharged floating bitlines,
+// a wordline pulse, differential sensing, and read-disturb detection
+// (the stored value flipping because the pass gate out-fights a
+// pull-down weakened by trapped charge).
+
+// ReadTiming describes one read cycle. All times absolute from cycle
+// start, seconds.
+type ReadTiming struct {
+	// PrechargeEnd is when the precharge devices shut off (bitlines
+	// float at V_dd afterwards).
+	PrechargeEnd float64
+	// WLStart and WLStop bound the wordline pulse.
+	WLStart, WLStop float64
+	// Sense is the instant the differential is evaluated.
+	Sense float64
+	// Total is the cycle length.
+	Total float64
+	// Rise is the control-edge rise time.
+	Rise float64
+}
+
+// DefaultReadTiming returns a 2 ns read cycle: precharge for 0.4 ns,
+// wordline from 0.6 ns to 1.6 ns, sense just before WL falls.
+func DefaultReadTiming() ReadTiming {
+	return ReadTiming{
+		PrechargeEnd: 0.4e-9,
+		WLStart:      0.6e-9,
+		WLStop:       1.6e-9,
+		Sense:        1.5e-9,
+		Total:        2e-9,
+		Rise:         50e-12,
+	}
+}
+
+// Validate checks ordering.
+func (t ReadTiming) Validate() error {
+	if !(0 < t.PrechargeEnd && t.PrechargeEnd < t.WLStart &&
+		t.WLStart < t.WLStop && t.WLStop <= t.Total &&
+		t.WLStart < t.Sense && t.Sense <= t.WLStop) {
+		return errors.New("sram: read timing must satisfy 0 < pre < wlStart < sense <= wlStop <= total")
+	}
+	if t.Rise <= 0 || t.Rise > t.PrechargeEnd/2 {
+		return fmt.Errorf("sram: read rise time %g out of range", t.Rise)
+	}
+	return nil
+}
+
+// ReadCellConfig extends the cell with read-path parameters.
+type ReadCellConfig struct {
+	Cell CellConfig
+	// WPrecharge is the precharge PMOS width; zero → 3×Lmin.
+	WPrecharge float64
+	// CBitline is the floating bitline capacitance; zero → 20 fF.
+	CBitline float64
+	Timing   ReadTiming
+}
+
+// Defaults completes the configuration.
+func (c ReadCellConfig) Defaults() ReadCellConfig {
+	c.Cell = c.Cell.Defaults()
+	if c.WPrecharge == 0 {
+		c.WPrecharge = 3 * c.Cell.Tech.Lmin
+	}
+	if c.CBitline == 0 {
+		c.CBitline = 20e-15
+	}
+	if c.Timing == (ReadTiming{}) {
+		c.Timing = DefaultReadTiming()
+	}
+	return c
+}
+
+// ReadResult classifies one read cycle.
+type ReadResult struct {
+	// StoredBit is what the cell held going in.
+	StoredBit int
+	// DeltaV is V(BL) − V(BLB) at the sense instant.
+	DeltaV float64
+	// Value is the sensed bit (1 when BL stays higher than BLB).
+	Value int
+	// Correct reports Value == StoredBit.
+	Correct bool
+	// Disturbed reports a destructive read: the stored value flipped
+	// by cycle end.
+	Disturbed bool
+	// QEnd is the storage node at cycle end.
+	QEnd float64
+	// Trans carries the full solution for plotting.
+	Trans *circuit.TransientResult
+}
+
+// readCell is the elaborated read test bench.
+type readCell struct {
+	cfg ReadCellConfig
+	ckt *circuit.Circuit
+}
+
+// buildRead elaborates a 6T cell with PMOS-precharged floating
+// bitlines. The cell transistor and RTN-source naming matches Build, so
+// SetRTNTrace-style injection works identically.
+func buildRead(cfg ReadCellConfig) (*readCell, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	tm := cfg.Timing
+	vdd := cfg.Cell.Vdd
+
+	// Control waveforms: PRE is active-low (0 = precharging).
+	pre, err := waveform.New(
+		[]float64{0, tm.PrechargeEnd, tm.PrechargeEnd + tm.Rise},
+		[]float64{0, 0, vdd})
+	if err != nil {
+		return nil, err
+	}
+	wl, err := waveform.New(
+		[]float64{0, tm.WLStart, tm.WLStart + tm.Rise, tm.WLStop, tm.WLStop + tm.Rise},
+		[]float64{0, 0, vdd, vdd, 0})
+	if err != nil {
+		return nil, err
+	}
+
+	ckt := circuit.New()
+	params, err := DeviceParams(cfg.Cell)
+	if err != nil {
+		return nil, err
+	}
+	steps := []func() error{
+		func() error { return ckt.AddDCVSource("VDD", NodeVdd, circuit.Ground, vdd) },
+		func() error { return ckt.AddVSource("VPRE", "pre", circuit.Ground, pre) },
+		func() error { return ckt.AddVSource("VWL", NodeWL, circuit.Ground, wl) },
+		func() error { return ckt.AddCapacitor("CBL", nodeBLInt, circuit.Ground, cfg.CBitline) },
+		func() error { return ckt.AddCapacitor("CBLB", nodeBLBInt, circuit.Ground, cfg.CBitline) },
+		func() error { return ckt.AddCapacitor("CQ", NodeQ, circuit.Ground, cfg.Cell.CNode) },
+		func() error { return ckt.AddCapacitor("CQB", NodeQB, circuit.Ground, cfg.Cell.CNode) },
+	}
+	for _, s := range steps {
+		if err := s(); err != nil {
+			return nil, err
+		}
+	}
+	// Precharge PMOS pair.
+	prePMOS := device.NewMOS(cfg.Cell.Tech, device.PMOS, cfg.WPrecharge, cfg.Cell.L)
+	if err := ckt.AddMOSFET("MPC1", nodeBLInt, "pre", NodeVdd, prePMOS); err != nil {
+		return nil, err
+	}
+	if err := ckt.AddMOSFET("MPC2", nodeBLBInt, "pre", NodeVdd, prePMOS); err != nil {
+		return nil, err
+	}
+	// The 6T cell proper, with companion RTN sources.
+	type mos struct{ name, d, g, s string }
+	for _, m := range []mos{
+		{"M1", NodeQ, NodeWL, nodeBLInt},
+		{"M2", NodeQB, NodeWL, nodeBLBInt},
+		{"M3", NodeQ, NodeQB, NodeVdd},
+		{"M4", NodeQB, NodeQ, NodeVdd},
+		{"M5", NodeQB, NodeQ, circuit.Ground},
+		{"M6", NodeQ, NodeQB, circuit.Ground},
+	} {
+		if err := ckt.AddMOSFET(m.name, m.d, m.g, m.s, params[m.name]); err != nil {
+			return nil, err
+		}
+		if err := ckt.AddISource(rtnSourceName(m.name), m.s, m.d, waveform.Constant(0)); err != nil {
+			return nil, err
+		}
+	}
+	return &readCell{cfg: cfg, ckt: ckt}, nil
+}
+
+// EvaluateRead runs one read cycle on a cell storing bit, with optional
+// RTN current traces per transistor (nil map or missing keys = no RTN).
+// dt 0 → Total/800.
+func EvaluateRead(cfg ReadCellConfig, bit int, rtnTraces map[string]*waveform.PWL, dt float64) (*ReadResult, error) {
+	cfg = cfg.Defaults()
+	rc, err := buildRead(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for name, w := range rtnTraces {
+		if _, ok := Transistors2set[name]; !ok {
+			return nil, fmt.Errorf("sram: RTN trace for unknown transistor %q", name)
+		}
+		if err := rc.ckt.SetISourceWaveform(rtnSourceName(name), w); err != nil {
+			return nil, err
+		}
+	}
+	if dt == 0 {
+		dt = cfg.Timing.Total / 800
+	}
+	vdd := cfg.Cell.Vdd
+	vq, vqb := 0.0, vdd
+	if bit != 0 {
+		vq, vqb = vdd, 0.0
+	}
+	init := map[string]float64{
+		NodeVdd: vdd, NodeQ: vq, NodeQB: vqb,
+		nodeBLInt: vdd, nodeBLBInt: vdd,
+		"pre": 0, NodeWL: 0,
+	}
+	res, err := rc.ckt.Transient(circuit.TransientSpec{
+		T0: 0, T1: cfg.Timing.Total, Dt: dt,
+		UIC: true, InitialV: init,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sram: read transient: %w", err)
+	}
+	bl, err := res.Voltage(nodeBLInt)
+	if err != nil {
+		return nil, err
+	}
+	blb, err := res.Voltage(nodeBLBInt)
+	if err != nil {
+		return nil, err
+	}
+	q, err := res.Voltage(NodeQ)
+	if err != nil {
+		return nil, err
+	}
+	dv := bl.Eval(cfg.Timing.Sense) - blb.Eval(cfg.Timing.Sense)
+	value := 0
+	if dv > 0 {
+		value = 1
+	}
+	qEnd := q.Eval(cfg.Timing.Total)
+	out := &ReadResult{
+		StoredBit: bit,
+		DeltaV:    dv,
+		Value:     value,
+		Correct:   value == bit,
+		Disturbed: (bit != 0) != (qEnd > vdd/2),
+		QEnd:      qEnd,
+		Trans:     res,
+	}
+	return out, nil
+}
+
+// Transistors2set is the transistor-name set for quick membership tests.
+var Transistors2set = func() map[string]bool {
+	m := map[string]bool{}
+	for _, n := range Transistors {
+		m[n] = true
+	}
+	return m
+}()
+
+// ReadMarginalCellConfig returns a read-stressed sizing: the pass gates
+// are widened relative to the pull-downs (inverted beta ratio), which
+// shrinks the read static noise margin — the regime where RTN on a
+// pull-down tips a read into a destructive flip.
+func ReadMarginalCellConfig(tech device.Technology, vdd float64) ReadCellConfig {
+	cell := CellConfig{
+		Tech:      tech,
+		Vdd:       vdd,
+		WPassGate: 2.6 * tech.Lmin,
+		WPullDown: 1.35 * tech.Lmin,
+		WPullUp:   1.0 * tech.Lmin,
+	}
+	return ReadCellConfig{Cell: cell}.Defaults()
+}

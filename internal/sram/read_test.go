@@ -1,0 +1,154 @@
+package sram
+
+import (
+	"math"
+	"testing"
+
+	"samurai/internal/device"
+	"samurai/internal/waveform"
+)
+
+func TestReadTimingValidation(t *testing.T) {
+	if err := DefaultReadTiming().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultReadTiming()
+	bad.Sense = bad.WLStop + 1e-9
+	if bad.Validate() == nil {
+		t.Fatal("sense after WL stop accepted")
+	}
+	bad = DefaultReadTiming()
+	bad.PrechargeEnd = bad.WLStart + 1e-9
+	if bad.Validate() == nil {
+		t.Fatal("precharge overlapping WL accepted")
+	}
+}
+
+func TestCleanReadBothValues(t *testing.T) {
+	tech := device.Node("90nm")
+	cfg := ReadCellConfig{Cell: CellConfig{Tech: tech}}
+	for _, bit := range []int{0, 1} {
+		res, err := EvaluateRead(cfg, bit, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct {
+			t.Fatalf("bit %d read back as %d (ΔV=%g)", bit, res.Value, res.DeltaV)
+		}
+		if res.Disturbed {
+			t.Fatalf("bit %d: non-destructive read disturbed the cell (Qend=%g)", bit, res.QEnd)
+		}
+		// The differential must be a healthy fraction of Vdd.
+		if math.Abs(res.DeltaV) < 0.05*tech.Vdd {
+			t.Fatalf("bit %d: sense margin only %g V", bit, res.DeltaV)
+		}
+		// Signs: reading a 0 discharges BL (ΔV < 0); reading a 1
+		// discharges BLB (ΔV > 0).
+		if (bit == 1) != (res.DeltaV > 0) {
+			t.Fatalf("bit %d: ΔV has wrong sign: %g", bit, res.DeltaV)
+		}
+	}
+}
+
+func TestReadMarginalCellStillReadsCleanly(t *testing.T) {
+	tech := device.Node("32nm")
+	cfg := ReadMarginalCellConfig(tech, 0.6)
+	for _, bit := range []int{0, 1} {
+		res, err := EvaluateRead(cfg, bit, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct || res.Disturbed {
+			t.Fatalf("clean read on marginal cell failed: %+v", res)
+		}
+	}
+}
+
+func TestReadDisturbUnderPullDownRTN(t *testing.T) {
+	// A large opposing RTN current on the active pull-down during the
+	// wordline pulse must flip the read-marginal cell (destructive
+	// read), while the same current leaves the robust default cell
+	// intact.
+	tech := device.Node("32nm")
+	tm := DefaultReadTiming()
+
+	// Reading a 0: Q=0, QB=vdd; M6 (gate=QB, drain=Q) holds Q down
+	// against the pass-gate current from the precharged bitline.
+	// Oppose M6.
+	glitch := func(amp float64) map[string]*waveform.PWL {
+		w, err := waveform.New(
+			[]float64{0, tm.WLStart, tm.WLStart + 1e-12, tm.Total},
+			[]float64{0, 0, amp, amp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return map[string]*waveform.PWL{"M6": w}
+	}
+
+	marginal := ReadMarginalCellConfig(tech, 0.6)
+	flipped := false
+	var ampUsed float64
+	for amp := 2e-6; amp <= 200e-6; amp *= 1.6 {
+		res, err := EvaluateRead(marginal, 0, glitch(amp), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Disturbed {
+			flipped = true
+			ampUsed = amp
+			break
+		}
+	}
+	if !flipped {
+		t.Fatal("no pull-down RTN amplitude up to 200µA disturbed the marginal read")
+	}
+
+	robust := ReadCellConfig{Cell: CellConfig{Tech: tech, Vdd: 0.6}}
+	res, err := EvaluateRead(robust, 0, glitch(ampUsed), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disturbed {
+		t.Fatalf("default-sized cell disturbed at the marginal cell's threshold (%g A)", ampUsed)
+	}
+}
+
+func TestReadRejectsUnknownTransistor(t *testing.T) {
+	tech := device.Node("90nm")
+	cfg := ReadCellConfig{Cell: CellConfig{Tech: tech}}
+	_, err := EvaluateRead(cfg, 0, map[string]*waveform.PWL{"M9": waveform.Constant(0)}, 0)
+	if err == nil {
+		t.Fatal("unknown transistor accepted")
+	}
+}
+
+func TestReadSenseMarginShrinksWithRTN(t *testing.T) {
+	// Opposing RTN on the pull-down slows the bitline discharge → the
+	// differential at the sense instant shrinks (read slowdown).
+	tech := device.Node("32nm")
+	cfg := ReadMarginalCellConfig(tech, 0.6)
+	tm := cfg.Timing
+
+	clean, err := EvaluateRead(cfg, 0, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := waveform.New(
+		[]float64{0, tm.WLStart, tm.WLStart + 1e-12, tm.Total},
+		[]float64{0, 0, 3e-6, 3e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reading a 0 discharges BL through M1→Q→M6; oppose M6 gently.
+	noisy, err := EvaluateRead(cfg, 0, map[string]*waveform.PWL{"M6": w}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Disturbed {
+		t.Fatal("gentle RTN should not flip the cell")
+	}
+	if math.Abs(noisy.DeltaV) >= math.Abs(clean.DeltaV) {
+		t.Fatalf("RTN did not shrink the sense margin: clean %g, noisy %g",
+			clean.DeltaV, noisy.DeltaV)
+	}
+}

@@ -1,0 +1,238 @@
+package sram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"samurai/internal/circuit"
+	"samurai/internal/num"
+	"samurai/internal/waveform"
+)
+
+// SNMMode selects the cell condition for a static-noise-margin
+// analysis.
+type SNMMode int
+
+const (
+	// HoldSNM: wordline low, bitlines disconnected — the retention
+	// margin.
+	HoldSNM SNMMode = iota
+	// ReadSNM: wordline high, bitlines clamped at V_dd — the (smaller)
+	// margin during a read access, the one RTN on a pull-down erodes.
+	ReadSNM
+)
+
+// String names the analysis mode.
+func (m SNMMode) String() string {
+	if m == ReadSNM {
+		return "read"
+	}
+	return "hold"
+}
+
+// StaticNoiseMargin computes the cell's SNM by the classical butterfly
+// method (Seevinck): the loop is broken, both half-cell voltage
+// transfer curves are traced by DC sweeps, and the margin is the side
+// of the largest square nested in a butterfly lobe.
+//
+// vtShift allows per-transistor threshold perturbations (e.g. the ΔVt
+// equivalent of trapped charge) on top of cfg.VtShift, so experiments
+// can ask directly "how much SNM does one trapped electron cost?".
+func StaticNoiseMargin(cfg CellConfig, mode SNMMode, vtShift map[string]float64) (float64, error) {
+	cfg = cfg.Defaults()
+	merged := map[string]float64{}
+	for k, v := range cfg.VtShift {
+		merged[k] += v
+	}
+	for k, v := range vtShift {
+		merged[k] += v
+	}
+	cfg.VtShift = merged
+
+	const points = 201
+	xs := num.Linspace(0, cfg.Vdd, points)
+	// VTC 1: input drives the gate of {M3 (PU), M6 (PD)}, output Q;
+	// pass device M1 to a V_dd bitline participates in read mode.
+	f1, err := halfCellVTC(cfg, mode, xs, "M3", "M6", "M1")
+	if err != nil {
+		return 0, err
+	}
+	// VTC 2: input drives {M4 (PU), M5 (PD)}, output Q̄; pass M2.
+	f2, err := halfCellVTC(cfg, mode, xs, "M4", "M5", "M2")
+	if err != nil {
+		return 0, err
+	}
+	snm := butterflySNM(xs, f1, f2)
+	if snm <= 0 {
+		return 0, errors.New("sram: butterfly lobes collapsed (cell not bistable)")
+	}
+	return snm, nil
+}
+
+// halfCellVTC sweeps the input of one half-cell and records the output.
+func halfCellVTC(cfg CellConfig, mode SNMMode, xs []float64, puName, pdName, passName string) ([]float64, error) {
+	params, err := DeviceParams(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	ckt := circuit.New()
+	steps := []func() error{
+		func() error { return ckt.AddDCVSource("VDD", NodeVdd, circuit.Ground, cfg.Vdd) },
+		func() error { return ckt.AddVSource("VIN", "in", circuit.Ground, waveform.Constant(0)) },
+		func() error { return ckt.AddMOSFET("MPU", "out", "in", NodeVdd, params[puName]) },
+		func() error { return ckt.AddMOSFET("MPD", "out", "in", circuit.Ground, params[pdName]) },
+	}
+	for _, s := range steps {
+		if err := s(); err != nil {
+			return nil, err
+		}
+	}
+	if mode == ReadSNM {
+		// Access device with its gate at V_dd and the bitline clamped
+		// high: a ratioed fight that lifts the low output level.
+		if err := ckt.AddDCVSource("VBL", "bl", circuit.Ground, cfg.Vdd); err != nil {
+			return nil, err
+		}
+		if err := ckt.AddMOSFET("MPG", "out", NodeVdd, "bl", params[passName]); err != nil {
+			return nil, err
+		}
+	}
+	guess := map[string]float64{NodeVdd: cfg.Vdd, "out": cfg.Vdd}
+	for i, x := range xs {
+		if err := ckt.SetVSourceWaveform("VIN", waveform.Constant(x)); err != nil {
+			return nil, err
+		}
+		op, err := ckt.OperatingPoint(guess, circuit.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("sram: VTC point %d (vin=%g): %w", i, x, err)
+		}
+		out[i] = op["out"]
+		guess = op // continuation: warm-start the next point
+	}
+	return out, nil
+}
+
+// butterflySNM computes the largest square inscribed in each butterfly
+// lobe between y = f1(x) and the mirrored curve x = f2(y), and returns
+// the smaller of the two (Seevinck's definition). Both VTCs must be
+// non-increasing, which holds for any inverting half-cell.
+//
+// Upper-left lobe: the region {y ≤ f1(x), x ≥ f2(y)}. The maximal
+// square anchored at bottom-left (x_l, y_b) = (f2(y_b), y_b) grows
+// until its top edge meets f1: s = f1(x_l + s) − y_b.
+//
+// Lower-right lobe: the mirror image: anchor (x_l, y_b) = (x_l, f1(x_l))
+// grows until its right edge meets f2: s = f2(y_b + s) − x_l.
+func butterflySNM(xs, f1, f2 []float64) float64 {
+	evalOn := func(grid, vals []float64, x float64) float64 {
+		// Clamped linear interpolation on the sweep grid.
+		n := len(grid)
+		if x <= grid[0] {
+			return vals[0]
+		}
+		if x >= grid[n-1] {
+			return vals[n-1]
+		}
+		lo, hi := 0, n-1
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if grid[mid] <= x {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		frac := (x - grid[lo]) / (grid[hi] - grid[lo])
+		return vals[lo] + frac*(vals[hi]-vals[lo])
+	}
+	fA := func(x float64) float64 { return evalOn(xs, f1, x) }
+	fB := func(y float64) float64 { return evalOn(xs, f2, y) }
+	vdd := xs[len(xs)-1]
+
+	// maxSquare computes the largest square for one lobe given the
+	// anchor rule and growth condition as closures.
+	bisect := func(g func(s float64) float64, sMax float64) float64 {
+		// g is decreasing with g(0) ≥ 0; find its root in [0, sMax].
+		if g(0) <= 0 {
+			return 0
+		}
+		lo, hi := 0.0, sMax
+		if g(hi) > 0 {
+			return hi
+		}
+		for i := 0; i < 60 && hi-lo > 1e-12; i++ {
+			mid := (lo + hi) / 2
+			if g(mid) > 0 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return (lo + hi) / 2
+	}
+
+	upperLeft := 0.0
+	lowerRight := 0.0
+	const anchors = 300
+	for i := 0; i <= anchors; i++ {
+		t := vdd * float64(i) / anchors
+		// Upper-left lobe: anchor y_b = t on curve B.
+		xl := fB(t)
+		if s := bisect(func(s float64) float64 { return fA(xl+s) - t - s }, vdd); s > upperLeft {
+			upperLeft = s
+		}
+		// Lower-right lobe: anchor x_l = t on curve A.
+		yb := fA(t)
+		if s := bisect(func(s float64) float64 { return fB(yb+s) - t - s }, vdd); s > lowerRight {
+			lowerRight = s
+		}
+	}
+	return math.Min(upperLeft, lowerRight)
+}
+
+// DataRetentionVoltage returns the minimum supply at which the cell
+// still holds data (hold SNM > margin), found by bisection. Trapped
+// charge (vtShift) raises it — RTN eats directly into the standby-
+// voltage headroom, the V_dd-margin picture of Fig 2 applied to
+// retention.
+func DataRetentionVoltage(cfg CellConfig, vtShift map[string]float64, margin float64) (float64, error) {
+	cfg = cfg.Defaults()
+	holds := func(vdd float64) bool {
+		c := cfg
+		c.Vdd = vdd
+		snm, err := StaticNoiseMargin(c, HoldSNM, vtShift)
+		return err == nil && snm > margin
+	}
+	hi := cfg.Vdd
+	if !holds(hi) {
+		return 0, errors.New("sram: cell does not hold data even at nominal Vdd")
+	}
+	lo := 0.05
+	if holds(lo) {
+		return lo, nil
+	}
+	for i := 0; i < 40 && hi-lo > 1e-4; i++ {
+		mid := (lo + hi) / 2
+		if holds(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// ButterflyCurvesForTest exposes the two half-cell VTCs for tests and
+// diagnostic tools.
+func ButterflyCurvesForTest(cfg CellConfig, mode SNMMode) (xs, f1, f2 []float64, err error) {
+	cfg = cfg.Defaults()
+	xs = num.Linspace(0, cfg.Vdd, 201)
+	f1, err = halfCellVTC(cfg, mode, xs, "M3", "M6", "M1")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	f2, err = halfCellVTC(cfg, mode, xs, "M4", "M5", "M2")
+	return xs, f1, f2, err
+}

@@ -1,0 +1,142 @@
+package sram
+
+import (
+	"testing"
+
+	"samurai/internal/device"
+	"samurai/internal/rtn"
+)
+
+func TestSNMBasicProperties(t *testing.T) {
+	tech := device.Node("90nm")
+	cfg := CellConfig{Tech: tech}
+	hold, err := StaticNoiseMargin(cfg, HoldSNM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read, err := StaticNoiseMargin(cfg, ReadSNM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: both positive and in a plausible fraction of Vdd.
+	if hold < 0.1*tech.Vdd || hold > 0.6*tech.Vdd {
+		t.Fatalf("hold SNM = %g V implausible for Vdd=%g", hold, tech.Vdd)
+	}
+	// Read access always erodes the margin.
+	if read >= hold {
+		t.Fatalf("read SNM (%g) not smaller than hold SNM (%g)", read, hold)
+	}
+	if read <= 0 {
+		t.Fatalf("read SNM = %g", read)
+	}
+}
+
+func TestSNMShrinksWithVdd(t *testing.T) {
+	tech := device.Node("90nm")
+	hi, err := StaticNoiseMargin(CellConfig{Tech: tech, Vdd: tech.Vdd}, HoldSNM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := StaticNoiseMargin(CellConfig{Tech: tech, Vdd: 0.6 * tech.Vdd}, HoldSNM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("SNM did not shrink with Vdd: %g at nominal, %g at 0.6x", hi, lo)
+	}
+}
+
+func TestSNMErodedByPullDownVtShift(t *testing.T) {
+	// Trapped charge on a pull-down raises its Vt, weakening it and
+	// eroding the read margin — the static picture of RTN's effect.
+	tech := device.Node("32nm")
+	cfg := CellConfig{Tech: tech, Vdd: 0.7 * tech.Vdd}
+	base, err := StaticNoiseMargin(cfg, ReadSNM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.NewMOS(tech, device.NMOS, 2*tech.Lmin, tech.Lmin)
+	// 10 trapped electrons worth of threshold shift.
+	shift := 10 * rtn.DeltaVt(dev)
+	eroded, err := StaticNoiseMargin(cfg, ReadSNM, map[string]float64{"M5": shift})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eroded >= base {
+		t.Fatalf("pull-down Vt shift did not erode read SNM: %g → %g", base, eroded)
+	}
+}
+
+func TestSNMSymmetricForSymmetricShifts(t *testing.T) {
+	// Shifting M5 or M6 by the same amount must erode the margin
+	// identically (the cell is symmetric).
+	tech := device.Node("90nm")
+	cfg := CellConfig{Tech: tech}
+	a, err := StaticNoiseMargin(cfg, HoldSNM, map[string]float64{"M5": 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StaticNoiseMargin(cfg, HoldSNM, map[string]float64{"M6": 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := a - b; diff > 0.002 || diff < -0.002 {
+		t.Fatalf("asymmetric SNM for symmetric shifts: %g vs %g", a, b)
+	}
+}
+
+func TestReadBumpGrowsWithPassToPullDownRatio(t *testing.T) {
+	// The read disturbance voltage — the ratioed low level of the
+	// half-cell VTC during an access — must grow when the pass gate is
+	// widened relative to the pull-down. (Note the full SNM does not
+	// necessarily shrink in this model: a weaker pull-down also moves
+	// the trip point up, widening the opposite lobe; the dynamic
+	// disturb threshold in TestReadDisturbUnderPullDownRTN is the
+	// discriminating quantity.)
+	tech := device.Node("32nm")
+	normal := CellConfig{Tech: tech, Vdd: 0.6}
+	stressed := ReadMarginalCellConfig(tech, 0.6).Cell
+
+	bump := func(cfg CellConfig) float64 {
+		xs, f1, _, err := ButterflyCurvesForTest(cfg, ReadSNM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f1[len(xs)-1] // output with input at Vdd
+	}
+	bn, bs := bump(normal), bump(stressed)
+	if bs <= bn {
+		t.Fatalf("stressed read bump %g not larger than normal %g", bs, bn)
+	}
+	// And in hold mode the bump vanishes for both.
+	xs, f1, _, err := ButterflyCurvesForTest(normal, HoldSNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1[len(xs)-1] > 0.02*normal.Defaults().Vdd {
+		t.Fatalf("hold-mode low level should be ≈0, got %g", f1[len(xs)-1])
+	}
+}
+
+func TestDataRetentionVoltage(t *testing.T) {
+	tech := device.Node("90nm")
+	cfg := CellConfig{Tech: tech}
+	drv, err := DataRetentionVoltage(cfg, nil, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drv <= 0.05 || drv >= tech.Vdd {
+		t.Fatalf("DRV = %g V implausible", drv)
+	}
+	// The cell must indeed hold just above DRV and fail just below.
+	above := cfg
+	above.Vdd = drv + 0.02
+	if _, err := StaticNoiseMargin(above, HoldSNM, nil); err != nil {
+		t.Fatalf("cell should hold above DRV: %v", err)
+	}
+	below := cfg
+	below.Vdd = drv - 0.04
+	if snm, err := StaticNoiseMargin(below, HoldSNM, nil); err == nil && snm > 0.01 {
+		t.Fatalf("cell should not hold below DRV (snm=%g)", snm)
+	}
+}

@@ -1,0 +1,175 @@
+// Package trap models oxide traps — the physical origin of RTN — as
+// described in §II of the SAMURAI paper.
+//
+// A trap is characterised by its depth y_tr into the oxide (measured
+// from the oxide–semiconductor interface) and its energy level E_tr
+// (expressed relative to the channel Fermi level at a reference bias).
+// Its stochastic capture/emission behaviour under instantaneous gate
+// bias V_gs(t) follows the paper's Eq (1) and Eq (2):
+//
+//	λ_c(t) + λ_e(t) = 1 / (τ₀ · e^(γ·y_tr))          (1)
+//	β(t) = λ_e(t)/λ_c(t) = g · e^((E_T − E_F)|_t/kT)  (2)
+//
+// The sum of propensities is bias-independent (it depends only on the
+// tunnelling distance y_tr), while the ratio β tracks the gate bias
+// through the band bending across the oxide: a trap at depth y_tr sees
+// a fraction y_tr/t_ox of the oxide voltage swing.
+package trap
+
+import (
+	"fmt"
+	"math"
+
+	"samurai/internal/units"
+)
+
+// Trap is a single oxide trap.
+type Trap struct {
+	// Y is the depth into the oxide from the Si interface, in metres.
+	Y float64
+	// E is the trap energy level in eV relative to the channel Fermi
+	// level at the reference bias VRef of the owning device context.
+	E float64
+	// InitFilled is the trap's initial state at simulation start.
+	InitFilled bool
+}
+
+// Context carries the device- and environment-level parameters that,
+// together with a Trap, determine the propensity functions.
+type Context struct {
+	// Tox is the oxide thickness in metres.
+	Tox float64
+	// Tau0 is the capture time constant for traps at the interface, s.
+	Tau0 float64
+	// Gamma is the tunnelling attenuation coefficient, 1/m.
+	Gamma float64
+	// G is the trap degeneracy factor g in Eq (2).
+	G float64
+	// TempK is the lattice temperature in kelvin.
+	TempK float64
+	// VRef is the gate bias at which E is referenced: at V_gs = VRef
+	// the trap level sits exactly E (eV) away from the Fermi level.
+	VRef float64
+	// Coupling is the electrostatic coupling efficiency of the oxide
+	// field to the trap level (dimensionless, ~1).
+	Coupling float64
+	// SurfaceFrac is the depth-independent fraction of the gate-bias
+	// coupling: the part of (E_T − E_F) that tracks the surface
+	// potential and channel Fermi level, which every trap sees
+	// regardless of its depth. The remaining (1 − SurfaceFrac) scales
+	// with y/t_ox (the oxide band bending). The effective level shift
+	// is −Coupling·(SurfaceFrac + (1−SurfaceFrac)·y/t_ox)·(V_gs − VRef)
+	// eV per volt.
+	SurfaceFrac float64
+	// ActivationEV is the thermal activation energy of the
+	// capture/emission kinetics (Kirton & Uren observe RTN time
+	// constants to be Arrhenius-activated with Ea ≈ 0.2–0.6 eV). The
+	// rate sum becomes 1/(τ₀·e^(γ·y)) · e^(−Ea/kT) · e^(+Ea/kT₀) with
+	// T₀ = 300 K, so the default (0) leaves room-temperature behaviour
+	// unchanged while non-zero values speed all traps up with
+	// temperature. Because the factor is bias-independent, Eq (1)'s
+	// invariant — and therefore the exactness of uniformisation — is
+	// preserved.
+	ActivationEV float64
+}
+
+// DefaultContext returns a context with literature-typical values
+// (Kirton & Uren; Dunga): τ₀ = 10⁻¹⁰ s, γ = 10¹⁰ m⁻¹ (1 Å⁻¹·10),
+// g = 1, room temperature.
+func DefaultContext(tox, vref float64) Context {
+	return Context{
+		Tox:         tox,
+		Tau0:        1e-10,
+		Gamma:       1e10,
+		G:           1,
+		TempK:       units.RoomTemperature,
+		VRef:        vref,
+		Coupling:    1,
+		SurfaceFrac: 0.5,
+	}
+}
+
+// Validate reports whether the context parameters are physical.
+func (c Context) Validate() error {
+	switch {
+	case c.Tox <= 0:
+		return fmt.Errorf("trap: non-positive oxide thickness %g", c.Tox)
+	case c.Tau0 <= 0:
+		return fmt.Errorf("trap: non-positive tau0 %g", c.Tau0)
+	case c.Gamma < 0:
+		return fmt.Errorf("trap: negative gamma %g", c.Gamma)
+	case c.G <= 0:
+		return fmt.Errorf("trap: non-positive degeneracy %g", c.G)
+	case c.TempK <= 0:
+		return fmt.Errorf("trap: non-positive temperature %g", c.TempK)
+	}
+	return nil
+}
+
+// RateSum returns λ_c + λ_e for the trap: Eq (1), with the optional
+// Arrhenius temperature activation. It is independent of bias and time.
+func (c Context) RateSum(tr Trap) float64 {
+	base := 1 / (c.Tau0 * math.Exp(c.Gamma*tr.Y))
+	if c.ActivationEV == 0 {
+		return base
+	}
+	kt := units.ThermalEnergyEV(c.TempK)
+	kt0 := units.ThermalEnergyEV(units.RoomTemperature)
+	return base * math.Exp(-c.ActivationEV/kt+c.ActivationEV/kt0)
+}
+
+// LevelSplitEV returns (E_T − E_F) in eV at gate bias vgs: the trap's
+// reference level shifted by the surface-potential/Fermi movement plus
+// the depth-weighted oxide band bending.
+func (c Context) LevelSplitEV(tr Trap, vgs float64) float64 {
+	return tr.E - c.Coupling*c.EffectiveCoupling(tr)*(vgs-c.VRef)
+}
+
+// EffectiveCoupling returns the dimensionless bias-coupling factor of a
+// trap: SurfaceFrac + (1−SurfaceFrac)·y/t_ox.
+func (c Context) EffectiveCoupling(tr Trap) float64 {
+	return c.SurfaceFrac + (1-c.SurfaceFrac)*tr.Y/c.Tox
+}
+
+// Beta returns β = λ_e/λ_c at gate bias vgs: Eq (2). The exponent is
+// clamped to ±500 kT to avoid overflow; at that point the trap is
+// pinned in one state anyway.
+func (c Context) Beta(tr Trap, vgs float64) float64 {
+	kt := units.ThermalEnergyEV(c.TempK)
+	x := c.LevelSplitEV(tr, vgs) / kt
+	x = units.Clamp(x, -500, 500)
+	return c.G * math.Exp(x)
+}
+
+// Rates returns (λ_c, λ_e) at gate bias vgs, splitting the invariant
+// sum of Eq (1) by the ratio of Eq (2).
+func (c Context) Rates(tr Trap, vgs float64) (lc, le float64) {
+	sum := c.RateSum(tr)
+	beta := c.Beta(tr, vgs)
+	lc = sum / (1 + beta)
+	le = sum - lc
+	return
+}
+
+// OccupancyProb returns the stationary probability that the trap is
+// filled at constant gate bias vgs: λ_c/(λ_c+λ_e) = 1/(1+β).
+func (c Context) OccupancyProb(tr Trap, vgs float64) float64 {
+	return 1 / (1 + c.Beta(tr, vgs))
+}
+
+// Activity returns a dimensionless measure of how "active" the trap is
+// at bias vgs: 4·p·(1−p) where p is the stationary fill probability.
+// It is 1 when β = 1 (maximum switching) and → 0 when the trap is
+// pinned filled or empty. The paper's observation that only 5–10 traps
+// are active at a given bias corresponds to thresholding this value.
+func (c Context) Activity(tr Trap, vgs float64) float64 {
+	p := c.OccupancyProb(tr, vgs)
+	return 4 * p * (1 - p)
+}
+
+// TimeConstants returns the mean capture and emission times
+// (τ_c = 1/λ_c, τ_e = 1/λ_e) at the given bias.
+func (c Context) TimeConstants(tr Trap, vgs float64) (tauC, tauE float64) {
+	lc, le := c.Rates(tr, vgs)
+	return 1 / lc, 1 / le
+}

@@ -1,0 +1,284 @@
+package trap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"samurai/internal/rng"
+	"samurai/internal/units"
+)
+
+func testCtx() Context { return DefaultContext(1.9e-9, 1.2) }
+
+func TestContextValidate(t *testing.T) {
+	good := testCtx()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Tox = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero Tox accepted")
+	}
+	bad = good
+	bad.Tau0 = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative tau0 accepted")
+	}
+	bad = good
+	bad.G = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero degeneracy accepted")
+	}
+	bad = good
+	bad.TempK = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero temperature accepted")
+	}
+}
+
+// Property: Eq (1) — λc + λe is independent of bias.
+func TestRateSumBiasInvariantProperty(t *testing.T) {
+	ctx := testCtx()
+	f := func(yFracRaw, eRaw, v1Raw, v2Raw float64) bool {
+		yFrac := math.Mod(math.Abs(yFracRaw), 1)
+		e := math.Mod(eRaw, 0.3)
+		v1 := math.Mod(v1Raw, 2)
+		v2 := math.Mod(v2Raw, 2)
+		if math.IsNaN(yFrac + e + v1 + v2) {
+			return true
+		}
+		tr := Trap{Y: yFrac * ctx.Tox, E: e}
+		lc1, le1 := ctx.Rates(tr, v1)
+		lc2, le2 := ctx.Rates(tr, v2)
+		sum := ctx.RateSum(tr)
+		return math.Abs(lc1+le1-sum) < 1e-9*sum &&
+			math.Abs(lc2+le2-sum) < 1e-9*sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateSumDepthDependence(t *testing.T) {
+	ctx := testCtx()
+	shallow := Trap{Y: 0}
+	deep := Trap{Y: ctx.Tox}
+	ratio := ctx.RateSum(shallow) / ctx.RateSum(deep)
+	want := math.Exp(ctx.Gamma * ctx.Tox)
+	if math.Abs(ratio-want) > 1e-6*want {
+		t.Fatalf("depth attenuation ratio = %g, want %g", ratio, want)
+	}
+	if ctx.RateSum(shallow) != 1/ctx.Tau0 {
+		t.Fatalf("interface trap rate = %g, want 1/tau0", ctx.RateSum(shallow))
+	}
+}
+
+func TestBetaEquation2(t *testing.T) {
+	ctx := testCtx()
+	tr := Trap{Y: 0.5 * ctx.Tox, E: 0.05}
+	kt := units.ThermalEnergyEV(ctx.TempK)
+	// At reference bias the split equals E.
+	want := ctx.G * math.Exp(tr.E/kt)
+	if got := ctx.Beta(tr, ctx.VRef); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("beta at VRef = %g, want %g", got, want)
+	}
+}
+
+func TestBetaMonotoneInBias(t *testing.T) {
+	ctx := testCtx()
+	tr := Trap{Y: 0.5 * ctx.Tox, E: 0}
+	// Raising the gate pulls the trap below the Fermi level: β falls
+	// (trap more likely filled).
+	prev := math.Inf(1)
+	for v := 0.0; v <= 2.4; v += 0.2 {
+		b := ctx.Beta(tr, v)
+		if b >= prev {
+			t.Fatalf("beta not strictly decreasing at v=%g", v)
+		}
+		prev = b
+	}
+}
+
+func TestBetaClampNoOverflow(t *testing.T) {
+	ctx := testCtx()
+	tr := Trap{Y: ctx.Tox, E: 10}
+	b := ctx.Beta(tr, -1000)
+	if math.IsInf(b, 0) || math.IsNaN(b) {
+		t.Fatalf("beta overflowed: %g", b)
+	}
+}
+
+func TestOccupancyProbLimits(t *testing.T) {
+	ctx := testCtx()
+	deepBelow := Trap{Y: 0.5 * ctx.Tox, E: -0.5} // far below E_F → filled
+	farAbove := Trap{Y: 0.5 * ctx.Tox, E: 0.5}   // far above → empty
+	if p := ctx.OccupancyProb(deepBelow, ctx.VRef); p < 0.999 {
+		t.Fatalf("deep trap occupancy = %g, want ≈1", p)
+	}
+	if p := ctx.OccupancyProb(farAbove, ctx.VRef); p > 0.001 {
+		t.Fatalf("shallow trap occupancy = %g, want ≈0", p)
+	}
+}
+
+func TestActivityPeaksAtBetaOne(t *testing.T) {
+	ctx := testCtx()
+	tr := Trap{Y: 0.5 * ctx.Tox, E: 0}
+	// β=1 at VRef for E=0 → activity there must be maximal (=1).
+	if a := ctx.Activity(tr, ctx.VRef); math.Abs(a-1) > 1e-9 {
+		t.Fatalf("activity at beta=1 is %g, want 1", a)
+	}
+	if a := ctx.Activity(tr, ctx.VRef+1); a > 0.1 {
+		t.Fatalf("activity off-peak = %g, want small", a)
+	}
+}
+
+func TestTimeConstantsConsistent(t *testing.T) {
+	ctx := testCtx()
+	tr := Trap{Y: 0.4 * ctx.Tox, E: 0.03}
+	tauC, tauE := ctx.TimeConstants(tr, 1.0)
+	lc, le := ctx.Rates(tr, 1.0)
+	if math.Abs(tauC*lc-1) > 1e-12 || math.Abs(tauE*le-1) > 1e-12 {
+		t.Fatal("time constants not reciprocal of rates")
+	}
+}
+
+func TestEffectiveCouplingRange(t *testing.T) {
+	ctx := testCtx()
+	c0 := ctx.EffectiveCoupling(Trap{Y: 0})
+	c1 := ctx.EffectiveCoupling(Trap{Y: ctx.Tox})
+	if math.Abs(c0-ctx.SurfaceFrac) > 1e-12 {
+		t.Fatalf("interface coupling = %g, want %g", c0, ctx.SurfaceFrac)
+	}
+	if math.Abs(c1-1) > 1e-12 {
+		t.Fatalf("gate-side coupling = %g, want 1", c1)
+	}
+}
+
+func TestProfilerExpectedCount(t *testing.T) {
+	p := DefaultProfiler()
+	w, l, tox := 100e-9, 50e-9, 2e-9
+	want := p.Density * w * l * tox
+	if got := p.ExpectedCount(w, l, tox); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("expected count = %g, want %g", got, want)
+	}
+}
+
+func TestProfilerSampleStatistics(t *testing.T) {
+	ctx := testCtx()
+	p := DefaultProfiler()
+	r := rng.New(99)
+	total := 0
+	const devices = 400
+	w, l := 200e-9, 100e-9
+	for i := 0; i < devices; i++ {
+		profile := p.Sample(w, l, ctx, r.Split(uint64(i)))
+		total += len(profile.Traps)
+		for _, tr := range profile.Traps {
+			if tr.Y < 0 || tr.Y > ctx.Tox {
+				t.Fatalf("trap depth out of range: %g", tr.Y)
+			}
+			if tr.E < p.EMinEV || tr.E > p.EMaxEV {
+				t.Fatalf("trap energy out of range: %g", tr.E)
+			}
+		}
+	}
+	mean := float64(total) / devices
+	want := p.ExpectedCount(w, l, ctx.Tox)
+	if math.Abs(mean-want) > 0.1*want {
+		t.Fatalf("sampled mean count %g, want ≈%g", mean, want)
+	}
+}
+
+func TestProfilerSampleSorted(t *testing.T) {
+	ctx := testCtx()
+	profile := DefaultProfiler().SampleN(50, ctx, rng.New(5))
+	for i := 1; i < len(profile.Traps); i++ {
+		if profile.Traps[i].Y < profile.Traps[i-1].Y {
+			t.Fatal("traps not sorted by depth")
+		}
+	}
+}
+
+func TestProfilerDeterministic(t *testing.T) {
+	ctx := testCtx()
+	a := DefaultProfiler().SampleN(20, ctx, rng.New(123))
+	b := DefaultProfiler().SampleN(20, ctx, rng.New(123))
+	for i := range a.Traps {
+		if a.Traps[i] != b.Traps[i] {
+			t.Fatal("equal seeds gave different profiles")
+		}
+	}
+}
+
+func TestActiveTrapsFiltering(t *testing.T) {
+	ctx := testCtx()
+	profile := Profile{
+		Ctx: ctx,
+		Traps: []Trap{
+			{Y: 0.5 * ctx.Tox, E: 0},    // active at VRef
+			{Y: 0.5 * ctx.Tox, E: 0.24}, // pinned empty
+		},
+	}
+	active := profile.ActiveTraps(ctx.VRef, 0.01)
+	if len(active) != 1 || active[0].E != 0 {
+		t.Fatalf("active filter returned %v", active)
+	}
+}
+
+func TestInitFilledMatchesStationary(t *testing.T) {
+	// Sampled initial states must be distributed per the stationary
+	// occupancy at VRef.
+	ctx := testCtx()
+	p := DefaultProfiler()
+	p.EMinEV, p.EMaxEV = -0.001, 0.001 // pin β≈1 → p(filled)≈0.5
+	r := rng.New(77)
+	filled := 0
+	const n = 2000
+	profile := p.SampleN(n, ctx, r)
+	for _, tr := range profile.Traps {
+		if tr.InitFilled {
+			filled++
+		}
+	}
+	frac := float64(filled) / n
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("initial fill fraction = %g, want ≈0.5", frac)
+	}
+}
+
+func TestArrheniusActivation(t *testing.T) {
+	ctx := testCtx()
+	ctx.ActivationEV = 0.3
+	tr := Trap{Y: 0.5 * ctx.Tox}
+
+	// At the 300 K reference, activation must not change the rates.
+	ref := testCtx()
+	if got, want := ctx.RateSum(tr), ref.RateSum(tr); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("activation changed room-temperature rate: %g vs %g", got, want)
+	}
+	// Hotter → faster, colder → slower, by the Arrhenius factor.
+	hot := ctx
+	hot.TempK = 400
+	cold := ctx
+	cold.TempK = 250
+	if hot.RateSum(tr) <= ctx.RateSum(tr) {
+		t.Fatal("rates must accelerate with temperature")
+	}
+	if cold.RateSum(tr) >= ctx.RateSum(tr) {
+		t.Fatal("rates must slow when cold")
+	}
+	kt400 := units.ThermalEnergyEV(400)
+	kt300 := units.ThermalEnergyEV(300)
+	want := math.Exp(-0.3/kt400 + 0.3/kt300)
+	if r := hot.RateSum(tr) / ctx.RateSum(tr); math.Abs(r-want) > 1e-9*want {
+		t.Fatalf("Arrhenius ratio %g, want %g", r, want)
+	}
+	// Eq (1) invariance must survive activation: sum equal across bias.
+	lc1, le1 := hot.Rates(tr, 0.3)
+	lc2, le2 := hot.Rates(tr, 1.8)
+	if math.Abs((lc1+le1)-(lc2+le2)) > 1e-9*(lc1+le1) {
+		t.Fatal("activation broke the bias-invariant rate sum")
+	}
+}

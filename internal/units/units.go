@@ -1,0 +1,70 @@
+// Package units collects the physical constants and unit helpers used
+// throughout the SAMURAI reproduction. All quantities are SI unless a
+// name says otherwise (energies in electron-volts are suffixed EV).
+package units
+
+import "math"
+
+// Fundamental constants (CODATA values, SI).
+const (
+	BoltzmannJPerK  = 1.380649e-23    // k, J/K
+	ElectronCharge  = 1.602176634e-19 // q, C
+	ElectronVoltJ   = 1.602176634e-19 // 1 eV in J
+	RoomTemperature = 300.0           // K, default simulation temperature
+)
+
+// ThermalVoltage returns kT/q in volts at temperature t (kelvin).
+func ThermalVoltage(t float64) float64 {
+	return BoltzmannJPerK * t / ElectronCharge
+}
+
+// ThermalEnergyEV returns kT in electron-volts at temperature t (kelvin).
+func ThermalEnergyEV(t float64) float64 {
+	return BoltzmannJPerK * t / ElectronVoltJ
+}
+
+// Common engineering prefixes, handy for building readable parameter
+// literals (e.g. 45*units.Nano for 45 nm).
+const (
+	Femto = 1e-15
+	Pico  = 1e-12
+	Nano  = 1e-9
+	Micro = 1e-6
+	Milli = 1e-3
+	Kilo  = 1e3
+	Mega  = 1e6
+	Giga  = 1e9
+)
+
+// DB returns 10*log10(x), the decibel value of a power ratio. It returns
+// -Inf for x <= 0 so that callers can plot log-scale quantities without
+// special-casing empty bins.
+func DB(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(x)
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ApproxEqual reports whether a and b agree to within rel relative
+// tolerance (or abs absolute tolerance near zero). It is the single
+// floating-point comparison helper shared by tests and experiment code.
+func ApproxEqual(a, b, rel, abs float64) bool {
+	d := math.Abs(a - b)
+	if d <= abs {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= rel*m
+}

@@ -1,0 +1,52 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThermalVoltage(t *testing.T) {
+	// kT/q at 300 K ≈ 25.85 mV.
+	if v := ThermalVoltage(300); math.Abs(v-0.02585) > 1e-4 {
+		t.Fatalf("Vt(300K) = %g", v)
+	}
+	if ThermalVoltage(600) <= ThermalVoltage(300) {
+		t.Fatal("thermal voltage must grow with temperature")
+	}
+}
+
+func TestThermalEnergyEV(t *testing.T) {
+	if e := ThermalEnergyEV(300); math.Abs(e-0.02585) > 1e-4 {
+		t.Fatalf("kT(300K) = %g eV", e)
+	}
+}
+
+func TestDB(t *testing.T) {
+	if DB(10) != 10 {
+		t.Fatalf("DB(10) = %g", DB(10))
+	}
+	if DB(1) != 0 {
+		t.Fatalf("DB(1) = %g", DB(1))
+	}
+	if !math.IsInf(DB(0), -1) || !math.IsInf(DB(-3), -1) {
+		t.Fatal("non-positive input must give -Inf")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp broken")
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-12, 1e-9, 0) {
+		t.Fatal("relative tolerance broken")
+	}
+	if !ApproxEqual(0, 1e-12, 0, 1e-9) {
+		t.Fatal("absolute tolerance broken")
+	}
+	if ApproxEqual(1, 2, 1e-3, 1e-3) {
+		t.Fatal("clearly different values accepted")
+	}
+}

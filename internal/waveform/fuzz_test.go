@@ -1,0 +1,58 @@
+package waveform
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParsePWLSpec: arbitrary spec strings must parse or error, never
+// panic, and parsed waveforms must evaluate finitely at their own
+// breakpoints.
+func FuzzParsePWLSpec(f *testing.F) {
+	for _, s := range []string{
+		"", "0 0", "0 0 1n 1", "0 0 1 1 2 0",
+		"x y", "1meg 3k", "0 0 0 1", "-1 2 3 4",
+		"1e308 1e308 2e308 0",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		w, err := ParsePWLSpec(spec)
+		if err != nil {
+			return
+		}
+		for _, tt := range w.T {
+			if v := w.Eval(tt); math.IsNaN(v) {
+				t.Fatalf("NaN at own breakpoint for %q", spec)
+			}
+		}
+	})
+}
+
+// FuzzReadCSV: arbitrary CSV bodies must never panic the reader.
+func FuzzReadCSV(f *testing.F) {
+	for _, s := range []string{
+		"", "time,value\n0,1\n1,2\n", "0,1\n", "a,b\nc,d\n",
+		"0,1,2\n", "# comment\n0,1\n2,3\n", "1,1\n0,0\n",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		_, _ = ReadCSV(strings.NewReader(body))
+	})
+}
+
+// FuzzParseEng: engineering-notation parsing must round-trip sane
+// values and reject garbage without panicking.
+func FuzzParseEng(f *testing.F) {
+	for _, s := range []string{"1", "2.5k", "3meg", "1.5f", "-2u", "zz", "1e-12", "megmeg"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseEng(s)
+		if err == nil && math.IsNaN(v) {
+			t.Fatalf("ParseEng(%q) accepted NaN", s)
+		}
+	})
+}

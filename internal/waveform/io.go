@@ -1,0 +1,116 @@
+package waveform
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits the waveform breakpoints as "time,value" lines with a
+// header. The output round-trips exactly through ReadCSV.
+func (w *PWL) WriteCSV(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	if _, err := fmt.Fprintln(bw, "time_s,value"); err != nil {
+		return err
+	}
+	for i := range w.T {
+		if _, err := fmt.Fprintf(bw, "%s,%s\n",
+			strconv.FormatFloat(w.T[i], 'g', -1, 64),
+			strconv.FormatFloat(w.V[i], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a two-column CSV of time,value pairs (an optional
+// non-numeric header line is skipped) into a PWL.
+func ReadCSV(in io.Reader) (*PWL, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var ts, vs []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("waveform: line %d: want 2 columns, got %d", line, len(parts))
+		}
+		t, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		v, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			if line == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("waveform: line %d: bad numbers %q", line, text)
+		}
+		ts = append(ts, t)
+		vs = append(vs, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(ts, vs)
+}
+
+// ParsePWLSpec parses a SPICE-style inline PWL list "t1 v1 t2 v2 ..."
+// (whitespace separated, engineering suffixes allowed: f p n u m k meg g).
+func ParsePWLSpec(spec string) (*PWL, error) {
+	fields := strings.Fields(spec)
+	if len(fields)%2 != 0 || len(fields) == 0 {
+		return nil, fmt.Errorf("waveform: PWL spec needs time/value pairs, got %d fields", len(fields))
+	}
+	ts := make([]float64, 0, len(fields)/2)
+	vs := make([]float64, 0, len(fields)/2)
+	for i := 0; i < len(fields); i += 2 {
+		t, err := ParseEng(fields[i])
+		if err != nil {
+			return nil, err
+		}
+		v, err := ParseEng(fields[i+1])
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+		vs = append(vs, v)
+	}
+	return New(ts, vs)
+}
+
+// ParseEng parses a number with an optional SPICE engineering suffix
+// (f, p, n, u, m, k, meg, g, t — case-insensitive).
+func ParseEng(s string) (float64, error) {
+	lower := strings.ToLower(strings.TrimSpace(s))
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(lower, "meg"):
+		mult, lower = 1e6, strings.TrimSuffix(lower, "meg")
+	case strings.HasSuffix(lower, "f"):
+		mult, lower = 1e-15, strings.TrimSuffix(lower, "f")
+	case strings.HasSuffix(lower, "p"):
+		mult, lower = 1e-12, strings.TrimSuffix(lower, "p")
+	case strings.HasSuffix(lower, "n"):
+		mult, lower = 1e-9, strings.TrimSuffix(lower, "n")
+	case strings.HasSuffix(lower, "u"):
+		mult, lower = 1e-6, strings.TrimSuffix(lower, "u")
+	case strings.HasSuffix(lower, "m"):
+		mult, lower = 1e-3, strings.TrimSuffix(lower, "m")
+	case strings.HasSuffix(lower, "k"):
+		mult, lower = 1e3, strings.TrimSuffix(lower, "k")
+	case strings.HasSuffix(lower, "g"):
+		mult, lower = 1e9, strings.TrimSuffix(lower, "g")
+	case strings.HasSuffix(lower, "t"):
+		mult, lower = 1e12, strings.TrimSuffix(lower, "t")
+	}
+	v, err := strconv.ParseFloat(lower, 64)
+	if err != nil {
+		return 0, fmt.Errorf("waveform: bad engineering number %q", s)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,96 @@
+package waveform
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	w := MustNew([]float64{0, 1e-9, 2.5e-9}, []float64{0, 1.2, -0.3})
+	var buf bytes.Buffer
+	if err := w.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != w.Len() {
+		t.Fatalf("length changed: %d vs %d", got.Len(), w.Len())
+	}
+	for i := range w.T {
+		if got.T[i] != w.T[i] || got.V[i] != w.V[i] {
+			t.Fatal("CSV round trip not exact")
+		}
+	}
+}
+
+func TestReadCSVSkipsHeaderAndComments(t *testing.T) {
+	src := "time_s,value\n# a comment\n0,1\n1,2\n"
+	w, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 || w.Eval(0.5) != 1.5 {
+		t.Fatalf("parsed %v", w)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("0,1,2\n")); err == nil {
+		t.Fatal("3-column line accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("0,1\nx,y\n")); err == nil {
+		t.Fatal("non-numeric body accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestParsePWLSpec(t *testing.T) {
+	w, err := ParsePWLSpec("0 0 1n 1.2 5n 1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 || math.Abs(w.Eval(0.5e-9)-0.6) > 1e-12 {
+		t.Fatalf("parsed wrong: %v", w)
+	}
+	if _, err := ParsePWLSpec("0 0 1n"); err == nil {
+		t.Fatal("odd field count accepted")
+	}
+	if _, err := ParsePWLSpec(""); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestParseEng(t *testing.T) {
+	cases := map[string]float64{
+		"1":     1,
+		"2.5k":  2500,
+		"3meg":  3e6,
+		"1.5f":  1.5e-15,
+		"10p":   1e-11,
+		"45n":   45e-9,
+		"2u":    2e-6,
+		"7m":    7e-3,
+		"1g":    1e9,
+		"2t":    2e12,
+		"-0.3":  -0.3,
+		"1e-12": 1e-12,
+	}
+	for in, want := range cases {
+		got, err := ParseEng(in)
+		if err != nil {
+			t.Fatalf("ParseEng(%q): %v", in, err)
+		}
+		if math.Abs(got-want) > 1e-12*math.Abs(want) {
+			t.Fatalf("ParseEng(%q) = %g, want %g", in, got, want)
+		}
+	}
+	if _, err := ParseEng("abc"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,194 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("empty waveform accepted")
+	}
+	if _, err := New([]float64{0, 1}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := New([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("non-increasing times accepted")
+	}
+	if _, err := New([]float64{1, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("decreasing times accepted")
+	}
+}
+
+func TestEvalInterpolationAndClamping(t *testing.T) {
+	w := MustNew([]float64{0, 1, 3}, []float64{0, 10, 30})
+	cases := map[float64]float64{
+		-5:  0,  // clamp left
+		0:   0,  // breakpoint
+		0.5: 5,  // interior
+		1:   10, // breakpoint
+		2:   20, // interior second segment
+		3:   30, // last
+		99:  30, // clamp right
+	}
+	for in, want := range cases {
+		if got := w.Eval(in); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want %g", in, got, want)
+		}
+	}
+}
+
+func TestConstant(t *testing.T) {
+	w := Constant(3.5)
+	for _, tt := range []float64{-1, 0, 1e9} {
+		if w.Eval(tt) != 3.5 {
+			t.Fatal("Constant not constant")
+		}
+	}
+}
+
+func TestIntegralExact(t *testing.T) {
+	// Triangle from (0,0) to (2,4): area over [0,2] is 4.
+	w := MustNew([]float64{0, 2}, []float64{0, 4})
+	if got := w.Integral(0, 2); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("integral = %g, want 4", got)
+	}
+	// Partial segment: [0,1] is area 1.
+	if got := w.Integral(0, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("partial integral = %g, want 1", got)
+	}
+	// Reversed limits negate.
+	if got := w.Integral(2, 0); math.Abs(got+4) > 1e-12 {
+		t.Fatalf("reversed integral = %g, want -4", got)
+	}
+	// Beyond the range the value holds constant.
+	if got := w.Integral(2, 3); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("clamped integral = %g, want 4", got)
+	}
+}
+
+func TestAddSubPointwiseProperty(t *testing.T) {
+	a := MustNew([]float64{0, 1, 2}, []float64{1, 3, 2})
+	b := MustNew([]float64{0.5, 1.5}, []float64{10, 20})
+	sum := Add(a, b)
+	diff := Sub(a, b)
+	f := func(tRaw float64) bool {
+		tt := math.Mod(math.Abs(tRaw), 3)
+		if math.IsNaN(tt) {
+			return true
+		}
+		okSum := math.Abs(sum.Eval(tt)-(a.Eval(tt)+b.Eval(tt))) < 1e-9
+		okDiff := math.Abs(diff.Eval(tt)-(a.Eval(tt)-b.Eval(tt))) < 1e-9
+		return okSum && okDiff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleShift(t *testing.T) {
+	w := MustNew([]float64{0, 1}, []float64{2, 4})
+	s := w.Scale(3)
+	if s.Eval(1) != 12 || w.Eval(1) != 4 {
+		t.Fatal("Scale wrong or mutated the original")
+	}
+	sh := w.Shift(10)
+	if sh.Eval(10.5) != w.Eval(0.5) {
+		t.Fatal("Shift misaligned")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	w := MustNew([]float64{0, 1, 2}, []float64{-3, 7, 0})
+	if w.Min() != -3 || w.Max() != 7 {
+		t.Fatalf("min/max = %g/%g", w.Min(), w.Max())
+	}
+}
+
+func TestCrossings(t *testing.T) {
+	w := MustNew([]float64{0, 1, 2, 3}, []float64{0, 2, 0, 2})
+	xs := w.Crossings(1)
+	want := []float64{0.5, 1.5, 2.5}
+	if len(xs) != len(want) {
+		t.Fatalf("crossings = %v, want %v", xs, want)
+	}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Fatalf("crossings = %v, want %v", xs, want)
+		}
+	}
+}
+
+func TestCrossingsTouchingLevel(t *testing.T) {
+	// A waveform that starts exactly at the level reports that point.
+	w := MustNew([]float64{0, 1}, []float64{1, 2})
+	xs := w.Crossings(1)
+	if len(xs) != 1 || xs[0] != 0 {
+		t.Fatalf("touch crossing = %v", xs)
+	}
+}
+
+func TestSampleEndpoints(t *testing.T) {
+	w := MustNew([]float64{0, 10}, []float64{0, 10})
+	ts, vs := w.Sample(0, 10, 11)
+	if len(ts) != 11 || ts[0] != 0 || ts[10] != 10 || vs[5] != 5 {
+		t.Fatalf("Sample wrong: %v %v", ts, vs)
+	}
+}
+
+func TestResampleIdempotent(t *testing.T) {
+	w := MustNew([]float64{0, 1, 2}, []float64{0, 5, -1})
+	r1 := w.Resample(0, 2, 101)
+	r2 := r1.Resample(0, 2, 101)
+	for i := range r1.T {
+		if r1.V[i] != r2.V[i] {
+			t.Fatal("Resample not idempotent on its own grid")
+		}
+	}
+}
+
+func TestStepWaveform(t *testing.T) {
+	w, err := Step([]float64{0, 1e-9, 2e-9}, []float64{0, 1, 0.5}, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Eval(0.5e-9) != 0 {
+		t.Fatalf("before first edge: %g", w.Eval(0.5e-9))
+	}
+	if w.Eval(1.5e-9) != 1 {
+		t.Fatalf("after first edge: %g", w.Eval(1.5e-9))
+	}
+	if w.Eval(3e-9) != 0.5 {
+		t.Fatalf("final hold: %g", w.Eval(3e-9))
+	}
+}
+
+func TestMulApproximation(t *testing.T) {
+	a := MustNew([]float64{0, 2}, []float64{1, 1})
+	b := MustNew([]float64{0, 2}, []float64{0, 2})
+	m := Mul(a, b)
+	if math.Abs(m.Eval(1)-1) > 1e-12 {
+		t.Fatalf("Mul constant×ramp at 1 = %g", m.Eval(1))
+	}
+}
+
+func TestEvalBinarySearchConsistency(t *testing.T) {
+	// Dense random breakpoints: Eval must be monotone-consistent with
+	// direct linear interpolation.
+	n := 1000
+	ts := make([]float64, n)
+	vs := make([]float64, n)
+	for i := range ts {
+		ts[i] = float64(i) * 0.1
+		vs[i] = math.Sin(float64(i))
+	}
+	w := MustNew(ts, vs)
+	for i := 0; i+1 < n; i += 37 {
+		mid := (ts[i] + ts[i+1]) / 2
+		want := (vs[i] + vs[i+1]) / 2
+		if math.Abs(w.Eval(mid)-want) > 1e-12 {
+			t.Fatalf("Eval(%g) = %g, want %g", mid, w.Eval(mid), want)
+		}
+	}
+}

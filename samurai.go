@@ -1,0 +1,228 @@
+// Package samurai is the public API of the SAMURAI reproduction: an
+// accurate method for modelling and simulating non-stationary Random
+// Telegraph Noise (RTN) in SRAMs (Aadithya et al., DATE 2011).
+//
+// The package implements the paper's simulation-driven methodology
+// (Fig 8, left):
+//
+//  1. Simulate the SRAM cell on a write pattern WITHOUT RTN to obtain
+//     per-transistor bias waveforms V_gs(t), I_d(t).
+//  2. For each transistor, sample a trap profile and run Markov
+//     uniformisation (Algorithm 1) under those biases to generate trap
+//     occupancy paths and an I_RTN(t) trace (Eq 3).
+//  3. Re-simulate the cell WITH the I_RTN current sources installed.
+//  4. Classify each write cycle: success, slowdown or write error.
+//
+// The lower-level building blocks live in internal packages; this
+// package exposes the workflow a designer would actually run, plus the
+// bidirectionally-coupled co-simulation extension (future-work #1 of
+// the paper).
+package samurai
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"samurai/internal/circuit"
+	"samurai/internal/device"
+	"samurai/internal/markov"
+	"samurai/internal/rng"
+	"samurai/internal/rtn"
+	"samurai/internal/sram"
+	"samurai/internal/trap"
+	"samurai/internal/waveform"
+)
+
+// Config describes one methodology run.
+type Config struct {
+	// Tech selects the technology node (see device.Node).
+	Tech device.Technology
+	// Cell overrides cell sizing; zero values take defaults.
+	Cell sram.CellConfig
+	// Pattern is the bit sequence written to the cell. A zero Pattern
+	// defaults to the paper's Fig 8 pattern.
+	Pattern sram.Pattern
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Scale multiplies every I_RTN trace; the paper uses 30 to make
+	// the (rare) write error observable ("accelerated RTN testing").
+	// Zero means 1 (unscaled).
+	Scale float64
+	// Dt is the circuit integration step; zero → cycle/400.
+	Dt float64
+	// TraceSamples is the number of samples per RTN trace; zero → 4096.
+	TraceSamples int
+	// Method selects the circuit integration scheme (backward Euler by
+	// default; see circuit.Method).
+	Method circuit.Method
+	// Profiles optionally pins the trap population per transistor
+	// (keys "M1".."M6"); transistors not present get a population
+	// sampled from the technology's statistical profiler.
+	Profiles map[string]trap.Profile
+}
+
+func (c Config) defaults() Config {
+	if c.Tech.Name == "" {
+		c.Tech = device.Node("90nm")
+	}
+	if c.Cell.Tech.Name == "" {
+		c.Cell.Tech = c.Tech
+	}
+	if len(c.Pattern.Bits) == 0 {
+		c.Pattern = sram.Fig8Pattern(c.Cell.Defaults().Vdd)
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Dt == 0 {
+		c.Dt = c.Pattern.Timing.Cycle / 400
+	}
+	if c.TraceSamples == 0 {
+		c.TraceSamples = 4096
+	}
+	return c
+}
+
+// Result is the outcome of a methodology run.
+type Result struct {
+	Config Config
+	// Clean is the RTN-free reference simulation (methodology step 1).
+	Clean *sram.RunResult
+	// WithRTN is the re-simulation with I_RTN sources (step 3).
+	WithRTN *sram.RunResult
+	// Profiles, Paths and Traces record the per-transistor trap
+	// populations, occupancy sample paths and composed RTN traces.
+	Profiles map[string]trap.Profile
+	Paths    map[string][]*markov.Path
+	Traces   map[string]*rtn.Trace
+}
+
+// WriteErrors returns the number of failed write cycles in the RTN run.
+func (r *Result) WriteErrors() int { return r.WithRTN.NumError }
+
+// Slowdowns returns the number of slowed (but ultimately correct)
+// write cycles in the RTN run.
+func (r *Result) Slowdowns() int { return r.WithRTN.NumSlow }
+
+// Run executes the full two-pass methodology.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.defaults()
+	root := rng.New(cfg.Seed)
+
+	wl, bl, blb, err := cfg.Pattern.Waveforms()
+	if err != nil {
+		return nil, fmt.Errorf("samurai: pattern: %w", err)
+	}
+
+	// Pass 1: clean simulation for bias extraction.
+	cleanCell, err := sram.Build(cfg.Cell, wl, bl, blb)
+	if err != nil {
+		return nil, fmt.Errorf("samurai: cell: %w", err)
+	}
+	solver := circuit.Options{Method: cfg.Method}
+	clean, err := cleanCell.EvaluateOpts(cfg.Pattern, cfg.Dt, solver)
+	if err != nil {
+		return nil, fmt.Errorf("samurai: clean pass: %w", err)
+	}
+
+	// Pass 2: trap sampling + uniformisation + Eq (3) per transistor.
+	res := &Result{
+		Config:   cfg,
+		Clean:    clean,
+		Profiles: map[string]trap.Profile{},
+		Paths:    map[string][]*markov.Path{},
+		Traces:   map[string]*rtn.Trace{},
+	}
+	t0, t1 := 0.0, cfg.Pattern.Duration()
+	rtnCell, err := sram.Build(cfg.Cell, wl, bl, blb)
+	if err != nil {
+		return nil, err
+	}
+	// The six transistors' trap simulations are independent (each has
+	// its own deterministic child stream), so they run concurrently;
+	// results are deterministic regardless of scheduling.
+	type devOut struct {
+		name    string
+		profile trap.Profile
+		paths   []*markov.Path
+		trace   *rtn.Trace
+		pwl     *waveform.PWL
+		err     error
+	}
+	outs := make([]devOut, len(sram.Transistors))
+	var wg sync.WaitGroup
+	for i, name := range sram.Transistors {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			o := devOut{name: name}
+			defer func() { outs[i] = o }()
+			dev := cleanCell.Params[name]
+			profile, ok := cfg.Profiles[name]
+			if !ok {
+				ctx := cfg.Tech.TrapContext(cfg.Cell.Defaults().Vdd)
+				profile = cfg.Tech.TrapProfiler().Sample(dev.W, dev.L, ctx, root.Split(uint64(1000+i)))
+			}
+			o.profile = profile
+
+			vgs, id, err := clean.Trans.DeviceBias(name)
+			if err != nil {
+				o.err = err
+				return
+			}
+			o.paths, err = markov.UniformiseProfile(profile, vgs.Eval, t0, t1, root.Split(uint64(2000+i)))
+			if err != nil {
+				o.err = fmt.Errorf("samurai: uniformisation for %s: %w", name, err)
+				return
+			}
+			o.trace, err = rtn.Compose(o.paths, dev, vgs, id, t0, t1, cfg.TraceSamples)
+			if err != nil {
+				o.err = fmt.Errorf("samurai: trace for %s: %w", name, err)
+				return
+			}
+			o.trace.Scale(cfg.Scale)
+			o.pwl, o.err = o.trace.PWL()
+		}(i, name)
+	}
+	wg.Wait()
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.Profiles[o.name] = o.profile
+		res.Paths[o.name] = o.paths
+		res.Traces[o.name] = o.trace
+		if err := rtnCell.SetRTNTrace(o.name, o.pwl); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pass 3: re-simulate with RTN injected.
+	withRTN, err := rtnCell.EvaluateOpts(cfg.Pattern, cfg.Dt, solver)
+	if err != nil {
+		return nil, fmt.Errorf("samurai: RTN pass: %w", err)
+	}
+	res.WithRTN = withRTN
+	return res, nil
+}
+
+// GenerateTrace is the standalone trace-generation entry point
+// (Algorithm 1 + Eq 3) for a single device under explicit bias
+// waveforms — the paper's core deliverable decoupled from the SRAM
+// methodology.
+func GenerateTrace(profile trap.Profile, dev device.MOSParams, vgs, id *waveform.PWL, t0, t1 float64, samples int, seed uint64) (*rtn.Trace, []*markov.Path, error) {
+	if samples < 2 {
+		return nil, nil, errors.New("samurai: need at least 2 samples")
+	}
+	r := rng.New(seed)
+	paths, err := markov.UniformiseProfile(profile, vgs.Eval, t0, t1, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	trace, err := rtn.Compose(paths, dev, vgs, id, t0, t1, samples)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trace, paths, nil
+}

@@ -1,0 +1,95 @@
+package samurai
+
+import (
+	"testing"
+
+	"samurai/internal/device"
+	"samurai/internal/sram"
+	"samurai/internal/trap"
+)
+
+func TestRunMethodologyCleanPasses(t *testing.T) {
+	res, err := Run(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean.NumError != 0 {
+		t.Fatalf("clean pass has %d write errors", res.Clean.NumError)
+	}
+	if len(res.Traces) != 6 {
+		t.Fatalf("expected 6 RTN traces, got %d", len(res.Traces))
+	}
+	for _, name := range sram.Transistors {
+		if _, ok := res.Profiles[name]; !ok {
+			t.Errorf("missing profile for %s", name)
+		}
+		if res.Paths[name] == nil {
+			t.Errorf("missing paths for %s", name)
+		}
+	}
+	// Unscaled RTN at 90nm must not corrupt writes (the paper needs a
+	// ×30 scale to provoke an error).
+	if res.WithRTN.NumError != 0 {
+		t.Fatalf("unscaled RTN already causes %d write errors", res.WithRTN.NumError)
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	a, err := Run(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range sram.Transistors {
+		ta, tb := a.Traces[name], b.Traces[name]
+		if len(ta.I) != len(tb.I) {
+			t.Fatalf("%s: trace lengths differ", name)
+		}
+		for i := range ta.I {
+			if ta.I[i] != tb.I[i] {
+				t.Fatalf("%s: traces diverge at sample %d", name, i)
+			}
+		}
+	}
+}
+
+func TestGenerateTraceStandalone(t *testing.T) {
+	tech := device.Node("32nm")
+	dev := device.NewMOS(tech, device.NMOS, 2*tech.Lmin, tech.Lmin)
+	ctx := tech.TrapContext(tech.Vdd)
+	profile := trap.Profile{
+		Ctx: ctx,
+		Traps: []trap.Trap{
+			{Y: 0.4e-9, E: 0.0},
+			{Y: 0.6e-9, E: 0.05},
+		},
+	}
+	vgs := constWave(tech.Vdd)
+	id := constWave(50e-6)
+	tr, paths, err := GenerateTrace(profile, dev, vgs, id, 0, 1e-4, 1024, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("expected 2 paths, got %d", len(paths))
+	}
+	if tr.MaxAbs() <= 0 {
+		t.Fatal("trace has no RTN activity; traps should toggle at this bias")
+	}
+}
+
+func TestRunCoupledSmoke(t *testing.T) {
+	res, err := RunCoupled(Config{Seed: 7, Dt: 10e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumError != 0 {
+		t.Fatalf("coupled run with unscaled RTN has %d errors", res.NumError)
+	}
+	if len(res.Paths) != 6 || len(res.Traces) != 6 {
+		t.Fatalf("coupled run missing per-device outputs")
+	}
+}
