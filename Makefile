@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race lint check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -short ./...
+
+lint:
+	$(GO) run ./cmd/samurailint ./...
+
+# check is the full local gate — identical to what CI runs on every PR.
+check: build test vet race lint
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -110,9 +110,11 @@ func main() {
 		transitions, trace.MaxAbs(), trace.Mean())
 
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	fmt.Fprintln(w, "time_s,i_rtn_A,n_filled")
 	for i := range trace.T {
 		fmt.Fprintf(w, "%.9e,%.9e,%d\n", trace.T[i], trace.I[i], rtn.CountAt(times, counts, trace.T[i]))
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -128,8 +128,11 @@ func dumpRun(dir string, res *samurai.Result) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		return w.WriteCSV(f)
+		err = w.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
 	}
 	if err := dump("q_clean.csv", res.Clean.Q); err != nil {
 		return err

@@ -1,0 +1,126 @@
+// Command samurailint runs the repository's static-analysis rules (see
+// internal/lint) over every package of the module and exits non-zero on
+// findings. It is wired into `make check` and the CI gate.
+//
+// Usage:
+//
+//	samurailint [-rules name,name] [-list] [dir | ./...]
+//
+// The argument selects the module root: a directory containing go.mod,
+// or the conventional "./..." (resolved against the current directory,
+// walking upward to the nearest go.mod). With no argument the current
+// module is linted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"samurai/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("samurailint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rulesFlag := fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	listFlag := fs.Bool("list", false, "list available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := lint.AllRules()
+	if *listFlag {
+		for _, r := range all {
+			fmt.Fprintf(stdout, "%-14s %s\n", r.Name(), r.Doc())
+		}
+		return 0
+	}
+
+	rules, err := selectRules(all, *rulesFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "samurailint:", err)
+		return 2
+	}
+
+	root, err := moduleRoot(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "samurailint:", err)
+		return 2
+	}
+
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "samurailint:", err)
+		return 2
+	}
+
+	diags := lint.Run(pkgs, rules)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "samurailint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectRules filters the rule set by the -rules flag.
+func selectRules(all []lint.Rule, names string) ([]lint.Rule, error) {
+	if names == "" {
+		return all, nil
+	}
+	byName := map[string]lint.Rule{}
+	for _, r := range all {
+		byName[r.Name()] = r
+	}
+	var out []lint.Rule
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		r, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (use -list)", n)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rules selected")
+	}
+	return out, nil
+}
+
+// moduleRoot resolves the positional argument to a module root
+// directory containing go.mod.
+func moduleRoot(args []string) (string, error) {
+	start := "."
+	if len(args) > 1 {
+		return "", fmt.Errorf("at most one target (a module directory or ./...), got %d", len(args))
+	}
+	if len(args) == 1 && args[0] != "./..." && args[0] != "..." {
+		start = strings.TrimSuffix(args[0], "/...")
+	}
+	dir, err := filepath.Abs(start)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found at or above %s", start)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule materialises a fixture module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module samurai\n\ngo 1.22\n"
+	for name, src := range files {
+		full := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	return f
+}
+
+func TestExitsZeroOnCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a/a.go": `package a
+
+// Near compares with a tolerance, as the rules require.
+func Near(x, y, tol float64) bool {
+	d := x - y
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+`})
+	if code := run([]string{dir}, devNull(t), devNull(t)); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+}
+
+func TestExitsNonZeroPerRuleViolation(t *testing.T) {
+	cases := map[string]map[string]string{
+		"norandglobal": {"a/a.go": "package a\n\nimport \"math/rand\"\n\n// R draws global randomness.\nfunc R() float64 { return rand.Float64() }\n"},
+		"floateq":      {"a/a.go": "package a\n\n// Eq compares floats exactly.\nfunc Eq(x, y float64) bool { return x == y }\n"},
+		"panicmsg":     {"internal/k/k.go": "package k\n\n// P panics without the prefix.\nfunc P() { panic(\"boom\") }\n"},
+		"magicconst":   {"a/a.go": "package a\n\n// K inlines Boltzmann.\nconst K = 1.38e-23\n"},
+		"bareerr":      {"a/a.go": "package a\n\n// F returns an error.\nfunc F() error { return nil }\n\n// G drops it.\nfunc G() { F() }\n"},
+	}
+	for rule, files := range cases {
+		dir := writeModule(t, files)
+		if code := run([]string{"-rules", rule, dir}, devNull(t), devNull(t)); code != 1 {
+			t.Errorf("rule %s: exit = %d, want 1", rule, code)
+		}
+	}
+}
+
+func TestExitsTwoOnBadUsage(t *testing.T) {
+	if code := run([]string{"-rules", "nosuchrule", "."}, devNull(t), devNull(t)); code != 2 {
+		t.Fatalf("unknown rule: exit = %d, want 2", code)
+	}
+	if code := run([]string{t.TempDir()}, devNull(t), devNull(t)); code != 2 {
+		t.Fatalf("no go.mod: exit = %d, want 2", code)
+	}
+}
+
+func TestLintIgnoreSuppressesFinding(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a/a.go": `package a
+
+// Eq compares floats exactly, with an in-place waiver.
+func Eq(x, y float64) bool {
+	//lint:ignore floateq bitwise identity is the intent here
+	return x == y
+}
+`})
+	if code := run([]string{dir}, devNull(t), devNull(t)); code != 0 {
+		t.Fatalf("exit = %d, want 0 (finding should be suppressed)", code)
+	}
+}

@@ -41,6 +41,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		//lint:ignore bareerr read-only input file; a close failure has nothing to recover
 		defer f.Close()
 		in = f
 	}
@@ -50,33 +51,46 @@ func main() {
 	}
 
 	var out io.Writer = os.Stdout
+	closeOut := func() error { return nil }
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		out = f
+		closeOut = f.Close
 	}
 	w := bufio.NewWriter(out)
-	defer w.Flush()
+	if err := emit(w, deck); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := closeOut(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// emit writes the deck's analysis results as CSV: the DC operating
+// point when no .tran card is present, the transient sweep otherwise.
+func emit(w *bufio.Writer, deck *circuit.Deck) error {
 	if !deck.HasTran {
 		op, err := deck.Circuit.OperatingPoint(deck.Tran.InitialV, circuit.Options{})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		nodes := sortedKeys(op)
 		fmt.Fprintln(w, "node,voltage_V")
 		for _, n := range nodes {
 			fmt.Fprintf(w, "%s,%.9g\n", n, op[n])
 		}
-		return
+		return nil
 	}
 
 	res, err := deck.RunTran()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	nodes := sortedKeys(res.V)
 	fmt.Fprint(w, "time_s")
@@ -92,6 +106,7 @@ func main() {
 		fmt.Fprintln(w)
 	}
 	log.Printf("simulated %d steps over %g s (%d nodes)", len(res.Times)-1, deck.Tran.T1, len(nodes))
+	return nil
 }
 
 func sortedKeys[V any](m map[string]V) []string {

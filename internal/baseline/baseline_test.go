@@ -26,7 +26,10 @@ func TestStationaryTraceIgnoresBias(t *testing.T) {
 	horizon := 2e3 / ls
 
 	// A violently swinging bias...
-	swing := waveform.MustNew([]float64{0, horizon}, []float64{0, 0})
+	swing, err := waveform.New([]float64{0, horizon}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	id := waveform.Constant(50e-6)
 
 	_, paths, err := StationaryTrace(profile, dev, ctx.VRef, swing, id, 0, horizon, 256, rng.New(3))

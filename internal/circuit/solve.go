@@ -91,6 +91,7 @@ func (c *Circuit) newtonSolve(st *stampCtx, opt Options) error {
 				st.x[i] = xNew[i]
 			}
 		}
+		//lint:ignore floateq scale is exactly the literal 1.0 whenever no damping step-limit was applied
 		if scale == 1.0 && maxDv < opt.VTol {
 			return nil
 		}

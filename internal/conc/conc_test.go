@@ -1,0 +1,67 @@
+package conc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFirstFailZeroValue(t *testing.T) {
+	var f FirstFail
+	if f.Failed() {
+		t.Fatal("zero value reports failed")
+	}
+	if f.Err() != nil {
+		t.Fatal("zero value has an error")
+	}
+	if f.Index() != -1 {
+		t.Fatalf("zero value index = %d, want -1", f.Index())
+	}
+}
+
+func TestFirstFailLowestIndexWins(t *testing.T) {
+	var f FirstFail
+	e3 := errors.New("three")
+	e1 := errors.New("one")
+	f.Record(3, e3)
+	f.Record(5, errors.New("five"))
+	f.Record(1, e1)
+	f.Record(2, errors.New("two"))
+	if got := f.Err(); got != e1 {
+		t.Fatalf("Err() = %v, want %v", got, e1)
+	}
+	if f.Index() != 1 {
+		t.Fatalf("Index() = %d, want 1", f.Index())
+	}
+}
+
+func TestFirstFailIgnoresNil(t *testing.T) {
+	var f FirstFail
+	f.Record(0, nil)
+	if f.Failed() {
+		t.Fatal("nil error recorded as failure")
+	}
+}
+
+// Under concurrent recording the winner must still be the lowest index
+// — the property that makes parallel error reporting deterministic.
+func TestFirstFailConcurrentDeterminism(t *testing.T) {
+	var f FirstFail
+	var wg sync.WaitGroup
+	const n = 64
+	for i := n - 1; i >= 0; i-- {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f.Record(i, fmt.Errorf("worker %d", i))
+		}(i)
+	}
+	wg.Wait()
+	if f.Index() != 0 {
+		t.Fatalf("Index() = %d, want 0", f.Index())
+	}
+	if got := f.Err().Error(); got != "worker 0" {
+		t.Fatalf("Err() = %q, want %q", got, "worker 0")
+	}
+}

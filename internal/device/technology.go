@@ -43,7 +43,7 @@ type Technology struct {
 }
 
 // epsOx is the permittivity of SiO2, F/m.
-const epsOx = 3.9 * 8.8541878128e-12
+const epsOx = units.SiO2Permittivity
 
 func coxFor(tox float64) float64 { return epsOx / tox }
 

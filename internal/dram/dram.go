@@ -75,7 +75,7 @@ func (c CellConfig) accessParams(vtShift float64) device.MOSParams {
 		L:       c.L,
 		Vt:      c.Vt + vtShift,
 		Mu:      c.Mu,
-		CoxArea: 3.9 * 8.8541878128e-12 / c.Tox,
+		CoxArea: units.SiO2Permittivity / c.Tox,
 		Lambda:  0.1,
 		SlopeN:  1.5,
 		TempK:   c.TempK,

@@ -208,6 +208,9 @@ func TestX1Claims(t *testing.T) {
 }
 
 func TestX2Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MC-heavy experiment; skipped in -short mode (CI race gate)")
+	}
 	res, err := X2(X2Config{Cells: 12, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -298,6 +301,9 @@ func TestAblationTraceResolutionConverges(t *testing.T) {
 }
 
 func TestAblationWriteMarginMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MC-heavy experiment; skipped in -short mode (CI race gate)")
+	}
 	res, err := AblateWriteMargin(1)
 	if err != nil {
 		t.Fatal(err)
@@ -338,6 +344,9 @@ func TestX5Claims(t *testing.T) {
 }
 
 func TestT3Claims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MC-heavy experiment; skipped in -short mode (CI race gate)")
+	}
 	// Reduced scan around the known transition region for speed.
 	res, err := T3(T3Config{VLo: 0.44, VHi: 0.52, Seeds: 3})
 	if err != nil {

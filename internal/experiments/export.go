@@ -19,11 +19,14 @@ func writeCSV(dir, name, header string, rows func(w *bufio.Writer)) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := bufio.NewWriter(f)
 	fmt.Fprintln(w, header)
 	rows(w)
-	return w.Flush()
+	err = w.Flush()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // WriteCurvesCSV dumps every captured point's R(τ) and S(f) series.

@@ -17,6 +17,7 @@ import (
 	"samurai/internal/rng"
 	"samurai/internal/rtn"
 	"samurai/internal/trap"
+	"samurai/internal/units"
 )
 
 // Fig7Sweep identifies which trap parameter a validation run sweeps.
@@ -117,7 +118,7 @@ func Fig7(sweep Fig7Sweep, cfg Fig7Config) (*Fig7Result, error) {
 	// degenerate to constants.
 	const yFrac = 0.45
 	baseTrap := trap.Trap{Y: yFrac * ctx.Tox, E: 0.02}
-	kt := 0.02585 // eV at 300 K
+	kt := units.ThermalEnergyEV(units.RoomTemperature)
 	// Gate bias at which this trap's β = 1 (maximum activity).
 	cEff := ctx.Coupling * ctx.EffectiveCoupling(baseTrap)
 	vStar := ctx.VRef + baseTrap.E/cEff

@@ -12,6 +12,7 @@ import (
 	"samurai/internal/rng"
 	"samurai/internal/rtn"
 	"samurai/internal/trap"
+	"samurai/internal/units"
 )
 
 // ---------------------------------------------------------------------
@@ -61,7 +62,7 @@ func T1(cfg T1Config) (*T1Result, error) {
 	// comparable to the dwell time — strongly non-stationary.
 	cEff := ctx.Coupling * ctx.EffectiveCoupling(tr)
 	vStar := ctx.VRef + tr.E/cEff
-	amp := 4 * 0.02585 / cEff
+	amp := 4 * units.ThermalVoltage(units.RoomTemperature) / cEff
 	period := 6 / ls
 	bias := func(t float64) float64 {
 		return vStar + amp*math.Sin(2*math.Pi*t/period)

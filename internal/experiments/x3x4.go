@@ -291,7 +291,11 @@ func X4(cfg X4Config) (*X4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cleanPeriods, err := ringPeriods(mustRing(tech, cfg.Stages, vdd), cfg.Stages, vdd, cfg.Horizon)
+	cleanRing, _, err := buildRing(tech, cfg.Stages, vdd)
+	if err != nil {
+		return nil, err
+	}
+	cleanPeriods, err := ringPeriods(cleanRing, cfg.Stages, vdd, cfg.Horizon)
 	if err != nil {
 		return nil, err
 	}
@@ -349,15 +353,6 @@ func X4(cfg X4Config) (*X4Result, error) {
 		res.PeriodShiftFrac = math.Abs(res.RTNPeriodPs-res.CleanPeriodPs) / res.CleanPeriodPs
 	}
 	return res, nil
-}
-
-// mustRing rebuilds a clean ring (ringPeriods consumes a circuit).
-func mustRing(tech device.Technology, stages int, vdd float64) *circuit.Circuit {
-	ckt, _, err := buildRing(tech, stages, vdd)
-	if err != nil {
-		panic(err)
-	}
-	return ckt
 }
 
 // WriteText renders the EXP-X4 summary.

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// BareErr forbids silently discarding error returns in non-test files:
+//
+//   - a statement that calls an error-returning function and drops the
+//     result entirely (including `defer f.Close()` and `go f()`),
+//   - a blank assignment `_ = f()` / `x, _ := f()` whose blanked slot
+//     is the error, and
+//   - panic(err) — escalating an error value to a panic instead of
+//     returning it (the internal/waveform pattern this rule was built
+//     to catch).
+//
+// Printing through the fmt.Print/Fprint families is exempt (the fmt
+// convention; buffered writers surface failures at Flush/Close, which
+// ARE checked), as are writes to strings.Builder and bytes.Buffer,
+// which are documented never to fail.
+type BareErr struct{}
+
+// Name implements Rule.
+func (BareErr) Name() string { return "bareerr" }
+
+// Doc implements Rule.
+func (BareErr) Doc() string {
+	return "no discarded error returns (dropped calls, `_ =` drops, panic(err)) in non-test files"
+}
+
+// errorIface is the built-in error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// Check implements Rule.
+func (r BareErr) Check(pkg *Package) []Diagnostic {
+	if pkg.Info == nil {
+		return nil
+	}
+	var out []Diagnostic
+	flag := func(n ast.Node, msg string) {
+		out = append(out, Diagnostic{Rule: r.Name(), Pos: pkg.position(n), Message: msg})
+	}
+	pkg.eachFile(true, func(f *File) {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					r.checkDroppedCall(pkg, call, "", flag)
+				}
+			case *ast.DeferStmt:
+				r.checkDroppedCall(pkg, st.Call, "deferred ", flag)
+			case *ast.GoStmt:
+				r.checkDroppedCall(pkg, st.Call, "spawned ", flag)
+			case *ast.AssignStmt:
+				r.checkBlankAssign(pkg, st, flag)
+			case *ast.CallExpr:
+				if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "panic" && len(st.Args) == 1 {
+					if t := pkg.Info.TypeOf(st.Args[0]); t != nil && isErrorType(t) {
+						flag(st, "error escalated to panic; return the error instead")
+					}
+				}
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// checkDroppedCall flags a statement-position call whose error result
+// is discarded.
+func (r BareErr) checkDroppedCall(pkg *Package, call *ast.CallExpr, kind string, flag func(ast.Node, string)) {
+	if !returnsError(pkg, call) || exemptCallee(pkg, call) {
+		return
+	}
+	flag(call, fmt.Sprintf("%scall drops its error result; handle or assign it", kind))
+}
+
+// checkBlankAssign flags blank-identifier assignments that drop an
+// error-typed value.
+func (r BareErr) checkBlankAssign(pkg *Package, st *ast.AssignStmt, flag func(ast.Node, string)) {
+	// Tuple form: a, _ := f()
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok || exemptCallee(pkg, call) {
+			return
+		}
+		tuple, ok := pkg.Info.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range st.Lhs {
+			if isBlank(lhs) && i < tuple.Len() && isErrorType(tuple.At(i).Type()) {
+				flag(lhs, "error result discarded with _; handle or return it")
+			}
+		}
+		return
+	}
+	// Parallel form: _ = expr (per position).
+	for i, lhs := range st.Lhs {
+		if !isBlank(lhs) || i >= len(st.Rhs) {
+			continue
+		}
+		if call, ok := st.Rhs[i].(*ast.CallExpr); ok && exemptCallee(pkg, call) {
+			continue
+		}
+		if t := pkg.Info.TypeOf(st.Rhs[i]); t != nil && isErrorType(t) {
+			flag(lhs, "error value discarded with _; handle or return it")
+		}
+	}
+}
+
+// returnsError reports whether the call yields an error, directly or as
+// a tuple component.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	t := pkg.Info.TypeOf(call)
+	switch tt := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < tt.Len(); i++ {
+			if isErrorType(tt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(tt)
+	}
+}
+
+// isErrorType reports whether t is the error interface or implements it
+// as a declared error type.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Interface); ok && b.NumMethods() == 1 && b.Method(0).Name() == "Error" {
+		return true
+	}
+	return types.Implements(t, errorIface)
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// exemptFuncs never have their dropped errors flagged.
+var exemptFuncs = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+}
+
+// exemptRecvTypes are writer types documented never to return an error.
+var exemptRecvTypes = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+// exemptCallee reports whether the call target is on the exemption list.
+func exemptCallee(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if exemptFuncs[fn.FullName()] {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return exemptRecvTypes[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}

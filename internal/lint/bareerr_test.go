@@ -1,0 +1,109 @@
+package lint
+
+import "testing"
+
+func TestBareErrFlagsDroppedCalls(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+// Fail returns an error.
+func Fail() error { return nil }
+
+// Closer has a failing Close.
+type Closer struct{}
+
+// Close implements io.Closer.
+func (Closer) Close() error { return nil }
+
+// Drops discards errors four different ways.
+func Drops(c Closer) {
+	Fail()         // statement drop
+	defer c.Close() // deferred drop
+	go Fail()      // goroutine drop
+	_ = Fail()     // blank drop
+}
+`}
+	wantFindings(t, diags(t, files, BareErr{}), 4)
+}
+
+func TestBareErrFlagsBlankTupleSlotAndPanicErr(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+// Two returns a value and an error.
+func Two() (int, error) { return 0, nil }
+
+// Blank drops only the error slot of a tuple.
+func Blank() int {
+	n, _ := Two()
+	return n
+}
+
+// Escalate turns an error into a panic.
+func Escalate(err error) {
+	panic(err)
+}
+`}
+	wantFindings(t, diags(t, files, BareErr{}), 2)
+}
+
+func TestBareErrAllowsHandledErrors(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+// Two returns a value and an error.
+func Two() (int, error) { return 0, nil }
+
+// Handled propagates every error.
+func Handled() (int, error) {
+	n, err := Two()
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+`}
+	wantFindings(t, diags(t, files, BareErr{}), 0)
+}
+
+func TestBareErrExemptsFmtPrintAndBuilders(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report uses the conventional never-checked writers.
+func Report(b *strings.Builder) {
+	fmt.Println("hello")
+	fmt.Printf("%d\n", 1)
+	b.WriteString("x")
+	fmt.Fprintf(b, "%d", 2)
+}
+`}
+	wantFindings(t, diags(t, files, BareErr{}), 0)
+}
+
+func TestBareErrIgnoresNonErrorBlanksAndTestFiles(t *testing.T) {
+	files := map[string]string{
+		"a/a.go": `package a
+
+// Pair returns two non-error values.
+func Pair() (int, string) { return 0, "" }
+
+// UsesPair blanks a non-error slot.
+func UsesPair() int {
+	n, _ := Pair()
+	return n
+}
+`,
+		"a/a_test.go": `package a
+
+// Fail returns an error.
+func Fail() error { return nil }
+
+// TestishDrop drops an error inside a test file, which is allowed.
+func TestishDrop() {
+	_ = Fail()
+}
+`}
+	wantFindings(t, diags(t, files, BareErr{}), 0)
+}

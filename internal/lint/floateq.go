@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq forbids == and != between floating-point expressions. Exact
+// float equality silently diverges under re-association, FMA
+// contraction and cross-platform libm differences — the estimator-bias
+// failure mode the paper's validation guards against. Comparisons must
+// go through the tolerance helper units.ApproxEqual (or carry a
+// //lint:ignore floateq justification when bitwise equality really is
+// the intent, e.g. matching a breakpoint that was stored verbatim).
+//
+// Two comparisons stay legal because they are exact in IEEE-754:
+//
+//   - comparison against the constant 0 (unset-config sentinels and
+//     sign tests), and
+//   - any comparison inside internal/num or internal/units, where the
+//     tolerance helpers and numerical kernels themselves live.
+//
+// The rule needs type information, so it covers non-test files only;
+// tests may pin exact sample-path values on purpose.
+type FloatEq struct{}
+
+// Name implements Rule.
+func (FloatEq) Name() string { return "floateq" }
+
+// Doc implements Rule.
+func (FloatEq) Doc() string {
+	return "no == / != between floats outside internal/num and internal/units; use units.ApproxEqual"
+}
+
+// exemptFloatEqPkgs hold the approved tolerance helpers and the
+// numerical kernels whose exact comparisons are load-bearing.
+func floatEqExempt(path string) bool {
+	return strings.HasSuffix(path, "internal/num") || strings.HasSuffix(path, "internal/units")
+}
+
+// Check implements Rule.
+func (r FloatEq) Check(pkg *Package) []Diagnostic {
+	if pkg.Info == nil || floatEqExempt(pkg.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	pkg.eachFile(true, func(f *File) {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pkg, be.X) || !isFloat(pkg, be.Y) {
+				return true
+			}
+			if isExactZero(pkg, be.X) || isExactZero(pkg, be.Y) {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Rule:    r.Name(),
+				Pos:     pkg.position(be),
+				Message: fmt.Sprintf("floating-point %s comparison; use units.ApproxEqual or justify with //lint:ignore floateq", be.Op),
+			})
+			return true
+		})
+	})
+	return out
+}
+
+// isFloat reports whether the expression's type is (or defaults to) a
+// floating-point kind.
+func isFloat(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Float32, types.Float64, types.UntypedFloat:
+		return true
+	}
+	return false
+}
+
+// isExactZero reports whether e is a compile-time constant equal to 0.
+func isExactZero(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}

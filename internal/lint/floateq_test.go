@@ -1,0 +1,66 @@
+package lint
+
+import "testing"
+
+func TestFloatEqFlagsEqualityAndInequality(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+// Same compares exactly (the anti-pattern).
+func Same(x, y float64) bool { return x == y }
+
+// Diff compares exactly with != on float32.
+func Diff(x, y float32) bool { return x != y }
+`}
+	wantFindings(t, diags(t, files, FloatEq{}), 2)
+}
+
+func TestFloatEqAllowsZeroSentinels(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+// Unset reports the zero-value sentinel.
+func Unset(x float64) bool { return x == 0 }
+
+// Sign reports an exact negative-zero-safe sign test.
+func Sign(x float64) bool { return 0.0 != x }
+`}
+	wantFindings(t, diags(t, files, FloatEq{}), 0)
+}
+
+func TestFloatEqIgnoresNonFloatComparisons(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+// EqInt compares integers, which is exact.
+func EqInt(x, y int) bool { return x == y }
+
+// EqStr compares strings.
+func EqStr(x, y string) bool { return x == y }
+`}
+	wantFindings(t, diags(t, files, FloatEq{}), 0)
+}
+
+func TestFloatEqExemptsNumAndUnits(t *testing.T) {
+	files := map[string]string{
+		"internal/num/num.go": `package num
+
+// Approx is a tolerance kernel that legitimately compares exactly.
+func Approx(a, b float64) bool { return a == b }
+`,
+		"internal/units/units.go": `package units
+
+// Eq is a tolerance helper that legitimately compares exactly.
+func Eq(a, b float64) bool { return a == b }
+`}
+	wantFindings(t, diags(t, files, FloatEq{}), 0)
+}
+
+func TestFloatEqSkipsTestFiles(t *testing.T) {
+	files := map[string]string{
+		"a/a.go": `package a
+`,
+		"a/a_test.go": `package a
+
+// PinsPath pins an exact reproducible sample value.
+func PinsPath(x, y float64) bool { return x == y }
+`}
+	wantFindings(t, diags(t, files, FloatEq{}), 0)
+}

@@ -1,0 +1,216 @@
+// Package lint is a small, zero-external-dependency static-analysis
+// framework for the SAMURAI repository, built directly on go/parser,
+// go/ast and go/types. It exists to *enforce* the conventions that keep
+// the reproduction exactly reproducible and numerically honest:
+//
+//   - all randomness flows through an injected *rng.Stream (norandglobal)
+//   - floating-point values are never compared with == / != outside the
+//     approved tolerance helpers (floateq)
+//   - panics in internal packages carry a "pkg: " prefix (panicmsg)
+//   - physical constants come from internal/units, never inlined
+//     (magicconst)
+//   - error returns are never silently discarded (bareerr)
+//
+// Diagnostics are position-tracked and emitted in a deterministic order
+// (file, line, column, rule). Individual findings can be suppressed with
+// a justification comment on the offending line or the line above:
+//
+//	//lint:ignore rulename reason the exact comparison is intentional
+//
+// The comment must name the rule (or a comma-separated list of rules)
+// and carry a non-empty reason.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Rule    string
+	Pos     token.Position
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+}
+
+// File is one parsed source file inside a Package.
+type File struct {
+	Name string // path as handed to the loader
+	AST  *ast.File
+	// Test reports whether the file is a _test.go file. Test files are
+	// parsed (so syntactic rules can see them) but not type-checked.
+	Test bool
+	// ignores maps line number -> rules suppressed on that line.
+	ignores map[int][]string
+}
+
+// Package is one package unit: parsed files plus (for the non-test
+// compilation unit) full type information.
+type Package struct {
+	// Path is the import path, e.g. "samurai/internal/waveform".
+	Path string
+	// Name is the package identifier, e.g. "waveform".
+	Name string
+	// Dir is the directory the files came from.
+	Dir string
+	// Fset positions every AST node in Files.
+	Fset *token.FileSet
+	// Files holds all parsed files, non-test first.
+	Files []*File
+	// Types and Info describe the non-test compilation unit; test files
+	// are not covered. Info is never nil after a successful load.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Rule is one named check over a package.
+type Rule interface {
+	// Name is the identifier used in diagnostics and //lint:ignore.
+	Name() string
+	// Doc is a one-line description shown by `samurailint -list`.
+	Doc() string
+	// Check inspects the package and returns raw findings; suppression
+	// and ordering are handled by the framework.
+	Check(pkg *Package) []Diagnostic
+}
+
+// AllRules returns the full rule set in deterministic order.
+func AllRules() []Rule {
+	return []Rule{
+		NoRandGlobal{},
+		FloatEq{},
+		PanicMsg{},
+		MagicConst{},
+		BareErr{},
+	}
+}
+
+// Run applies the rules to the packages, drops suppressed findings, and
+// returns the survivors sorted by (file, line, column, rule).
+func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, r := range rules {
+			for _, d := range r.Check(pkg) {
+				if !pkg.suppressed(r.Name(), d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// suppressed reports whether an ignore directive covers the rule at the
+// diagnostic's line (trailing comment) or on the line directly above.
+func (p *Package) suppressed(rule string, pos token.Position) bool {
+	for _, f := range p.Files {
+		if f.Name != pos.Filename {
+			continue
+		}
+		for _, line := range []int{pos.Line, pos.Line - 1} {
+			for _, r := range f.ignores[line] {
+				if r == rule || r == "all" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ignoreDirective parses "lint:ignore rule1,rule2 reason"; ok is false
+// for comments that are not directives or lack a rule list + reason.
+func ignoreDirective(text string) (rules []string, ok bool) {
+	body, found := strings.CutPrefix(strings.TrimSpace(text), "lint:ignore")
+	if !found {
+		return nil, false
+	}
+	fields := strings.Fields(body)
+	if len(fields) < 2 { // need a rule list AND a non-empty reason
+		return nil, false
+	}
+	for _, r := range strings.Split(fields[0], ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules = append(rules, r)
+		}
+	}
+	return rules, len(rules) > 0
+}
+
+// collectIgnores indexes a file's //lint:ignore directives by line.
+func collectIgnores(fset *token.FileSet, f *ast.File) map[int][]string {
+	out := map[int][]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if rules, ok := ignoreDirective(text); ok {
+				line := fset.Position(c.Pos()).Line
+				out[line] = append(out[line], rules...)
+			}
+		}
+	}
+	return out
+}
+
+// eachFile invokes fn for every file in the package, optionally
+// restricted to type-checked (non-test) files.
+func (p *Package) eachFile(typedOnly bool, fn func(f *File)) {
+	for _, f := range p.Files {
+		if typedOnly && f.Test {
+			continue
+		}
+		fn(f)
+	}
+}
+
+// position is a shorthand for resolving a node position.
+func (p *Package) position(n ast.Node) token.Position {
+	return p.Fset.Position(n.Pos())
+}
+
+// isPkgDot reports whether e is a selector pkgname.sel referring to the
+// named import (matched by import path so aliases work).
+func (p *Package) isPkgDot(e ast.Expr, path, sel string) bool {
+	s, ok := e.(*ast.SelectorExpr)
+	if !ok || s.Sel.Name != sel {
+		return false
+	}
+	id, ok := s.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if p.Info != nil {
+		if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+			return pn.Imported().Path() == path
+		}
+	}
+	// Untyped (test) files: fall back to the default package name.
+	want := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		want = path[i+1:]
+	}
+	return id.Name == want
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// load writes the fixture files into a temp module (adding a go.mod if
+// the fixture does not provide one) and loads it.
+func load(t *testing.T, files map[string]string) []*Package {
+	t.Helper()
+	dir := t.TempDir()
+	if _, ok := files["go.mod"]; !ok {
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module samurai\n\ngo 1.22\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, src := range files {
+		full := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	return pkgs
+}
+
+// diags runs a single rule over a fixture module.
+func diags(t *testing.T, files map[string]string, rule Rule) []Diagnostic {
+	t.Helper()
+	return Run(load(t, files), []Rule{rule})
+}
+
+// wantFindings asserts the finding count and that every message names
+// the rule's own identifier via Diagnostic.String.
+func wantFindings(t *testing.T, got []Diagnostic, want int) {
+	t.Helper()
+	if len(got) != want {
+		for _, d := range got {
+			t.Logf("  %s", d)
+		}
+		t.Fatalf("got %d finding(s), want %d", len(got), want)
+	}
+}
+
+func TestAllRulesWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range AllRules() {
+		if r.Name() == "" || r.Doc() == "" {
+			t.Fatalf("rule %T has empty name or doc", r)
+		}
+		if seen[r.Name()] {
+			t.Fatalf("duplicate rule name %q", r.Name())
+		}
+		seen[r.Name()] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("expected at least 5 rules, have %d", len(seen))
+	}
+}
+
+func TestIgnoreDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		text  string
+		rules []string
+		ok    bool
+	}{
+		{"lint:ignore floateq exact by construction", []string{"floateq"}, true},
+		{"lint:ignore floateq,bareerr shared reason", []string{"floateq", "bareerr"}, true},
+		{"lint:ignore floateq", nil, false}, // no reason
+		{"lint:ignore", nil, false},
+		{"nolint:whatever", nil, false},
+		{" lint:ignore all everything here is fine", []string{"all"}, true},
+	}
+	for _, c := range cases {
+		rules, ok := ignoreDirective(c.text)
+		if ok != c.ok {
+			t.Fatalf("%q: ok = %v, want %v", c.text, ok, c.ok)
+		}
+		if len(rules) != len(c.rules) {
+			t.Fatalf("%q: rules = %v, want %v", c.text, rules, c.rules)
+		}
+		for i := range rules {
+			if rules[i] != c.rules[i] {
+				t.Fatalf("%q: rules = %v, want %v", c.text, rules, c.rules)
+			}
+		}
+	}
+}
+
+func TestIgnoreSuppressesOnlyNamedRule(t *testing.T) {
+	src := func(comment string) map[string]string {
+		return map[string]string{"a/a.go": `package a
+
+func eq(x, y float64) bool {
+	` + comment + `
+	return x == y
+}
+`}
+	}
+	wantFindings(t, diags(t, src("//lint:ignore floateq bitwise identity is the intent"), FloatEq{}), 0)
+	wantFindings(t, diags(t, src("//lint:ignore bareerr wrong rule name"), FloatEq{}), 1)
+	wantFindings(t, diags(t, src("//lint:ignore floateq"), FloatEq{}), 1) // reason missing
+	wantFindings(t, diags(t, src("//lint:ignore all blanket waiver"), FloatEq{}), 0)
+}
+
+func TestIgnoreOnSameLine(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+func eq(x, y float64) bool {
+	return x == y //lint:ignore floateq trailing justification
+}
+`}
+	wantFindings(t, diags(t, files, FloatEq{}), 0)
+}
+
+func TestDiagnosticsDeterministicallyOrdered(t *testing.T) {
+	files := map[string]string{
+		"b/b.go": `package b
+
+func eq2(x, y float64) bool { return x == y }
+
+func eq3(x, y float32) bool { return x != y }
+`,
+		"a/a.go": `package a
+
+func eq1(x, y float64) bool { return x == y }
+`,
+	}
+	got := Run(load(t, files), []Rule{FloatEq{}})
+	wantFindings(t, got, 3)
+	for i := 1; i < len(got); i++ {
+		prev, cur := got[i-1], got[i]
+		if prev.Pos.Filename > cur.Pos.Filename ||
+			(prev.Pos.Filename == cur.Pos.Filename && prev.Pos.Line > cur.Pos.Line) {
+			t.Fatalf("diagnostics out of order: %s before %s", prev, cur)
+		}
+	}
+}
+
+func TestLoadModuleResolvesLocalImports(t *testing.T) {
+	files := map[string]string{
+		"internal/base/base.go": `package base
+
+// V is an exported value.
+const V = 3
+`,
+		"top.go": `package top
+
+import "samurai/internal/base"
+
+// W re-exports base.V.
+const W = base.V
+`,
+	}
+	pkgs := load(t, files)
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	// Dependency order: base before top.
+	if pkgs[0].Path != "samurai/internal/base" {
+		t.Fatalf("expected base first, got %s", pkgs[0].Path)
+	}
+}

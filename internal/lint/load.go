@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// sharedFset positions every file the loader ever parses. Sharing one
+// FileSet with the stdlib source importer keeps all positions coherent
+// and lets the importer's package cache survive across LoadModule calls
+// (the test suite loads many small fixture modules).
+var (
+	sharedFset     = token.NewFileSet()
+	stdImporterMu  sync.Mutex
+	stdImporterVal types.Importer
+)
+
+func stdImporter() types.Importer {
+	stdImporterMu.Lock()
+	defer stdImporterMu.Unlock()
+	if stdImporterVal == nil {
+		stdImporterVal = importer.ForCompiler(sharedFset, "source", nil)
+	}
+	return stdImporterVal
+}
+
+// moduleImporter resolves module-local import paths from the packages
+// already type-checked this load, and everything else from the stdlib
+// source importer.
+type moduleImporter struct {
+	modulePath string
+	local      map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.local[path]; ok {
+		return pkg, nil
+	}
+	if path == m.modulePath || strings.HasPrefix(path, m.modulePath+"/") {
+		return nil, fmt.Errorf("lint: module package %q not yet type-checked (import cycle?)", path)
+	}
+	stdImporterMu.Lock()
+	defer stdImporterMu.Unlock()
+	return stdImporterVal.Import(path)
+}
+
+// LoadModule parses and type-checks every package of the Go module
+// rooted at dir (the directory containing go.mod). Test files are
+// parsed and attached to their package but excluded from type-checking;
+// rules that need type information skip them.
+func LoadModule(dir string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	stdImporter() // ensure the shared importer exists
+
+	dirs, err := packageDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := sharedFset
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, d := range dirs {
+		pkg, err := parseDir(fset, dir, modPath, d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	ordered, err := topoSort(pkgs, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{modulePath: modPath, local: map[string]*types.Package{}}
+	for _, pkg := range ordered {
+		if err := typeCheck(pkg, imp); err != nil {
+			return nil, err
+		}
+		imp.local[pkg.Path] = pkg.Types
+	}
+	return ordered, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			p := strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(p); err == nil {
+				p = unq
+			}
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// packageDirs walks the module and returns every directory holding .go
+// files, skipping testdata, hidden and underscore-prefixed directories.
+func packageDirs(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				out = append(out, path)
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// parseDir parses one directory into a Package (nil if it has no
+// buildable non-test files — e.g. a directory of only test helpers).
+func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+
+	pkg := &Package{Path: importPath, Dir: dir, Fset: fset}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		af, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		f := &File{
+			Name:    full,
+			AST:     af,
+			Test:    strings.HasSuffix(name, "_test.go"),
+			ignores: collectIgnores(fset, af),
+		}
+		pkg.Files = append(pkg.Files, f)
+		if !f.Test && pkg.Name == "" {
+			pkg.Name = af.Name.Name
+		}
+	}
+	if pkg.Name == "" {
+		return nil, nil
+	}
+	// Non-test files first so type-checking sees a stable order.
+	sort.SliceStable(pkg.Files, func(i, j int) bool {
+		if pkg.Files[i].Test != pkg.Files[j].Test {
+			return !pkg.Files[i].Test
+		}
+		return pkg.Files[i].Name < pkg.Files[j].Name
+	})
+	return pkg, nil
+}
+
+// topoSort orders packages so every module-local import precedes its
+// importers (required for type-checking with moduleImporter).
+func topoSort(pkgs []*Package, modPath string) ([]*Package, error) {
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	var ordered []*Package
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.Path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", p.Path)
+		case 2:
+			return nil
+		}
+		state[p.Path] = 1
+		for _, dep := range localImports(p, modPath) {
+			if q, ok := byPath[dep]; ok {
+				if err := visit(q); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.Path] = 2
+		ordered = append(ordered, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// localImports lists the module-local imports of the package's non-test
+// files, sorted and deduplicated.
+func localImports(p *Package, modPath string) []string {
+	seen := map[string]bool{}
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		for _, imp := range f.AST.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == modPath || strings.HasPrefix(path, modPath+"/") {
+				seen[path] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// typeCheck type-checks the package's non-test compilation unit and
+// records the result on the package.
+func typeCheck(pkg *Package, imp types.Importer) error {
+	var files []*ast.File
+	for _, f := range pkg.Files {
+		if !f.Test {
+			files = append(files, f.AST)
+		}
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	tpkg, err := conf.Check(pkg.Path, pkg.Fset, files, info)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}

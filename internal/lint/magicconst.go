@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"math"
+	"strconv"
+	"strings"
+
+	"samurai/internal/units"
+)
+
+// MagicConst forbids inlining physical constants as numeric literals.
+// A truncated Boltzmann constant or a hand-typed kT/q is exactly the
+// kind of silent numerical divergence that breaks cross-package
+// agreement between the trap kernels and the validation experiments —
+// all such values must come from internal/units.
+//
+// The registry values are *referenced from* internal/units, so the rule
+// can never drift from the canonical definitions. Matching uses a
+// relative tolerance wide enough to catch common truncations
+// (1.38e-23, 0.0259) but far too tight to hit ordinary engineering
+// literals.
+type MagicConst struct{}
+
+// physicalConstant is one registry entry.
+type physicalConstant struct {
+	value   float64
+	replace string // what to write instead
+}
+
+// magicRegistry lists the recognised physical constants. Values are
+// taken from internal/units so the registry is correct by construction.
+var magicRegistry = []physicalConstant{
+	{units.BoltzmannJPerK, "units.BoltzmannJPerK"},
+	{units.ElectronCharge, "units.ElectronCharge (or units.ElectronVoltJ)"},
+	{units.BoltzmannJPerK / units.ElectronCharge, "units.BoltzmannJPerK/units.ElectronCharge (k in eV/K)"},
+	{units.ThermalVoltage(units.RoomTemperature), "units.ThermalVoltage(units.RoomTemperature)"},
+	{units.VacuumPermittivity, "units.VacuumPermittivity"},
+	{units.SiO2Permittivity, "units.SiO2Permittivity"},
+}
+
+// magicRelTol is the relative tolerance for matching a literal against
+// the registry; 2e-3 catches 3-significant-figure truncations.
+const magicRelTol = 2e-3
+
+// Name implements Rule.
+func (MagicConst) Name() string { return "magicconst" }
+
+// Doc implements Rule.
+func (MagicConst) Doc() string {
+	return "physical-constant literals must come from internal/units, not be inlined"
+}
+
+// Check implements Rule. Purely syntactic, so it covers test files too;
+// internal/units itself (where the canonical literals live) is exempt,
+// as is this package's registry.
+func (r MagicConst) Check(pkg *Package) []Diagnostic {
+	if strings.HasSuffix(pkg.Path, "internal/units") || strings.HasSuffix(pkg.Path, "internal/lint") {
+		return nil
+	}
+	var out []Diagnostic
+	pkg.eachFile(false, func(f *File) {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.FLOAT {
+				return true
+			}
+			v, err := strconv.ParseFloat(lit.Value, 64)
+			if err != nil {
+				return true
+			}
+			for _, pc := range magicRegistry {
+				if relClose(v, pc.value, magicRelTol) {
+					out = append(out, Diagnostic{
+						Rule:    r.Name(),
+						Pos:     pkg.position(lit),
+						Message: fmt.Sprintf("inlined physical constant %s; use %s", lit.Value, pc.replace),
+					})
+					break
+				}
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// relClose reports |a-b| <= tol*|b| (b is the registry reference).
+func relClose(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Abs(b)
+}

@@ -1,0 +1,56 @@
+package lint
+
+import "testing"
+
+func TestMagicConstFlagsInlinedPhysicalConstants(t *testing.T) {
+	files := map[string]string{"phys/phys.go": `package phys
+
+// Boltzmann truncated to three significant figures.
+const k = 1.38e-23
+
+// ThermalV hand-types kT/q at room temperature.
+func ThermalV() float64 { return 0.02585 }
+
+// Charge hand-types the elementary charge.
+func Charge() float64 { return 1.602e-19 }
+`}
+	wantFindings(t, diags(t, files, MagicConst{}), 3)
+}
+
+func TestMagicConstAllowsOrdinaryLiterals(t *testing.T) {
+	files := map[string]string{"phys/phys.go": `package phys
+
+// Engineering literals nowhere near the registry.
+const (
+	dt    = 1e-12
+	gain  = 3.14
+	scale = 30.0
+	tiny  = 2.5e-23 // not within tolerance of k
+)
+`}
+	wantFindings(t, diags(t, files, MagicConst{}), 0)
+}
+
+func TestMagicConstExemptsUnitsPackage(t *testing.T) {
+	files := map[string]string{"internal/units/units.go": `package units
+
+// Boltzmann is the canonical literal; this is where it is allowed.
+const Boltzmann = 1.380649e-23
+`}
+	wantFindings(t, diags(t, files, MagicConst{}), 0)
+}
+
+func TestMagicConstCoversTestFiles(t *testing.T) {
+	files := map[string]string{
+		"phys/phys.go": `package phys
+`,
+		"phys/phys_test.go": `package phys
+
+// kT/q inlined inside a test — still a divergence hazard.
+const vt = 0.0259
+`}
+	got := diags(t, files, MagicConst{})
+	if len(got) != 1 {
+		t.Fatalf("got %d finding(s), want 1", len(got))
+	}
+}

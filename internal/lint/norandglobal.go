@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// NoRandGlobal enforces the repository's core reproducibility invariant:
+// every stochastic component draws from an injected, splittable
+// *rng.Stream. It forbids importing math/rand, math/rand/v2 or
+// crypto/rand anywhere outside internal/rng itself, and it forbids
+// seeding a stream from the wall clock (time.Now inside the arguments
+// of rng.New / rng.NewSeq / any *.Seed call) — a time-derived seed makes
+// a sample path unrepeatable by construction.
+type NoRandGlobal struct{}
+
+// forbiddenRandImports are the randomness sources that bypass rng.Stream.
+var forbiddenRandImports = map[string]string{
+	"math/rand":    "unseedable global state; take a *rng.Stream instead",
+	"math/rand/v2": "unseedable global state; take a *rng.Stream instead",
+	"crypto/rand":  "non-reproducible entropy; take a *rng.Stream instead",
+}
+
+// Name implements Rule.
+func (NoRandGlobal) Name() string { return "norandglobal" }
+
+// Doc implements Rule.
+func (NoRandGlobal) Doc() string {
+	return "all randomness must flow through an injected *rng.Stream; no math/rand, crypto/rand or time-seeded streams"
+}
+
+// Check implements Rule. The rule is purely syntactic so it covers test
+// files too — a test seeded from the clock is just as unrepeatable.
+func (r NoRandGlobal) Check(pkg *Package) []Diagnostic {
+	if pkg.Path == "samurai/internal/rng" || strings.HasSuffix(pkg.Path, "/internal/rng") {
+		return nil
+	}
+	var out []Diagnostic
+	pkg.eachFile(false, func(f *File) {
+		for _, imp := range f.AST.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, bad := forbiddenRandImports[path]; bad {
+				out = append(out, Diagnostic{
+					Rule:    r.Name(),
+					Pos:     pkg.position(imp),
+					Message: fmt.Sprintf("import of %s is forbidden outside internal/rng: %s", path, why),
+				})
+			}
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSeedingCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if tn := findTimeNow(pkg, arg); tn != nil {
+					out = append(out, Diagnostic{
+						Rule:    r.Name(),
+						Pos:     pkg.position(tn),
+						Message: "time-seeded randomness defeats reproducibility; derive the seed from config or Stream.Split",
+					})
+				}
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// isSeedingCall reports whether the call constructs or seeds a random
+// stream: rng.New, rng.NewSeq, or any method/function named Seed.
+func isSeedingCall(call *ast.CallExpr) bool {
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		switch fn.Sel.Name {
+		case "Seed":
+			return true
+		case "New", "NewSeq":
+			if id, ok := fn.X.(*ast.Ident); ok && id.Name == "rng" {
+				return true
+			}
+		}
+	case *ast.Ident:
+		return fn.Name == "Seed"
+	}
+	return false
+}
+
+// findTimeNow returns the first time.Now call nested inside e, nil if none.
+func findTimeNow(pkg *Package, e ast.Expr) ast.Node {
+	var found ast.Node
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && pkg.isPkgDot(call.Fun, "time", "Now") {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,106 @@
+package lint
+
+import "testing"
+
+// rngStub is a minimal internal/rng so fixtures can exercise the
+// time-seeding detection without depending on the real package.
+const rngStub = `package rng
+
+// Stream is the stub stream type.
+type Stream struct{ s uint64 }
+
+// New returns a stub stream.
+func New(seed uint64) *Stream { return &Stream{seed} }
+
+// NewSeq returns a stub stream on a sequence.
+func NewSeq(seed, seq uint64) *Stream { return &Stream{seed ^ seq} }
+
+// Seed reseeds the stream.
+func (s *Stream) Seed(v uint64) { s.s = v }
+`
+
+func TestNoRandGlobalFlagsForbiddenImports(t *testing.T) {
+	for _, imp := range []string{"math/rand", "crypto/rand"} {
+		files := map[string]string{"sim/sim.go": `package sim
+
+import "` + imp + `"
+
+// Draw pulls one raw value.
+func Draw() uint32 {
+	var b [4]byte
+	rand.Read(b[:])
+	return uint32(b[0])
+}
+`}
+		got := diags(t, files, NoRandGlobal{})
+		if len(got) == 0 {
+			t.Fatalf("import %s: expected a finding", imp)
+		}
+	}
+}
+
+func TestNoRandGlobalAllowsRNGPackageItself(t *testing.T) {
+	files := map[string]string{"internal/rng/rng.go": `package rng
+
+import "math/rand"
+
+// Ref exposes the stdlib source for differential testing.
+func Ref(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+`}
+	wantFindings(t, diags(t, files, NoRandGlobal{}), 0)
+}
+
+func TestNoRandGlobalFlagsTimeSeededStream(t *testing.T) {
+	files := map[string]string{
+		"internal/rng/rng.go": rngStub,
+		"sim/sim.go": `package sim
+
+import (
+	"time"
+
+	"samurai/internal/rng"
+)
+
+// Fresh builds an unrepeatable stream (the anti-pattern).
+func Fresh() *rng.Stream {
+	return rng.New(uint64(time.Now().UnixNano()))
+}
+
+// Reseed is the method-call variant of the anti-pattern.
+func Reseed(s *rng.Stream) {
+	s.Seed(uint64(time.Now().Unix()))
+}
+`}
+	wantFindings(t, diags(t, files, NoRandGlobal{}), 2)
+}
+
+func TestNoRandGlobalAllowsInjectedStreams(t *testing.T) {
+	files := map[string]string{
+		"internal/rng/rng.go": rngStub,
+		"sim/sim.go": `package sim
+
+import "samurai/internal/rng"
+
+// Fixed builds a reproducible stream from a config seed.
+func Fixed(seed uint64) *rng.Stream {
+	return rng.New(seed)
+}
+`}
+	wantFindings(t, diags(t, files, NoRandGlobal{}), 0)
+}
+
+func TestNoRandGlobalCoversTestFiles(t *testing.T) {
+	files := map[string]string{"sim/sim_test.go": `package sim
+
+import "math/rand"
+
+// Noise draws stdlib randomness inside a test file.
+func Noise() float64 { return rand.Float64() }
+`,
+		"sim/sim.go": `package sim
+`}
+	got := diags(t, files, NoRandGlobal{})
+	if len(got) == 0 {
+		t.Fatal("expected a finding in the test file")
+	}
+}

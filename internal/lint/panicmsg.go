@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// PanicMsg enforces the repository's panic-message convention in
+// internal packages: a panic must carry a message identifying the
+// package, in the form "pkg: message" — matching the existing "num:",
+// "markov:" and "rng:" panics. Accepted argument shapes:
+//
+//	panic("num: Factor requires a square matrix")
+//	panic(fmt.Sprintf("markov: transition at t=%g before last event %g", t, last))
+//	panic("device: unknown node " + name)
+//
+// panic(err) and other non-literal payloads are rejected: they lose the
+// package attribution and usually mean an error that should have been
+// returned instead (see the bareerr rule).
+type PanicMsg struct{}
+
+// Name implements Rule.
+func (PanicMsg) Name() string { return "panicmsg" }
+
+// Doc implements Rule.
+func (PanicMsg) Doc() string {
+	return `panics in internal packages must carry a "pkg: " prefixed message`
+}
+
+// Check implements Rule. Applies to non-test files of internal
+// packages; tests may panic however they like.
+func (r PanicMsg) Check(pkg *Package) []Diagnostic {
+	if !strings.Contains(pkg.Path, "/internal/") {
+		return nil
+	}
+	prefix := pkg.Name + ": "
+	var out []Diagnostic
+	pkg.eachFile(true, func(f *File) {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "panic" {
+				return true
+			}
+			if !panicArgHasPrefix(call.Args[0], prefix) {
+				out = append(out, Diagnostic{
+					Rule:    r.Name(),
+					Pos:     pkg.position(call),
+					Message: fmt.Sprintf("panic message must be a string starting with %q (got %s)", prefix, describeExpr(call.Args[0])),
+				})
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// panicArgHasPrefix reports whether the panic argument is a string
+// literal, Sprintf/Errorf format, or literal-headed concatenation whose
+// leading text carries the required prefix.
+func panicArgHasPrefix(e ast.Expr, prefix string) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		s, err := strconv.Unquote(v.Value)
+		return err == nil && strings.HasPrefix(s, prefix)
+	case *ast.BinaryExpr:
+		// "pkg: something " + detail — the leftmost operand decides.
+		return panicArgHasPrefix(v.X, prefix)
+	case *ast.CallExpr:
+		// fmt.Sprintf / fmt.Errorf with a literal format string.
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" &&
+				(sel.Sel.Name == "Sprintf" || sel.Sel.Name == "Errorf") && len(v.Args) > 0 {
+				return panicArgHasPrefix(v.Args[0], prefix)
+			}
+		}
+	}
+	return false
+}
+
+// describeExpr names the offending argument shape for the diagnostic.
+func describeExpr(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return fmt.Sprintf("identifier %q", v.Name)
+	case *ast.BasicLit:
+		return "literal without the prefix"
+	case *ast.CallExpr:
+		return "call expression"
+	default:
+		return "non-literal expression"
+	}
+}

@@ -1,0 +1,74 @@
+package lint
+
+import "testing"
+
+func TestPanicMsgFlagsUnprefixedPanics(t *testing.T) {
+	files := map[string]string{"internal/kern/kern.go": `package kern
+
+import "fmt"
+
+// Bad1 panics with a raw error value.
+func Bad1(err error) {
+	panic(err)
+}
+
+// Bad2 panics without the package prefix.
+func Bad2() {
+	panic("dimension mismatch")
+}
+
+// Bad3 prefixes with the wrong package.
+func Bad3(n int) {
+	panic(fmt.Sprintf("other: bad n %d", n))
+}
+`}
+	wantFindings(t, diags(t, files, PanicMsg{}), 3)
+}
+
+func TestPanicMsgAcceptsPrefixedForms(t *testing.T) {
+	files := map[string]string{"internal/kern/kern.go": `package kern
+
+import "fmt"
+
+// Good1 uses a plain prefixed literal.
+func Good1() {
+	panic("kern: negative dimension")
+}
+
+// Good2 uses a prefixed Sprintf format.
+func Good2(n int) {
+	panic(fmt.Sprintf("kern: bad size %d", n))
+}
+
+// Good3 concatenates onto a prefixed literal head.
+func Good3(name string) {
+	panic("kern: unknown node " + name)
+}
+`}
+	wantFindings(t, diags(t, files, PanicMsg{}), 0)
+}
+
+func TestPanicMsgOnlyAppliesToInternalPackages(t *testing.T) {
+	files := map[string]string{"tool/tool.go": `package tool
+
+// Loose panics however it likes outside internal/.
+func Loose(err error) {
+	panic(err)
+}
+`}
+	wantFindings(t, diags(t, files, PanicMsg{}), 0)
+}
+
+func TestPanicMsgSkipsTestFiles(t *testing.T) {
+	files := map[string]string{
+		"internal/kern/kern.go": `package kern
+`,
+		"internal/kern/kern_test.go": `package kern
+
+// MustFail panics freely inside a test helper.
+func MustFail() {
+	panic("boom")
+}
+`}
+	wantFindings(t, diags(t, files, PanicMsg{}), 0)
+}

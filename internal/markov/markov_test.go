@@ -8,6 +8,7 @@ import (
 	"samurai/internal/num"
 	"samurai/internal/rng"
 	"samurai/internal/trap"
+	"samurai/internal/units"
 )
 
 func testCtx() trap.Context { return trap.DefaultContext(1.9e-9, 1.2) }
@@ -186,7 +187,7 @@ func TestUniformiseMatchesODENonStationary(t *testing.T) {
 	tr := activeTrap(ctx)
 	ls := ctx.RateSum(tr)
 	cEff := ctx.Coupling * ctx.EffectiveCoupling(tr)
-	amp := 4 * 0.02585 / cEff
+	amp := 4 * units.ThermalVoltage(units.RoomTemperature) / cEff
 	period := 5 / ls
 	bias := func(t float64) float64 {
 		return ctx.VRef + amp*math.Sin(2*math.Pi*t/period)

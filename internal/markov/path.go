@@ -56,6 +56,7 @@ func (p *Path) StateAt(t float64) bool {
 	}
 	// Find the last event time <= t.
 	i := sort.SearchFloat64s(p.Times, t)
+	//lint:ignore floateq exact hit on a stored event time located by SearchFloat64s
 	if i < len(p.Times) && p.Times[i] == t {
 		return p.Filled[i]
 	}

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sync"
 
+	"samurai/internal/conc"
 	"samurai/internal/device"
 	"samurai/internal/rng"
 	"samurai/internal/sram"
@@ -101,6 +102,11 @@ func RunArray(cfg ArrayConfig, run Runner) (*ArrayResult, error) {
 	root := rng.New(cfg.Seed)
 	outcomes := make([]CellOutcome, cfg.Cells)
 
+	// Workers write only their own outcomes[i] slot (index-disjoint);
+	// failures are aggregated under a mutex with lowest-cell-index
+	// priority, so the reported error is scheduling-independent and
+	// remaining workers stop simulating doomed batches early.
+	var agg conc.FirstFail
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -108,7 +114,14 @@ func RunArray(cfg ArrayConfig, run Runner) (*ArrayResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				outcomes[i] = simulateCell(cfg, run, i, root.Split(uint64(i)))
+				if agg.Failed() {
+					continue // drain the queue without simulating
+				}
+				out := simulateCell(cfg, run, i, root.Split(uint64(i)))
+				if out.Err != nil {
+					agg.Record(i, fmt.Errorf("montecarlo: cell %d: %w", out.Index, out.Err))
+				}
+				outcomes[i] = out
 			}
 		}()
 	}
@@ -117,13 +130,13 @@ func RunArray(cfg ArrayConfig, run Runner) (*ArrayResult, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	if err := agg.Err(); err != nil {
+		return nil, err
+	}
 
 	res := &ArrayResult{Config: cfg, Outcomes: outcomes}
 	trapSum := 0
 	for _, o := range outcomes {
-		if o.Err != nil {
-			return nil, fmt.Errorf("montecarlo: cell %d: %w", o.Index, o.Err)
-		}
 		if o.Failed {
 			res.NumFailed++
 		}

@@ -55,6 +55,7 @@ func NFilled(paths []*markov.Path) (times []float64, counts []int) {
 	cur := n0
 	for _, e := range events {
 		cur += e.delta
+		//lint:ignore floateq merges events at bitwise-identical stored times, not nearby ones
 		if times[len(times)-1] == e.t {
 			counts[len(counts)-1] = cur
 			continue
@@ -71,6 +72,7 @@ func CountAt(times []float64, counts []int, t float64) int {
 		return 0
 	}
 	i := sort.SearchFloat64s(times, t)
+	//lint:ignore floateq exact hit on a stored step-function breakpoint located by SearchFloat64s
 	if i < len(times) && times[i] == t {
 		return counts[i]
 	}

@@ -104,7 +104,10 @@ func TestComposeTracksBiasWaveform(t *testing.T) {
 	dev := testDev()
 	p := pathWith(0, 1e-6, true)
 	// Drain current ramps 0→100µA: I_RTN must ramp proportionally.
-	id := waveform.MustNew([]float64{0, 1e-6}, []float64{0, 100e-6})
+	id, err := waveform.New([]float64{0, 1e-6}, []float64{0, 100e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	vgs := waveform.Constant(1.2)
 	tr, err := Compose([]*markov.Path{p}, dev, vgs, id, 0, 1e-6, 101)
 	if err != nil {

@@ -161,10 +161,13 @@ func TestWritesWithVariationStillMostlyWork(t *testing.T) {
 func TestClassifyCyclesDirect(t *testing.T) {
 	p := Pattern{Bits: []int{1, 0}, Timing: DefaultTiming(), Vdd: 1.0}
 	// Synthetic Q: correct 1 in cycle 0, stuck high (wrong) in cycle 1.
-	q := waveform.MustNew(
+	q, err := waveform.New(
 		[]float64{0, 0.5e-9, 4e-9},
 		[]float64{0, 1, 1},
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cycles := ClassifyCycles(p, q)
 	if !cycles[0].Written {
 		t.Fatal("cycle 0 should pass")

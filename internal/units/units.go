@@ -7,10 +7,17 @@ import "math"
 
 // Fundamental constants (CODATA values, SI).
 const (
-	BoltzmannJPerK  = 1.380649e-23    // k, J/K
-	ElectronCharge  = 1.602176634e-19 // q, C
-	ElectronVoltJ   = 1.602176634e-19 // 1 eV in J
-	RoomTemperature = 300.0           // K, default simulation temperature
+	BoltzmannJPerK     = 1.380649e-23     // k, J/K
+	ElectronCharge     = 1.602176634e-19  // q, C
+	ElectronVoltJ      = 1.602176634e-19  // 1 eV in J
+	VacuumPermittivity = 8.8541878128e-12 // ε0, F/m
+	RoomTemperature    = 300.0            // K, default simulation temperature
+)
+
+// Derived material constants.
+const (
+	// SiO2Permittivity is the permittivity of gate-oxide SiO2 (κ = 3.9), F/m.
+	SiO2Permittivity = 3.9 * VacuumPermittivity
 )
 
 // ThermalVoltage returns kT/q in volts at temperature t (kelvin).

@@ -8,7 +8,10 @@ import (
 )
 
 func TestCSVRoundTrip(t *testing.T) {
-	w := MustNew([]float64{0, 1e-9, 2.5e-9}, []float64{0, 1.2, -0.3})
+	w, err := New([]float64{0, 1e-9, 2.5e-9}, []float64{0, 1.2, -0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := w.WriteCSV(&buf); err != nil {
 		t.Fatal(err)

@@ -38,15 +38,6 @@ func New(t, v []float64) (*PWL, error) {
 	return &PWL{T: t, V: v}, nil
 }
 
-// MustNew is New but panics on error; for literals in tests/examples.
-func MustNew(t, v []float64) *PWL {
-	w, err := New(t, v)
-	if err != nil {
-		panic(err)
-	}
-	return w
-}
-
 // Constant returns a waveform with the given constant value, defined at
 // t = 0 (and by extension everywhere).
 func Constant(v float64) *PWL {
@@ -66,6 +57,7 @@ func (w *PWL) Eval(t float64) float64 {
 	// Binary search for the segment containing t.
 	i := sort.SearchFloat64s(w.T, t)
 	// w.T[i-1] < t <= w.T[i]
+	//lint:ignore floateq exact hit on a stored breakpoint located by SearchFloat64s
 	if w.T[i] == t {
 		return w.V[i]
 	}
@@ -166,6 +158,7 @@ func mergeTimes(a, b []float64) []float64 {
 }
 
 func appendUnique(s []float64, t float64) []float64 {
+	//lint:ignore floateq deduplicates bitwise-identical merged breakpoints only
 	if len(s) > 0 && s[len(s)-1] == t {
 		return s
 	}
@@ -247,6 +240,7 @@ func (w *PWL) Crossings(level float64) []float64 {
 			out = append(out, w.T[i-1]+frac*(w.T[i]-w.T[i-1]))
 		}
 	}
+	//lint:ignore floateq an exact endpoint touch is a crossing by definition; nearby values are caught by the sign test
 	if len(w.V) > 0 && w.V[len(w.V)-1] == level {
 		out = append(out, w.T[len(w.T)-1])
 	}

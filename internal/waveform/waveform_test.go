@@ -6,6 +6,17 @@ import (
 	"testing/quick"
 )
 
+// mustNew fails the test on a construction error; fixtures here are
+// statically valid.
+func mustNew(t *testing.T, ts, vs []float64) *PWL {
+	t.Helper()
+	w, err := New(ts, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(nil, nil); err == nil {
 		t.Fatal("empty waveform accepted")
@@ -22,7 +33,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestEvalInterpolationAndClamping(t *testing.T) {
-	w := MustNew([]float64{0, 1, 3}, []float64{0, 10, 30})
+	w := mustNew(t, []float64{0, 1, 3}, []float64{0, 10, 30})
 	cases := map[float64]float64{
 		-5:  0,  // clamp left
 		0:   0,  // breakpoint
@@ -50,7 +61,7 @@ func TestConstant(t *testing.T) {
 
 func TestIntegralExact(t *testing.T) {
 	// Triangle from (0,0) to (2,4): area over [0,2] is 4.
-	w := MustNew([]float64{0, 2}, []float64{0, 4})
+	w := mustNew(t, []float64{0, 2}, []float64{0, 4})
 	if got := w.Integral(0, 2); math.Abs(got-4) > 1e-12 {
 		t.Fatalf("integral = %g, want 4", got)
 	}
@@ -69,8 +80,8 @@ func TestIntegralExact(t *testing.T) {
 }
 
 func TestAddSubPointwiseProperty(t *testing.T) {
-	a := MustNew([]float64{0, 1, 2}, []float64{1, 3, 2})
-	b := MustNew([]float64{0.5, 1.5}, []float64{10, 20})
+	a := mustNew(t, []float64{0, 1, 2}, []float64{1, 3, 2})
+	b := mustNew(t, []float64{0.5, 1.5}, []float64{10, 20})
 	sum := Add(a, b)
 	diff := Sub(a, b)
 	f := func(tRaw float64) bool {
@@ -88,7 +99,7 @@ func TestAddSubPointwiseProperty(t *testing.T) {
 }
 
 func TestScaleShift(t *testing.T) {
-	w := MustNew([]float64{0, 1}, []float64{2, 4})
+	w := mustNew(t, []float64{0, 1}, []float64{2, 4})
 	s := w.Scale(3)
 	if s.Eval(1) != 12 || w.Eval(1) != 4 {
 		t.Fatal("Scale wrong or mutated the original")
@@ -100,14 +111,14 @@ func TestScaleShift(t *testing.T) {
 }
 
 func TestMinMax(t *testing.T) {
-	w := MustNew([]float64{0, 1, 2}, []float64{-3, 7, 0})
+	w := mustNew(t, []float64{0, 1, 2}, []float64{-3, 7, 0})
 	if w.Min() != -3 || w.Max() != 7 {
 		t.Fatalf("min/max = %g/%g", w.Min(), w.Max())
 	}
 }
 
 func TestCrossings(t *testing.T) {
-	w := MustNew([]float64{0, 1, 2, 3}, []float64{0, 2, 0, 2})
+	w := mustNew(t, []float64{0, 1, 2, 3}, []float64{0, 2, 0, 2})
 	xs := w.Crossings(1)
 	want := []float64{0.5, 1.5, 2.5}
 	if len(xs) != len(want) {
@@ -122,7 +133,7 @@ func TestCrossings(t *testing.T) {
 
 func TestCrossingsTouchingLevel(t *testing.T) {
 	// A waveform that starts exactly at the level reports that point.
-	w := MustNew([]float64{0, 1}, []float64{1, 2})
+	w := mustNew(t, []float64{0, 1}, []float64{1, 2})
 	xs := w.Crossings(1)
 	if len(xs) != 1 || xs[0] != 0 {
 		t.Fatalf("touch crossing = %v", xs)
@@ -130,7 +141,7 @@ func TestCrossingsTouchingLevel(t *testing.T) {
 }
 
 func TestSampleEndpoints(t *testing.T) {
-	w := MustNew([]float64{0, 10}, []float64{0, 10})
+	w := mustNew(t, []float64{0, 10}, []float64{0, 10})
 	ts, vs := w.Sample(0, 10, 11)
 	if len(ts) != 11 || ts[0] != 0 || ts[10] != 10 || vs[5] != 5 {
 		t.Fatalf("Sample wrong: %v %v", ts, vs)
@@ -138,7 +149,7 @@ func TestSampleEndpoints(t *testing.T) {
 }
 
 func TestResampleIdempotent(t *testing.T) {
-	w := MustNew([]float64{0, 1, 2}, []float64{0, 5, -1})
+	w := mustNew(t, []float64{0, 1, 2}, []float64{0, 5, -1})
 	r1 := w.Resample(0, 2, 101)
 	r2 := r1.Resample(0, 2, 101)
 	for i := range r1.T {
@@ -165,8 +176,8 @@ func TestStepWaveform(t *testing.T) {
 }
 
 func TestMulApproximation(t *testing.T) {
-	a := MustNew([]float64{0, 2}, []float64{1, 1})
-	b := MustNew([]float64{0, 2}, []float64{0, 2})
+	a := mustNew(t, []float64{0, 2}, []float64{1, 1})
+	b := mustNew(t, []float64{0, 2}, []float64{0, 2})
 	m := Mul(a, b)
 	if math.Abs(m.Eval(1)-1) > 1e-12 {
 		t.Fatalf("Mul constant×ramp at 1 = %g", m.Eval(1))
@@ -183,7 +194,7 @@ func TestEvalBinarySearchConsistency(t *testing.T) {
 		ts[i] = float64(i) * 0.1
 		vs[i] = math.Sin(float64(i))
 	}
-	w := MustNew(ts, vs)
+	w := mustNew(t, ts, vs)
 	for i := 0; i+1 < n; i += 37 {
 		mid := (ts[i] + ts[i+1]) / 2
 		want := (vs[i] + vs[i+1]) / 2

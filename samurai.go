@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"samurai/internal/circuit"
+	"samurai/internal/conc"
 	"samurai/internal/device"
 	"samurai/internal/markov"
 	"samurai/internal/rng"
@@ -141,23 +142,28 @@ func Run(cfg Config) (*Result, error) {
 	}
 	// The six transistors' trap simulations are independent (each has
 	// its own deterministic child stream), so they run concurrently;
-	// results are deterministic regardless of scheduling.
+	// results are deterministic regardless of scheduling. Each worker
+	// writes only its own outs[i] slot (index-disjoint); failures are
+	// aggregated under a mutex, keeping the lowest transistor index so
+	// the reported error is scheduling-independent too.
 	type devOut struct {
 		name    string
 		profile trap.Profile
 		paths   []*markov.Path
 		trace   *rtn.Trace
 		pwl     *waveform.PWL
-		err     error
 	}
 	outs := make([]devOut, len(sram.Transistors))
+	var agg conc.FirstFail
 	var wg sync.WaitGroup
 	for i, name := range sram.Transistors {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
+			if agg.Failed() {
+				return // another device already failed; skip the work
+			}
 			o := devOut{name: name}
-			defer func() { outs[i] = o }()
 			dev := cleanCell.Params[name]
 			profile, ok := cfg.Profiles[name]
 			if !ok {
@@ -168,28 +174,33 @@ func Run(cfg Config) (*Result, error) {
 
 			vgs, id, err := clean.Trans.DeviceBias(name)
 			if err != nil {
-				o.err = err
+				agg.Record(i, err)
 				return
 			}
 			o.paths, err = markov.UniformiseProfile(profile, vgs.Eval, t0, t1, root.Split(uint64(2000+i)))
 			if err != nil {
-				o.err = fmt.Errorf("samurai: uniformisation for %s: %w", name, err)
+				agg.Record(i, fmt.Errorf("samurai: uniformisation for %s: %w", name, err))
 				return
 			}
 			o.trace, err = rtn.Compose(o.paths, dev, vgs, id, t0, t1, cfg.TraceSamples)
 			if err != nil {
-				o.err = fmt.Errorf("samurai: trace for %s: %w", name, err)
+				agg.Record(i, fmt.Errorf("samurai: trace for %s: %w", name, err))
 				return
 			}
 			o.trace.Scale(cfg.Scale)
-			o.pwl, o.err = o.trace.PWL()
+			o.pwl, err = o.trace.PWL()
+			if err != nil {
+				agg.Record(i, err)
+				return
+			}
+			outs[i] = o
 		}(i, name)
 	}
 	wg.Wait()
+	if err := agg.Err(); err != nil {
+		return nil, err
+	}
 	for _, o := range outs {
-		if o.err != nil {
-			return nil, o.err
-		}
 		res.Profiles[o.name] = o.profile
 		res.Paths[o.name] = o.paths
 		res.Traces[o.name] = o.trace
