@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint check bench
+.PHONY: build test vet race lint check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,14 @@ lint:
 	$(GO) run ./cmd/samurailint ./...
 
 # check is the full local gate — identical to what CI runs on every PR.
-check: build test vet race lint
+check: build test vet race lint bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-smoke runs every benchmark once so a broken experiment harness
+# fails the gate; the output lands in bench.txt (CI uploads it as an
+# artifact).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ . > bench.txt
+	@tail -n 3 bench.txt

@@ -19,6 +19,7 @@ import (
 
 	"samurai/internal/device"
 	"samurai/internal/markov"
+	"samurai/internal/obs"
 	"samurai/internal/rng"
 	"samurai/internal/rtn"
 	"samurai/internal/waveform"
@@ -40,8 +41,23 @@ func main() {
 		sqLo     = flag.Float64("square-lo", -1, "square-wave low bias, V (enables square mode with -square-hi)")
 		sqHi     = flag.Float64("square-hi", -1, "square-wave high bias, V")
 		period   = flag.Float64("period", 1e-6, "square-wave period, s")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090)")
+		progress    = flag.Bool("progress", false, "stream structured progress events to stderr")
 	)
 	flag.Parse()
+	if *progress {
+		obs.SetSink(obs.NewTextSink(os.Stderr))
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.ServeMetrics(*metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics server: %v", err)
+		}
+		//lint:ignore bareerr process is exiting; a close failure has nothing to recover
+		defer srv.Close()
+		log.Printf("metrics at http://%s/metrics", srv.Addr())
+	}
 
 	tech := device.Node(*techName)
 	dev := device.NewMOS(tech, device.NMOS, *wMult*tech.Lmin, tech.Lmin)
@@ -92,14 +108,20 @@ func main() {
 		vgsWave = waveform.Constant(v)
 	}
 
+	span := obs.StartSpan("rtngen")
+	uni := span.Child("uniformise")
 	paths, err := markov.UniformiseProfile(profile, bias, 0, *duration, root.Split(2))
 	if err != nil {
 		log.Fatal(err)
 	}
+	uni.End()
+	comp := span.Child("compose")
 	trace, err := rtn.Compose(paths, dev, vgsWave, waveform.Constant(*id), 0, *duration, *samples)
 	if err != nil {
 		log.Fatal(err)
 	}
+	comp.End()
+	span.End()
 	times, counts := rtn.NFilled(paths)
 
 	transitions := 0

@@ -18,6 +18,7 @@ import (
 
 	samurai "samurai"
 	"samurai/internal/device"
+	"samurai/internal/obs"
 	"samurai/internal/sram"
 	"samurai/internal/waveform"
 )
@@ -35,8 +36,23 @@ func main() {
 		marginal = flag.Bool("marginal", false, "calibrate the cell so the clean write barely fits the WL window")
 		coupled  = flag.Bool("coupled", false, "use bidirectionally-coupled co-simulation instead of the two-pass methodology")
 		dumpDir  = flag.String("dump-dir", "", "write Q/Q̄ waveforms and per-transistor RTN traces as CSV into this directory")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090)")
+		progress    = flag.Bool("progress", false, "stream structured progress events (spans, phase timings) to stderr")
 	)
 	flag.Parse()
+	if *progress {
+		obs.SetSink(obs.NewTextSink(os.Stderr))
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.ServeMetrics(*metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics server: %v", err)
+		}
+		//lint:ignore bareerr process is exiting; a close failure has nothing to recover
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "samurai: metrics at http://%s/metrics\n", srv.Addr())
+	}
 	if *dumpDir != "" {
 		if err := os.MkdirAll(*dumpDir, 0o755); err != nil {
 			log.Fatal(err)

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"samurai/internal/circuit"
+	"samurai/internal/obs"
 )
 
 func main() {
@@ -33,7 +34,21 @@ func main() {
 	log.SetPrefix("spicesim: ")
 
 	outPath := flag.String("o", "", "output CSV path (default stdout)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090)")
+	progress := flag.Bool("progress", false, "stream transient progress events to stderr")
 	flag.Parse()
+	if *progress {
+		obs.SetSink(obs.NewTextSink(os.Stderr))
+	}
+	if *metricsAddr != "" {
+		srv, err := obs.ServeMetrics(*metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics server: %v", err)
+		}
+		//lint:ignore bareerr process is exiting; a close failure has nothing to recover
+		defer srv.Close()
+		log.Printf("metrics at http://%s/metrics", srv.Addr())
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -88,7 +103,7 @@ func emit(w *bufio.Writer, deck *circuit.Deck) error {
 		return nil
 	}
 
-	res, err := deck.RunTran()
+	res, err := runTran(deck)
 	if err != nil {
 		return err
 	}
@@ -107,6 +122,33 @@ func emit(w *bufio.Writer, deck *circuit.Deck) error {
 	}
 	log.Printf("simulated %d steps over %g s (%d nodes)", len(res.Times)-1, deck.Tran.T1, len(nodes))
 	return nil
+}
+
+// runTran drives the deck's transient analysis step by step (exactly
+// what Deck.RunTran does internally) so a progress event can be emitted
+// at each 10% mark of simulated time.
+func runTran(deck *circuit.Deck) (*circuit.TransientResult, error) {
+	span := obs.StartSpan("spicesim.tran")
+	defer span.End()
+	r, err := deck.Circuit.NewRunner(deck.Tran)
+	if err != nil {
+		return nil, err
+	}
+	t0, t1 := deck.Tran.T0, deck.Tran.T1
+	next := 0.1
+	for !r.Done() {
+		if err := r.Step(deck.Tran.Dt); err != nil {
+			return nil, err
+		}
+		if frac := (r.Time() - t0) / (t1 - t0); frac >= next {
+			obs.Emit("spicesim.progress",
+				obs.F("t", r.Time()), obs.F("frac", frac))
+			for next <= frac {
+				next += 0.1
+			}
+		}
+	}
+	return r.Result(), nil
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -8,19 +8,51 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"sync"
 
 	samurai "samurai"
 	"samurai/internal/device"
 	"samurai/internal/montecarlo"
+	"samurai/internal/obs"
 	"samurai/internal/sram"
 )
+
+// progressLine renders montecarlo.progress events as a live one-line
+// cells/sec readout on stderr (rewritten in place with \r). Emit is
+// mutex-guarded: montecarlo workers emit concurrently.
+type progressLine struct {
+	mu sync.Mutex
+}
+
+func (p *progressLine) Emit(e obs.Event) {
+	if e.Name != "montecarlo.progress" && e.Name != "montecarlo.done" {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := map[string]any{}
+	for _, fld := range e.Fields {
+		f[fld.Key] = fld.Value
+	}
+	switch e.Name {
+	case "montecarlo.progress":
+		fmt.Fprintf(os.Stderr, "\r%v/%v cells  %.1f cells/s ", f["done"], f["cells"], f["cells_per_sec"])
+	case "montecarlo.done":
+		fmt.Fprintf(os.Stderr, "\r%v cells in %.1f s  (%.1f cells/s)\n", f["cells"], f["seconds"], f["cells_per_sec"])
+	}
+}
 
 func main() {
 	log.SetFlags(0)
 
 	cells := flag.Int("cells", 32, "number of array cells to simulate")
 	scale := flag.Float64("scale", 10, "RTN acceleration factor")
+	quiet := flag.Bool("quiet", false, "disable the live cells/sec readout")
 	flag.Parse()
+	if !*quiet {
+		obs.SetSink(&progressLine{})
+	}
 
 	tech := device.Node("32nm")
 	vdd := 2.0 / 3.0 * tech.Vdd

@@ -1,0 +1,23 @@
+package circuit
+
+import "samurai/internal/obs"
+
+// Solver instrumentation. Counters are process-wide atomics resolved
+// once at init; the Newton loop itself counts into locals and publishes
+// once per solve, so the per-iteration cost of observability is zero.
+// None of these touch simulation state or randomness — see the
+// determinism guarantee in internal/obs.
+var (
+	mNewtonSolves = obs.GetCounter("samurai_circuit_newton_solves_total",
+		"completed Newton solves (converged or not)")
+	mNewtonIterations = obs.GetCounter("samurai_circuit_newton_iterations_total",
+		"Newton iterations across all solves")
+	mNewtonFailures = obs.GetCounter("samurai_circuit_newton_failures_total",
+		"Newton solves that hit the iteration cap without converging")
+	mStepsAccepted = obs.GetCounter("samurai_circuit_steps_accepted_total",
+		"transient steps accepted (including halved sub-steps)")
+	mStepsRejected = obs.GetCounter("samurai_circuit_steps_rejected_total",
+		"transient steps rejected and retried at half the horizon")
+	mTransientRuns = obs.GetCounter("samurai_circuit_transient_runs_total",
+		"transient analyses started")
+)

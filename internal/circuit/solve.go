@@ -51,9 +51,11 @@ func (o Options) Defaults() Options {
 var ErrNoConvergence = errors.New("circuit: Newton iteration did not converge")
 
 // newtonSolve runs damped Newton–Raphson at a fixed time/step,
-// overwriting st.x with the solution.
+// overwriting st.x with the solution. Iteration counts are published to
+// the solver metrics once per call (never inside the loop).
 func (c *Circuit) newtonSolve(st *stampCtx, opt Options) error {
 	n := c.Size()
+	mNewtonSolves.Inc()
 	for iter := 0; iter < opt.MaxNewton; iter++ {
 		st.a.Zero()
 		for i := range st.b {
@@ -93,9 +95,12 @@ func (c *Circuit) newtonSolve(st *stampCtx, opt Options) error {
 		}
 		//lint:ignore floateq scale is exactly the literal 1.0 whenever no damping step-limit was applied
 		if scale == 1.0 && maxDv < opt.VTol {
+			mNewtonIterations.Add(int64(iter + 1))
 			return nil
 		}
 	}
+	mNewtonIterations.Add(int64(opt.MaxNewton))
+	mNewtonFailures.Inc()
 	return ErrNoConvergence
 }
 
@@ -260,6 +265,7 @@ func (c *Circuit) NewRunner(spec TransientSpec) (*Runner, error) {
 	for _, e := range c.elems {
 		e.advance(st)
 	}
+	mTransientRuns.Inc()
 	r := &Runner{
 		c: c, st: st, opt: opt, t: spec.T0, t1: spec.T1,
 		res: &TransientResult{
@@ -331,6 +337,7 @@ func (r *Runner) advanceTo(t float64, depth int) error {
 	r.st.dt = t - r.t
 	if err := r.c.newtonSolve(r.st, r.opt); err != nil {
 		copy(r.st.x, saved)
+		mStepsRejected.Inc()
 		if depth >= 6 {
 			return fmt.Errorf("circuit: step at t=%.4g s: %w", t, err)
 		}
@@ -343,6 +350,7 @@ func (r *Runner) advanceTo(t float64, depth int) error {
 	for _, e := range r.c.elems {
 		e.advance(r.st)
 	}
+	mStepsAccepted.Inc()
 	r.t = t
 	return nil
 }

@@ -10,6 +10,8 @@
 //   - physical constants come from internal/units, never inlined
 //     (magicconst)
 //   - error returns are never silently discarded (bareerr)
+//   - internal packages never print to the console; telemetry flows
+//     through internal/obs (printfless)
 //
 // Diagnostics are position-tracked and emitted in a deterministic order
 // (file, line, column, rule). Individual findings can be suppressed with
@@ -91,6 +93,7 @@ func AllRules() []Rule {
 		PanicMsg{},
 		MagicConst{},
 		BareErr{},
+		PrintfLess{},
 	}
 }
 

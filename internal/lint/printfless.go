@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PrintfLess keeps internal packages free of ad-hoc console output:
+// telemetry must flow through internal/obs (structured events, metrics)
+// so that library code never writes to stdout/stderr behind the
+// caller's back. Flagged in non-test files of internal packages:
+//
+//   - fmt.Print / fmt.Printf / fmt.Println (implicit stdout)
+//   - any call through the standard "log" package (implicit stderr and
+//     process-global state)
+//
+// fmt.Fprint*/Sprint* are fine — they target an explicit writer or a
+// string. Binaries under cmd/ and examples/ may print freely.
+type PrintfLess struct{}
+
+// Name implements Rule.
+func (PrintfLess) Name() string { return "printfless" }
+
+// Doc implements Rule.
+func (PrintfLess) Doc() string {
+	return "no fmt.Print*/log.* in internal packages; telemetry goes through internal/obs"
+}
+
+// fmtStdoutFuncs are the fmt functions that write to process stdout.
+var fmtStdoutFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+// Check implements Rule. Applies to non-test files of internal
+// packages; tests may print freely.
+func (r PrintfLess) Check(pkg *Package) []Diagnostic {
+	if !strings.Contains(pkg.Path, "/internal/") {
+		return nil
+	}
+	var out []Diagnostic
+	pkg.eachFile(true, func(f *File) {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case fmtStdoutFuncs[sel.Sel.Name] && pkg.isPkgDot(sel, "fmt", sel.Sel.Name):
+				out = append(out, Diagnostic{
+					Rule:    r.Name(),
+					Pos:     pkg.position(call),
+					Message: fmt.Sprintf("fmt.%s writes to stdout from an internal package; emit through internal/obs or take an io.Writer", sel.Sel.Name),
+				})
+			case pkg.selectsPackage(sel, "log"):
+				out = append(out, Diagnostic{
+					Rule:    r.Name(),
+					Pos:     pkg.position(call),
+					Message: fmt.Sprintf("log.%s called from an internal package; emit through internal/obs instead", sel.Sel.Name),
+				})
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// selectsPackage reports whether sel selects any member of the import
+// with the given path (matched by path so aliases work; falls back to
+// the default package name in untyped files).
+func (p *Package) selectsPackage(sel *ast.SelectorExpr, path string) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if p.Info != nil {
+		if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+			return pn.Imported().Path() == path
+		}
+		if p.Info.Uses[id] != nil {
+			return false // a variable or type named like the package
+		}
+	}
+	want := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		want = path[i+1:]
+	}
+	return id.Name == want
+}

@@ -1,0 +1,129 @@
+package lint
+
+import "testing"
+
+func TestPrintfLessFlagsConsoleOutput(t *testing.T) {
+	files := map[string]string{"internal/kern/kern.go": `package kern
+
+import (
+	"fmt"
+	"log"
+)
+
+// Bad1 prints straight to stdout.
+func Bad1(n int) {
+	fmt.Println("solved", n)
+}
+
+// Bad2 uses a format print.
+func Bad2(n int) {
+	fmt.Printf("n=%d\n", n)
+}
+
+// Bad3 logs through the global logger.
+func Bad3(err error) {
+	log.Printf("warning: %v", err)
+}
+
+// Bad4 even log.New counts: process-global console plumbing.
+func Bad4() {
+	log.Fatal("boom")
+}
+`}
+	wantFindings(t, diags(t, files, PrintfLess{}), 4)
+}
+
+func TestPrintfLessAcceptsExplicitWriters(t *testing.T) {
+	files := map[string]string{"internal/kern/kern.go": `package kern
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Good1 writes to an explicit writer.
+func Good1(w io.Writer, n int) {
+	fmt.Fprintf(w, "n=%d\n", n)
+}
+
+// Good2 formats into a string.
+func Good2(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Good3 builds output without printing.
+func Good3(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		fmt.Fprint(&b, p)
+	}
+	return b.String()
+}
+`}
+	wantFindings(t, diags(t, files, PrintfLess{}), 0)
+}
+
+func TestPrintfLessOnlyAppliesToInternalPackages(t *testing.T) {
+	files := map[string]string{"tool/tool.go": `package tool
+
+import (
+	"fmt"
+	"log"
+)
+
+// Loose prints freely outside internal/.
+func Loose(n int) {
+	fmt.Println(n)
+	log.Printf("n=%d", n)
+}
+`}
+	wantFindings(t, diags(t, files, PrintfLess{}), 0)
+}
+
+func TestPrintfLessSkipsTestFiles(t *testing.T) {
+	files := map[string]string{
+		"internal/kern/kern.go": `package kern
+`,
+		"internal/kern/kern_test.go": `package kern
+
+import "fmt"
+
+// Debug prints freely inside a test helper.
+func Debug(n int) {
+	fmt.Println("n =", n)
+}
+`}
+	wantFindings(t, diags(t, files, PrintfLess{}), 0)
+}
+
+func TestPrintfLessIgnoresShadowingIdentifiers(t *testing.T) {
+	files := map[string]string{"internal/kern/kern.go": `package kern
+
+// logger mimics the log package's shape.
+type logger struct{}
+
+func (logger) Printf(format string, args ...any) {}
+
+// Fine calls a method on a local value named log — not the package.
+func Fine() {
+	var log logger
+	log.Printf("n=%d", 1)
+}
+`}
+	wantFindings(t, diags(t, files, PrintfLess{}), 0)
+}
+
+func TestPrintfLessSuppressible(t *testing.T) {
+	files := map[string]string{"internal/kern/kern.go": `package kern
+
+import "fmt"
+
+// Tolerated carries a justified suppression.
+func Tolerated(n int) {
+	//lint:ignore printfless debugging aid kept for the bring-up harness
+	fmt.Println("n =", n)
+}
+`}
+	wantFindings(t, diags(t, files, PrintfLess{}), 0)
+}

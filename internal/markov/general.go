@@ -36,25 +36,31 @@ func UniformiseGeneral(rates RateFunc, lambdaStar float64, initFilled bool, t0, 
 	p := NewPath(t0, tf, initFilled)
 	filled := initFilled
 	t := t0
+	var candidates, accepts int64 // published once after the loop
 	for {
 		t += r.Exp(lambdaStar)
 		if t > tf {
 			break
 		}
+		candidates++
 		lc, le := rates(t)
 		lambdaNext := lc
 		if filled {
 			lambdaNext = le
 		}
 		if lambdaNext > lambdaStar*(1+1e-12) {
+			mMajorantViolations.Inc()
+			publishPath(lambdaStar, candidates, accepts)
 			return nil, fmt.Errorf("%w: λ=%g > λ*=%g at t=%g",
 				ErrMajorantViolated, lambdaNext, lambdaStar, t)
 		}
 		if r.Float64() < lambdaNext/lambdaStar {
 			p.Transition(t)
 			filled = !filled
+			accepts++
 		}
 	}
+	publishPath(lambdaStar, candidates, accepts)
 	return p, nil
 }
 

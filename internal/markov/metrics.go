@@ -1,0 +1,31 @@
+package markov
+
+import "samurai/internal/obs"
+
+// Uniformisation instrumentation (Algorithm 1 of the paper). Candidate
+// and acceptance counts are accumulated in locals inside the thinning
+// loop and published once per path, so the kernel's inner loop carries
+// no atomic operations. The expected candidate count is λ*·(tf−t0) —
+// comparing samurai_markov_candidates_total against that product is the
+// paper's own cost model (and the first thing to check when a run looks
+// slow).
+var (
+	mPaths = obs.GetCounter("samurai_markov_paths_total",
+		"trap occupancy paths simulated by uniformisation")
+	mCandidates = obs.GetCounter("samurai_markov_candidates_total",
+		"candidate events drawn from the majorant Poisson process")
+	mAccepts = obs.GetCounter("samurai_markov_accepts_total",
+		"candidate events accepted by thinning (state flips)")
+	mMajorant = obs.GetGauge("samurai_markov_majorant_rate",
+		"most recent uniformisation majorant rate λ*, 1/s")
+	mMajorantViolations = obs.GetCounter("samurai_markov_majorant_violations_total",
+		"UniformiseGeneral aborts because a propensity exceeded λ*")
+)
+
+// publishPath records one finished (or aborted) path's counts.
+func publishPath(lambdaStar float64, candidates, accepts int64) {
+	mPaths.Inc()
+	mCandidates.Add(candidates)
+	mAccepts.Add(accepts)
+	mMajorant.Set(lambdaStar)
+}

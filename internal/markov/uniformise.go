@@ -40,11 +40,13 @@ func Uniformise(ctx trap.Context, tr trap.Trap, vgs BiasFunc, t0, tf float64, r 
 	p := NewPath(t0, tf, tr.InitFilled)
 	filled := tr.InitFilled
 	t := t0
+	var candidates, accepts int64 // published once after the loop
 	for {
 		t += r.Exp(lambdaStar)
 		if t > tf {
 			break
 		}
+		candidates++
 		lc, le := ctx.Rates(tr, vgs(t))
 		lambdaNext := lc
 		if filled {
@@ -53,8 +55,10 @@ func Uniformise(ctx trap.Context, tr trap.Trap, vgs BiasFunc, t0, tf float64, r 
 		if r.Float64() < lambdaNext/lambdaStar {
 			p.Transition(t)
 			filled = !filled
+			accepts++
 		}
 	}
+	publishPath(lambdaStar, candidates, accepts)
 	return p, nil
 }
 

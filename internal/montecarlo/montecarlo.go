@@ -9,13 +9,47 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"samurai/internal/conc"
 	"samurai/internal/device"
+	"samurai/internal/obs"
 	"samurai/internal/rng"
 	"samurai/internal/sram"
 )
+
+// Array-run instrumentation. Cell counts and busy time are accumulated
+// per worker and published at worker exit (plus one histogram
+// observation per cell — each cell is a full methodology run, so the
+// relative cost is nil). Progress events stream through the process
+// sink at most once per progressTick per worker. None of this touches
+// the rng streams — see internal/obs for the determinism guarantee.
+var (
+	mCellsDone = obs.GetCounter("samurai_mc_cells_total",
+		"array cells fully simulated")
+	mCellFailures = obs.GetCounter("samurai_mc_cell_failures_total",
+		"array cells whose runner returned an error")
+	mCellsDrained = obs.GetCounter("samurai_mc_cells_drained_total",
+		"queued cells skipped (drained) after a sibling failure")
+	mCellSeconds = obs.GetHistogram("samurai_mc_cell_seconds",
+		"wall-clock duration of one cell simulation", obs.TimeBuckets())
+	mCellsPerSec = obs.GetGauge("samurai_mc_cells_per_second",
+		"throughput of the most recent RunArray")
+)
+
+// workerBusy resolves the per-worker utilisation counter.
+func workerBusy(w int) *obs.FloatCounter {
+	return obs.GetFloatCounter("samurai_mc_worker_busy_seconds_total",
+		"per-worker time spent simulating cells",
+		obs.L("worker", strconv.Itoa(w)))
+}
+
+// progressTick is the minimum interval between montecarlo.progress
+// events from a single worker.
+const progressTick = 500 * time.Millisecond
 
 // ArrayConfig describes a Monte-Carlo array experiment.
 type ArrayConfig struct {
@@ -102,6 +136,10 @@ func RunArray(cfg ArrayConfig, run Runner) (*ArrayResult, error) {
 	root := rng.New(cfg.Seed)
 	outcomes := make([]CellOutcome, cfg.Cells)
 
+	span := obs.StartSpan("montecarlo.run_array")
+	start := time.Now()
+	var done atomic.Int64
+
 	// Workers write only their own outcomes[i] slot (index-disjoint);
 	// failures are aggregated under a mutex with lowest-cell-index
 	// priority, so the reported error is scheduling-independent and
@@ -111,25 +149,57 @@ func RunArray(cfg ArrayConfig, run Runner) (*ArrayResult, error) {
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var busy time.Duration
+			var drained int64
+			lastProgress := start
 			for i := range jobs {
 				if agg.Failed() {
+					drained++
 					continue // drain the queue without simulating
 				}
+				cellStart := time.Now()
 				out := simulateCell(cfg, run, i, root.Split(uint64(i)))
+				cellDur := time.Since(cellStart)
+				busy += cellDur
+				mCellSeconds.Observe(cellDur.Seconds())
 				if out.Err != nil {
+					mCellFailures.Inc()
 					agg.Record(i, fmt.Errorf("montecarlo: cell %d: %w", out.Index, out.Err))
 				}
 				outcomes[i] = out
+				n := done.Add(1)
+				if obs.Enabled() && time.Since(lastProgress) >= progressTick {
+					lastProgress = time.Now()
+					elapsed := lastProgress.Sub(start).Seconds()
+					obs.Emit("montecarlo.progress",
+						obs.F("done", n),
+						obs.F("cells", cfg.Cells),
+						obs.F("cells_per_sec", float64(n)/elapsed))
+				}
 			}
-		}()
+			workerBusy(w).Add(busy.Seconds())
+			mCellsDrained.Add(drained)
+		}(w)
 	}
 	for i := 0; i < cfg.Cells; i++ {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	finished := done.Load()
+	mCellsDone.Add(finished)
+	if elapsed > 0 {
+		mCellsPerSec.Set(float64(finished) / elapsed)
+	}
+	obs.Emit("montecarlo.done",
+		obs.F("cells", finished),
+		obs.F("seconds", elapsed),
+		obs.F("cells_per_sec", float64(finished)/elapsed),
+		obs.F("workers", workers))
+	span.End()
 	if err := agg.Err(); err != nil {
 		return nil, err
 	}

@@ -3,6 +3,10 @@ package montecarlo
 import (
 	"errors"
 	"math"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"samurai/internal/device"
@@ -128,6 +132,97 @@ func TestRunArrayDeterministicAcrossWorkerCounts(t *testing.T) {
 		if ra.Outcomes[i].Failed != rb.Outcomes[i].Failed ||
 			ra.Outcomes[i].TrapCount != rb.Outcomes[i].TrapCount {
 			t.Fatal("results depend on worker count")
+		}
+	}
+}
+
+func TestRunArrayWorkersExceedCells(t *testing.T) {
+	tech := device.Node("45nm")
+	cfg := ArrayConfig{
+		Tech: tech, Cell: sram.CellConfig{Tech: tech},
+		Pattern: sram.Fig8Pattern(tech.Vdd),
+		Cells:   2, Seed: 3, WithRTN: true,
+		Workers: 16, // idle workers must park on the closed channel, not hang
+	}
+	res, err := RunArray(cfg, func(_ sram.CellConfig, _ sram.Pattern, _ float64, seed uint64) (int, int, int, error) {
+		return 0, 0, int(seed % 5), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(res.Outcomes))
+	}
+	for i, o := range res.Outcomes {
+		if o.Index != i {
+			t.Fatalf("outcome %d has index %d (slot not simulated?)", i, o.Index)
+		}
+	}
+}
+
+func TestRunArrayDrainsQueueAfterFailure(t *testing.T) {
+	tech := device.Node("45nm")
+	const cells = 64
+	cfg := ArrayConfig{
+		Tech: tech, Cell: sram.CellConfig{Tech: tech},
+		Pattern: sram.Fig8Pattern(tech.Vdd),
+		Cells:   cells, Seed: 1, WithRTN: true,
+		Workers: 2,
+	}
+	boom := errors.New("boom")
+	var simulated atomic.Int64
+	_, err := RunArray(cfg, func(sram.CellConfig, sram.Pattern, float64, uint64) (int, int, int, error) {
+		simulated.Add(1)
+		return 0, 0, 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	// The wrapped error names the failing cell.
+	if got := err.Error(); !strings.Contains(got, "montecarlo: cell ") {
+		t.Fatalf("error %q does not name a cell", got)
+	}
+	// After the first failure the remaining queue is drained without
+	// simulating. Each worker's own Record lands before its next
+	// Failed() check (same goroutine), so at most Workers cells can be
+	// simulated before every later job drains.
+	if n := simulated.Load(); n == 0 || n > int64(cfg.Workers) {
+		t.Fatalf("simulated %d of %d cells with %d workers; drain did not happen", n, cells, cfg.Workers)
+	}
+}
+
+func TestRunArrayDeterministicAcrossWorkerSweep(t *testing.T) {
+	tech := device.Node("45nm")
+	base := ArrayConfig{
+		Tech: tech, Cell: sram.CellConfig{Tech: tech},
+		Pattern: sram.Fig8Pattern(tech.Vdd),
+		Cells:   24, Seed: 17, WithRTN: true,
+	}
+	// Deterministic function of the per-cell inputs only.
+	run := func(cell sram.CellConfig, _ sram.Pattern, scale float64, seed uint64) (int, int, int, error) {
+		errs := 0
+		if cell.VtShift["M2"] > 0 && seed%3 == 0 {
+			errs = 2
+		}
+		return errs, int(seed % 2), int(seed % 11), nil
+	}
+	var ref *ArrayResult
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := RunArray(cfg, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Outcomes, ref.Outcomes) {
+			t.Fatalf("outcomes differ between Workers=1 and Workers=%d", workers)
+		}
+		if res.NumFailed != ref.NumFailed || res.ErrorRate != ref.ErrorRate || res.MeanTraps != ref.MeanTraps {
+			t.Fatalf("aggregates differ between Workers=1 and Workers=%d", workers)
 		}
 	}
 }

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves the registry in Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//lint:ignore bareerr exposition write failures mean the scraper hung up; nothing to recover
+		r.WritePrometheus(w)
+	})
+}
+
+// Handler serves the default registry in Prometheus text format.
+func Handler() http.Handler { return std.Handler() }
+
+// NewMux returns an http.ServeMux with the observability surface
+// mounted: /metrics (Prometheus text) and the /debug/pprof profiler
+// endpoints. It does not touch http.DefaultServeMux.
+func NewMux(reg *Registry) *http.ServeMux {
+	if reg == nil {
+		reg = std
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// MetricsServer is a running background metrics endpoint.
+type MetricsServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (m *MetricsServer) Close() error {
+	err := m.srv.Close()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ServeMetrics binds addr and serves /metrics plus /debug/pprof from
+// the default registry in a background goroutine. Binding errors are
+// returned synchronously; later serve errors surface as
+// "obs.metrics_server_error" events.
+func ServeMetrics(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(std), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			Emit("obs.metrics_server_error", F("err", err))
+		}
+	}()
+	return &MetricsServer{srv: srv, ln: ln}, nil
+}

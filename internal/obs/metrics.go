@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe for concurrent use; the zero value is ready.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Negative deltas panic: counters only go up.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: negative delta added to a counter")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float metric (e.g.
+// accumulated busy seconds). Safe for concurrent use; zero value ready.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates delta. Negative deltas panic: counters only go up.
+func (c *FloatCounter) Add(delta float64) {
+	if delta < 0 {
+		panic("obs: negative delta added to a float counter")
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float metric that can go up and down (last write wins).
+// Safe for concurrent use; the zero value reads 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histStripes is the number of independently locked shards a histogram
+// spreads its observations over. Eight keeps worst-case contention an
+// order of magnitude below a single mutex while costing only a few
+// hundred bytes per histogram.
+const histStripes = 8
+
+// Histogram accumulates observations into fixed buckets. It is
+// lock-striped: each observation locks one of histStripes shards chosen
+// round-robin, so concurrent observers rarely collide. Construct with
+// Registry.Histogram (or newHistogram); the zero value is not usable.
+type Histogram struct {
+	// bounds are the inclusive upper bounds of the finite buckets, in
+	// strictly increasing order; an implicit +Inf bucket follows.
+	bounds  []float64
+	stripes [histStripes]histStripe
+	rr      atomic.Uint32
+}
+
+type histStripe struct {
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1; the last slot is the +Inf bucket
+	sum    float64
+	n      uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	for i := range h.stripes {
+		h.stripes[i].counts = make([]uint64, len(bounds)+1)
+	}
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Bucket search outside the lock: bounds are immutable.
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	s := &h.stripes[h.rr.Add(1)%histStripes]
+	s.mu.Lock()
+	s.counts[idx]++
+	s.sum += v
+	s.n++
+	s.mu.Unlock()
+}
+
+// HistSnapshot is a consistent-per-stripe merged view of a histogram.
+type HistSnapshot struct {
+	// Bounds mirrors the histogram's finite upper bounds; Counts has one
+	// extra trailing slot for the +Inf bucket.
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot merges the stripes. Concurrent Observe calls may or may not
+// be included, but every sample is counted exactly once eventually.
+func (h *Histogram) Snapshot() HistSnapshot {
+	snap := HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.Lock()
+		for j, c := range s.counts {
+			snap.Counts[j] += c
+		}
+		snap.Sum += s.sum
+		snap.Count += s.n
+		s.mu.Unlock()
+	}
+	return snap
+}
+
+// ExpBuckets returns n strictly increasing bucket bounds starting at
+// start and growing by factor — the standard shape for latency
+// histograms. Panics on a non-positive start, a factor ≤ 1 or n < 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1 and n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// TimeBuckets is the default span/duration bucket layout: 1 µs to ~67 s
+// in ×4 steps.
+func TimeBuckets() []float64 { return ExpBuckets(1e-6, 4, 14) }

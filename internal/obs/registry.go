@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one key="value" pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry holds named metric series and renders them in Prometheus
+// text exposition format. Lookups are get-or-create and idempotent:
+// asking twice for the same (name, labels) returns the same metric, so
+// instrumented code can resolve its series lazily on hot paths without
+// coordination. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry // keyed by name + rendered label set
+	help    map[string]string // first registration wins
+}
+
+type entry struct {
+	name   string
+	labels []Label // sorted by key
+	metric any     // *Counter | *FloatCounter | *Gauge | *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}, help: map[string]string{}}
+}
+
+// Counter returns the counter series (name, labels), creating it on
+// first use. help documents the metric in the exposition (the first
+// registration of a name wins). Panics if the series exists with a
+// different metric type or the name is not a valid metric name.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return lookup(r, name, help, labels, func() *Counter { return &Counter{} })
+}
+
+// FloatCounter returns the float counter series (name, labels),
+// creating it on first use.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	return lookup(r, name, help, labels, func() *FloatCounter { return &FloatCounter{} })
+}
+
+// Gauge returns the gauge series (name, labels), creating it on first
+// use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return lookup(r, name, help, labels, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns the histogram series (name, labels), creating it
+// with the given bucket bounds on first use (later calls reuse the
+// original buckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return lookup(r, name, help, labels, func() *Histogram { return newHistogram(bounds) })
+}
+
+// lookup implements the shared get-or-create path.
+func lookup[M any](r *Registry, name, help string, labels []Label, create func() *M) *M {
+	if !validMetricName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	labels = sortedLabels(labels)
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		m, ok := e.metric.(*M)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %s already registered with type %T", key, e.metric))
+		}
+		return m
+	}
+	m := create()
+	r.entries[key] = &entry{name: name, labels: labels, metric: m}
+	if _, ok := r.help[name]; !ok && help != "" {
+		r.help[name] = help
+	}
+	return m
+}
+
+// WritePrometheus renders every series in Prometheus text format,
+// deterministically ordered by metric name then label set.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return seriesKey("", entries[i].labels) < seriesKey("", entries[j].labels)
+	})
+
+	var b strings.Builder
+	lastName := ""
+	for _, e := range entries {
+		if e.name != lastName {
+			if h := help[e.name]; h != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", e.name, h)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, typeName(e.metric))
+			lastName = e.name
+		}
+		writeSeries(&b, e)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func typeName(m any) string {
+	switch m.(type) {
+	case *Counter, *FloatCounter:
+		return "counter"
+	case *Gauge:
+		return "gauge"
+	case *Histogram:
+		return "histogram"
+	default:
+		panic(fmt.Sprintf("obs: unknown metric type %T", m))
+	}
+}
+
+func writeSeries(b *strings.Builder, e *entry) {
+	switch m := e.metric.(type) {
+	case *Counter:
+		fmt.Fprintf(b, "%s%s %d\n", e.name, labelString(e.labels, ""), m.Value())
+	case *FloatCounter:
+		fmt.Fprintf(b, "%s%s %s\n", e.name, labelString(e.labels, ""), formatFloat(m.Value()))
+	case *Gauge:
+		fmt.Fprintf(b, "%s%s %s\n", e.name, labelString(e.labels, ""), formatFloat(m.Value()))
+	case *Histogram:
+		snap := m.Snapshot()
+		cum := uint64(0)
+		for i, c := range snap.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(snap.Bounds) {
+				le = formatFloat(snap.Bounds[i])
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", e.name, labelString(e.labels, le), cum)
+		}
+		fmt.Fprintf(b, "%s_sum%s %s\n", e.name, labelString(e.labels, ""), formatFloat(snap.Sum))
+		fmt.Fprintf(b, "%s_count%s %d\n", e.name, labelString(e.labels, ""), snap.Count)
+	}
+}
+
+// labelString renders {k="v",...}; le, when non-empty, is appended as
+// the histogram bucket bound label. Empty label sets render as "".
+func labelString(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le=`)
+		b.WriteString(strconv.Quote(le))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + labelString(labels, "")
+}
+
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	for i := 1; i < len(out); i++ {
+		if out[i].Key == out[i-1].Key {
+			panic("obs: duplicate metric label key " + strconv.Quote(out[i].Key))
+		}
+		if !validLabelKey(out[i].Key) {
+			panic("obs: invalid metric label key " + strconv.Quote(out[i].Key))
+		}
+	}
+	if len(out) > 0 && !validLabelKey(out[0].Key) {
+		panic("obs: invalid metric label key " + strconv.Quote(out[0].Key))
+	}
+	return out
+}
+
+// validMetricName enforces the Prometheus name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelKey enforces the Prometheus label charset
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	for i, c := range key {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Field is one key/value pair of a progress event. Values are limited
+// to the types the encoders know how to render losslessly; anything
+// else is formatted with %v.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F constructs a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Event is one structured progress event: a name plus ordered fields.
+// Events carry no timestamp by design — they describe *what* happened;
+// sinks that need arrival times can stamp on receipt.
+type Event struct {
+	Name   string
+	Fields []Field
+}
+
+// Sink consumes progress events. Implementations must be safe for
+// concurrent Emit calls: instrumented fan-outs (montecarlo workers,
+// samurai's per-transistor goroutines) emit from many goroutines.
+type Sink interface {
+	Emit(e Event)
+}
+
+// Discard is the no-op sink: every event is dropped before any
+// formatting work happens. It is the process-wide default.
+var Discard Sink = discardSink{}
+
+type discardSink struct{}
+
+func (discardSink) Emit(Event) {}
+
+// textSink renders one human-readable line per event.
+type textSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextSink returns a sink writing `name key=value ...` lines to w,
+// serialised under a mutex. Write errors are silently dropped —
+// telemetry must never fail the computation it observes.
+func NewTextSink(w io.Writer) Sink { return &textSink{w: w} }
+
+func (s *textSink) Emit(e Event) {
+	var b strings.Builder
+	b.WriteString(e.Name)
+	for _, f := range e.Fields {
+		b.WriteByte(' ')
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		b.WriteString(fieldText(f.Value))
+	}
+	b.WriteByte('\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore bareerr telemetry writes must never fail the observed computation
+	s.w.Write([]byte(b.String()))
+}
+
+// jsonlSink renders one JSON object per line.
+type jsonlSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJSONLSink returns a sink writing one JSON object per event to w
+// (key "event" holds the name, fields follow in order), serialised
+// under a mutex. Write errors are silently dropped.
+func NewJSONLSink(w io.Writer) Sink { return &jsonlSink{w: w} }
+
+func (s *jsonlSink) Emit(e Event) {
+	var b strings.Builder
+	b.WriteString(`{"event":`)
+	b.WriteString(strconv.Quote(e.Name))
+	for _, f := range e.Fields {
+		b.WriteByte(',')
+		b.WriteString(strconv.Quote(f.Key))
+		b.WriteByte(':')
+		b.WriteString(fieldJSON(f.Value))
+	}
+	b.WriteString("}\n")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore bareerr telemetry writes must never fail the observed computation
+	s.w.Write([]byte(b.String()))
+}
+
+// fieldText renders a field value for the text sink.
+func fieldText(v any) string {
+	switch x := v.(type) {
+	case string:
+		if strings.ContainsAny(x, " \t\n\"=") {
+			return strconv.Quote(x)
+		}
+		return x
+	case time.Duration:
+		return x.String()
+	case float64:
+		return strconv.FormatFloat(x, 'g', 6, 64)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'g', 6, 32)
+	case bool:
+		return strconv.FormatBool(x)
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case uint64:
+		return strconv.FormatUint(x, 10)
+	case error:
+		return strconv.Quote(x.Error())
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// fieldJSON renders a field value as a JSON literal.
+func fieldJSON(v any) string {
+	switch x := v.(type) {
+	case string:
+		return strconv.Quote(x)
+	case time.Duration:
+		return strconv.FormatFloat(x.Seconds(), 'g', -1, 64)
+	case float64:
+		return jsonFloat(x)
+	case float32:
+		return jsonFloat(float64(x))
+	case bool:
+		return strconv.FormatBool(x)
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case uint64:
+		return strconv.FormatUint(x, 10)
+	case error:
+		return strconv.Quote(x.Error())
+	default:
+		return strconv.Quote(fmt.Sprintf("%v", v))
+	}
+}
+
+// jsonFloat renders a float as JSON; non-finite values (not
+// representable in JSON) become quoted strings.
+func jsonFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if strings.ContainsAny(s, "IN") { // Inf, -Inf, NaN
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// MultiSink fans every event out to each sink in order.
+func MultiSink(sinks ...Sink) Sink {
+	out := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil && s != Discard {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return Discard
+	}
+	return out
+}
+
+type multiSink []Sink
+
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import "time"
+
+// spanSeconds records the duration of every ended span, one series per
+// span name.
+func spanSeconds(name string) *Histogram {
+	return std.Histogram("samurai_span_seconds",
+		"wall-clock duration of named pipeline spans", TimeBuckets(),
+		L("span", name))
+}
+
+// Span is a named, nested, wall-clock-timed region of the pipeline.
+// Ending a span records its duration in the samurai_span_seconds
+// histogram (labelled with the span's full slash-joined path) and emits
+// a "span" progress event. A nil *Span is inert: every method is a
+// no-op, so optional instrumentation can hold and End nil spans freely.
+//
+// Spans measure and report; they never influence the computation they
+// time — that is what keeps instrumented runs bit-identical to
+// unobserved ones.
+type Span struct {
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child opens a nested span named parent/name. Child on a nil span
+// starts a root span, so call sites need not know whether tracing is
+// structured above them.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return StartSpan(name)
+	}
+	return &Span{name: s.name + "/" + name, start: time.Now()}
+}
+
+// Name returns the span's full slash-joined path ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// End closes the span, records its duration and emits a "span" event.
+// It returns the measured duration (0 for nil spans) and is safe to
+// call at most once per span.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	spanSeconds(s.name).Observe(d.Seconds())
+	Emit("span", F("span", s.name), F("seconds", d.Seconds()))
+	return d
+}

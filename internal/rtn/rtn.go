@@ -13,8 +13,20 @@ import (
 
 	"samurai/internal/device"
 	"samurai/internal/markov"
+	"samurai/internal/obs"
 	"samurai/internal/units"
 	"samurai/internal/waveform"
+)
+
+// Trace-composition instrumentation (Eq 3). Published once per Compose
+// call; see internal/obs for the determinism guarantee.
+var (
+	mTraces = obs.GetCounter("samurai_rtn_traces_total",
+		"RTN current traces composed via Eq (3)")
+	mTraceSamples = obs.GetCounter("samurai_rtn_trace_samples_total",
+		"samples evaluated across all composed traces")
+	mTraceTransitions = obs.GetCounter("samurai_rtn_trace_transitions_total",
+		"trap transitions aggregated into composed traces")
 )
 
 // Trace is a sampled RTN current waveform.
@@ -93,6 +105,9 @@ func Compose(paths []*markov.Path, dev device.MOSParams, vgs, id *waveform.PWL, 
 		return nil, errors.New("rtn: empty time interval")
 	}
 	times, counts := NFilled(paths)
+	mTraces.Inc()
+	mTraceSamples.Add(int64(n))
+	mTraceTransitions.Add(int64(len(times) - 1))
 	tr := &Trace{T: make([]float64, n), I: make([]float64, n)}
 	dt := (t1 - t0) / float64(n-1)
 	idx := 0

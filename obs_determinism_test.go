@@ -1,0 +1,123 @@
+package samurai_test
+
+// The observability layer must be a pure observer: enabling sinks,
+// spans and metrics may never perturb the simulated numbers. These
+// tests pin that guarantee — a seeded run is bit-identical whether
+// telemetry is discarded or fully live — and measure the overhead of
+// leaving instrumentation enabled (the acceptance bound is <5% on the
+// full methodology).
+
+import (
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	samurai "samurai"
+	"samurai/internal/device"
+	"samurai/internal/montecarlo"
+	"samurai/internal/obs"
+	"samurai/internal/rtn"
+	"samurai/internal/sram"
+)
+
+// withLiveSink runs fn with a fully live JSONL sink installed so every
+// obs.Emit call formats and writes its event, then restores the
+// previous sink.
+func withLiveSink(fn func()) {
+	prev := obs.SetSink(obs.NewJSONLSink(io.Discard))
+	defer obs.SetSink(prev)
+	fn()
+}
+
+// sameTrace compares two RTN traces bit for bit.
+func sameTrace(t *testing.T, name string, a, b *rtn.Trace) {
+	t.Helper()
+	at, ai := a.T, a.I
+	bt, bi := b.T, b.I
+	if len(at) != len(bt) {
+		t.Fatalf("%s: sample counts differ: %d vs %d", name, len(at), len(bt))
+	}
+	for i := range at {
+		if math.Float64bits(at[i]) != math.Float64bits(bt[i]) ||
+			math.Float64bits(ai[i]) != math.Float64bits(bi[i]) {
+			t.Fatalf("%s: sample %d differs: (%g,%g) vs (%g,%g)", name, i, at[i], ai[i], bt[i], bi[i])
+		}
+	}
+}
+
+func TestObsDeterminismRun(t *testing.T) {
+	cfg := samurai.Config{Seed: 42}
+
+	quiet, err := samurai.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live *samurai.Result
+	withLiveSink(func() {
+		live, err = samurai.Run(cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(quiet.Clean.Cycles, live.Clean.Cycles) {
+		t.Fatal("clean-pass cycles differ with a live sink installed")
+	}
+	if !reflect.DeepEqual(quiet.WithRTN.Cycles, live.WithRTN.Cycles) {
+		t.Fatal("RTN-pass cycles differ with a live sink installed")
+	}
+	for _, name := range sram.Transistors {
+		sameTrace(t, name, quiet.Traces[name], live.Traces[name])
+	}
+}
+
+func TestObsDeterminismRunArray(t *testing.T) {
+	tech := device.Node("45nm")
+	cfg := montecarlo.ArrayConfig{
+		Tech:    tech,
+		Cell:    sram.CellConfig{Tech: tech},
+		Pattern: sram.Fig8Pattern(tech.Vdd),
+		Cells:   3,
+		Scale:   1,
+		Seed:    9,
+		WithRTN: true,
+		Workers: 2,
+	}
+
+	quiet, err := montecarlo.RunArray(cfg, samurai.ArrayRunner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live *montecarlo.ArrayResult
+	withLiveSink(func() {
+		live, err = montecarlo.RunArray(cfg, samurai.ArrayRunner())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(quiet.Outcomes, live.Outcomes) {
+		t.Fatal("array outcomes differ with a live sink installed")
+	}
+	if quiet.NumFailed != live.NumFailed ||
+		math.Float64bits(quiet.ErrorRate) != math.Float64bits(live.ErrorRate) ||
+		math.Float64bits(quiet.MeanTraps) != math.Float64bits(live.MeanTraps) {
+		t.Fatal("array aggregates differ with a live sink installed")
+	}
+}
+
+// BenchmarkRun measures the full two-pass methodology with telemetry
+// discarded (the default) and with a live sink draining every event —
+// the gap between the two sub-benchmarks is the observability overhead.
+func BenchmarkRun(b *testing.B) {
+	run := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := samurai.Run(samurai.Config{Seed: 42}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("discard", run)
+	b.Run("obs", func(b *testing.B) { withLiveSink(func() { run(b) }) })
+}

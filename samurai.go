@@ -28,11 +28,29 @@ import (
 	"samurai/internal/conc"
 	"samurai/internal/device"
 	"samurai/internal/markov"
+	"samurai/internal/obs"
 	"samurai/internal/rng"
 	"samurai/internal/rtn"
 	"samurai/internal/sram"
 	"samurai/internal/trap"
 	"samurai/internal/waveform"
+)
+
+// Methodology instrumentation: each Run is wrapped in a samurai.run
+// span with one child span per phase (clean, traps, rtn), and the
+// outcome counters below. Purely observational — see internal/obs for
+// the determinism guarantee.
+var (
+	mRuns = obs.GetCounter("samurai_runs_total",
+		"completed two-pass methodology runs")
+	mRunFailures = obs.GetCounter("samurai_run_failures_total",
+		"methodology runs aborted by an error")
+	mRunWriteErrors = obs.GetCounter("samurai_run_write_errors_total",
+		"failed write cycles observed across RTN-injected passes")
+	mRunSlowdowns = obs.GetCounter("samurai_run_slowdowns_total",
+		"slowed write cycles observed across RTN-injected passes")
+	mRunTraps = obs.GetCounter("samurai_run_traps_total",
+		"traps sampled across all transistors of all runs")
 )
 
 // Config describes one methodology run.
@@ -108,6 +126,26 @@ func (r *Result) Slowdowns() int { return r.WithRTN.NumSlow }
 
 // Run executes the full two-pass methodology.
 func Run(cfg Config) (*Result, error) {
+	span := obs.StartSpan("samurai.run")
+	defer span.End()
+	res, err := run(cfg, span)
+	if err != nil {
+		mRunFailures.Inc()
+		return nil, err
+	}
+	mRuns.Inc()
+	mRunWriteErrors.Add(int64(res.WithRTN.NumError))
+	mRunSlowdowns.Add(int64(res.WithRTN.NumSlow))
+	obs.Emit("samurai.run.done",
+		obs.F("writes", len(res.WithRTN.Cycles)),
+		obs.F("write_errors", res.WithRTN.NumError),
+		obs.F("slowdowns", res.WithRTN.NumSlow))
+	return res, nil
+}
+
+// run is the instrumented methodology body; span is the enclosing
+// samurai.run span the three phase spans nest under.
+func run(cfg Config, span *obs.Span) (*Result, error) {
 	cfg = cfg.defaults()
 	root := rng.New(cfg.Seed)
 
@@ -117,6 +155,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Pass 1: clean simulation for bias extraction.
+	phase := span.Child("clean")
 	cleanCell, err := sram.Build(cfg.Cell, wl, bl, blb)
 	if err != nil {
 		return nil, fmt.Errorf("samurai: cell: %w", err)
@@ -126,6 +165,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("samurai: clean pass: %w", err)
 	}
+	phase.End()
 
 	// Pass 2: trap sampling + uniformisation + Eq (3) per transistor.
 	res := &Result{
@@ -136,9 +176,10 @@ func Run(cfg Config) (*Result, error) {
 		Traces:   map[string]*rtn.Trace{},
 	}
 	t0, t1 := 0.0, cfg.Pattern.Duration()
+	phase = span.Child("traps")
 	rtnCell, err := sram.Build(cfg.Cell, wl, bl, blb)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("samurai: RTN cell: %w", err)
 	}
 	// The six transistors' trap simulations are independent (each has
 	// its own deterministic child stream), so they run concurrently;
@@ -174,7 +215,7 @@ func Run(cfg Config) (*Result, error) {
 
 			vgs, id, err := clean.Trans.DeviceBias(name)
 			if err != nil {
-				agg.Record(i, err)
+				agg.Record(i, fmt.Errorf("samurai: bias for %s: %w", name, err))
 				return
 			}
 			o.paths, err = markov.UniformiseProfile(profile, vgs.Eval, t0, t1, root.Split(uint64(2000+i)))
@@ -190,7 +231,7 @@ func Run(cfg Config) (*Result, error) {
 			o.trace.Scale(cfg.Scale)
 			o.pwl, err = o.trace.PWL()
 			if err != nil {
-				agg.Record(i, err)
+				agg.Record(i, fmt.Errorf("samurai: trace waveform for %s: %w", name, err))
 				return
 			}
 			outs[i] = o
@@ -200,20 +241,26 @@ func Run(cfg Config) (*Result, error) {
 	if err := agg.Err(); err != nil {
 		return nil, err
 	}
+	traps := 0
 	for _, o := range outs {
 		res.Profiles[o.name] = o.profile
 		res.Paths[o.name] = o.paths
 		res.Traces[o.name] = o.trace
+		traps += len(o.profile.Traps)
 		if err := rtnCell.SetRTNTrace(o.name, o.pwl); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("samurai: installing trace for %s: %w", o.name, err)
 		}
 	}
+	mRunTraps.Add(int64(traps))
+	phase.End()
 
 	// Pass 3: re-simulate with RTN injected.
+	phase = span.Child("rtn")
 	withRTN, err := rtnCell.EvaluateOpts(cfg.Pattern, cfg.Dt, solver)
 	if err != nil {
 		return nil, fmt.Errorf("samurai: RTN pass: %w", err)
 	}
+	phase.End()
 	res.WithRTN = withRTN
 	return res, nil
 }
