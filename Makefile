@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint check bench bench-smoke
+.PHONY: build test vet race lint check bench bench-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,13 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ . > bench.txt
 	@tail -n 3 bench.txt
+
+# bench-json records the machine-readable benchmark trajectory: a real
+# (multi-iteration) -benchmem run parsed into BENCH_3.json, diffed
+# against the pre-PR baseline saved in bench_baseline_3.txt.
+bench-json:
+	$(GO) test -bench='^(BenchmarkRun|BenchmarkFullMethodology|BenchmarkCoreUniformise|BenchmarkCellTransient|BenchmarkFig2MarginStack|BenchmarkFig3SpectralDensity|BenchmarkFig5GlitchScenarios)$$' \
+		-benchmem -benchtime=2x -run=^$$ . > bench_current.txt
+	$(GO) run ./cmd/benchjson -baseline bench_baseline_3.txt -o BENCH_3.json bench_current.txt
+	@rm -f bench_current.txt
+	@echo wrote BENCH_3.json

@@ -11,6 +11,7 @@ import (
 )
 
 func benchCoreUniformise(b *testing.B) {
+	b.ReportAllocs()
 	tech := device.Node("90nm")
 	ctx := tech.TrapContext(tech.Vdd)
 	tr := trap.Trap{Y: 0.45 * ctx.Tox, E: 0}
@@ -30,6 +31,7 @@ func benchCoreUniformise(b *testing.B) {
 }
 
 func benchCellTransient(b *testing.B) {
+	b.ReportAllocs()
 	tech := device.Node("90nm")
 	p := sram.Fig8Pattern(tech.Vdd)
 	wl, bl, blb, err := p.Waveforms()

@@ -27,6 +27,7 @@ func printTable(key string, render func()) {
 
 // BenchmarkFig2MarginStack regenerates the V_dd margin stack (EXP-F2).
 func BenchmarkFig2MarginStack(b *testing.B) {
+	b.ReportAllocs()
 	var growth float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig2(experiments.Fig2Config{Seed: 1})
@@ -42,6 +43,7 @@ func BenchmarkFig2MarginStack(b *testing.B) {
 // BenchmarkFig3SpectralDensity regenerates the 25-device spectral
 // comparison (EXP-F3).
 func BenchmarkFig3SpectralDensity(b *testing.B) {
+	b.ReportAllocs()
 	var contrast float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig3(experiments.Fig3Config{Seed: 5})
@@ -57,6 +59,7 @@ func BenchmarkFig3SpectralDensity(b *testing.B) {
 // BenchmarkFig5GlitchScenarios regenerates the three glitch timings
 // (EXP-F5).
 func BenchmarkFig5GlitchScenarios(b *testing.B) {
+	b.ReportAllocs()
 	ok := 0.0
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig5(experiments.Fig5Config{})
@@ -75,10 +78,12 @@ func BenchmarkFig5GlitchScenarios(b *testing.B) {
 // BenchmarkFig7Autocorrelation regenerates the time-domain validation
 // panels (a)–(c) of Fig 7 (EXP-F7a–c).
 func BenchmarkFig7Autocorrelation(b *testing.B) {
+	b.ReportAllocs()
 	for _, sweep := range []experiments.Fig7Sweep{
 		experiments.SweepVgs, experiments.SweepEtr, experiments.SweepYtr,
 	} {
 		b.Run(string(sweep), func(b *testing.B) {
+			b.ReportAllocs()
 			var worst float64
 			for i := 0; i < b.N; i++ {
 				res, err := experiments.Fig7(sweep, experiments.Fig7Config{Seed: 1})
@@ -97,10 +102,12 @@ func BenchmarkFig7Autocorrelation(b *testing.B) {
 // (d)–(f) of Fig 7 (EXP-F7d–f). The same sweeps are run; the metric
 // reported here is the spectral error.
 func BenchmarkFig7SpectralDensity(b *testing.B) {
+	b.ReportAllocs()
 	for _, sweep := range []experiments.Fig7Sweep{
 		experiments.SweepVgs, experiments.SweepEtr, experiments.SweepYtr,
 	} {
 		b.Run(string(sweep), func(b *testing.B) {
+			b.ReportAllocs()
 			var worst float64
 			for i := 0; i < b.N; i++ {
 				res, err := experiments.Fig7(sweep, experiments.Fig7Config{Seed: 2})
@@ -118,6 +125,7 @@ func BenchmarkFig7SpectralDensity(b *testing.B) {
 // BenchmarkFig8Methodology regenerates the full SAMURAI+SPICE
 // demonstration (EXP-F8).
 func BenchmarkFig8Methodology(b *testing.B) {
+	b.ReportAllocs()
 	var errors float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig8(experiments.Fig8Config{Seed: 1})
@@ -133,6 +141,7 @@ func BenchmarkFig8Methodology(b *testing.B) {
 // BenchmarkUniformisationVsDiscretised regenerates the
 // accuracy/efficiency comparison (EXP-T1).
 func BenchmarkUniformisationVsDiscretised(b *testing.B) {
+	b.ReportAllocs()
 	var speedup float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.T1(experiments.T1Config{Seed: 1})
@@ -151,6 +160,7 @@ func BenchmarkUniformisationVsDiscretised(b *testing.B) {
 // BenchmarkStationaryPessimism regenerates the stationary-analysis
 // pessimism table (EXP-T2).
 func BenchmarkStationaryPessimism(b *testing.B) {
+	b.ReportAllocs()
 	var worst float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.T2(experiments.T2Config{Seed: 1})
@@ -166,6 +176,7 @@ func BenchmarkStationaryPessimism(b *testing.B) {
 // BenchmarkCoupledSimulation regenerates the coupled-vs-two-pass
 // comparison (EXP-X1, paper future-work #1).
 func BenchmarkCoupledSimulation(b *testing.B) {
+	b.ReportAllocs()
 	var dq float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.X1(experiments.X1Config{Seeds: 2})
@@ -181,6 +192,7 @@ func BenchmarkCoupledSimulation(b *testing.B) {
 // BenchmarkArrayMonteCarlo regenerates the SRAM-array statistics
 // (EXP-X2, paper future-work #3).
 func BenchmarkArrayMonteCarlo(b *testing.B) {
+	b.ReportAllocs()
 	var rate float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.X2(experiments.X2Config{Cells: 48, Seed: 3})
@@ -196,18 +208,21 @@ func BenchmarkArrayMonteCarlo(b *testing.B) {
 // BenchmarkCoreUniformise measures the raw SAMURAI kernel: one active
 // trap simulated for 10⁴ expected candidate events.
 func BenchmarkCoreUniformise(b *testing.B) {
+	b.ReportAllocs()
 	benchCoreUniformise(b)
 }
 
 // BenchmarkCellTransient measures one clean 9-write SRAM transient —
 // the circuit-simulator cost unit of the methodology.
 func BenchmarkCellTransient(b *testing.B) {
+	b.ReportAllocs()
 	benchCellTransient(b)
 }
 
 // BenchmarkFullMethodology measures one complete Run (both SPICE
 // passes plus trace generation) at default settings.
 func BenchmarkFullMethodology(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := samurai.Run(samurai.Config{Seed: uint64(i)}); err != nil {
 			b.Fatal(err)
@@ -218,6 +233,7 @@ func BenchmarkFullMethodology(b *testing.B) {
 // BenchmarkFig9ReadFailures regenerates the read-failure analysis of
 // the paper's footnote 2 (EXP-F9).
 func BenchmarkFig9ReadFailures(b *testing.B) {
+	b.ReportAllocs()
 	var disturbed float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.F9(experiments.F9Config{Seed: 1})
@@ -233,6 +249,7 @@ func BenchmarkFig9ReadFailures(b *testing.B) {
 // BenchmarkNBTICorrelation regenerates the RTN–NBTI correlation study
 // (EXP-X3, §I-B of the paper).
 func BenchmarkNBTICorrelation(b *testing.B) {
+	b.ReportAllocs()
 	var r float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.X3(experiments.X3Config{Seed: 1})
@@ -248,6 +265,7 @@ func BenchmarkNBTICorrelation(b *testing.B) {
 // BenchmarkRingOscillator regenerates the ring-oscillator RTN study
 // (EXP-X4, paper future-work #4).
 func BenchmarkRingOscillator(b *testing.B) {
+	b.ReportAllocs()
 	var jitter float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.X4(experiments.X4Config{Seed: 1})
@@ -263,6 +281,7 @@ func BenchmarkRingOscillator(b *testing.B) {
 // BenchmarkAblations regenerates the three design-choice ablation
 // tables from DESIGN.md.
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	ablations := []struct {
 		name string
 		run  func(uint64) (*experiments.AblationResult, error)
@@ -273,6 +292,7 @@ func BenchmarkAblations(b *testing.B) {
 	}
 	for _, a := range ablations {
 		b.Run(a.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := a.run(1)
 				if err != nil {
@@ -287,6 +307,7 @@ func BenchmarkAblations(b *testing.B) {
 // BenchmarkRetentionEffects regenerates the DRAM-VRT and SRAM-DRV
 // retention analyses (EXP-X5, paper future-work #4).
 func BenchmarkRetentionEffects(b *testing.B) {
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.X5(experiments.X5Config{Seed: 3})
@@ -302,6 +323,7 @@ func BenchmarkRetentionEffects(b *testing.B) {
 // BenchmarkVminShift regenerates the RTN-induced V_min measurement
 // (EXP-T3, the simulation counterpart of the paper's ref [14]).
 func BenchmarkVminShift(b *testing.B) {
+	b.ReportAllocs()
 	var dv float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.T3(experiments.T3Config{})
@@ -317,6 +339,7 @@ func BenchmarkVminShift(b *testing.B) {
 // BenchmarkPLLCycleSlips regenerates the PLL cycle-slip study (EXP-X6,
 // the paper's closing conjecture in future-work #4).
 func BenchmarkPLLCycleSlips(b *testing.B) {
+	b.ReportAllocs()
 	var slips float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.X6(experiments.X6Config{Seed: 2})
@@ -333,6 +356,7 @@ func BenchmarkPLLCycleSlips(b *testing.B) {
 // study (EXP-X7 — the "cell must be re-designed" branch of the paper's
 // methodology flowchart).
 func BenchmarkCellRedesign(b *testing.B) {
+	b.ReportAllocs()
 	var immune float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.X7(experiments.X7Config{Seed: 1})

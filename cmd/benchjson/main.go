@@ -1,0 +1,188 @@
+// Command benchjson converts `go test -bench -benchmem` text output
+// into a machine-readable trajectory file so benchmark history can be
+// diffed across PRs without scraping logs.
+//
+// Usage:
+//
+//	benchjson [-baseline file] [-o out.json] [input.txt ...]
+//
+// Inputs default to stdin. Every benchmark line — name, iteration
+// count, then (value, unit) pairs including custom b.ReportMetric
+// units — is captured verbatim. When -baseline points at a previously
+// saved bench run, each benchmark additionally carries the baseline
+// metrics and the percentage delta for every unit present in both
+// runs, so "allocs/op fell 97%" is a field, not a log-diff exercise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	// Name is the benchmark name with any -GOMAXPROCS suffix stripped,
+	// e.g. "BenchmarkRun/discard".
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value, e.g. "ns/op", "B/op", "allocs/op",
+	// plus any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+	// Baseline holds the same units from the -baseline file, when the
+	// benchmark appears there.
+	Baseline map[string]float64 `json:"baseline,omitempty"`
+	// DeltaPct is 100*(current-baseline)/baseline per shared unit;
+	// negative means improvement for cost metrics.
+	DeltaPct map[string]float64 `json:"delta_pct,omitempty"`
+}
+
+// Trajectory is the top-level output document.
+type Trajectory struct {
+	// BaselineSource names the file the baseline column came from.
+	BaselineSource string  `json:"baseline_source,omitempty"`
+	Benchmarks     []Bench `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix matches the trailing -N goroutine-count decoration
+// Go appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchLines extracts benchmark result lines from bench output,
+// tolerating interleaved table prints, PASS/ok footers and blank lines.
+func parseBenchLines(r io.Reader) ([]Bench, error) {
+	var out []Bench
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Minimum shape: name, iterations, value, unit.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a printed table row that happens to start with Benchmark
+		}
+		b := Bench{
+			Name:       gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in line %q: %w", fields[i], line, err)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: reading input: %w", err)
+	}
+	return out, nil
+}
+
+// attachBaseline joins baseline metrics onto current results by name
+// and computes percentage deltas for units present in both.
+func attachBaseline(cur, base []Bench) {
+	byName := make(map[string]Bench, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	for i := range cur {
+		b, ok := byName[cur[i].Name]
+		if !ok {
+			continue
+		}
+		cur[i].Baseline = b.Metrics
+		cur[i].DeltaPct = map[string]float64{}
+		for unit, was := range b.Metrics {
+			now, ok := cur[i].Metrics[unit]
+			if !ok || was == 0 {
+				continue
+			}
+			cur[i].DeltaPct[unit] = 100 * (now - was) / was
+		}
+	}
+}
+
+func run() error {
+	baselinePath := flag.String("baseline", "", "bench output file to diff against")
+	outPath := flag.String("o", "", "output JSON path (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if args := flag.Args(); len(args) > 0 {
+		readers := make([]io.Reader, 0, len(args))
+		for _, a := range args {
+			f, err := os.Open(a)
+			if err != nil {
+				return fmt.Errorf("benchjson: %w", err)
+			}
+			// Input files are read-only; close errors cannot lose data.
+			//lint:ignore bareerr read-only file, nothing to flush
+			defer f.Close()
+			readers = append(readers, f)
+		}
+		in = io.MultiReader(readers...)
+	}
+	cur, err := parseBenchLines(in)
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines found in input")
+	}
+
+	traj := Trajectory{Benchmarks: cur}
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			return fmt.Errorf("benchjson: %w", err)
+		}
+		base, err := parseBenchLines(f)
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return fmt.Errorf("benchjson: %w", closeErr)
+		}
+		attachBaseline(cur, base)
+		traj.BaselineSource = *baselinePath
+	}
+
+	enc, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		return fmt.Errorf("benchjson: %w", err)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

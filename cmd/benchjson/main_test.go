@@ -1,0 +1,72 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `===== Fig 2 =====
+Vdd(V)  margin
+BenchmarkFig2MarginStack     	       2	   9778988 ns/op	         3.103 rtn-growth-x	 1893736 B/op	   10156 allocs/op
+BenchmarkRun/discard-8       	       2	  30080008 ns/op	21776928 B/op	   52141 allocs/op
+PASS
+ok  	samurai	17.881s
+`
+
+func TestParseBenchLines(t *testing.T) {
+	got, err := parseBenchLines(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	b := got[0]
+	if b.Name != "BenchmarkFig2MarginStack" || b.Iterations != 2 {
+		t.Fatalf("unexpected first bench: %+v", b)
+	}
+	want := map[string]float64{
+		"ns/op": 9778988, "rtn-growth-x": 3.103, "B/op": 1893736, "allocs/op": 10156,
+	}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Fatalf("metric %s = %g, want %g", unit, b.Metrics[unit], v)
+		}
+	}
+	if got[1].Name != "BenchmarkRun/discard" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", got[1].Name)
+	}
+}
+
+func TestParseBenchLinesSkipsTableRows(t *testing.T) {
+	got, err := parseBenchLines(strings.NewReader("Benchmark results below\nBenchmarkX notanumber 1 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d benchmarks from non-result lines, want 0", len(got))
+	}
+}
+
+func TestAttachBaseline(t *testing.T) {
+	cur := []Bench{{
+		Name:    "BenchmarkRun/discard",
+		Metrics: map[string]float64{"ns/op": 20000, "allocs/op": 1000},
+	}}
+	base := []Bench{{
+		Name:    "BenchmarkRun/discard",
+		Metrics: map[string]float64{"ns/op": 30000, "allocs/op": 50000},
+	}}
+	attachBaseline(cur, base)
+	if cur[0].Baseline == nil {
+		t.Fatal("baseline not attached")
+	}
+	wantNs := 100 * (20000.0 - 30000.0) / 30000.0
+	if math.Abs(cur[0].DeltaPct["ns/op"]-wantNs) > 1e-12 {
+		t.Fatalf("ns/op delta = %g, want %g", cur[0].DeltaPct["ns/op"], wantNs)
+	}
+	if cur[0].DeltaPct["allocs/op"] >= -97 {
+		t.Fatalf("allocs/op delta = %g, want about -98", cur[0].DeltaPct["allocs/op"])
+	}
+}

@@ -115,7 +115,7 @@ func (c *Circuit) AddVSource(name, np, nn string, w *waveform.PWL) error {
 	if err := c.register(name); err != nil {
 		return err
 	}
-	e := &vsourceElem{id: name, p: c.node(np), n: c.node(nn), w: w, branch: c.vsrcCount}
+	e := &vsourceElem{id: name, p: c.node(np), n: c.node(nn), w: w, cur: w.Cursor(), branch: c.vsrcCount}
 	c.vsrcCount++
 	c.elems = append(c.elems, e)
 	c.vsources[name] = e
@@ -134,7 +134,7 @@ func (c *Circuit) AddISource(name, np, nn string, w *waveform.PWL) error {
 	if err := c.register(name); err != nil {
 		return err
 	}
-	e := &isourceElem{id: name, p: c.node(np), n: c.node(nn), w: w}
+	e := &isourceElem{id: name, p: c.node(np), n: c.node(nn), w: w, cur: w.Cursor()}
 	c.elems = append(c.elems, e)
 	c.isources[name] = e
 	return nil
@@ -149,6 +149,7 @@ func (c *Circuit) SetISourceWaveform(name string, w *waveform.PWL) error {
 		return fmt.Errorf("circuit: no current source named %q", name)
 	}
 	e.w = w
+	e.cur = w.Cursor()
 	return nil
 }
 
@@ -161,6 +162,7 @@ func (c *Circuit) SetVSourceWaveform(name string, w *waveform.PWL) error {
 		return fmt.Errorf("circuit: no voltage source named %q", name)
 	}
 	e.w = w
+	e.cur = w.Cursor()
 	return nil
 }
 

@@ -37,6 +37,27 @@ type stampCtx struct {
 	dt     float64     // step size; 0 means DC
 	method Method
 	gmin   float64 // conductance to ground on every node
+	// Persistent per-solve scratch: the LU workspace and the candidate
+	// iterate are owned by the context so Newton iterations never
+	// allocate (see DESIGN.md, hot-path memory discipline).
+	lu   *num.LU
+	xNew []float64
+}
+
+// newStampCtx builds a solve context with all workspaces preallocated
+// for the circuit's current size.
+func newStampCtx(c *Circuit, opt Options) *stampCtx {
+	n := c.Size()
+	return &stampCtx{
+		a:      num.NewMatrix(n, n),
+		b:      make([]float64, n),
+		x:      make([]float64, n),
+		nNodes: len(c.nodeNames),
+		method: opt.Method,
+		gmin:   opt.Gmin,
+		lu:     num.NewLU(n),
+		xNew:   make([]float64, n),
+	}
 }
 
 // element is the internal per-device interface. stamp adds the
@@ -150,6 +171,7 @@ type vsourceElem struct {
 	id     string
 	p, n   int
 	w      *waveform.PWL
+	cur    waveform.Cursor // monotone-sweep accelerator over w
 	branch int
 }
 
@@ -165,7 +187,7 @@ func (e *vsourceElem) stamp(st *stampCtx) {
 		st.a.Add(e.n, br, -1)
 		st.a.Add(br, e.n, -1)
 	}
-	st.b[br] += e.w.Eval(st.time)
+	st.b[br] += e.cur.Eval(st.time)
 }
 
 func (e *vsourceElem) advance(*stampCtx) {}
@@ -176,12 +198,13 @@ type isourceElem struct {
 	id   string
 	p, n int
 	w    *waveform.PWL
+	cur  waveform.Cursor // monotone-sweep accelerator over w
 }
 
 func (e *isourceElem) name() string { return e.id }
 
 func (e *isourceElem) stamp(st *stampCtx) {
-	stampCurrent(st, e.p, e.n, e.w.Eval(st.time))
+	stampCurrent(st, e.p, e.n, e.cur.Eval(st.time))
 }
 
 func (e *isourceElem) advance(*stampCtx) {}

@@ -4,8 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
-	"samurai/internal/num"
 	"samurai/internal/waveform"
 )
 
@@ -52,7 +52,11 @@ var ErrNoConvergence = errors.New("circuit: Newton iteration did not converge")
 
 // newtonSolve runs damped Newton–Raphson at a fixed time/step,
 // overwriting st.x with the solution. Iteration counts are published to
-// the solver metrics once per call (never inside the loop).
+// the solver metrics once per call (never inside the loop). The LU
+// factorisation and the candidate iterate live in the stampCtx, so the
+// iteration allocates nothing.
+//
+//lint:hot
 func (c *Circuit) newtonSolve(st *stampCtx, opt Options) error {
 	n := c.Size()
 	mNewtonSolves.Inc()
@@ -69,11 +73,12 @@ func (c *Circuit) newtonSolve(st *stampCtx, opt Options) error {
 		for i := 0; i < st.nNodes; i++ {
 			st.a.Add(i, i, st.gmin)
 		}
-		lu, err := num.Factor(st.a)
-		if err != nil {
+		if err := st.lu.FactorInto(st.a); err != nil {
 			return fmt.Errorf("circuit: singular MNA matrix (floating node or source loop?): %w", err)
 		}
-		xNew := lu.Solve(st.b)
+		xNew := st.xNew
+		copy(xNew, st.b)
+		st.lu.SolveInPlace(xNew)
 		// Damp node-voltage updates; branch currents move freely.
 		maxDv := 0.0
 		for i := 0; i < st.nNodes; i++ {
@@ -110,27 +115,36 @@ func (c *Circuit) newtonSolve(st *stampCtx, opt Options) error {
 // The returned map holds every non-ground node voltage.
 func (c *Circuit) OperatingPoint(guess map[string]float64, opt Options) (map[string]float64, error) {
 	opt = opt.Defaults()
-	n := c.Size()
-	st := &stampCtx{
-		a:      num.NewMatrix(n, n),
-		b:      make([]float64, n),
-		x:      make([]float64, n),
-		nNodes: len(c.nodeNames),
-		method: opt.Method,
-		gmin:   opt.Gmin,
-	}
+	st := newStampCtx(c, opt)
 	for name, v := range guess {
 		if idx, ok := c.nodeIndex[name]; ok && idx >= 0 {
 			st.x[idx] = v
 		}
 	}
 	// gmin stepping: start with a heavy convergence aid and relax it.
-	var err error
-	for _, g := range []float64{1e-3, 1e-6, 1e-9, opt.Gmin} {
+	// Once two consecutive levels agree within VTol on every node the
+	// ladder has converged and the remaining (easier) levels are
+	// skipped — they could only move the solution by less than the
+	// tolerance again.
+	prev := make([]float64, st.nNodes)
+	for li, g := range []float64{1e-3, 1e-6, 1e-9, opt.Gmin} {
 		st.gmin = g
-		if err = c.newtonSolve(st, opt); err != nil {
+		if err := c.newtonSolve(st, opt); err != nil {
 			return nil, err
 		}
+		if li > 0 {
+			settled := true
+			for i := 0; i < st.nNodes; i++ {
+				if math.Abs(st.x[i]-prev[i]) >= opt.VTol {
+					settled = false
+					break
+				}
+			}
+			if settled {
+				break
+			}
+		}
+		copy(prev, st.x[:st.nNodes])
 	}
 	for _, e := range c.elems {
 		e.advance(st)
@@ -219,6 +233,24 @@ type Runner struct {
 	res *TransientResult
 	t   float64
 	t1  float64
+	// saved backs up st.x across a trial step so a rejected Newton
+	// solve can be rolled back without allocating. The recursive
+	// sub-stepping in advanceTo may overwrite it, but every frame is
+	// done reading the buffer before it recurses, so one per runner
+	// suffices.
+	saved []float64
+	// Recording columns, resolved once at NewRunner and preallocated to
+	// the expected sample count. record() only index-assigns into them;
+	// the name-keyed TransientResult maps are refreshed by Result().
+	n         int       // samples recorded so far
+	times     []float64 // sample instants
+	nodeCols  [][]float64
+	idCols    [][]float64 // per c.mosfets entry
+	vgsCols   [][]float64
+	vdsCols   [][]float64
+	srcNames  []string // voltage sources in recording order
+	srcBranch []int
+	srcCols   [][]float64
 }
 
 // NewRunner initialises a transient analysis (performing the DC
@@ -229,16 +261,8 @@ func (c *Circuit) NewRunner(spec TransientSpec) (*Runner, error) {
 	if spec.Dt <= 0 || spec.T1 <= spec.T0 {
 		return nil, errors.New("circuit: transient needs T1 > T0 and Dt > 0")
 	}
-	n := c.Size()
-	st := &stampCtx{
-		a:      num.NewMatrix(n, n),
-		b:      make([]float64, n),
-		x:      make([]float64, n),
-		nNodes: len(c.nodeNames),
-		method: opt.Method,
-		gmin:   opt.Gmin,
-		time:   spec.T0,
-	}
+	st := newStampCtx(c, opt)
+	st.time = spec.T0
 	if spec.UIC {
 		for name, v := range spec.InitialV {
 			if idx, ok := c.nodeIndex[name]; ok && idx >= 0 {
@@ -268,6 +292,7 @@ func (c *Circuit) NewRunner(spec TransientSpec) (*Runner, error) {
 	mTransientRuns.Inc()
 	r := &Runner{
 		c: c, st: st, opt: opt, t: spec.T0, t1: spec.T1,
+		saved: make([]float64, c.Size()),
 		res: &TransientResult{
 			V:         map[string][]float64{},
 			DeviceID:  map[string][]float64{},
@@ -276,8 +301,35 @@ func (c *Circuit) NewRunner(spec TransientSpec) (*Runner, error) {
 			SourceI:   map[string][]float64{},
 		},
 	}
+	// One sample per step plus the initial state; growRecording covers
+	// the rare extra step introduced by floating-point drift of t.
+	capHint := int(math.Ceil((spec.T1-spec.T0)/spec.Dt)) + 1
+	r.times = make([]float64, capHint)
+	r.nodeCols = makeCols(len(c.nodeNames), capHint)
+	r.idCols = makeCols(len(c.mosfets), capHint)
+	r.vgsCols = makeCols(len(c.mosfets), capHint)
+	r.vdsCols = makeCols(len(c.mosfets), capHint)
+	r.srcNames = make([]string, 0, len(c.vsources))
+	for name := range c.vsources {
+		r.srcNames = append(r.srcNames, name)
+	}
+	sort.Strings(r.srcNames)
+	r.srcBranch = make([]int, len(r.srcNames))
+	for i, name := range r.srcNames {
+		r.srcBranch[i] = c.vsources[name].branch
+	}
+	r.srcCols = makeCols(len(r.srcNames), capHint)
 	r.record()
 	return r, nil
+}
+
+// makeCols allocates n column buffers of the given length.
+func makeCols(n, length int) [][]float64 {
+	cols := make([][]float64, n)
+	for i := range cols {
+		cols[i] = make([]float64, length)
+	}
+	return cols
 }
 
 // Time returns the current simulation time.
@@ -331,12 +383,13 @@ func (r *Runner) Step(dt float64) error {
 	return nil
 }
 
+//lint:hot
 func (r *Runner) advanceTo(t float64, depth int) error {
-	saved := append([]float64(nil), r.st.x...)
+	copy(r.saved, r.st.x)
 	r.st.time = t
 	r.st.dt = t - r.t
 	if err := r.c.newtonSolve(r.st, r.opt); err != nil {
-		copy(r.st.x, saved)
+		copy(r.st.x, r.saved)
 		mStepsRejected.Inc()
 		if depth >= 6 {
 			return fmt.Errorf("circuit: step at t=%.4g s: %w", t, err)
@@ -355,25 +408,67 @@ func (r *Runner) advanceTo(t float64, depth int) error {
 	return nil
 }
 
+//lint:hot
 func (r *Runner) record() {
-	res := r.res
-	res.Times = append(res.Times, r.t)
-	for i, name := range r.c.nodeNames {
-		res.V[name] = append(res.V[name], r.st.x[i])
+	k := r.n
+	if k == len(r.times) {
+		r.growRecording()
 	}
-	for _, m := range r.c.mosfets {
-		op := m.opAt(r.st.x)
-		res.DeviceID[m.id] = append(res.DeviceID[m.id], op.Ids)
-		res.DeviceVgs[m.id] = append(res.DeviceVgs[m.id], voltage(r.st.x, m.g)-voltage(r.st.x, m.s))
-		res.DeviceVds[m.id] = append(res.DeviceVds[m.id], voltage(r.st.x, m.d)-voltage(r.st.x, m.s))
+	x := r.st.x
+	r.times[k] = r.t
+	for i, col := range r.nodeCols {
+		col[k] = x[i]
 	}
-	for name, vs := range r.c.vsources {
-		res.SourceI[name] = append(res.SourceI[name], r.st.x[r.st.nNodes+vs.branch])
+	for i, m := range r.c.mosfets {
+		op := m.opAt(x)
+		r.idCols[i][k] = op.Ids
+		r.vgsCols[i][k] = voltage(x, m.g) - voltage(x, m.s)
+		r.vdsCols[i][k] = voltage(x, m.d) - voltage(x, m.s)
+	}
+	for i, br := range r.srcBranch {
+		r.srcCols[i][k] = x[r.st.nNodes+br]
+	}
+	r.n++
+}
+
+// growRecording doubles every recording column. It only runs when the
+// NewRunner capacity estimate is exceeded (floating-point drift of the
+// step accumulator), so record itself stays allocation-free.
+func (r *Runner) growRecording() {
+	grow := func(col []float64) []float64 {
+		out := make([]float64, 2*len(col)+1)
+		copy(out, col)
+		return out
+	}
+	r.times = grow(r.times)
+	for _, cols := range [][][]float64{r.nodeCols, r.idCols, r.vgsCols, r.vdsCols, r.srcCols} {
+		for i := range cols {
+			cols[i] = grow(cols[i])
+		}
 	}
 }
 
-// Result returns the samples recorded so far.
-func (r *Runner) Result() *TransientResult { return r.res }
+// Result returns the samples recorded so far. The name-keyed maps are
+// refreshed from the recording columns on each call; the returned
+// slices alias the live recording buffers up to their current length,
+// exactly as the previous append-based recorder did.
+func (r *Runner) Result() *TransientResult {
+	res := r.res
+	n := r.n
+	res.Times = r.times[:n]
+	for i, name := range r.c.nodeNames {
+		res.V[name] = r.nodeCols[i][:n]
+	}
+	for i, m := range r.c.mosfets {
+		res.DeviceID[m.id] = r.idCols[i][:n]
+		res.DeviceVgs[m.id] = r.vgsCols[i][:n]
+		res.DeviceVds[m.id] = r.vdsCols[i][:n]
+	}
+	for i, name := range r.srcNames {
+		res.SourceI[name] = r.srcCols[i][:n]
+	}
+	return res
+}
 
 // Transient runs a fixed-step implicit transient analysis and records
 // every node voltage and every MOSFET bias/current at each step.

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc enforces the repository's hot-path memory discipline (see
+// DESIGN.md): a function annotated with a `//lint:hot` directive in its
+// doc comment is an inner-loop kernel whose body must not allocate.
+// Flagged inside annotated functions:
+//
+//   - make(...) — slice/map/chan construction
+//   - append(...) — growth may escape any preallocated capacity; hot
+//     code index-assigns into buffers sized up front (cold grow helpers
+//     live in separate, unannotated functions)
+//   - map composite literals (map[...]...{...} or named map types)
+//   - fmt.Sprintf — formats into a fresh string on every call
+//
+// Calls into other functions are not traversed (the rule is
+// intra-procedural); annotate the callee too if it is part of the hot
+// loop. Error paths may use fmt.Errorf — constructing an error already
+// means the hot loop is over.
+type HotAlloc struct{}
+
+// Name implements Rule.
+func (HotAlloc) Name() string { return "hotalloc" }
+
+// Doc implements Rule.
+func (HotAlloc) Doc() string {
+	return "functions annotated //lint:hot must not make, append, build map literals or fmt.Sprintf"
+}
+
+// Check implements Rule.
+func (r HotAlloc) Check(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	pkg.eachFile(false, func(f *File) {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotAnnotated(fd) {
+				continue
+			}
+			out = append(out, r.checkBody(pkg, fd)...)
+		}
+	})
+	return out
+}
+
+// isHotAnnotated reports whether the function's doc comment group
+// carries a //lint:hot directive line.
+func isHotAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "lint:hot" {
+			return true
+		}
+	}
+	return false
+}
+
+func (r HotAlloc) checkBody(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	flag := func(n ast.Node, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Rule:    r.Name(),
+			Pos:     pkg.position(n),
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case pkg.isBuiltin(node.Fun, "make"):
+				flag(node, "make allocates inside hot function %s; preallocate in the enclosing context", fd.Name.Name)
+			case pkg.isBuiltin(node.Fun, "append"):
+				flag(node, "append may grow (allocate) inside hot function %s; index-assign into a preallocated buffer", fd.Name.Name)
+			case pkg.isPkgDot(node.Fun, "fmt", "Sprintf"):
+				flag(node, "fmt.Sprintf allocates a string inside hot function %s", fd.Name.Name)
+			}
+		case *ast.CompositeLit:
+			if pkg.isMapLiteral(node) {
+				flag(node, "map literal allocates inside hot function %s", fd.Name.Name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isBuiltin reports whether e is a direct use of the named language
+// builtin (shadowing identifiers are excluded when type info exists).
+func (p *Package) isBuiltin(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	if p.Info != nil {
+		if obj := p.Info.Uses[id]; obj != nil {
+			_, builtin := obj.(*types.Builtin)
+			return builtin
+		}
+	}
+	return true
+}
+
+// isMapLiteral reports whether cl constructs a map value, either
+// through a syntactic map type or a named type whose underlying type is
+// a map.
+func (p *Package) isMapLiteral(cl *ast.CompositeLit) bool {
+	if _, ok := cl.Type.(*ast.MapType); ok {
+		return true
+	}
+	if p.Info != nil && cl.Type != nil {
+		if tv, ok := p.Info.Types[cl.Type]; ok && tv.Type != nil {
+			_, isMap := tv.Type.Underlying().(*types.Map)
+			return isMap
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package lint
+
+import "testing"
+
+func TestHotAllocFlagsAllocationsInHotFunctions(t *testing.T) {
+	files := map[string]string{"internal/kern/kern.go": `package kern
+
+import "fmt"
+
+// step is the inner loop.
+//
+//lint:hot
+func step(xs []float64, n int) string {
+	buf := make([]float64, n)
+	buf = append(buf, 1.0)
+	m := map[string]int{"a": 1}
+	_ = m
+	_ = buf
+	return fmt.Sprintf("n=%d", n)
+}
+`}
+	wantFindings(t, diags(t, files, HotAlloc{}), 4)
+}
+
+func TestHotAllocIgnoresUnannotatedFunctions(t *testing.T) {
+	files := map[string]string{"internal/kern/kern.go": `package kern
+
+import "fmt"
+
+// cold may allocate freely.
+func cold(n int) string {
+	buf := make([]float64, n)
+	buf = append(buf, 1.0)
+	m := map[string]int{"a": 1}
+	_ = m
+	_ = buf
+	return fmt.Sprintf("n=%d", n)
+}
+`}
+	wantFindings(t, diags(t, files, HotAlloc{}), 0)
+}
+
+func TestHotAllocAcceptsDisciplinedHotFunction(t *testing.T) {
+	files := map[string]string{"internal/kern/kern.go": `package kern
+
+import "fmt"
+
+// record index-assigns into preallocated storage; the error path may
+// construct (fmt.Errorf is not Sprintf) because an error ends the hot
+// loop anyway.
+//
+//lint:hot
+func record(dst []float64, k int, v float64) error {
+	if k >= len(dst) {
+		return fmt.Errorf("kern: sample %d beyond capacity %d", k, len(dst))
+	}
+	dst[k] = v
+	return nil
+}
+`}
+	wantFindings(t, diags(t, files, HotAlloc{}), 0)
+}
+
+func TestHotAllocFlagsNamedMapLiterals(t *testing.T) {
+	files := map[string]string{"internal/kern/kern.go": `package kern
+
+// index is a named map type.
+type index map[string]int
+
+// lookup builds a named-map literal per call.
+//
+//lint:hot
+func lookup(k string) int {
+	return index{"a": 1}[k]
+}
+`}
+	wantFindings(t, diags(t, files, HotAlloc{}), 1)
+}
+
+func TestHotAllocSkipsShadowedBuiltins(t *testing.T) {
+	files := map[string]string{"internal/kern/kern.go": `package kern
+
+// appendTo shadows the builtin name; calling it is a plain call.
+func appendTo(dst []float64, v float64) []float64 { return dst }
+
+// hot calls the shadowing function, not the builtin.
+//
+//lint:hot
+func hot(dst []float64, v float64) []float64 {
+	append := appendTo
+	return append(dst, v)
+}
+`}
+	wantFindings(t, diags(t, files, HotAlloc{}), 0)
+}
+
+func TestHotAllocStructLiteralsAreFine(t *testing.T) {
+	files := map[string]string{"internal/kern/kern.go": `package kern
+
+// pt is a plain value struct.
+type pt struct{ x, y float64 }
+
+// hot builds a stack value — composite struct literals do not count as
+// map allocations.
+//
+//lint:hot
+func hot(a, b float64) pt {
+	return pt{x: a, y: b}
+}
+`}
+	wantFindings(t, diags(t, files, HotAlloc{}), 0)
+}
+
+func TestHotAllocSuppressible(t *testing.T) {
+	files := map[string]string{"internal/kern/kern.go": `package kern
+
+// hot keeps one justified allocation.
+//
+//lint:hot
+func hot(n int) []float64 {
+	//lint:ignore hotalloc one-time warm-up allocation measured to be outside the loop
+	return make([]float64, n)
+}
+`}
+	wantFindings(t, diags(t, files, HotAlloc{}), 0)
+}

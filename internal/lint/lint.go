@@ -12,6 +12,8 @@
 //   - error returns are never silently discarded (bareerr)
 //   - internal packages never print to the console; telemetry flows
 //     through internal/obs (printfless)
+//   - functions annotated //lint:hot stay allocation-free: no make,
+//     append, map literals or fmt.Sprintf in their bodies (hotalloc)
 //
 // Diagnostics are position-tracked and emitted in a deterministic order
 // (file, line, column, rule). Individual findings can be suppressed with
@@ -94,6 +96,7 @@ func AllRules() []Rule {
 		MagicConst{},
 		BareErr{},
 		PrintfLess{},
+		HotAlloc{},
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"samurai/internal/rng"
 	"samurai/internal/trap"
+	"samurai/internal/waveform"
 )
 
 // BiasFunc returns the instantaneous gate bias V_gs at time t.
@@ -13,6 +14,16 @@ type BiasFunc func(t float64) float64
 // ConstantBias adapts a fixed V_gs to a BiasFunc.
 func ConstantBias(vgs float64) BiasFunc {
 	return func(float64) float64 { return vgs }
+}
+
+// PWLBias adapts a PWL waveform to a BiasFunc through a
+// waveform.Cursor, so the (monotone) candidate-time sweep of
+// Uniformise costs O(1) amortised per bias lookup instead of a binary
+// search. Values are bit-identical to w.Eval. The returned func owns
+// one cursor and must not be shared between goroutines.
+func PWLBias(w *waveform.PWL) BiasFunc {
+	cur := w.Cursor()
+	return cur.Eval
 }
 
 // ErrBadInterval is returned when tf <= t0.
@@ -29,6 +40,12 @@ var ErrBadInterval = errors.New("markov: simulation interval is empty")
 // leaving the current state at the candidate time. Accepted and
 // rejected candidates together exactly reproduce the inhomogeneous
 // chain's law.
+//
+// The candidate loop is the innermost kernel of the whole methodology;
+// it must stay allocation-free (path growth is amortised inside
+// Path.Transition).
+//
+//lint:hot
 func Uniformise(ctx trap.Context, tr trap.Trap, vgs BiasFunc, t0, tf float64, r *rng.Stream) (*Path, error) {
 	if tf <= t0 {
 		return nil, ErrBadInterval
@@ -67,8 +84,12 @@ func Uniformise(ctx trap.Context, tr trap.Trap, vgs BiasFunc, t0, tf float64, r 
 // Split(i), so trap i's path does not depend on how many traps exist.
 func UniformiseProfile(pr trap.Profile, vgs BiasFunc, t0, tf float64, r *rng.Stream) ([]*Path, error) {
 	paths := make([]*Path, len(pr.Traps))
+	// One reusable child stream: Uniformise only draws from it, so the
+	// storage can be re-derived per trap (bit-identical to Split(i)).
+	var child rng.Stream
 	for i, tr := range pr.Traps {
-		p, err := Uniformise(pr.Ctx, tr, vgs, t0, tf, r.Split(uint64(i)))
+		r.SplitInto(uint64(i), &child)
+		p, err := Uniformise(pr.Ctx, tr, vgs, t0, tf, &child)
 		if err != nil {
 			return nil, err
 		}

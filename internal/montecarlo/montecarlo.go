@@ -153,6 +153,12 @@ func RunArray(cfg ArrayConfig, run Runner) (*ArrayResult, error) {
 			defer wg.Done()
 			var busy time.Duration
 			var drained int64
+			// cellStream is this worker's reusable scratch: every cell
+			// re-derives the same child stream Split(i) would allocate,
+			// but into the one per-worker Stream value. The parent is
+			// only read by SplitInto, so sharing root across workers
+			// stays race-free.
+			var cellStream rng.Stream
 			lastProgress := start
 			for i := range jobs {
 				if agg.Failed() {
@@ -160,7 +166,8 @@ func RunArray(cfg ArrayConfig, run Runner) (*ArrayResult, error) {
 					continue // drain the queue without simulating
 				}
 				cellStart := time.Now()
-				out := simulateCell(cfg, run, i, root.Split(uint64(i)))
+				root.SplitInto(uint64(i), &cellStream)
+				out := simulateCell(cfg, run, i, &cellStream)
 				cellDur := time.Since(cellStart)
 				busy += cellDur
 				mCellSeconds.Observe(cellDur.Seconds())
@@ -221,13 +228,18 @@ func simulateCell(cfg ArrayConfig, run Runner, i int, r *rng.Stream) CellOutcome
 	cell := cfg.Cell
 	cell.Tech = cfg.Tech
 	cell = cell.Defaults()
-	cell.VtShift = SampleVtShifts(cfg.Tech, cell, r.Split(1))
+	// Stack scratch for the two fixed child streams of every cell —
+	// neither escapes, so the per-cell rng cost is zero allocations.
+	var vtStream, seedStream rng.Stream
+	r.SplitInto(1, &vtStream)
+	cell.VtShift = SampleVtShifts(cfg.Tech, cell, &vtStream)
 
 	scale := cfg.Scale
 	if !cfg.WithRTN {
 		scale = 0
 	}
-	errs, slow, traps, err := run(cell, cfg.Pattern, scale, r.Split(2).Uint64())
+	r.SplitInto(2, &seedStream)
+	errs, slow, traps, err := run(cell, cfg.Pattern, scale, seedStream.Uint64())
 	return CellOutcome{
 		Index: i, VtShift: cell.VtShift,
 		TrapCount: traps, Errors: errs, Slow: slow,

@@ -21,11 +21,37 @@ type LU struct {
 // Factor computes the LU factorisation of a (which is copied, not
 // modified). It returns ErrSingular if a pivot underflows.
 func Factor(a *Matrix) (*LU, error) {
+	f := &LU{}
+	if err := f.FactorInto(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewLU returns an empty n×n factorisation workspace ready for
+// FactorInto. Holding one per solver context keeps repeated
+// factorisations allocation-free.
+func NewLU(n int) *LU {
+	return &LU{lu: NewMatrix(n, n), pivot: make([]int, n)}
+}
+
+// FactorInto recomputes the factorisation of a into f's existing
+// storage, allocating only when the workspace is absent or sized for a
+// different dimension. The elimination is identical to Factor, so a
+// reused workspace yields bit-identical factors and solutions to a
+// fresh factorisation of the same matrix. On ErrSingular the workspace
+// contents are unspecified but remain reusable.
+func (f *LU) FactorInto(a *Matrix) error {
 	if a.Rows != a.Cols {
 		panic("num: Factor requires a square matrix")
 	}
 	n := a.Rows
-	f := &LU{lu: a.Clone(), pivot: make([]int, n), signP: 1}
+	if f.lu == nil || f.lu.Rows != n || f.lu.Cols != n {
+		f.lu = NewMatrix(n, n)
+		f.pivot = make([]int, n)
+	}
+	f.lu.CopyFrom(a)
+	f.signP = 1
 	lu := f.lu
 	for k := 0; k < n; k++ {
 		// Partial pivoting: find the largest |entry| in column k.
@@ -39,7 +65,7 @@ func Factor(a *Matrix) (*LU, error) {
 		}
 		f.pivot[k] = p
 		if maxAbs == 0 || math.IsNaN(maxAbs) {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			f.signP = -f.signP
@@ -63,7 +89,7 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // Solve returns x such that A·x = b. b is not modified.
@@ -79,6 +105,8 @@ func (f *LU) Solve(b []float64) []float64 {
 }
 
 // SolveInPlace overwrites x (initially holding b) with the solution.
+//
+//lint:hot
 func (f *LU) SolveInPlace(x []float64) {
 	n := f.lu.Rows
 	lu := f.lu

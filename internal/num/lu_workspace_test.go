@@ -1,0 +1,123 @@
+package num
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"samurai/internal/rng"
+)
+
+// randomDominant builds a random strictly diagonally dominant (hence
+// well-conditioned enough to factor) n×n matrix.
+func randomDominant(r *rng.Stream, n int) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := 2*r.Float64() - 1
+			a.Set(i, j, v)
+			rowSum += math.Abs(v)
+		}
+		sign := 1.0
+		if r.Float64() < 0.5 {
+			sign = -1
+		}
+		a.Set(i, i, sign*(rowSum+1+r.Float64()))
+	}
+	return a
+}
+
+// wantIdenticalLU asserts two factorisations match bit for bit.
+func wantIdenticalLU(t *testing.T, fresh, reused *LU) {
+	t.Helper()
+	if fresh.signP != reused.signP {
+		t.Fatalf("signP differs: %d vs %d", fresh.signP, reused.signP)
+	}
+	for i, p := range fresh.pivot {
+		if reused.pivot[i] != p {
+			t.Fatalf("pivot[%d] differs: %d vs %d", i, p, reused.pivot[i])
+		}
+	}
+	for i, v := range fresh.lu.Data {
+		if math.Float64bits(reused.lu.Data[i]) != math.Float64bits(v) {
+			t.Fatalf("factor entry %d differs: %g vs %g", i, v, reused.lu.Data[i])
+		}
+	}
+}
+
+// TestFactorIntoMatchesFreshFactor is the workspace-reuse property
+// test: factoring B into a workspace that previously held A must yield
+// factors, pivots and solutions bit-identical to a fresh Factor(B).
+func TestFactorIntoMatchesFreshFactor(t *testing.T) {
+	r := rng.New(77)
+	ws := &LU{}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(12)
+		// Dirty the workspace with a first factorisation of a
+		// different random matrix (possibly of a different size).
+		if err := ws.FactorInto(randomDominant(r, 1+r.Intn(12))); err != nil {
+			t.Fatalf("trial %d: priming factorisation failed: %v", trial, err)
+		}
+
+		b := randomDominant(r, n)
+		fresh, err := Factor(b)
+		if err != nil {
+			t.Fatalf("trial %d: fresh Factor failed: %v", trial, err)
+		}
+		if err := ws.FactorInto(b); err != nil {
+			t.Fatalf("trial %d: FactorInto failed: %v", trial, err)
+		}
+		wantIdenticalLU(t, fresh, ws)
+
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = 2*r.Float64() - 1
+		}
+		want := fresh.Solve(rhs)
+		got := make([]float64, n)
+		copy(got, rhs)
+		ws.SolveInPlace(got)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("trial %d: solution %d differs: %g vs %g", trial, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestFactorIntoDoesNotModifyInput(t *testing.T) {
+	r := rng.New(5)
+	a := randomDominant(r, 7)
+	orig := a.Clone()
+	ws := NewLU(7)
+	if err := ws.FactorInto(a); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range orig.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(v) {
+			t.Fatalf("FactorInto modified its input at %d", i)
+		}
+	}
+}
+
+func TestFactorIntoRecoversAfterSingular(t *testing.T) {
+	ws := NewLU(3)
+	sing := NewMatrix(3, 3) // all-zero: singular
+	if err := ws.FactorInto(sing); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+	r := rng.New(9)
+	a := randomDominant(r, 3)
+	if err := ws.FactorInto(a); err != nil {
+		t.Fatalf("workspace unusable after singular matrix: %v", err)
+	}
+	fresh, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdenticalLU(t, fresh, ws)
+}

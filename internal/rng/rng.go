@@ -30,12 +30,19 @@ func New(seed uint64) *Stream {
 // seq. Distinct seq values give statistically independent streams even
 // for equal seeds.
 func NewSeq(seed, seq uint64) *Stream {
-	s := &Stream{inc: seq<<1 | 1}
+	s := &Stream{}
+	s.reseed(seed, seq)
+	return s
+}
+
+// reseed re-initialises s in place exactly as NewSeq would, so reused
+// stream storage produces bit-identical sequences to a fresh stream.
+func (s *Stream) reseed(seed, seq uint64) {
+	s.inc = seq<<1 | 1
 	s.state = 0
 	s.next32()
 	s.state += seed
 	s.next32()
-	return s
 }
 
 // splitmix64 is used to derive child seeds; it is a strong 64-bit mixer.
@@ -50,8 +57,18 @@ func splitmix64(x uint64) uint64 {
 // stream is not advanced, so Split(i) is a pure function of the parent's
 // identity and i.
 func (s *Stream) Split(id uint64) *Stream {
+	child := &Stream{}
+	s.SplitInto(id, child)
+	return child
+}
+
+// SplitInto derives the same child stream as Split(id) into dst,
+// reusing dst's storage instead of allocating. The parent is only read,
+// so concurrent SplitInto calls on a shared parent are safe; dst is
+// overwritten entirely. Sequences are bit-identical to Split(id).
+func (s *Stream) SplitInto(id uint64, dst *Stream) {
 	base := s.state ^ s.inc
-	return NewSeq(splitmix64(base^splitmix64(id)), splitmix64(id+0x632be59bd9b4e019))
+	dst.reseed(splitmix64(base^splitmix64(id)), splitmix64(id+0x632be59bd9b4e019))
 }
 
 func (s *Stream) next32() uint32 {

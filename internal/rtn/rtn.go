@@ -111,6 +111,10 @@ func Compose(paths []*markov.Path, dev device.MOSParams, vgs, id *waveform.PWL, 
 	tr := &Trace{T: make([]float64, n), I: make([]float64, n)}
 	dt := (t1 - t0) / float64(n-1)
 	idx := 0
+	// The sample sweep is monotone, so cursors make each bias lookup
+	// O(1) amortised instead of a binary search per sample.
+	vgsCur := vgs.Cursor()
+	idCur := id.Cursor()
 	for i := 0; i < n; i++ {
 		t := t0 + float64(i)*dt
 		tr.T[i] = t
@@ -124,8 +128,8 @@ func Compose(paths []*markov.Path, dev device.MOSParams, vgs, id *waveform.PWL, 
 		if nf == 0 {
 			continue
 		}
-		carriers := dev.CarrierCount(vgs.Eval(t)) // W·L·N(t)
-		tr.I[i] = id.Eval(t) / carriers * float64(nf)
+		carriers := dev.CarrierCount(vgsCur.Eval(t)) // W·L·N(t)
+		tr.I[i] = idCur.Eval(t) / carriers * float64(nf)
 	}
 	return tr, nil
 }

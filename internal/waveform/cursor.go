@@ -1,0 +1,69 @@
+package waveform
+
+import "sort"
+
+// Cursor evaluates a PWL with O(1) amortised cost for monotone time
+// sweeps. It remembers the segment that satisfied the previous query
+// and advances linearly from there; a query behind the remembered
+// segment (or far ahead of it) falls back to the same binary search
+// PWL.Eval uses. Every query returns a value bit-identical to
+// PWL.Eval(t) — the cursor only changes how the segment is located,
+// never how the interpolation is computed.
+//
+// A Cursor is cheap to create and must not be shared between
+// goroutines; each sweep (a transient element, a trace-composition
+// loop, a uniformisation run) owns its own.
+type Cursor struct {
+	w *PWL
+	// idx is the candidate upper breakpoint: when valid it satisfies
+	// T[idx-1] < t <= T[idx] for the previous query's t.
+	idx int
+}
+
+// cursorProbe bounds the linear advance before giving up and binary
+// searching — keeps a large forward jump from degrading below the
+// plain Eval cost.
+const cursorProbe = 32
+
+// Cursor returns a fresh cursor over w positioned before the first
+// breakpoint.
+func (w *PWL) Cursor() Cursor { return Cursor{w: w} }
+
+// Eval returns the waveform value at time t, holding the first/last
+// value outside the breakpoint range, exactly as PWL.Eval does.
+//
+//lint:hot
+func (c *Cursor) Eval(t float64) float64 {
+	w := c.w
+	n := len(w.T)
+	if n == 1 || t <= w.T[0] {
+		return w.V[0]
+	}
+	if t >= w.T[n-1] {
+		return w.V[n-1]
+	}
+	// Locate the smallest i with T[i] >= t (the SearchFloat64s
+	// contract), starting from the remembered segment when the query
+	// moved forward.
+	i := c.idx
+	if i < 1 || i >= n || !(w.T[i-1] < t) {
+		i = sort.SearchFloat64s(w.T, t)
+	} else {
+		for probe := 0; w.T[i] < t; probe++ {
+			if probe == cursorProbe {
+				i = sort.SearchFloat64s(w.T, t)
+				break
+			}
+			i++
+		}
+	}
+	c.idx = i
+	//lint:ignore floateq exact hit on a stored breakpoint, mirroring PWL.Eval
+	if w.T[i] == t {
+		return w.V[i]
+	}
+	t0, t1 := w.T[i-1], w.T[i]
+	v0, v1 := w.V[i-1], w.V[i]
+	frac := (t - t0) / (t1 - t0)
+	return v0 + frac*(v1-v0)
+}

@@ -1,0 +1,139 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+
+	"samurai/internal/rng"
+)
+
+// randomPWL builds a random strictly-increasing waveform with n
+// breakpoints spread over roughly [0, n].
+func randomPWL(t *testing.T, r *rng.Stream, n int) *PWL {
+	t.Helper()
+	ts := make([]float64, n)
+	vs := make([]float64, n)
+	acc := r.Float64() - 0.5
+	for i := range ts {
+		acc += r.Float64() + 1e-9
+		ts[i] = acc
+		vs[i] = 2*r.Float64() - 1
+	}
+	w, err := New(ts, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// wantSameBits asserts the cursor and plain Eval agree bit for bit.
+func wantSameBits(t *testing.T, w *PWL, cur *Cursor, q float64) {
+	t.Helper()
+	want := w.Eval(q)
+	got := cur.Eval(q)
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("Cursor.Eval(%g) = %g, PWL.Eval = %g (bits differ)", q, got, want)
+	}
+}
+
+func TestCursorMatchesEvalOnMonotoneSweep(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 20; trial++ {
+		w := randomPWL(t, r, 3+r.Intn(40))
+		cur := w.Cursor()
+		span := w.End() - w.Begin()
+		q := w.Begin() - 0.1*span
+		for q < w.End()+0.1*span {
+			wantSameBits(t, w, &cur, q)
+			q += span * r.Float64() / 50
+		}
+	}
+}
+
+func TestCursorMatchesEvalOnArbitraryJumps(t *testing.T) {
+	r := rng.New(23)
+	for trial := 0; trial < 20; trial++ {
+		w := randomPWL(t, r, 2+r.Intn(30))
+		cur := w.Cursor()
+		span := w.End() - w.Begin()
+		for i := 0; i < 300; i++ {
+			// Mix arbitrary positions, exact breakpoints and the
+			// out-of-range holds.
+			var q float64
+			switch r.Intn(4) {
+			case 0:
+				q = w.Begin() + span*(2*r.Float64()-0.5)
+			case 1:
+				q = w.T[r.Intn(len(w.T))] // exact breakpoint hit
+			case 2:
+				q = w.Begin() - r.Float64()
+			default:
+				q = w.End() + r.Float64()
+			}
+			wantSameBits(t, w, &cur, q)
+		}
+	}
+}
+
+func TestCursorSingleBreakpoint(t *testing.T) {
+	w := Constant(2.5)
+	cur := w.Cursor()
+	for _, q := range []float64{-1, 0, 1, 1e9} {
+		wantSameBits(t, w, &cur, q)
+	}
+}
+
+func TestCursorLongForwardJumpFallsBackToSearch(t *testing.T) {
+	// More than cursorProbe segments between consecutive queries forces
+	// the binary-search fallback; results must still match.
+	n := cursorProbe*4 + 7
+	ts := make([]float64, n)
+	vs := make([]float64, n)
+	for i := range ts {
+		ts[i] = float64(i)
+		vs[i] = float64(i % 5)
+	}
+	w, err := New(ts, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := w.Cursor()
+	wantSameBits(t, w, &cur, 0.5)
+	wantSameBits(t, w, &cur, float64(n)-1.25) // jump over ~4·probe segments
+	wantSameBits(t, w, &cur, 1.75)            // and all the way back
+}
+
+// FuzzCursorEquivalence drives a cursor with an arbitrary (generally
+// non-monotone) query sequence decoded from fuzz bytes and checks every
+// answer bit for bit against the stateless PWL.Eval.
+func FuzzCursorEquivalence(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 128, 255, 3, 77})
+	f.Add(uint64(42), []byte{9, 9, 9, 250, 1, 0, 200, 13})
+	f.Add(uint64(7), []byte{})
+	f.Fuzz(func(t *testing.T, seed uint64, queries []byte) {
+		r := rng.New(seed)
+		ts := make([]float64, 2+int(seed%37))
+		vs := make([]float64, len(ts))
+		acc := 0.0
+		for i := range ts {
+			acc += r.Float64() + 1e-9
+			ts[i] = acc
+			vs[i] = 2*r.Float64() - 1
+		}
+		w, err := New(ts, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := w.Cursor()
+		span := w.End() - w.Begin()
+		for _, b := range queries {
+			// Map one byte to a query spanning past both ends.
+			q := w.Begin() + span*(float64(b)/200.0-0.1)
+			want := w.Eval(q)
+			got := cur.Eval(q)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("Cursor.Eval(%g) = %g, PWL.Eval = %g", q, got, want)
+			}
+		}
+	})
+}

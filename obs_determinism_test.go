@@ -112,6 +112,7 @@ func TestObsDeterminismRunArray(t *testing.T) {
 // the gap between the two sub-benchmarks is the observability overhead.
 func BenchmarkRun(b *testing.B) {
 	run := func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := samurai.Run(samurai.Config{Seed: 42}); err != nil {
 				b.Fatal(err)

@@ -218,7 +218,7 @@ func run(cfg Config, span *obs.Span) (*Result, error) {
 				agg.Record(i, fmt.Errorf("samurai: bias for %s: %w", name, err))
 				return
 			}
-			o.paths, err = markov.UniformiseProfile(profile, vgs.Eval, t0, t1, root.Split(uint64(2000+i)))
+			o.paths, err = markov.UniformiseProfile(profile, markov.PWLBias(vgs), t0, t1, root.Split(uint64(2000+i)))
 			if err != nil {
 				agg.Record(i, fmt.Errorf("samurai: uniformisation for %s: %w", name, err))
 				return
@@ -274,7 +274,7 @@ func GenerateTrace(profile trap.Profile, dev device.MOSParams, vgs, id *waveform
 		return nil, nil, errors.New("samurai: need at least 2 samples")
 	}
 	r := rng.New(seed)
-	paths, err := markov.UniformiseProfile(profile, vgs.Eval, t0, t1, r)
+	paths, err := markov.UniformiseProfile(profile, markov.PWLBias(vgs), t0, t1, r)
 	if err != nil {
 		return nil, nil, err
 	}
