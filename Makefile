@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint check bench bench-smoke bench-json
+.PHONY: build test vet race lint check bench bench-smoke bench-json smoke-service
 
 build:
 	$(GO) build ./...
@@ -31,11 +31,17 @@ bench-smoke:
 	@tail -n 3 bench.txt
 
 # bench-json records the machine-readable benchmark trajectory: a real
-# (multi-iteration) -benchmem run parsed into BENCH_3.json, diffed
-# against the pre-PR baseline saved in bench_baseline_3.txt.
+# (multi-iteration) -benchmem run parsed into BENCH_4.json, diffed
+# against the pre-PR baseline saved in bench_baseline_4.txt.
 bench-json:
 	$(GO) test -bench='^(BenchmarkRun|BenchmarkFullMethodology|BenchmarkCoreUniformise|BenchmarkCellTransient|BenchmarkFig2MarginStack|BenchmarkFig3SpectralDensity|BenchmarkFig5GlitchScenarios)$$' \
 		-benchmem -benchtime=2x -run=^$$ . > bench_current.txt
-	$(GO) run ./cmd/benchjson -baseline bench_baseline_3.txt -o BENCH_3.json bench_current.txt
+	$(GO) run ./cmd/benchjson -baseline bench_baseline_4.txt -o BENCH_4.json bench_current.txt
 	@rm -f bench_current.txt
-	@echo wrote BENCH_3.json
+	@echo wrote BENCH_4.json
+
+# smoke-service exercises samuraid end to end: build -race, start on an
+# ephemeral port, run a tiny array job over HTTP, SIGTERM, assert a
+# clean drain and a non-empty job store.
+smoke-service:
+	./scripts/smoke_samuraid.sh

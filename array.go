@@ -1,16 +1,21 @@
 package samurai
 
 import (
+	"context"
+
+	"samurai/internal/circuit"
 	"samurai/internal/montecarlo"
 	"samurai/internal/sram"
 )
 
-// ArrayRunner adapts the full methodology (Run) as the per-cell worker
-// for montecarlo.RunArray. A scale of 0 simulates the cell without RTN
-// (variation-only reference); otherwise the RTN pass runs with the
-// given amplitude scale.
-func ArrayRunner() montecarlo.Runner {
-	return func(cell sram.CellConfig, pattern sram.Pattern, scale float64, seed uint64) (errors, slow, traps int, err error) {
+// ArrayRunnerCtx adapts the full methodology (RunCtx) as the per-cell
+// worker for montecarlo.RunArrayCtx. A scale of 0 simulates the cell
+// without RTN (variation-only reference); otherwise the RTN pass runs
+// with the given amplitude scale. Cancelling ctx aborts the in-flight
+// cell between circuit integration steps; it never perturbs the result
+// of a cell that completes.
+func ArrayRunnerCtx() montecarlo.CtxRunner {
+	return func(ctx context.Context, cell sram.CellConfig, pattern sram.Pattern, scale float64, seed uint64) (errors, slow, traps int, err error) {
 		cfg := Config{
 			Tech:    cell.Tech,
 			Cell:    cell,
@@ -29,13 +34,13 @@ func ArrayRunner() montecarlo.Runner {
 			if berr != nil {
 				return 0, 0, 0, berr
 			}
-			run, eerr := c.Evaluate(pattern, 0)
+			run, eerr := c.EvaluateOpts(pattern, 0, circuit.Options{Ctx: ctx})
 			if eerr != nil {
 				return 0, 0, 0, eerr
 			}
 			return run.NumError, run.NumSlow, 0, nil
 		}
-		res, rerr := Run(cfg)
+		res, rerr := RunCtx(ctx, cfg)
 		if rerr != nil {
 			return 0, 0, 0, rerr
 		}
@@ -44,5 +49,14 @@ func ArrayRunner() montecarlo.Runner {
 			total += len(p.Traps)
 		}
 		return res.WithRTN.NumError, res.WithRTN.NumSlow, total, nil
+	}
+}
+
+// ArrayRunner is ArrayRunnerCtx without cancellation — the per-cell
+// worker for the plain montecarlo.RunArray.
+func ArrayRunner() montecarlo.Runner {
+	run := ArrayRunnerCtx()
+	return func(cell sram.CellConfig, pattern sram.Pattern, scale float64, seed uint64) (errors, slow, traps int, err error) {
+		return run(context.Background(), cell, pattern, scale, seed)
 	}
 }

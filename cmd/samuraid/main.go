@@ -1,0 +1,111 @@
+// Command samuraid is the durable SAMURAI job service: it accepts
+// methodology runs and Monte-Carlo array sweeps over a REST API,
+// checkpoints sweeps cell-by-cell into an append-only JSONL store, and
+// resumes interrupted sweeps bit-identically after a restart.
+//
+// Usage:
+//
+//	samuraid -addr :8437 -store samuraid.jsonl
+//
+// SIGTERM/SIGINT drains gracefully: in-flight cells finish and
+// checkpoint, interrupted sweeps return to the queue (resumed on next
+// start), and the process exits 0. A second signal hard-exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"samurai/internal/jobd"
+	"samurai/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8437", "HTTP listen address (host:port; :0 picks a free port)")
+	storePath := flag.String("store", "samuraid.jsonl", "append-only job store path")
+	maxJobs := flag.Int("max-jobs", 1, "jobs executing concurrently")
+	workers := flag.Int("workers", 0, "default per-job cell workers (0 = GOMAXPROCS)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	progress := flag.Bool("progress", false, "log progress events to stderr as JSONL")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time for the HTTP server to drain on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *storePath, *addrFile, *maxJobs, *workers, *progress, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "samuraid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, storePath, addrFile string, maxJobs, workers int, progress bool, drainTimeout time.Duration) error {
+	if progress {
+		obs.SetSink(obs.NewJSONLSink(os.Stderr))
+	}
+
+	store, replayed, maxSeq, err := jobd.Open(storePath)
+	if err != nil {
+		return err
+	}
+	sched := jobd.New(store, replayed, maxSeq, jobd.Options{
+		MaxJobs: maxJobs,
+		Workers: workers,
+	})
+	sched.Start()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if addrFile != "" {
+		if werr := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); werr != nil {
+			return fmt.Errorf("writing addr file: %w", werr)
+		}
+	}
+	srv := &http.Server{
+		Handler:           jobd.NewHandler(sched),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintln(os.Stderr, "samuraid: listening on", ln.Addr())
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintln(os.Stderr, "samuraid: received", sig, "- draining")
+		go func() {
+			s := <-sigCh
+			fmt.Fprintln(os.Stderr, "samuraid: received second", s, "- hard exit")
+			os.Exit(1)
+		}()
+	case err := <-serveErr:
+		//lint:ignore bareerr best-effort cleanup on an already-failed serve path
+		store.Close()
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// Drain order matters: stop the scheduler first (finishes and
+	// checkpoints in-flight cells, closes event streams so streaming
+	// handlers return), then the HTTP server, then the store.
+	sched.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		//lint:ignore bareerr the Shutdown error is the one worth reporting; Close severs stragglers
+		srv.Close()
+		fmt.Fprintln(os.Stderr, "samuraid: forced connection close after drain timeout:", err)
+	}
+	if err := store.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "samuraid: drained cleanly")
+	return nil
+}

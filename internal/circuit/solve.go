@@ -1,6 +1,7 @@
 package circuit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -25,6 +26,12 @@ type Options struct {
 	Gmin float64
 	// Method selects the transient integration scheme.
 	Method Method
+	// Ctx, when non-nil, cancels a transient analysis between steps:
+	// Runner.Step returns the wrapped ctx error as soon as the
+	// cancellation is observed. The sampled solution up to that point
+	// is unaffected — cancellation can only abort a run early, never
+	// perturb its numbers.
+	Ctx context.Context
 }
 
 // Defaults fills unset fields with robust values.
@@ -371,6 +378,11 @@ func (r *Runner) DeviceOp(name string) (vgs, vds, id float64, err error) {
 func (r *Runner) Step(dt float64) error {
 	if r.Done() {
 		return errors.New("circuit: runner already at end time")
+	}
+	if r.opt.Ctx != nil {
+		if err := r.opt.Ctx.Err(); err != nil {
+			return fmt.Errorf("circuit: transient canceled at t=%.4g s: %w", r.t, err)
+		}
 	}
 	t := r.t + dt
 	if t > r.t1 {

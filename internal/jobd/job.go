@@ -1,0 +1,315 @@
+// Package jobd is samuraid's durable job layer: a JSON job model, an
+// append-only JSONL write-ahead store, and a draining scheduler that
+// executes methodology runs (samurai.Run) and Monte-Carlo array sweeps
+// (montecarlo.RunArray) with cell-granular checkpoints.
+//
+// # Determinism under resume
+//
+// Every array cell's random stream is derived deterministically from
+// the job seed (rng.Stream.Split by cell index), so a sweep that is
+// interrupted — crash, SIGTERM drain, restart — and resumed from the
+// store produces an ArrayResult bit-identical to an uninterrupted run
+// with the same spec. The store only has to persist *which* cells
+// finished and their outcomes; no generator state is checkpointed. The
+// resume golden tests (resume_test.go and montecarlo's
+// TestRunArrayCtxResume*) pin this property.
+package jobd
+
+import (
+	"fmt"
+	"sort"
+
+	"samurai"
+	"samurai/internal/device"
+	"samurai/internal/montecarlo"
+	"samurai/internal/sram"
+)
+
+// Job types accepted in Spec.Type.
+const (
+	TypeRun   = "run"   // one full two-pass methodology run
+	TypeArray = "array" // Monte-Carlo array sweep
+)
+
+// State is a job lifecycle state.
+type State string
+
+// Job lifecycle: queued → running → {done, failed, canceled}; a drained
+// running job moves back to queued and resumes after restart.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state ends the job's lifecycle.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// valid reports whether s is one of the known states (used by WAL
+// replay to reject corrupt records early).
+func (s State) valid() bool {
+	switch s {
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// RetrySpec configures per-cell retry for transiently failing cells.
+// Retrying is free of determinism hazards: a cell's outcome is a pure
+// function of its seed, so a retry either reproduces the failure or
+// yields the one true result.
+type RetrySpec struct {
+	// Max is the number of retries after the first attempt.
+	Max int `json:"max,omitempty"`
+	// BackoffMS is the initial backoff in milliseconds (default 100).
+	BackoffMS int `json:"backoff_ms,omitempty"`
+	// MaxBackoffMS caps the exponential backoff (default 2000).
+	MaxBackoffMS int `json:"max_backoff_ms,omitempty"`
+}
+
+// withDefaults fills unset backoff parameters.
+func (r RetrySpec) withDefaults() RetrySpec {
+	if r.BackoffMS <= 0 {
+		r.BackoffMS = 100
+	}
+	if r.MaxBackoffMS <= 0 {
+		r.MaxBackoffMS = 2000
+	}
+	return r
+}
+
+// Spec is the submitted job description (the POST /jobs payload).
+type Spec struct {
+	// Type selects the workload: "run" or "array".
+	Type string `json:"type"`
+	// Tech names the technology node (default "90nm", matching
+	// samurai.Config).
+	Tech string `json:"tech,omitempty"`
+	// VddFrac scales the node's nominal supply (default 1.0).
+	VddFrac float64 `json:"vdd_frac,omitempty"`
+	// Pattern is the bit string written each sweep, e.g. "110101001";
+	// empty selects the paper's Fig 8 pattern.
+	Pattern string `json:"pattern,omitempty"`
+	// Seed drives all sampling; the whole job is a pure function of it.
+	Seed uint64 `json:"seed"`
+	// Scale multiplies RTN amplitudes (default 1).
+	Scale float64 `json:"scale,omitempty"`
+	// Cells is the array size (array jobs only).
+	Cells int `json:"cells,omitempty"`
+	// WithRTN disables the RTN pass when explicitly false (array jobs;
+	// default true).
+	WithRTN *bool `json:"with_rtn,omitempty"`
+	// Workers bounds the per-job cell parallelism; 0 → GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// Retry is the per-cell retry policy (array jobs).
+	Retry RetrySpec `json:"retry,omitempty"`
+}
+
+// withDefaults normalises optional fields.
+func (s Spec) withDefaults() Spec {
+	if s.Tech == "" {
+		s.Tech = "90nm"
+	}
+	if s.VddFrac == 0 {
+		s.VddFrac = 1
+	}
+	if s.Scale == 0 {
+		s.Scale = 1
+	}
+	s.Retry = s.Retry.withDefaults()
+	return s
+}
+
+// Validate checks a (defaulted) spec for consistency.
+func (s Spec) Validate() error {
+	switch s.Type {
+	case TypeRun:
+		if s.Cells != 0 {
+			return fmt.Errorf("jobd: %q jobs take no cell count", TypeRun)
+		}
+	case TypeArray:
+		if s.Cells <= 0 {
+			return fmt.Errorf("jobd: %q jobs need a positive cell count, got %d", TypeArray, s.Cells)
+		}
+	default:
+		return fmt.Errorf("jobd: unknown job type %q (want %q or %q)", s.Type, TypeRun, TypeArray)
+	}
+	if _, ok := device.NodeOK(s.Tech); !ok {
+		return fmt.Errorf("jobd: unknown technology node %q", s.Tech)
+	}
+	if s.VddFrac <= 0 || s.VddFrac > 2 {
+		return fmt.Errorf("jobd: vdd_frac %g out of (0, 2]", s.VddFrac)
+	}
+	if s.Scale < 0 {
+		return fmt.Errorf("jobd: negative RTN scale %g", s.Scale)
+	}
+	for _, c := range s.Pattern {
+		if c != '0' && c != '1' {
+			return fmt.Errorf("jobd: pattern must be a string of 0s and 1s, got %q", s.Pattern)
+		}
+	}
+	if s.Retry.Max < 0 {
+		return fmt.Errorf("jobd: negative retry count %d", s.Retry.Max)
+	}
+	return nil
+}
+
+// pattern builds the write pattern for the spec's technology.
+func (s Spec) pattern(vdd float64) sram.Pattern {
+	if s.Pattern == "" {
+		return sram.Fig8Pattern(vdd)
+	}
+	bits := make([]int, 0, len(s.Pattern))
+	for _, c := range s.Pattern {
+		bit := 0
+		if c == '1' {
+			bit = 1
+		}
+		bits = append(bits, bit)
+	}
+	return sram.Pattern{Bits: bits, Timing: sram.DefaultTiming(), Vdd: vdd}
+}
+
+// ArrayConfig translates an array spec into the montecarlo config it
+// executes. The translation is deterministic: the same spec always
+// yields the same config, which is what makes stored jobs resumable.
+func (s Spec) ArrayConfig() (montecarlo.ArrayConfig, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return montecarlo.ArrayConfig{}, err
+	}
+	if s.Type != TypeArray {
+		return montecarlo.ArrayConfig{}, fmt.Errorf("jobd: ArrayConfig on a %q job", s.Type)
+	}
+	tech := device.Node(s.Tech)
+	vdd := s.VddFrac * tech.Vdd
+	withRTN := true
+	if s.WithRTN != nil {
+		withRTN = *s.WithRTN
+	}
+	return montecarlo.ArrayConfig{
+		Tech:    tech,
+		Cell:    sram.CellConfig{Tech: tech, Vdd: vdd},
+		Pattern: s.pattern(vdd),
+		Cells:   s.Cells,
+		Scale:   s.Scale,
+		Seed:    s.Seed,
+		WithRTN: withRTN,
+		Workers: s.Workers,
+	}, nil
+}
+
+// RunConfig translates a run spec into the samurai methodology config.
+func (s Spec) RunConfig() (samurai.Config, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return samurai.Config{}, err
+	}
+	if s.Type != TypeRun {
+		return samurai.Config{}, fmt.Errorf("jobd: RunConfig on a %q job", s.Type)
+	}
+	tech := device.Node(s.Tech)
+	vdd := s.VddFrac * tech.Vdd
+	return samurai.Config{
+		Tech:    tech,
+		Cell:    sram.CellConfig{Tech: tech, Vdd: vdd},
+		Pattern: s.pattern(vdd),
+		Seed:    s.Seed,
+		Scale:   s.Scale,
+	}, nil
+}
+
+// Summary is the aggregate outcome persisted for a finished job. Run
+// jobs fill the write-cycle counters; array jobs fill the array rates.
+type Summary struct {
+	// Run jobs.
+	WriteErrors int `json:"write_errors,omitempty"`
+	Slowdowns   int `json:"slowdowns,omitempty"`
+	Traps       int `json:"traps,omitempty"`
+	// Array jobs.
+	NumFailed int     `json:"num_failed,omitempty"`
+	ErrorRate float64 `json:"error_rate,omitempty"`
+	MeanTraps float64 `json:"mean_traps,omitempty"`
+}
+
+// Job is the scheduler's mutable record of one submitted job. All
+// fields are guarded by the owning Scheduler's mutex; HTTP handlers
+// and tests read immutable View snapshots.
+type Job struct {
+	ID    string
+	Seq   uint64
+	Spec  Spec
+	State State
+	Error string
+	// CellsTotal is Spec.Cells for array jobs, 0 for run jobs.
+	CellsTotal int
+	// Resumes counts how many times the job was picked back up with
+	// checkpointed cells already in the store.
+	Resumes int
+	Result  *Summary
+	// cells holds the checkpointed per-cell outcomes (array jobs),
+	// keyed by cell index. After a clean finish it covers every cell.
+	cells map[int]CellRecord
+}
+
+// cellsDone returns the number of checkpointed cells.
+func (j *Job) cellsDone() int { return len(j.cells) }
+
+// resumeOutcomes converts the checkpointed cells into the Resume slice
+// RunArrayCtx expects, ordered by index for reproducible dispatch.
+func (j *Job) resumeOutcomes() []montecarlo.CellOutcome {
+	if len(j.cells) == 0 {
+		return nil
+	}
+	out := make([]montecarlo.CellOutcome, 0, len(j.cells))
+	for _, rec := range j.cells {
+		out = append(out, rec.Outcome())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Index < out[b].Index })
+	return out
+}
+
+// cellRecords returns the checkpointed cells sorted by index.
+func (j *Job) cellRecords() []CellRecord {
+	out := make([]CellRecord, 0, len(j.cells))
+	for _, rec := range j.cells {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Index < out[b].Index })
+	return out
+}
+
+// View is an immutable snapshot of a job, JSON-shaped for the API.
+type View struct {
+	ID         string   `json:"id"`
+	State      State    `json:"state"`
+	Spec       Spec     `json:"spec"`
+	Error      string   `json:"error,omitempty"`
+	CellsDone  int      `json:"cells_done"`
+	CellsTotal int      `json:"cells_total,omitempty"`
+	Resumes    int      `json:"resumes,omitempty"`
+	Result     *Summary `json:"result,omitempty"`
+}
+
+// view snapshots the job; callers must hold the scheduler mutex.
+func (j *Job) view() View {
+	v := View{
+		ID:         j.ID,
+		State:      j.State,
+		Spec:       j.Spec,
+		Error:      j.Error,
+		CellsDone:  j.cellsDone(),
+		CellsTotal: j.CellsTotal,
+		Resumes:    j.Resumes,
+	}
+	if j.Result != nil {
+		r := *j.Result
+		v.Result = &r
+	}
+	return v
+}

@@ -1,0 +1,518 @@
+package jobd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"samurai"
+	"samurai/internal/montecarlo"
+	"samurai/internal/obs"
+	"samurai/internal/sram"
+)
+
+// Service instrumentation, resolved against the process registry so
+// samuraid's /metrics surface carries the job layer next to the solver
+// and montecarlo series.
+var (
+	mQueueDepth = obs.GetGauge("samurai_jobd_queue_depth",
+		"jobs waiting for a scheduler slot")
+	mResumes = obs.GetCounter("samurai_jobd_resumes_total",
+		"sweeps picked back up with checkpointed cells in the store")
+	mCellsCheckpointed = obs.GetCounter("samurai_jobd_cells_checkpointed_total",
+		"array cells durably recorded in the job store")
+	mStoreErrors = obs.GetCounter("samurai_jobd_store_errors_total",
+		"failed write-ahead store appends")
+)
+
+// stateGauge resolves the per-state job count gauge.
+func stateGauge(st State) *obs.Gauge {
+	return obs.GetGauge("samurai_jobd_jobs",
+		"jobs by lifecycle state", obs.L("state", string(st)))
+}
+
+// jobCellsPerSec resolves the per-job throughput gauge.
+func jobCellsPerSec(id string) *obs.Gauge {
+	return obs.GetGauge("samurai_jobd_job_cells_per_second",
+		"fresh cells per second of the job's current run", obs.L("job", id))
+}
+
+// ErrDraining is returned by Submit once Drain has begun.
+var ErrDraining = errors.New("jobd: scheduler is draining; not accepting jobs")
+
+// Options tunes a Scheduler. The zero value is usable.
+type Options struct {
+	// MaxJobs bounds concurrently executing jobs (default 1). Each
+	// array job additionally parallelises over its own cell workers.
+	MaxJobs int
+	// QueueCap bounds jobs waiting behind the running ones (default
+	// 256); Submit fails once the queue is full.
+	QueueCap int
+	// Workers is the default per-job cell parallelism applied when a
+	// spec leaves Workers at 0 (0 → GOMAXPROCS, montecarlo's default).
+	Workers int
+	// Retry is the default per-cell retry policy for specs that do not
+	// set one.
+	Retry RetrySpec
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 1
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 256
+	}
+	o.Retry = o.Retry.withDefaults()
+	return o
+}
+
+// Scheduler owns the job table and executes jobs on a bounded pool.
+// Every mutation is persisted to the Store before it is observable
+// through the API, so a crash at any point replays into a consistent
+// table.
+type Scheduler struct {
+	store *Store
+	opts  Options
+	hub   *hub
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	seq     uint64
+	started bool
+	// draining flips once; guarded by mu, signalled by drainCh.
+	draining bool
+	cancels  map[string]context.CancelFunc
+
+	queue   chan *Job
+	drainCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New builds a scheduler over a freshly opened store. replayed and
+// maxSeq come from Open; replayed jobs keep their stored state and
+// queued ones (including drained/crashed sweeps) are re-dispatched by
+// Start.
+func New(store *Store, replayed []*Job, maxSeq uint64, opts Options) *Scheduler {
+	opts = opts.withDefaults()
+	s := &Scheduler{
+		store:   store,
+		opts:    opts,
+		hub:     newHub(),
+		jobs:    map[string]*Job{},
+		seq:     maxSeq,
+		cancels: map[string]context.CancelFunc{},
+		queue:   make(chan *Job, opts.QueueCap+len(replayed)),
+		drainCh: make(chan struct{}),
+	}
+	for _, j := range replayed {
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		stateGauge(j.State).Add(1)
+		if j.State.Terminal() {
+			s.hub.finish(j.ID)
+		}
+	}
+	return s
+}
+
+// Start launches the worker pool and re-dispatches replayed queued
+// jobs in submission order.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	var pending []*Job
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.State == StateQueued {
+			pending = append(pending, j)
+			if j.cellsDone() > 0 {
+				j.Resumes++
+				mResumes.Inc()
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range pending {
+		s.enqueue(j)
+	}
+	for w := 0; w < s.opts.MaxJobs; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case j := <-s.queue:
+					mQueueDepth.Add(-1)
+					s.runJob(j)
+				case <-s.drainCh:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// enqueue hands a job to the pool; the caller must have persisted it.
+func (s *Scheduler) enqueue(j *Job) {
+	s.queue <- j
+	mQueueDepth.Add(1)
+}
+
+// Submit validates, persists and queues a new job, returning its view.
+func (s *Scheduler) Submit(spec Spec) (View, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return View{}, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return View{}, ErrDraining
+	}
+	if len(s.queue) >= cap(s.queue) {
+		s.mu.Unlock()
+		return View{}, fmt.Errorf("jobd: queue full (%d jobs)", cap(s.queue))
+	}
+	s.seq++
+	j := &Job{
+		ID:    fmt.Sprintf("job-%06d", s.seq),
+		Seq:   s.seq,
+		Spec:  spec,
+		State: StateQueued,
+		cells: map[int]CellRecord{},
+	}
+	if spec.Type == TypeArray {
+		j.CellsTotal = spec.Cells
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	v := j.view()
+	s.mu.Unlock()
+
+	if err := s.store.AppendJob(j); err != nil {
+		mStoreErrors.Inc()
+		s.mu.Lock()
+		delete(s.jobs, j.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		return View{}, err
+	}
+	stateGauge(StateQueued).Add(1)
+	s.emit(j.ID, "jobd.state",
+		obs.F("job", j.ID), obs.F("state", string(StateQueued)))
+	s.enqueue(j)
+	return v, nil
+}
+
+// Get returns a snapshot of a job.
+func (s *Scheduler) Get(id string) (View, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return View{}, false
+	}
+	return j.view(), true
+}
+
+// List returns snapshots of all jobs in submission order.
+func (s *Scheduler) List() []View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]View, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// CellRecords returns the checkpointed cells of a job, sorted by index.
+func (s *Scheduler) CellRecords(id string) ([]CellRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.cellRecords(), true
+}
+
+// Events subscribes to a job's progress stream.
+func (s *Scheduler) Events(id string) (<-chan obs.Event, func(), bool) {
+	s.mu.Lock()
+	_, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, false
+	}
+	ch, cancel := s.hub.subscribe(id)
+	return ch, cancel, true
+}
+
+// Cancel aborts a job: queued jobs transition immediately, running
+// jobs have their context cancelled (the transition happens when the
+// runner observes it). Terminal jobs return an error.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("jobd: no job %q", id)
+	}
+	switch j.State {
+	case StateQueued:
+		s.mu.Unlock()
+		s.transition(j, StateCanceled, "canceled while queued")
+		return nil
+	case StateRunning:
+		cancel := s.cancels[id]
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default:
+		st := j.State
+		s.mu.Unlock()
+		return fmt.Errorf("jobd: job %q already %s", id, st)
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops the scheduler gracefully: no new jobs are accepted or
+// started, in-flight array cells finish and checkpoint, interrupted
+// sweeps transition back to queued (resumable after restart), and all
+// event streams are closed. It blocks until the pool is idle.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+	close(s.drainCh)
+	s.wg.Wait()
+	s.hub.closeAll()
+}
+
+// emit publishes a progress event to the job's stream subscribers and
+// to the process-wide obs sink.
+func (s *Scheduler) emit(id, name string, fields ...obs.Field) {
+	s.hub.publish(id, obs.Event{Name: name, Fields: fields})
+	obs.Emit(name, fields...)
+}
+
+// transition moves a job to a new state, persisting first and then
+// publishing. A failed store append downgrades the transition to
+// in-memory only (counted by samurai_jobd_store_errors_total) — the
+// API stays truthful for this process lifetime even when the WAL is
+// sick.
+func (s *Scheduler) transition(j *Job, st State, errMsg string) {
+	if err := s.store.AppendState(j.ID, st, errMsg); err != nil {
+		mStoreErrors.Inc()
+	}
+	s.mu.Lock()
+	old := j.State
+	j.State = st
+	j.Error = errMsg
+	s.mu.Unlock()
+	stateGauge(old).Add(-1)
+	stateGauge(st).Add(1)
+	fields := []obs.Field{obs.F("job", j.ID), obs.F("state", string(st))}
+	if errMsg != "" {
+		fields = append(fields, obs.F("error", errMsg))
+	}
+	s.emit(j.ID, "jobd.state", fields...)
+	if st.Terminal() {
+		s.hub.finish(j.ID)
+	}
+}
+
+// runJob executes one job to a final (or requeued) state.
+func (s *Scheduler) runJob(j *Job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.mu.Lock()
+	if j.State != StateQueued {
+		// Cancelled while waiting in the queue.
+		s.mu.Unlock()
+		return
+	}
+	spec := j.Spec
+	resume := j.resumeOutcomes()
+	s.cancels[j.ID] = cancel
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.cancels, j.ID)
+		s.mu.Unlock()
+	}()
+
+	s.transition(j, StateRunning, "")
+
+	var sum *Summary
+	var err error
+	switch spec.Type {
+	case TypeRun:
+		sum, err = s.execRun(ctx, spec)
+	case TypeArray:
+		sum, err = s.execArray(ctx, cancel, j, spec, resume)
+	default:
+		err = fmt.Errorf("jobd: unknown job type %q", spec.Type)
+	}
+
+	switch {
+	case err == nil:
+		if serr := s.store.AppendResult(j.ID, *sum); serr != nil {
+			mStoreErrors.Inc()
+		}
+		s.mu.Lock()
+		j.Result = sum
+		s.mu.Unlock()
+		s.emit(j.ID, "jobd.done",
+			obs.F("job", j.ID),
+			obs.F("num_failed", sum.NumFailed),
+			obs.F("write_errors", sum.WriteErrors),
+			obs.F("slowdowns", sum.Slowdowns))
+		s.transition(j, StateDone, "")
+	case errors.Is(err, montecarlo.ErrDrained):
+		// Graceful drain: checkpointed progress is in the store; the
+		// job resumes after the next start.
+		s.transition(j, StateQueued, "")
+	case errors.Is(err, context.Canceled):
+		s.transition(j, StateCanceled, "canceled")
+	default:
+		s.transition(j, StateFailed, err.Error())
+	}
+}
+
+// execRun executes a single methodology run job.
+func (s *Scheduler) execRun(ctx context.Context, spec Spec) (*Summary, error) {
+	cfg, err := spec.RunConfig()
+	if err != nil {
+		return nil, err
+	}
+	res, err := samurai.RunCtx(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	traps := 0
+	for _, p := range res.Profiles {
+		traps += len(p.Traps)
+	}
+	return &Summary{
+		WriteErrors: res.WithRTN.NumError,
+		Slowdowns:   res.WithRTN.NumSlow,
+		Traps:       traps,
+	}, nil
+}
+
+// execArray executes (or resumes) an array sweep with cell-granular
+// checkpointing. cancel aborts the sweep if the WAL stops accepting
+// checkpoints — running on without durability would break the resume
+// contract silently.
+func (s *Scheduler) execArray(ctx context.Context, cancel context.CancelFunc, j *Job, spec Spec, resume []montecarlo.CellOutcome) (*Summary, error) {
+	cfg, err := spec.ArrayConfig()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = s.opts.Workers
+	}
+	retry := spec.Retry
+	if retry.Max == 0 {
+		retry = s.opts.Retry
+	}
+	runner := retryRunner(samurai.ArrayRunnerCtx(), retry)
+
+	start := time.Now()
+	var storeErr error
+	var storeErrOnce sync.Once
+	opts := montecarlo.ArrayOptions{
+		Resume: resume,
+		Drain:  s.drainCh,
+		OnCell: func(o montecarlo.CellOutcome) {
+			rec := NewCellRecord(o)
+			if aerr := s.store.AppendCell(j.ID, rec); aerr != nil {
+				mStoreErrors.Inc()
+				storeErrOnce.Do(func() {
+					storeErr = aerr
+					cancel()
+				})
+				return
+			}
+			mCellsCheckpointed.Inc()
+			s.mu.Lock()
+			j.cells[rec.Index] = rec
+			done := j.cellsDone()
+			total := j.CellsTotal
+			s.mu.Unlock()
+			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+				jobCellsPerSec(j.ID).Set(float64(done-len(resume)) / elapsed)
+			}
+			s.emit(j.ID, "jobd.cell",
+				obs.F("job", j.ID),
+				obs.F("index", rec.Index),
+				obs.F("done", done),
+				obs.F("cells", total))
+		},
+	}
+	res, err := montecarlo.RunArrayCtx(ctx, cfg, runner, opts)
+	if err != nil {
+		if storeErr != nil {
+			return nil, fmt.Errorf("jobd: checkpoint store failed: %w", storeErr)
+		}
+		return nil, err
+	}
+	return &Summary{
+		NumFailed: res.NumFailed,
+		ErrorRate: res.ErrorRate,
+		MeanTraps: res.MeanTraps,
+	}, nil
+}
+
+// retryRunner wraps a cell runner with capped exponential backoff for
+// transiently failing cells. Cancellation errors are never retried,
+// and the backoff sleep aborts as soon as ctx does.
+func retryRunner(run montecarlo.CtxRunner, r RetrySpec) montecarlo.CtxRunner {
+	if r.Max <= 0 {
+		return run
+	}
+	r = r.withDefaults()
+	return func(ctx context.Context, cell sram.CellConfig, pattern sram.Pattern, scale float64, seed uint64) (int, int, int, error) {
+		backoff := time.Duration(r.BackoffMS) * time.Millisecond
+		maxBackoff := time.Duration(r.MaxBackoffMS) * time.Millisecond
+		for attempt := 0; ; attempt++ {
+			nerr, slow, traps, err := run(ctx, cell, pattern, scale, seed)
+			if err == nil || attempt >= r.Max ||
+				errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nerr, slow, traps, err
+			}
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return nerr, slow, traps, err
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package jobd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"samurai/internal/obs"
+)
+
+// NewHandler mounts the job API next to the observability surface
+// (obs.NewMux: /metrics, /debug/pprof) and returns the combined
+// handler.
+//
+//	POST /jobs              submit a Spec, 202 + View
+//	GET  /jobs              list all jobs
+//	GET  /jobs/{id}         one job's View
+//	GET  /jobs/{id}/result  409 until done; summary + sorted cells
+//	GET  /jobs/{id}/events  progress stream: NDJSON, or SSE with
+//	                        ?format=sse / Accept: text/event-stream
+//	POST /jobs/{id}/cancel  cancel queued or running job
+//	GET  /healthz           liveness (503 while draining)
+func NewHandler(s *Scheduler) http.Handler {
+	mux := obs.NewMux(nil)
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("jobd: decoding job spec: %w", err))
+			return
+		}
+		v, err := s.Submit(spec)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrDraining) {
+				code = http.StatusServiceUnavailable
+			}
+			httpError(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, v)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("jobd: no job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		v, ok := s.Get(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("jobd: no job %q", id))
+			return
+		}
+		if v.State != StateDone {
+			httpError(w, http.StatusConflict, fmt.Errorf("jobd: job %q is %s, not done", id, v.State))
+			return
+		}
+		cells, _ := s.CellRecords(id)
+		writeJSON(w, http.StatusOK, struct {
+			ID      string       `json:"id"`
+			Summary *Summary     `json:"summary"`
+			Cells   []CellRecord `json:"cells,omitempty"`
+		}{ID: id, Summary: v.Result, Cells: cells})
+	})
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := s.Cancel(id); err != nil {
+			code := http.StatusConflict
+			if strings.Contains(err.Error(), "no job") {
+				code = http.StatusNotFound
+			}
+			httpError(w, code, err)
+			return
+		}
+		v, _ := s.Get(id)
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		s.serveEvents(w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// serveEvents streams a job's progress events until the job finishes,
+// the scheduler drains, or the client hangs up. The stream rides the
+// obs JSONL sink (one Write per event) wrapped for the chosen framing.
+func (s *Scheduler) serveEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, cancel, ok := s.Events(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("jobd: no job %q", id))
+		return
+	}
+	defer cancel()
+
+	sse := r.URL.Query().Get("format") == "sse" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	flusher, _ := w.(http.Flusher)
+	var sink obs.Sink
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		sink = obs.NewJSONLSink(sseWriter{w: w, f: flusher})
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		sink = obs.NewJSONLSink(flushWriter{w: w, f: flusher})
+	}
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	// Open with a snapshot so late subscribers see current progress.
+	if v, ok := s.Get(id); ok {
+		sink.Emit(obs.Event{Name: "jobd.snapshot", Fields: []obs.Field{
+			obs.F("job", v.ID),
+			obs.F("state", string(v.State)),
+			obs.F("done", v.CellsDone),
+			obs.F("cells", v.CellsTotal),
+		}})
+	}
+	for {
+		select {
+		case e, open := <-ch:
+			if !open {
+				return
+			}
+			sink.Emit(e)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeJSON encodes v as the response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	//lint:ignore bareerr a failed response write means the client hung up; nothing to recover
+	json.NewEncoder(w).Encode(v)
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

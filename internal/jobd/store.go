@@ -1,0 +1,304 @@
+package jobd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"sync"
+
+	"samurai/internal/montecarlo"
+)
+
+// CellRecord is the JSON-safe checkpoint of one completed array cell.
+// It mirrors montecarlo.CellOutcome minus the error field: only cells
+// that finished without a simulation error are checkpointed, so the
+// round trip CellOutcome → CellRecord → CellOutcome is lossless —
+// including bit-exact float64 fields, because encoding/json emits the
+// shortest representation that parses back to the identical bits.
+type CellRecord struct {
+	Index     int                `json:"index"`
+	VtShift   map[string]float64 `json:"vt_shift,omitempty"`
+	TrapCount int                `json:"trap_count"`
+	Errors    int                `json:"errors"`
+	Slow      int                `json:"slow"`
+	Failed    bool               `json:"failed"`
+}
+
+// NewCellRecord converts a completed outcome into its checkpoint form.
+// It panics if the outcome carries a simulation error — such cells must
+// never reach the store.
+func NewCellRecord(o montecarlo.CellOutcome) CellRecord {
+	if o.Err != nil {
+		panic("jobd: checkpointing a failed cell outcome")
+	}
+	return CellRecord{
+		Index:     o.Index,
+		VtShift:   o.VtShift,
+		TrapCount: o.TrapCount,
+		Errors:    o.Errors,
+		Slow:      o.Slow,
+		Failed:    o.Failed,
+	}
+}
+
+// Outcome converts the checkpoint back into the montecarlo outcome.
+func (c CellRecord) Outcome() montecarlo.CellOutcome {
+	return montecarlo.CellOutcome{
+		Index:     c.Index,
+		VtShift:   c.VtShift,
+		TrapCount: c.TrapCount,
+		Errors:    c.Errors,
+		Slow:      c.Slow,
+		Failed:    c.Failed,
+	}
+}
+
+// record is one WAL line. Rec selects which optional fields are set.
+type record struct {
+	// Rec is the record kind: "job" (submission), "state" (lifecycle
+	// transition), "cell" (checkpoint) or "result" (final aggregates).
+	Rec  string `json:"rec"`
+	ID   string `json:"id"`
+	Seq  uint64 `json:"seq,omitempty"`
+	Spec *Spec  `json:"spec,omitempty"`
+	// State accompanies "state" records; Error the failed transition.
+	State State  `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Cell accompanies "cell" records.
+	Cell *CellRecord `json:"cell,omitempty"`
+	// Summary accompanies "result" records.
+	Summary *Summary `json:"summary,omitempty"`
+}
+
+// Store is the append-only JSONL write-ahead log backing samuraid.
+// Records are committed by their trailing newline plus fsync; a torn
+// final line (crash mid-append) is detected and truncated on Open, so
+// at most the single record being written during a crash is lost — for
+// a sweep that means re-simulating one cell, never corrupting history.
+type Store struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	// nosync disables the per-append fsync (tests only; the daemon
+	// always syncs).
+	nosync bool
+}
+
+// Path returns the backing file path.
+func (s *Store) Path() string { return s.path }
+
+// Open opens (or creates) the store at path, replays its records and
+// returns the reconstructed jobs in submission order along with the
+// highest job sequence number seen. Jobs that were running when the
+// previous process died are returned in StateQueued with their
+// checkpointed cells attached — ready to resume.
+func Open(path string) (*Store, []*Job, uint64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("jobd: opening store: %w", err)
+	}
+	jobs, maxSeq, validLen, err := replay(f)
+	if err != nil {
+		//lint:ignore bareerr the replay error is the one worth reporting; close is best-effort cleanup
+		f.Close()
+		return nil, nil, 0, err
+	}
+	// Drop a torn final line so the next append starts a fresh record.
+	if err := f.Truncate(validLen); err != nil {
+		//lint:ignore bareerr the truncate error is the one worth reporting; close is best-effort cleanup
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("jobd: truncating torn store tail: %w", err)
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		//lint:ignore bareerr the seek error is the one worth reporting; close is best-effort cleanup
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("jobd: seeking store tail: %w", err)
+	}
+	normalizeReplayed(jobs)
+	return &Store{path: path, f: f}, jobs, maxSeq, nil
+}
+
+// replay scans the WAL and rebuilds the job table. It returns the byte
+// length of the valid prefix; a final line without a terminating
+// newline is treated as torn (even if it parses — it may be a
+// truncated numeric literal) and excluded.
+func replay(f *os.File) (jobs []*Job, maxSeq uint64, validLen int64, err error) {
+	byID := map[string]*Job{}
+	r := bufio.NewReader(f)
+	var offset int64
+	for lineNo := 1; ; lineNo++ {
+		line, rerr := r.ReadString('\n')
+		if rerr == io.EOF {
+			// No trailing newline: the final append was torn.
+			return jobs, maxSeq, offset, nil
+		}
+		if rerr != nil {
+			return nil, 0, 0, fmt.Errorf("jobd: reading store: %w", rerr)
+		}
+		lineLen := int64(len(line))
+		if strings.TrimSpace(line) == "" {
+			offset += lineLen
+			continue
+		}
+		var rec record
+		if jerr := json.Unmarshal([]byte(line), &rec); jerr != nil {
+			return nil, 0, 0, fmt.Errorf("jobd: store line %d corrupt: %w", lineNo, jerr)
+		}
+		if aerr := apply(byID, &jobs, rec); aerr != nil {
+			return nil, 0, 0, fmt.Errorf("jobd: store line %d: %w", lineNo, aerr)
+		}
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+		offset += lineLen
+	}
+}
+
+// apply folds one WAL record into the job table.
+func apply(byID map[string]*Job, jobs *[]*Job, rec record) error {
+	switch rec.Rec {
+	case "job":
+		if rec.Spec == nil || rec.ID == "" {
+			return fmt.Errorf("job record missing id or spec")
+		}
+		if _, dup := byID[rec.ID]; dup {
+			return fmt.Errorf("duplicate job id %q", rec.ID)
+		}
+		j := &Job{
+			ID:    rec.ID,
+			Seq:   rec.Seq,
+			Spec:  *rec.Spec,
+			State: StateQueued,
+			cells: map[int]CellRecord{},
+		}
+		if rec.Spec.Type == TypeArray {
+			j.CellsTotal = rec.Spec.Cells
+		}
+		byID[rec.ID] = j
+		*jobs = append(*jobs, j)
+	case "state":
+		j, ok := byID[rec.ID]
+		if !ok {
+			return fmt.Errorf("state record for unknown job %q", rec.ID)
+		}
+		if !rec.State.valid() {
+			return fmt.Errorf("unknown state %q", rec.State)
+		}
+		j.State = rec.State
+		j.Error = rec.Error
+	case "cell":
+		j, ok := byID[rec.ID]
+		if !ok {
+			return fmt.Errorf("cell record for unknown job %q", rec.ID)
+		}
+		if rec.Cell == nil {
+			return fmt.Errorf("cell record without a cell")
+		}
+		if rec.Cell.Index < 0 || (j.CellsTotal > 0 && rec.Cell.Index >= j.CellsTotal) {
+			return fmt.Errorf("cell index %d outside [0,%d)", rec.Cell.Index, j.CellsTotal)
+		}
+		j.cells[rec.Cell.Index] = *rec.Cell
+	case "result":
+		j, ok := byID[rec.ID]
+		if !ok {
+			return fmt.Errorf("result record for unknown job %q", rec.ID)
+		}
+		if rec.Summary == nil {
+			return fmt.Errorf("result record without a summary")
+		}
+		sum := *rec.Summary
+		j.Result = &sum
+	default:
+		return fmt.Errorf("unknown record kind %q", rec.Rec)
+	}
+	return nil
+}
+
+// normalizeReplayed finalises replayed jobs for scheduling: a job that
+// was mid-flight (running) when the previous process died goes back to
+// queued so the scheduler resumes it. Exported logic lives here so
+// tests can exercise it without a Scheduler.
+func normalizeReplayed(jobs []*Job) {
+	for _, j := range jobs {
+		if j.State == StateRunning {
+			j.State = StateQueued
+		}
+	}
+}
+
+// append writes one record, newline-terminated, and fsyncs so the
+// record survives a process or OS crash before the caller proceeds.
+func (s *Store) append(rec record) error {
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobd: encoding store record: %w", err)
+	}
+	buf = append(buf, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("jobd: store is closed")
+	}
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("jobd: appending store record: %w", err)
+	}
+	if s.nosync {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("jobd: syncing store: %w", err)
+	}
+	return nil
+}
+
+// AppendJob persists a job submission.
+func (s *Store) AppendJob(j *Job) error {
+	spec := j.Spec
+	return s.append(record{Rec: "job", ID: j.ID, Seq: j.Seq, Spec: &spec})
+}
+
+// AppendState persists a lifecycle transition.
+func (s *Store) AppendState(id string, st State, errMsg string) error {
+	return s.append(record{Rec: "state", ID: id, State: st, Error: errMsg})
+}
+
+// AppendCell checkpoints one completed cell. The VtShift floats are
+// finite by construction (normal variates); reject anything non-finite
+// rather than writing a record that cannot round-trip.
+func (s *Store) AppendCell(id string, c CellRecord) error {
+	for k, v := range c.VtShift {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("jobd: cell %d %s shift %v is not JSON-representable", c.Index, k, v)
+		}
+	}
+	return s.append(record{Rec: "cell", ID: id, Cell: &c})
+}
+
+// AppendResult persists a finished job's aggregates.
+func (s *Store) AppendResult(id string, sum Summary) error {
+	return s.append(record{Rec: "result", ID: id, Summary: &sum})
+}
+
+// Close syncs and closes the backing file. Further appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	f := s.f
+	s.f = nil
+	if err := f.Sync(); err != nil {
+		//lint:ignore bareerr the sync error is the one worth reporting; close is best-effort cleanup
+		f.Close()
+		return fmt.Errorf("jobd: syncing store on close: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("jobd: closing store: %w", err)
+	}
+	return nil
+}

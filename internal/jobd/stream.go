@@ -1,0 +1,142 @@
+package jobd
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync"
+
+	"samurai/internal/obs"
+)
+
+// subBuffer is the per-subscriber event buffer. Publishing never
+// blocks: a subscriber that falls further behind than this loses
+// events (progress is advisory; the store is the durable record).
+const subBuffer = 64
+
+// hub fans per-job progress events out to streaming subscribers. It
+// adapts the internal/obs event model: publishers hand it obs.Event
+// values and subscribers drain them through obs sinks (JSONL for
+// NDJSON responses, SSE-framed for EventSource clients), so the wire
+// encoding is exactly the one the rest of the repository emits.
+type hub struct {
+	mu   sync.Mutex
+	subs map[string]map[int]chan obs.Event
+	done map[string]bool
+	next int
+}
+
+func newHub() *hub {
+	return &hub{
+		subs: map[string]map[int]chan obs.Event{},
+		done: map[string]bool{},
+	}
+}
+
+// publish fans an event out to the job's subscribers without blocking;
+// slow subscribers drop events.
+func (h *hub) publish(id string, e obs.Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, ch := range h.subs[id] {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// subscribe registers a subscriber for the job's events. The returned
+// cancel is idempotent and must be called when the consumer goes away.
+// Subscribing to a finished job yields an already-closed channel.
+func (h *hub) subscribe(id string) (<-chan obs.Event, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch := make(chan obs.Event, subBuffer)
+	if h.done[id] {
+		close(ch)
+		return ch, func() {}
+	}
+	if h.subs[id] == nil {
+		h.subs[id] = map[int]chan obs.Event{}
+	}
+	h.next++
+	key := h.next
+	h.subs[id][key] = ch
+	return ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if sub, ok := h.subs[id][key]; ok {
+			delete(h.subs[id], key)
+			close(sub)
+		}
+	}
+}
+
+// finish marks a job's stream complete: current subscribers are closed
+// (after draining whatever is buffered) and future subscribers get a
+// closed channel immediately.
+func (h *hub) finish(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.done[id] = true
+	for _, ch := range h.subs[id] {
+		close(ch)
+	}
+	delete(h.subs, id)
+}
+
+// closeAll ends every stream — the drain path: event handlers return,
+// which lets http.Server.Shutdown complete.
+func (h *hub) closeAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for id, subs := range h.subs {
+		for _, ch := range subs {
+			close(ch)
+		}
+		delete(h.subs, id)
+	}
+}
+
+// flushWriter flushes the HTTP response after every write so each
+// NDJSON line (one write per obs JSONL sink emit) reaches the client
+// immediately.
+type flushWriter struct {
+	w io.Writer
+	f http.Flusher
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+// sseWriter frames each written line as a Server-Sent Events message.
+// The obs JSONL sink performs exactly one Write per event, a single
+// newline-terminated JSON object, which maps 1:1 onto an SSE "data:"
+// frame.
+type sseWriter struct {
+	w io.Writer
+	f http.Flusher
+}
+
+func (sw sseWriter) Write(p []byte) (int, error) {
+	line := bytes.TrimRight(p, "\n")
+	if _, err := sw.w.Write([]byte("data: ")); err != nil {
+		return 0, err
+	}
+	if _, err := sw.w.Write(line); err != nil {
+		return 0, err
+	}
+	if _, err := sw.w.Write([]byte("\n\n")); err != nil {
+		return 0, err
+	}
+	if sw.f != nil {
+		sw.f.Flush()
+	}
+	return len(p), nil
+}

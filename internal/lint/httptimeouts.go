@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HTTPTimeouts requires every net/http.Server composite literal to set
+// ReadHeaderTimeout. A server without it never times out a client that
+// sends headers one byte at a time (Slowloris), so a handful of idle
+// sockets can pin the daemon's listener forever — fatal for samuraid,
+// which must always stay responsive to its drain signal. The other
+// timeouts (ReadTimeout, WriteTimeout) are workload-dependent and
+// deliberately not mandated: long-lived NDJSON/SSE progress streams
+// are legitimate.
+//
+// Servers that intentionally run without the timeout can suppress the
+// finding with `//lint:ignore httptimeouts reason`.
+type HTTPTimeouts struct{}
+
+// Name implements Rule.
+func (HTTPTimeouts) Name() string { return "httptimeouts" }
+
+// Doc implements Rule.
+func (HTTPTimeouts) Doc() string {
+	return "http.Server composite literals must set ReadHeaderTimeout (Slowloris hardening)"
+}
+
+// Check implements Rule.
+func (r HTTPTimeouts) Check(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	pkg.eachFile(false, func(f *File) {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || lit.Type == nil {
+				return true
+			}
+			if !r.isHTTPServer(pkg, lit.Type) {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "ReadHeaderTimeout" {
+					return true
+				}
+			}
+			out = append(out, Diagnostic{
+				Rule:    r.Name(),
+				Pos:     pkg.position(lit),
+				Message: "http.Server literal without ReadHeaderTimeout; set one (Slowloris hardening)",
+			})
+			return true
+		})
+	})
+	return out
+}
+
+// isHTTPServer reports whether the composite literal's type expression
+// denotes net/http.Server. Type information is authoritative when
+// available (catching aliases and dot-imports); untyped files fall back
+// to the syntactic `http.Server` selector.
+func (r HTTPTimeouts) isHTTPServer(pkg *Package, typ ast.Expr) bool {
+	if pkg.Info != nil {
+		if t := pkg.Info.TypeOf(typ); t != nil {
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Server"
+			}
+			// Typed but not net/http.Server (or not a named type at all).
+			return false
+		}
+	}
+	return pkg.isPkgDot(typ, "net/http", "Server")
+}

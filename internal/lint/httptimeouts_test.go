@@ -1,0 +1,100 @@
+package lint
+
+import "testing"
+
+func TestHTTPTimeoutsFlagsBareServer(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+import "net/http"
+
+func serve() *http.Server {
+	return &http.Server{Addr: ":8080"}
+}
+`}
+	wantFindings(t, diags(t, files, HTTPTimeouts{}), 1)
+}
+
+func TestHTTPTimeoutsAcceptsReadHeaderTimeout(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+import (
+	"net/http"
+	"time"
+)
+
+func serve() *http.Server {
+	return &http.Server{Addr: ":8080", ReadHeaderTimeout: 5 * time.Second}
+}
+`}
+	wantFindings(t, diags(t, files, HTTPTimeouts{}), 0)
+}
+
+func TestHTTPTimeoutsFlagsValueLiteralAndVarDecl(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+import "net/http"
+
+var srv = http.Server{Addr: ":1"}
+
+func twice() {
+	s := http.Server{}
+	_ = s
+	p := &http.Server{Handler: nil}
+	_ = p
+}
+`}
+	wantFindings(t, diags(t, files, HTTPTimeouts{}), 3)
+}
+
+func TestHTTPTimeoutsIgnoresOtherServerTypes(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+type Server struct {
+	Addr string
+}
+
+func local() Server {
+	return Server{Addr: ":9"}
+}
+`}
+	wantFindings(t, diags(t, files, HTTPTimeouts{}), 0)
+}
+
+func TestHTTPTimeoutsSeesThroughImportAlias(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+import web "net/http"
+
+func serve() *web.Server {
+	return &web.Server{Addr: ":8080"}
+}
+`}
+	wantFindings(t, diags(t, files, HTTPTimeouts{}), 1)
+}
+
+func TestHTTPTimeoutsSuppressible(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+import "net/http"
+
+func serve() *http.Server {
+	//lint:ignore httptimeouts test server is torn down by the harness
+	return &http.Server{Addr: ":8080"}
+}
+`}
+	wantFindings(t, diags(t, files, HTTPTimeouts{}), 0)
+}
+
+func TestHTTPTimeoutsChecksTestFiles(t *testing.T) {
+	files := map[string]string{
+		"a/a.go": "package a\n",
+		"a/a_test.go": `package a
+
+import "net/http"
+
+func newSrv() *http.Server {
+	return &http.Server{Addr: ":0"}
+}
+`}
+	wantFindings(t, diags(t, files, HTTPTimeouts{}), 1)
+}

@@ -14,6 +14,8 @@
 //     through internal/obs (printfless)
 //   - functions annotated //lint:hot stay allocation-free: no make,
 //     append, map literals or fmt.Sprintf in their bodies (hotalloc)
+//   - http.Server literals always set ReadHeaderTimeout, so no service
+//     binary can be pinned by a Slowloris client (httptimeouts)
 //
 // Diagnostics are position-tracked and emitted in a deterministic order
 // (file, line, column, rule). Individual findings can be suppressed with
@@ -97,6 +99,7 @@ func AllRules() []Rule {
 		BareErr{},
 		PrintfLess{},
 		HotAlloc{},
+		HTTPTimeouts{},
 	}
 }
 

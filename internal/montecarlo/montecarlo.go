@@ -6,6 +6,8 @@
 package montecarlo
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -101,6 +103,41 @@ type ArrayResult struct {
 // package; samurai.ArrayRunner provides the standard implementation.
 type Runner func(cell sram.CellConfig, pattern sram.Pattern, scale float64, seed uint64) (errors, slow, traps int, err error)
 
+// CtxRunner is a context-aware Runner: cancelling ctx aborts the cell
+// mid-simulation (the public samurai.ArrayRunnerCtx plumbs it down to
+// the circuit transient loop). The result for a given (cell, pattern,
+// scale, seed) must not depend on ctx — cancellation may only abort,
+// never perturb.
+type CtxRunner func(ctx context.Context, cell sram.CellConfig, pattern sram.Pattern, scale float64, seed uint64) (errors, slow, traps int, err error)
+
+// ErrDrained is returned (wrapped) by RunArrayCtx when the drain
+// channel closed before every cell was simulated: in-flight cells were
+// finished and checkpointed through OnCell, and the run can be resumed
+// later via ArrayOptions.Resume with a bit-identical final result.
+var ErrDrained = errors.New("montecarlo: array run drained before completion")
+
+// ArrayOptions extends RunArrayCtx with checkpoint/resume hooks. The
+// zero value runs a plain full sweep.
+type ArrayOptions struct {
+	// Resume holds outcomes of cells already simulated by an earlier
+	// (interrupted) run of the same ArrayConfig. Those cells are not
+	// re-simulated; their outcomes are copied into the result verbatim.
+	// Because per-cell streams derive deterministically from the root
+	// seed (rng.Stream.SplitInto(i)), the combined result is
+	// bit-identical to an uninterrupted run.
+	Resume []CellOutcome
+	// OnCell, when non-nil, is invoked once per freshly simulated cell
+	// that completed without a simulation error — the checkpoint hook.
+	// It is called from worker goroutines and must be safe for
+	// concurrent use; it must not mutate the outcome.
+	OnCell func(CellOutcome)
+	// Drain, when non-nil and closed, stops the dispatch of new cells:
+	// in-flight cells finish (and checkpoint through OnCell), then
+	// RunArrayCtx returns ErrDrained. Closing Drain after the last cell
+	// was dispatched has no effect — the run completes normally.
+	Drain <-chan struct{}
+}
+
 // SampleVtShifts draws independent N(0, σ) threshold shifts for the six
 // transistors, with σ scaled by the Pelgrom law σ·sqrt(Wmin·Lmin/(W·L)).
 func SampleVtShifts(tech device.Technology, cfg sram.CellConfig, r *rng.Stream) map[string]float64 {
@@ -123,6 +160,27 @@ func SampleVtShifts(tech device.Technology, cfg sram.CellConfig, r *rng.Stream) 
 // RunArray simulates cfg.Cells independent cells in parallel using the
 // supplied per-cell runner.
 func RunArray(cfg ArrayConfig, run Runner) (*ArrayResult, error) {
+	if run == nil {
+		return nil, fmt.Errorf("montecarlo: nil runner")
+	}
+	adapted := func(_ context.Context, cell sram.CellConfig, pattern sram.Pattern, scale float64, seed uint64) (int, int, int, error) {
+		return run(cell, pattern, scale, seed)
+	}
+	return RunArrayCtx(context.Background(), cfg, adapted, ArrayOptions{})
+}
+
+// RunArrayCtx is the context-aware, resumable variant of RunArray.
+// Cancelling ctx aborts the sweep (in-flight cells stop as soon as the
+// runner observes the cancellation) and returns the wrapped ctx error;
+// closing opts.Drain stops dispatch but lets in-flight cells finish and
+// checkpoint, returning ErrDrained. Cells listed in opts.Resume are
+// skipped and their stored outcomes reused, which — because every
+// cell's stream is a pure function of (cfg.Seed, cell index) — makes a
+// resumed sweep bit-identical to an uninterrupted one.
+func RunArrayCtx(ctx context.Context, cfg ArrayConfig, run CtxRunner, opts ArrayOptions) (*ArrayResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Cells <= 0 {
 		return nil, fmt.Errorf("montecarlo: need a positive cell count, got %d", cfg.Cells)
 	}
@@ -135,10 +193,27 @@ func RunArray(cfg ArrayConfig, run Runner) (*ArrayResult, error) {
 	}
 	root := rng.New(cfg.Seed)
 	outcomes := make([]CellOutcome, cfg.Cells)
+	resumed := make([]bool, cfg.Cells)
+	nResumed := 0
+	for _, o := range opts.Resume {
+		if o.Index < 0 || o.Index >= cfg.Cells {
+			return nil, fmt.Errorf("montecarlo: resume outcome index %d outside [0,%d)", o.Index, cfg.Cells)
+		}
+		if resumed[o.Index] {
+			return nil, fmt.Errorf("montecarlo: duplicate resume outcome for cell %d", o.Index)
+		}
+		if o.Err != nil {
+			return nil, fmt.Errorf("montecarlo: resume outcome for cell %d carries an error", o.Index)
+		}
+		resumed[o.Index] = true
+		outcomes[o.Index] = o
+		nResumed++
+	}
 
 	span := obs.StartSpan("montecarlo.run_array")
 	start := time.Now()
-	var done atomic.Int64
+	var done atomic.Int64      // cells simulated by this run (incl. failures)
+	var completed atomic.Int64 // cells simulated AND checkpointable (no error)
 
 	// Workers write only their own outcomes[i] slot (index-disjoint);
 	// failures are aggregated under a mutex with lowest-cell-index
@@ -161,27 +236,40 @@ func RunArray(cfg ArrayConfig, run Runner) (*ArrayResult, error) {
 			var cellStream rng.Stream
 			lastProgress := start
 			for i := range jobs {
-				if agg.Failed() {
+				if agg.Failed() || ctx.Err() != nil {
 					drained++
 					continue // drain the queue without simulating
 				}
 				cellStart := time.Now()
 				root.SplitInto(uint64(i), &cellStream)
-				out := simulateCell(cfg, run, i, &cellStream)
+				out := simulateCell(ctx, cfg, run, i, &cellStream)
 				cellDur := time.Since(cellStart)
 				busy += cellDur
 				mCellSeconds.Observe(cellDur.Seconds())
 				if out.Err != nil {
+					if ctx.Err() != nil {
+						// Aborted mid-cell by cancellation: neither a
+						// checkpoint nor a cell failure.
+						drained++
+						continue
+					}
 					mCellFailures.Inc()
 					agg.Record(i, fmt.Errorf("montecarlo: cell %d: %w", out.Index, out.Err))
+					outcomes[i] = out
+					done.Add(1)
+					continue
 				}
 				outcomes[i] = out
+				completed.Add(1)
+				if opts.OnCell != nil {
+					opts.OnCell(out)
+				}
 				n := done.Add(1)
 				if obs.Enabled() && time.Since(lastProgress) >= progressTick {
 					lastProgress = time.Now()
 					elapsed := lastProgress.Sub(start).Seconds()
 					obs.Emit("montecarlo.progress",
-						obs.F("done", n),
+						obs.F("done", int64(nResumed)+n),
 						obs.F("cells", cfg.Cells),
 						obs.F("cells_per_sec", float64(n)/elapsed))
 				}
@@ -190,8 +278,18 @@ func RunArray(cfg ArrayConfig, run Runner) (*ArrayResult, error) {
 			mCellsDrained.Add(drained)
 		}(w)
 	}
+dispatch:
 	for i := 0; i < cfg.Cells; i++ {
-		jobs <- i
+		if resumed[i] {
+			continue
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		case <-opts.Drain:
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -210,6 +308,12 @@ func RunArray(cfg ArrayConfig, run Runner) (*ArrayResult, error) {
 	if err := agg.Err(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("montecarlo: array run canceled: %w", err)
+	}
+	if total := nResumed + int(completed.Load()); total < cfg.Cells {
+		return nil, fmt.Errorf("%w: %d of %d cells checkpointed", ErrDrained, total, cfg.Cells)
+	}
 
 	res := &ArrayResult{Config: cfg, Outcomes: outcomes}
 	trapSum := 0
@@ -224,7 +328,7 @@ func RunArray(cfg ArrayConfig, run Runner) (*ArrayResult, error) {
 	return res, nil
 }
 
-func simulateCell(cfg ArrayConfig, run Runner, i int, r *rng.Stream) CellOutcome {
+func simulateCell(ctx context.Context, cfg ArrayConfig, run CtxRunner, i int, r *rng.Stream) CellOutcome {
 	cell := cfg.Cell
 	cell.Tech = cfg.Tech
 	cell = cell.Defaults()
@@ -239,7 +343,7 @@ func simulateCell(cfg ArrayConfig, run Runner, i int, r *rng.Stream) CellOutcome
 		scale = 0
 	}
 	r.SplitInto(2, &seedStream)
-	errs, slow, traps, err := run(cell, cfg.Pattern, scale, seedStream.Uint64())
+	errs, slow, traps, err := run(ctx, cell, cfg.Pattern, scale, seedStream.Uint64())
 	return CellOutcome{
 		Index: i, VtShift: cell.VtShift,
 		TrapCount: traps, Errors: errs, Slow: slow,

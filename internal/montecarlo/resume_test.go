@@ -1,0 +1,253 @@
+package montecarlo
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"samurai/internal/device"
+	"samurai/internal/sram"
+)
+
+// resumeTestConfig is the shared array experiment for the resume golden
+// tests: big enough that a drain interrupts mid-sweep, small enough to
+// stay fast with the fake runner.
+func resumeTestConfig() ArrayConfig {
+	tech := device.Node("45nm")
+	return ArrayConfig{
+		Tech: tech, Cell: sram.CellConfig{Tech: tech},
+		Pattern: sram.Fig8Pattern(tech.Vdd),
+		Cells:   32, Scale: 1, Seed: 23, WithRTN: true,
+		Workers: 4,
+	}
+}
+
+// resumeTestRunner is a pure function of the sampled per-cell inputs —
+// exactly the property the real samurai.ArrayRunnerCtx has.
+func resumeTestRunner(_ context.Context, cell sram.CellConfig, _ sram.Pattern, _ float64, seed uint64) (int, int, int, error) {
+	errs := 0
+	if cell.VtShift["M1"] > 0 && seed%4 == 0 {
+		errs = 1
+	}
+	return errs, int(seed % 3), int(seed % 13), nil
+}
+
+// assertBitIdentical compares two outcome slices field by field, with
+// float64 values compared as raw bits — the resume contract is bitwise,
+// not approximate.
+func assertBitIdentical(t *testing.T, got, want []CellOutcome) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("outcome count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Index != w.Index || g.TrapCount != w.TrapCount ||
+			g.Errors != w.Errors || g.Slow != w.Slow || g.Failed != w.Failed {
+			t.Fatalf("cell %d differs: got %+v want %+v", i, g, w)
+		}
+		if len(g.VtShift) != len(w.VtShift) {
+			t.Fatalf("cell %d VtShift size %d, want %d", i, len(g.VtShift), len(w.VtShift))
+		}
+		for k, wv := range w.VtShift {
+			gv, ok := g.VtShift[k]
+			if !ok {
+				t.Fatalf("cell %d missing VtShift[%q]", i, k)
+			}
+			if math.Float64bits(gv) != math.Float64bits(wv) {
+				t.Fatalf("cell %d VtShift[%q] = %x, want %x (not bit-identical)",
+					i, k, math.Float64bits(gv), math.Float64bits(wv))
+			}
+		}
+	}
+}
+
+// TestRunArrayCtxDrainThenResumeBitIdentical interrupts a sweep at
+// several checkpoint depths via the drain channel, then resumes each
+// interrupted sweep from exactly the cells that were checkpointed and
+// asserts the combined result is bit-identical to the uninterrupted
+// baseline.
+func TestRunArrayCtxDrainThenResumeBitIdentical(t *testing.T) {
+	cfg := resumeTestConfig()
+	baseline, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, stopAfter := range []int{1, 5, 13, 27} {
+		t.Run("", func(t *testing.T) {
+			drain := make(chan struct{})
+			var once sync.Once
+			var mu sync.Mutex
+			var checkpointed []CellOutcome
+			count := 0
+			_, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{
+				Drain: drain,
+				OnCell: func(o CellOutcome) {
+					mu.Lock()
+					checkpointed = append(checkpointed, o)
+					count++
+					reached := count >= stopAfter
+					mu.Unlock()
+					if reached {
+						once.Do(func() { close(drain) })
+					}
+				},
+			})
+			if err != nil && !errors.Is(err, ErrDrained) {
+				t.Fatalf("interrupted run: %v", err)
+			}
+			if err == nil {
+				// The drain raced the last dispatch and the sweep finished;
+				// nothing left to resume, which is also a valid outcome.
+				return
+			}
+			if len(checkpointed) < stopAfter {
+				t.Fatalf("only %d cells checkpointed before ErrDrained, want >= %d", len(checkpointed), stopAfter)
+			}
+			if len(checkpointed) >= cfg.Cells {
+				t.Fatalf("all %d cells checkpointed yet run reported ErrDrained", cfg.Cells)
+			}
+
+			resumed, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{
+				Resume: checkpointed,
+			})
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			assertBitIdentical(t, resumed.Outcomes, baseline.Outcomes)
+			if resumed.NumFailed != baseline.NumFailed ||
+				resumed.ErrorRate != baseline.ErrorRate ||
+				resumed.MeanTraps != baseline.MeanTraps {
+				t.Fatalf("aggregates differ after resume: %+v vs %+v",
+					resumed, baseline)
+			}
+		})
+	}
+}
+
+// TestRunArrayCtxResumeSubsets resumes from arbitrary stored subsets
+// (as replayed from a jobd store, which holds an index-sorted but
+// otherwise arbitrary set of finished cells) and checks bit-identity.
+func TestRunArrayCtxResumeSubsets(t *testing.T) {
+	cfg := resumeTestConfig()
+	baseline, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsets := [][]int{
+		{0},
+		{31},
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31},
+		{30, 31, 0, 4, 17}, // unsorted on purpose
+	}
+	for _, idxs := range subsets {
+		resume := make([]CellOutcome, 0, len(idxs))
+		for _, i := range idxs {
+			resume = append(resume, baseline.Outcomes[i])
+		}
+		res, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{Resume: resume})
+		if err != nil {
+			t.Fatalf("resume %v: %v", idxs, err)
+		}
+		assertBitIdentical(t, res.Outcomes, baseline.Outcomes)
+	}
+	// Resuming from the full set simulates nothing and still matches.
+	res, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{Resume: baseline.Outcomes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Outcomes, baseline.Outcomes) {
+		t.Fatal("full-resume outcomes differ from baseline")
+	}
+}
+
+// TestRunArrayCtxResumeSkipsSimulation checks resumed cells are not
+// re-simulated (the whole point of checkpointing).
+func TestRunArrayCtxResumeSkipsSimulation(t *testing.T) {
+	cfg := resumeTestConfig()
+	baseline, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	ran := map[uint64]bool{}
+	counting := func(ctx context.Context, cell sram.CellConfig, p sram.Pattern, scale float64, seed uint64) (int, int, int, error) {
+		mu.Lock()
+		ran[seed] = true
+		mu.Unlock()
+		return resumeTestRunner(ctx, cell, p, scale, seed)
+	}
+	_, err = RunArrayCtx(context.Background(), cfg, counting, ArrayOptions{Resume: baseline.Outcomes[:20]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != cfg.Cells-20 {
+		t.Fatalf("simulated %d cells, want %d", len(ran), cfg.Cells-20)
+	}
+}
+
+func TestRunArrayCtxResumeValidation(t *testing.T) {
+	cfg := resumeTestConfig()
+	cases := []struct {
+		name   string
+		resume []CellOutcome
+	}{
+		{"index out of range", []CellOutcome{{Index: cfg.Cells}}},
+		{"negative index", []CellOutcome{{Index: -1}}},
+		{"duplicate index", []CellOutcome{{Index: 3}, {Index: 3}}},
+		{"carried error", []CellOutcome{{Index: 0, Err: errors.New("boom")}}},
+	}
+	for _, c := range cases {
+		if _, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{Resume: c.resume}); err == nil {
+			t.Fatalf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestRunArrayCtxCancellation(t *testing.T) {
+	cfg := resumeTestConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunArrayCtx(ctx, cfg, resumeTestRunner, ArrayOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled run returned %v, want context.Canceled", err)
+	}
+
+	// Cancel mid-run: the runner trips the cancellation after a few cells.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var n sync.Once
+	var mu sync.Mutex
+	count := 0
+	tripping := func(c context.Context, cell sram.CellConfig, p sram.Pattern, scale float64, seed uint64) (int, int, int, error) {
+		mu.Lock()
+		count++
+		trip := count >= 5
+		mu.Unlock()
+		if trip {
+			n.Do(cancel2)
+		}
+		return resumeTestRunner(c, cell, p, scale, seed)
+	}
+	_, err = RunArrayCtx(ctx2, cfg, tripping, ArrayOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel returned %v, want context.Canceled", err)
+	}
+}
+
+// TestRunArrayCtxDrainAfterLastDispatch ensures a drain signal that
+// lands after the final cell was handed out does not spoil the run.
+func TestRunArrayCtxDrainAfterLastDispatch(t *testing.T) {
+	cfg := resumeTestConfig()
+	drain := make(chan struct{})
+	close(drain) // drained from the start: nothing dispatches
+	_, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{Drain: drain})
+	if !errors.Is(err, ErrDrained) {
+		t.Fatalf("fully drained run returned %v, want ErrDrained", err)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"errors"
 	"net"
 	"net/http"
@@ -46,12 +47,25 @@ type MetricsServer struct {
 // Addr returns the bound listen address (useful with ":0").
 func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
 
-// Close shuts the endpoint down.
+// closeGrace bounds how long Close waits for in-flight scrapes before
+// severing them. Scrapes serve an in-memory snapshot, so anything still
+// running after this long is a hung client, not a slow handler.
+const closeGrace = 2 * time.Second
+
+// Close drains the endpoint gracefully: the listener stops accepting,
+// in-flight scrapes get up to closeGrace to finish, and only then is
+// the hard Close fallback used to sever whatever remains mid-write.
 func (m *MetricsServer) Close() error {
-	err := m.srv.Close()
-	if errors.Is(err, http.ErrServerClosed) {
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	err := m.srv.Shutdown(ctx)
+	if err == nil || errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}
+	// Graceful drain timed out (or failed); fall back to severing the
+	// remaining connections so Close never hangs.
+	//lint:ignore bareerr the Shutdown error is the one worth reporting; Close is best-effort cleanup
+	m.srv.Close()
 	return err
 }
 

@@ -389,3 +389,55 @@ func TestServeMetricsRoundTrip(t *testing.T) {
 		t.Fatalf("pprof status = %d", resp2.StatusCode)
 	}
 }
+
+func TestMetricsServerCloseIsGraceful(t *testing.T) {
+	srv, err := ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An in-flight scrape must finish during Close, not be severed: start
+	// a request, then Close concurrently and check the response still
+	// arrives intact.
+	started := make(chan struct{})
+	closed := make(chan error, 1)
+	go func() {
+		<-started
+		closed <- srv.Close()
+	}()
+	close(started)
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		// Close may win the race and refuse the dial; that is the
+		// "listener stopped accepting" half of graceful shutdown.
+		if cerr := <-closed; cerr != nil {
+			t.Fatalf("close: %v", cerr)
+		}
+		return
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatalf("in-flight scrape severed by Close: %v", err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cerr := <-closed; cerr != nil {
+		t.Fatalf("close: %v", cerr)
+	}
+	// Once closed, the port no longer accepts.
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}
+
+func TestMetricsServerCloseIdempotentish(t *testing.T) {
+	srv, err := ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -20,6 +20,7 @@
 package samurai
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -126,9 +127,21 @@ func (r *Result) Slowdowns() int { return r.WithRTN.NumSlow }
 
 // Run executes the full two-pass methodology.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cancellation: the context is plumbed through both
+// circuit transient passes (checked between integration steps) and the
+// per-transistor trap workers, so a cancelled run aborts within one
+// integration step. Cancellation only ever aborts — a run that
+// completes is bit-identical regardless of the context used.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	span := obs.StartSpan("samurai.run")
 	defer span.End()
-	res, err := run(cfg, span)
+	res, err := run(ctx, cfg, span)
 	if err != nil {
 		mRunFailures.Inc()
 		return nil, err
@@ -145,7 +158,7 @@ func Run(cfg Config) (*Result, error) {
 
 // run is the instrumented methodology body; span is the enclosing
 // samurai.run span the three phase spans nest under.
-func run(cfg Config, span *obs.Span) (*Result, error) {
+func run(ctx context.Context, cfg Config, span *obs.Span) (*Result, error) {
 	cfg = cfg.defaults()
 	root := rng.New(cfg.Seed)
 
@@ -160,7 +173,7 @@ func run(cfg Config, span *obs.Span) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("samurai: cell: %w", err)
 	}
-	solver := circuit.Options{Method: cfg.Method}
+	solver := circuit.Options{Method: cfg.Method, Ctx: ctx}
 	clean, err := cleanCell.EvaluateOpts(cfg.Pattern, cfg.Dt, solver)
 	if err != nil {
 		return nil, fmt.Errorf("samurai: clean pass: %w", err)
@@ -201,8 +214,8 @@ func run(cfg Config, span *obs.Span) (*Result, error) {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			if agg.Failed() {
-				return // another device already failed; skip the work
+			if agg.Failed() || ctx.Err() != nil {
+				return // another device already failed (or run canceled); skip the work
 			}
 			o := devOut{name: name}
 			dev := cleanCell.Params[name]
@@ -238,6 +251,9 @@ func run(cfg Config, span *obs.Span) (*Result, error) {
 		}(i, name)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("samurai: run canceled: %w", err)
+	}
 	if err := agg.Err(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Smoke-tests the samuraid job service end to end:
+#
+#   1. build samuraid with the race detector,
+#   2. start it on an ephemeral port with a fresh job store,
+#   3. POST a tiny array job and poll it to completion,
+#   4. fetch the result and assert every cell is present,
+#   5. SIGTERM the daemon and assert a clean (exit 0) drain,
+#   6. assert the job store is non-empty (it is uploaded as a CI
+#      artifact for post-mortems).
+#
+# Run from the repository root: ./scripts/smoke_samuraid.sh [workdir]
+set -euo pipefail
+
+WORKDIR="${1:-$(mktemp -d)}"
+mkdir -p "$WORKDIR"
+BIN="$WORKDIR/samuraid"
+STORE="$WORKDIR/samuraid.jsonl"
+ADDR_FILE="$WORKDIR/addr"
+LOG="$WORKDIR/samuraid.log"
+
+echo "== building samuraid (race detector on)"
+go build -race -o "$BIN" ./cmd/samuraid
+
+echo "== starting samuraid"
+"$BIN" -addr 127.0.0.1:0 -store "$STORE" -addr-file "$ADDR_FILE" >"$LOG" 2>&1 &
+PID=$!
+trap 'kill -9 $PID 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+    [ -s "$ADDR_FILE" ] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "samuraid died during startup:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -s "$ADDR_FILE" ] || { echo "samuraid never wrote its address" >&2; cat "$LOG" >&2; exit 1; }
+ADDR="$(cat "$ADDR_FILE")"
+echo "   listening on $ADDR"
+
+echo "== submitting a tiny array job"
+SUBMIT="$(curl -sS -X POST "http://$ADDR/jobs" \
+    -H 'Content-Type: application/json' \
+    -d '{"type":"array","seed":7,"cells":3,"with_rtn":false}')"
+echo "   $SUBMIT"
+JOB_ID="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$JOB_ID" ] || { echo "no job id in submit response" >&2; exit 1; }
+
+echo "== polling $JOB_ID to completion"
+STATE=""
+for _ in $(seq 1 300); do
+    VIEW="$(curl -sS "http://$ADDR/jobs/$JOB_ID")"
+    STATE="$(printf '%s' "$VIEW" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')"
+    case "$STATE" in
+        done) break ;;
+        failed|canceled) echo "job ended $STATE: $VIEW" >&2; exit 1 ;;
+    esac
+    sleep 0.2
+done
+[ "$STATE" = done ] || { echo "job never finished (last state: $STATE)" >&2; exit 1; }
+
+echo "== fetching the result"
+RESULT="$(curl -sS "http://$ADDR/jobs/$JOB_ID/result")"
+echo "   $RESULT"
+CELLS="$(printf '%s' "$RESULT" | grep -o '"index":' | wc -l)"
+[ "$CELLS" -eq 3 ] || { echo "result holds $CELLS cells, want 3" >&2; exit 1; }
+
+echo "== draining with SIGTERM"
+kill -TERM "$PID"
+EXIT=0
+wait "$PID" || EXIT=$?
+trap - EXIT
+if [ "$EXIT" -ne 0 ]; then
+    echo "samuraid exited $EXIT on SIGTERM (want clean drain, exit 0):" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+grep -q "drained cleanly" "$LOG" || { echo "log lacks drain confirmation" >&2; cat "$LOG" >&2; exit 1; }
+
+[ -s "$STORE" ] || { echo "job store $STORE is empty" >&2; exit 1; }
+echo "== store records:"
+cat "$STORE"
+echo "== smoke OK (store: $STORE)"
