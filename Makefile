@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint check bench bench-smoke bench-json smoke-service
+.PHONY: build test vet race lint check bench bench-smoke bench-json smoke-service vv cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,29 @@ lint:
 	$(GO) run ./cmd/samurailint ./...
 
 # check is the full local gate — identical to what CI runs on every PR.
-check: build test vet race lint bench-smoke
+check: build test vet race lint bench-smoke vv cover
+
+# vv runs the statistical conformance matrix (DESIGN.md §10): simulated
+# occupancy/dwell/transition statistics against the closed-form master
+# equation, plus the samurai.Run end-to-end battery. Deterministic: the
+# fixed seed makes vv_report.json bit-identical run to run.
+vv:
+	$(GO) run ./cmd/samuraivv -seed 1 -o vv_report.json
+	@echo wrote vv_report.json
+
+# cover publishes a coverage summary for the tier-1 tree. Coverage is
+# advisory (see check.sh for the threshold note), never a hard gate.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./... > /dev/null
+	@$(GO) tool cover -func=coverage.out | tail -n 1
+
+# fuzz-smoke gives each fuzz target a short adversarial burst. Targets
+# are invoked one at a time: `go fuzz` rejects -fuzz patterns matching
+# more than one target in a package.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzReplay$$' -fuzztime=10s ./internal/jobd
+	$(GO) test -run='^$$' -fuzz='^FuzzCursorEquivalence$$' -fuzztime=10s ./internal/waveform
+	$(GO) test -run='^$$' -fuzz='^FuzzParseDeck$$' -fuzztime=10s ./internal/circuit
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

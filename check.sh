@@ -1,7 +1,9 @@
 #!/bin/sh
 # check.sh mirrors the CI gate for environments without make:
-# build, tests, go vet, race detector (short mode), samurailint and a
-# one-iteration benchmark smoke run (output kept in bench.txt).
+# build, tests, go vet, race detector (short mode), samurailint, a
+# one-iteration benchmark smoke run (output kept in bench.txt), the
+# statistical conformance matrix (vv_report.json) and a coverage
+# summary (coverage.out).
 set -eu
 cd "$(dirname "$0")"
 
@@ -11,4 +13,19 @@ go vet ./...
 go test -race -short ./...
 go run ./cmd/samurailint ./...
 go test -bench=. -benchtime=1x -run='^$' . > bench.txt
-echo "all checks passed (benchmark smoke output in bench.txt)"
+
+# Statistical V&V (DESIGN.md §10): distribution-level conformance of
+# the sampled paths against the closed-form master equation. Exits
+# non-zero if any gate fails; the per-gate α is budgeted so a false
+# alarm on a correct simulator has probability < 1e-6 per run.
+go run ./cmd/samuraivv -seed 1 -o vv_report.json
+
+# Coverage summary. Advisory only — the number below is a tripwire for
+# reviewers, NOT a hard gate: a drop well under ~70 % total on the
+# tier-1 tree usually means a new subsystem landed without its tests,
+# but mechanically failing the build on it would just incentivise
+# assertion-free filler tests.
+go test -coverprofile=coverage.out -covermode=atomic ./... > /dev/null
+go tool cover -func=coverage.out | tail -n 1
+
+echo "all checks passed (bench.txt, vv_report.json, coverage.out)"

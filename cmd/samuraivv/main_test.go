@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunEmitsPassingReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full conformance matrix skipped in -short")
+	}
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-e2e=false", "-seed", "2", "-o", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		Seed      uint64 `json:"seed"`
+		Pass      bool   `json:"pass"`
+		Scenarios []struct {
+			Name  string `json:"name"`
+			Gates []struct {
+				PValue float64 `json:"p_value"`
+			} `json:"gates"`
+		} `json:"scenarios"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if !rep.Pass || rep.Seed != 2 || len(rep.Scenarios) == 0 {
+		t.Fatalf("unexpected report: pass=%v seed=%d scenarios=%d", rep.Pass, rep.Seed, len(rep.Scenarios))
+	}
+}
+
+func TestRunDeterministicArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full conformance matrix skipped in -short")
+	}
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if code := run([]string{"-e2e=false", "-seed", "3", "-o", a}, &stdout, &stderr); code != 0 {
+		t.Fatalf("first run exit %d: %s", code, stderr.String())
+	}
+	if code := run([]string{"-e2e=false", "-seed", "3", "-o", b}, &stdout, &stderr); code != 0 {
+		t.Fatalf("second run exit %d: %s", code, stderr.String())
+	}
+	ra, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ra, rb) {
+		t.Fatalf("same seed produced different artifacts")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

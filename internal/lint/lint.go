@@ -16,6 +16,8 @@
 //     append, map literals or fmt.Sprintf in their bodies (hotalloc)
 //   - http.Server literals always set ReadHeaderTimeout, so no service
 //     binary can be pinned by a Slowloris client (httptimeouts)
+//   - test files seed RNGs with fixed values only — no time/pid/env
+//     seeds and no global rand, so failures replay (testseed)
 //
 // Diagnostics are position-tracked and emitted in a deterministic order
 // (file, line, column, rule). Individual findings can be suppressed with
@@ -100,6 +102,7 @@ func AllRules() []Rule {
 		PrintfLess{},
 		HotAlloc{},
 		HTTPTimeouts{},
+		TestSeed{},
 	}
 }
 

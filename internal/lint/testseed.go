@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// TestSeed enforces determinism at the test layer: test files must seed
+// their RNG streams with fixed values. A seed derived from the wall
+// clock, the process id or the environment makes a failing statistical
+// test unreproducible — the one property the V&V gates depend on — and
+// any use of the stdlib global rand smuggles in unseedable state.
+//
+// The rule is purely syntactic (test files are parsed but not
+// type-checked) and complements norandglobal: norandglobal bans the
+// forbidden imports tree-wide, testseed rejects non-constant seed
+// *sources* flowing into rng.New / rng.NewSeq / Seed calls inside
+// _test.go files, plus any call spelled rand.<F>. Literals, named
+// constants and loop-variable-derived seeds all pass.
+type TestSeed struct{}
+
+// nondeterministicSeedSources maps package ident -> function names whose
+// results must never reach a seed in a test file.
+var nondeterministicSeedSources = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os":   {"Getpid": true, "Getenv": true, "Environ": true, "Getppid": true},
+}
+
+// Name implements Rule.
+func (TestSeed) Name() string { return "testseed" }
+
+// Doc implements Rule.
+func (TestSeed) Doc() string {
+	return "test files must seed RNGs with fixed values; no time/pid/env-derived seeds and no global rand"
+}
+
+// Check implements Rule.
+func (r TestSeed) Check(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		if !f.Test {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "rand" {
+					out = append(out, Diagnostic{
+						Rule:    r.Name(),
+						Pos:     pkg.position(call),
+						Message: fmt.Sprintf("test uses global rand.%s; draw from a fixed-seed *rng.Stream instead", sel.Sel.Name),
+					})
+					return true
+				}
+			}
+			if !isSeedingCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if bad := findNondeterministicSource(arg); bad != "" {
+					out = append(out, Diagnostic{
+						Rule:    r.Name(),
+						Pos:     pkg.position(call),
+						Message: fmt.Sprintf("test seeds an RNG from %s; use a fixed literal seed so failures replay", bad),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// findNondeterministicSource returns the rendered name of the first
+// forbidden source call nested inside e ("time.Now", "os.Getpid", ...),
+// or "" when the expression is seed-safe.
+func findNondeterministicSource(e ast.Expr) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if fns, ok := nondeterministicSeedSources[id.Name]; ok && fns[sel.Sel.Name] {
+			found = id.Name + "." + sel.Sel.Name
+			return false
+		}
+		return true
+	})
+	return found
+}

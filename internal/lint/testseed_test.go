@@ -1,0 +1,133 @@
+package lint
+
+import "testing"
+
+func TestTestSeedFlagsTimeSeededTest(t *testing.T) {
+	files := map[string]string{
+		"internal/rng/rng.go": rngStub,
+		"sim/sim.go":          "package sim\n",
+		"sim/sim_test.go": `package sim
+
+import (
+	"testing"
+	"time"
+
+	"samurai/internal/rng"
+)
+
+func TestNoise(t *testing.T) {
+	r := rng.New(uint64(time.Now().UnixNano()))
+	_ = r
+}
+`}
+	got := diags(t, files, TestSeed{})
+	wantFindings(t, got, 1)
+}
+
+func TestTestSeedFlagsPidAndEnvSeeds(t *testing.T) {
+	files := map[string]string{
+		"internal/rng/rng.go": rngStub,
+		"sim/sim.go":          "package sim\n",
+		"sim/sim_test.go": `package sim
+
+import (
+	"os"
+	"testing"
+
+	"samurai/internal/rng"
+)
+
+func TestPid(t *testing.T) {
+	r := rng.New(uint64(os.Getpid()))
+	r.Seed(uint64(len(os.Getenv("SEED"))))
+}
+`}
+	wantFindings(t, diags(t, files, TestSeed{}), 2)
+}
+
+func TestTestSeedFlagsGlobalRand(t *testing.T) {
+	files := map[string]string{
+		"sim/sim.go": "package sim\n",
+		"sim/sim_test.go": `package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNoise(t *testing.T) {
+	if rand.Float64() < 0 {
+		t.Fatal("impossible")
+	}
+}
+`}
+	wantFindings(t, diags(t, files, TestSeed{}), 1)
+}
+
+func TestTestSeedAllowsFixedAndLoopSeeds(t *testing.T) {
+	files := map[string]string{
+		"internal/rng/rng.go": rngStub,
+		"sim/sim.go":          "package sim\n",
+		"sim/sim_test.go": `package sim
+
+import (
+	"testing"
+
+	"samurai/internal/rng"
+)
+
+const baseSeed = 7
+
+func TestFixed(t *testing.T) {
+	r := rng.New(42)
+	r.Seed(baseSeed)
+	for i := 0; i < 4; i++ {
+		child := rng.NewSeq(uint64(i), baseSeed+uint64(i))
+		_ = child
+	}
+	_ = r
+}
+`}
+	wantFindings(t, diags(t, files, TestSeed{}), 0)
+}
+
+func TestTestSeedIgnoresNonTestFiles(t *testing.T) {
+	// Production code seeding from time is norandglobal's business, not
+	// this rule's.
+	files := map[string]string{
+		"internal/rng/rng.go": rngStub,
+		"sim/sim.go": `package sim
+
+import (
+	"time"
+
+	"samurai/internal/rng"
+)
+
+// Fresh is the anti-pattern, but in a non-test file.
+func Fresh() *rng.Stream { return rng.New(uint64(time.Now().UnixNano())) }
+`}
+	wantFindings(t, diags(t, files, TestSeed{}), 0)
+}
+
+func TestTestSeedHonoursIgnoreDirective(t *testing.T) {
+	files := map[string]string{
+		"internal/rng/rng.go": rngStub,
+		"sim/sim.go":          "package sim\n",
+		"sim/sim_test.go": `package sim
+
+import (
+	"testing"
+	"time"
+
+	"samurai/internal/rng"
+)
+
+func TestSoak(t *testing.T) {
+	//lint:ignore testseed soak test intentionally explores fresh seeds
+	r := rng.New(uint64(time.Now().UnixNano()))
+	_ = r
+}
+`}
+	wantFindings(t, diags(t, files, TestSeed{}), 0)
+}

@@ -252,7 +252,7 @@ func TestTextSinkFormat(t *testing.T) {
 	s := NewTextSink(&syncWriter{w: &b})
 	s.Emit(Event{Name: "mc.progress", Fields: []Field{
 		F("done", 12), F("rate", 3.5), F("phase", "rtn pass"), F("ok", true),
-		F("err", errors.New("boom")), F("d", 1500 * time.Millisecond),
+		F("err", errors.New("boom")), F("d", 1500*time.Millisecond),
 	}})
 	got := b.String()
 	want := "mc.progress done=12 rate=3.5 phase=\"rtn pass\" ok=true err=\"boom\" d=1.5s\n"

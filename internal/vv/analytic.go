@@ -1,0 +1,408 @@
+package vv
+
+import (
+	"fmt"
+	"math"
+
+	"samurai/internal/trap"
+	"samurai/internal/units"
+	"samurai/internal/waveform"
+)
+
+// Master solves the two-state master equation of a single trap under a
+// PWL gate-bias waveform, deterministically and without sampling. It
+// is the analytic reference every conformance gate compares against.
+//
+// The occupancy probability p(t) = P(trap filled at t) obeys
+//
+//	dp/dt = λ_c(t) − (λ_c(t)+λ_e(t))·p(t) = λ_c(t) − λ_s·p(t)
+//
+// where λ_s = λ_c+λ_e is bias-invariant under the paper's Eq (1).
+// With constant λ_s the integrating factor is a plain exponential and
+// the exact solution over any interval [a, b] is the piecewise-
+// exponential propagator
+//
+//	p(b) = p(a)·e^(−λ_s(b−a)) + ∫_a^b λ_c(s)·e^(−λ_s(b−s)) ds .
+//
+// On segments where the bias is constant the integral collapses to the
+// closed form p(b) = p∞ + (p(a)−p∞)·e^(−λ_s·h) with p∞ = 1/(1+β); on
+// linear (ramp) segments λ_c(s) is smooth and the integral is
+// evaluated by composite Gauss–Legendre quadrature on subintervals
+// short enough (λ_s·h ≤ 1/4 and a fraction of kT of bias swing) that
+// the quadrature error sits at the float64 noise floor. No Monte
+// Carlo, no ODE time-stepping error beyond the quadrature.
+type Master struct {
+	Ctx  trap.Context
+	Tr   trap.Trap
+	Bias *waveform.PWL
+
+	lambdaS float64
+	// dBetaExpDV is |d(logβ)/dV| = Coupling·effC/kT — the bias
+	// sensitivity that controls how finely ramp segments must be cut.
+	dBetaExpDV float64
+}
+
+// NewMaster validates the trap context and builds a solver for the
+// given trap and bias waveform.
+func NewMaster(ctx trap.Context, tr trap.Trap, bias *waveform.PWL) (*Master, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, fmt.Errorf("vv: %w", err)
+	}
+	if bias == nil || bias.Len() == 0 {
+		return nil, fmt.Errorf("vv: nil or empty bias waveform")
+	}
+	m := &Master{Ctx: ctx, Tr: tr, Bias: bias}
+	m.lambdaS = ctx.RateSum(tr)
+	// kT in eV is numerically kT/q in volts; LevelSplitEV divides by
+	// the same quantity, so the subdivision heuristic below tracks the
+	// actual β sensitivity.
+	kt := units.ThermalEnergyEV(ctx.TempK)
+	m.dBetaExpDV = ctx.Coupling * ctx.EffectiveCoupling(tr) / kt
+	return m, nil
+}
+
+// RateSum returns λ_s = λ_c+λ_e (bias-invariant).
+func (m *Master) RateSum() float64 { return m.lambdaS }
+
+// Rates returns (λ_c, λ_e) at time t.
+func (m *Master) Rates(t float64) (lc, le float64) {
+	return m.Ctx.Rates(m.Tr, m.Bias.Eval(t))
+}
+
+// sameBits reports bit-identity of two floats (used to detect constant
+// bias segments without a floating-point equality comparison).
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// segments invokes fn over [t0, t1] cut at every bias breakpoint
+// strictly inside the interval, so each piece is a single linear (or
+// constant) bias segment.
+func (m *Master) segments(t0, t1 float64, fn func(a, b float64)) {
+	prev := t0
+	for _, bt := range m.Bias.T {
+		if bt <= t0 || bt >= t1 {
+			continue
+		}
+		fn(prev, bt)
+		prev = bt
+	}
+	if prev < t1 {
+		fn(prev, t1)
+	}
+}
+
+// subdivisions returns how many quadrature subintervals a linear bias
+// segment of length h and bias swing dv needs for the Gauss–Legendre
+// error to be negligible: λ_s·h ≤ 1/4 and ≤ 1/4 "kT unit" of β
+// exponent swing per subinterval.
+func (m *Master) subdivisions(h, dv float64) int {
+	byRate := m.lambdaS * h / 0.25
+	byBias := math.Abs(dv) * m.dBetaExpDV / 0.25
+	n := int(math.Ceil(math.Max(byRate, byBias)))
+	if n < 1 {
+		n = 1
+	}
+	const maxSub = 1 << 16
+	if n > maxSub {
+		n = maxSub
+	}
+	return n
+}
+
+// Eight-point Gauss–Legendre nodes and weights on [-1, 1].
+var (
+	glNodes = [8]float64{
+		-0.9602898564975363, -0.7966664774136267, -0.5255324099163290, -0.1834346424956498,
+		0.1834346424956498, 0.5255324099163290, 0.7966664774136267, 0.9602898564975363,
+	}
+	glWeights = [8]float64{
+		0.1012285362903763, 0.2223810344533745, 0.3137066458778873, 0.3626837833783620,
+		0.3626837833783620, 0.3137066458778873, 0.2223810344533745, 0.1012285362903763,
+	}
+)
+
+// lambdaC returns λ_c at time t.
+func (m *Master) lambdaC(t float64) float64 {
+	lc, _ := m.Ctx.Rates(m.Tr, m.Bias.Eval(t))
+	return lc
+}
+
+// stepLinear propagates p across one quadrature subinterval [u, w] of
+// a linear bias segment using the exact exponential propagator with
+// Gauss–Legendre quadrature on the forcing integral.
+func (m *Master) stepLinear(u, w, pu float64) float64 {
+	h := w - u
+	forcing := 0.0
+	for k := 0; k < 8; k++ {
+		s := u + 0.5*h*(1+glNodes[k])
+		forcing += glWeights[k] * m.lambdaC(s) * math.Exp(-m.lambdaS*(w-s))
+	}
+	forcing *= 0.5 * h
+	return pu*math.Exp(-m.lambdaS*h) + forcing
+}
+
+// stepConstant propagates p across [u, w] under constant bias v,
+// algebraically exactly, and returns (p(w), ∫p dt, ∫intensity dt)
+// where intensity(t) = λ_c(1−p) + λ_e·p is the expected transition
+// rate of the chain.
+func (m *Master) stepConstant(v, u, w, pu float64) (pw, occInt, transInt float64) {
+	lc, le := m.Ctx.Rates(m.Tr, v)
+	h := w - u
+	pInf := lc / m.lambdaS
+	decay := math.Exp(-m.lambdaS * h)
+	pw = pInf + (pu-pInf)*decay
+	// ∫p = p∞·h + (p(u)−p∞)·(1−e^{−λs·h})/λs  (exact)
+	occInt = pInf*h + (pu-pInf)*(-math.Expm1(-m.lambdaS*h))/m.lambdaS
+	// intensity = λc + (λe−λc)·p  ⇒ exact integral via ∫p
+	transInt = lc*h + (le-lc)*occInt
+	return pw, occInt, transInt
+}
+
+// advance walks [t0, t1] starting from occupancy p0 and returns the
+// final occupancy together with ∫p dt and the expected transition
+// count ∫ λ_c(1−p)+λ_e·p dt.
+func (m *Master) advance(t0, t1, p0 float64) (p, occInt, transInt float64) {
+	p = p0
+	m.segments(t0, t1, func(a, b float64) {
+		va, vb := m.Bias.Eval(a), m.Bias.Eval(b)
+		if sameBits(va, vb) {
+			var oi, ti float64
+			p, oi, ti = m.stepConstant(va, a, b, p)
+			occInt += oi
+			transInt += ti
+			return
+		}
+		n := m.subdivisions(b-a, vb-va)
+		h := (b - a) / float64(n)
+		for i := 0; i < n; i++ {
+			u := a + float64(i)*h
+			w := u + h
+			if i == n-1 {
+				w = b
+			}
+			mid := 0.5 * (u + w)
+			pu := p
+			pm := m.stepLinear(u, mid, pu)
+			pw := m.stepLinear(mid, w, pm)
+			// Simpson on the (smooth) occupancy and intensity over the
+			// short subinterval; with λ_s·h ≤ 1/4 the composite error
+			// is far below every gate's statistical resolution.
+			occInt += (w - u) / 6 * (pu + 4*pm + pw)
+			iu := m.intensityAt(u, pu)
+			im := m.intensityAt(mid, pm)
+			iw := m.intensityAt(w, pw)
+			transInt += (w - u) / 6 * (iu + 4*im + iw)
+			p = pw
+		}
+	})
+	return p, occInt, transInt
+}
+
+// intensityAt returns λ_c(t)·(1−p) + λ_e(t)·p.
+func (m *Master) intensityAt(t, p float64) float64 {
+	lc, le := m.Ctx.Rates(m.Tr, m.Bias.Eval(t))
+	return lc*(1-p) + le*p
+}
+
+// Occupancy returns p(t1) given p(t0) = p0.
+func (m *Master) Occupancy(t0, t1, p0 float64) float64 {
+	if t1 <= t0 {
+		return p0
+	}
+	p, _, _ := m.advance(t0, t1, p0)
+	return p
+}
+
+// OccupancyGrid returns p(t) on n+1 uniform instants spanning [t0, t1].
+func (m *Master) OccupancyGrid(t0, t1, p0 float64, n int) (ts, ps []float64) {
+	if n < 1 {
+		n = 1
+	}
+	ts = make([]float64, n+1)
+	ps = make([]float64, n+1)
+	h := (t1 - t0) / float64(n)
+	p := p0
+	prev := t0
+	for i := 0; i <= n; i++ {
+		t := t0 + float64(i)*h
+		if i == n {
+			t = t1
+		}
+		if t > prev {
+			p = m.Occupancy(prev, t, p)
+		}
+		ts[i] = t
+		ps[i] = p
+		prev = t
+	}
+	return ts, ps
+}
+
+// MeanOccupancy returns the time-average occupancy (1/(t1−t0))·∫p dt.
+func (m *Master) MeanOccupancy(t0, t1, p0 float64) float64 {
+	if t1 <= t0 {
+		return p0
+	}
+	_, occInt, _ := m.advance(t0, t1, p0)
+	return occInt / (t1 - t0)
+}
+
+// ExpectedTransitions returns E[N(t0,t1)], the expected number of
+// state flips of the chain over the interval:
+//
+//	E[N] = ∫ λ_c(t)·(1−p(t)) + λ_e(t)·p(t) dt .
+func (m *Master) ExpectedTransitions(t0, t1, p0 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	_, _, transInt := m.advance(t0, t1, p0)
+	return transInt
+}
+
+// IntegratedExitRate returns Λ(t0, t1) = ∫ λ_exit(s) ds where the exit
+// rate is λ_e when the trap is filled and λ_c when empty — the
+// cumulative hazard of leaving the given state.
+func (m *Master) IntegratedExitRate(t0, t1 float64, filled bool) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	total := 0.0
+	m.segments(t0, t1, func(a, b float64) {
+		va, vb := m.Bias.Eval(a), m.Bias.Eval(b)
+		if sameBits(va, vb) {
+			lc, le := m.Ctx.Rates(m.Tr, va)
+			rate := lc
+			if filled {
+				rate = le
+			}
+			total += rate * (b - a)
+			return
+		}
+		n := m.subdivisions(b-a, vb-va)
+		h := (b - a) / float64(n)
+		for i := 0; i < n; i++ {
+			u := a + float64(i)*h
+			w := u + h
+			if i == n-1 {
+				w = b
+			}
+			sum := 0.0
+			for k := 0; k < 8; k++ {
+				s := u + 0.5*(w-u)*(1+glNodes[k])
+				lc, le := m.Ctx.Rates(m.Tr, m.Bias.Eval(s))
+				rate := lc
+				if filled {
+					rate = le
+				}
+				sum += glWeights[k] * rate
+			}
+			total += 0.5 * (w - u) * sum
+		}
+	})
+	return total
+}
+
+// FirstTransitionCDF returns the CDF of the first state flip of a trap
+// that starts at t0 in the given state:
+//
+//	F(t) = 1 − exp(−Λ(t0, t))
+//
+// with Λ the integrated exit rate. Exact for the inhomogeneous chain.
+func (m *Master) FirstTransitionCDF(t0 float64, filled bool) func(float64) float64 {
+	return func(t float64) float64 {
+		if t <= t0 {
+			return 0
+		}
+		return -math.Expm1(-m.IntegratedExitRate(t0, t, filled))
+	}
+}
+
+// ConditionalFirstTransitionCDF returns the CDF of the first flip time
+// conditioned on a flip occurring by the horizon t1 — the law of the
+// first-transition samples a finite simulation actually yields.
+func (m *Master) ConditionalFirstTransitionCDF(t0, t1 float64, filled bool) func(float64) float64 {
+	raw := m.FirstTransitionCDF(t0, filled)
+	norm := raw(t1)
+	return func(t float64) float64 {
+		if norm <= 0 {
+			return 0
+		}
+		if t >= t1 {
+			return 1
+		}
+		return raw(t) / norm
+	}
+}
+
+// WindowedDwellCDF returns the exact CDF of the *completed interior*
+// sojourn durations in one state that a finite observation window
+// [t0, t1] yields under constant bias v — the law markov.Path.DwellTimes
+// samples are actually drawn from. Naively the dwells are Exp(μ) with μ
+// the state's exit rate, but a finite window censors long sojourns: a
+// sojourn entered at window offset u is observed complete only if its
+// Exp(μ) duration fits in the remaining T−u, so the pooled law is a
+// mixture of truncated exponentials weighted by the entry intensity
+// (the observation-window effect of arXiv:2201.10659). For β ≫ 1 the
+// majority state's mean dwell is a visible fraction of any practical
+// window and the plain exponential is measurably wrong.
+//
+// With window length T, entry intensity r(u) = a + b·e^(−λ_s·u)
+// (r = λ_e·p for empty sojourns, λ_c·(1−p) for filled ones, with
+// p(u) = p∞ + (p0−p∞)·e^(−λ_s·u)), the unnormalised CDF is
+//
+//	N(d) = ∫₀^d μ·e^(−μs)·R(T−s) ds ,  R(x) = ∫₀^x r(u) du ,
+//
+// and F(d) = N(d)/N(T); every integral has a closed form below.
+func (m *Master) WindowedDwellCDF(v, t0, t1, p0 float64, filled bool) func(float64) float64 {
+	lc, le := m.Ctx.Rates(m.Tr, v)
+	pInf := lc / m.lambdaS
+	T := t1 - t0
+	var mu, a, b float64
+	if filled {
+		mu = le
+		a = lc * (1 - pInf)
+		b = -lc * (p0 - pInf)
+	} else {
+		mu = lc
+		a = le * pInf
+		b = le * (p0 - pInf)
+	}
+	ls := m.lambdaS
+	n := func(d float64) float64 {
+		em := -math.Expm1(-mu * d) // 1 − e^(−μd)
+		// ∫ μe^(−μs)·a(T−s) ds = a·[T·(1−e^(−μd)) − (1−e^(−μd)(1+μd))/μ]
+		linear := a * (T*em - (1-math.Exp(-mu*d)*(1+mu*d))/mu)
+		// ∫ μe^(−μs)·(b/λ_s) ds
+		constant := b / ls * em
+		// −(b/λ_s)·∫ μe^(−μs)·e^(−λ_s(T−s)) ds, with ε = λ_s−μ > 0
+		// (ε is the *other* state's rate). Exponents are combined before
+		// exponentiation so λ_s·T ≫ 1 cannot overflow the intermediate.
+		eps := ls - mu
+		expTerm := -(b * mu / ls) * (math.Exp(eps*d-ls*T) - math.Exp(-ls*T)) / eps
+		return linear + constant + expTerm
+	}
+	norm := n(T)
+	return func(d float64) float64 {
+		if d <= 0 || norm <= 0 {
+			return 0
+		}
+		if d >= T {
+			return 1
+		}
+		// Deep in the tail the ratio can round a few ulp past 1.
+		f := n(d) / norm
+		if f > 1 {
+			return 1
+		}
+		if f < 0 {
+			return 0
+		}
+		return f
+	}
+}
+
+// StationaryOccupancy returns 1/(1+β) at the given constant bias.
+func (m *Master) StationaryOccupancy(vgs float64) float64 {
+	return m.Ctx.OccupancyProb(m.Tr, vgs)
+}

@@ -1,0 +1,224 @@
+package vv
+
+import (
+	"fmt"
+
+	"samurai/internal/sram"
+	"samurai/internal/trap"
+	"samurai/internal/waveform"
+)
+
+// Scenario is one cell of the conformance matrix: a trap + bias
+// waveform + horizon, the number of Monte-Carlo paths to draw, and
+// which gate families apply.
+type Scenario struct {
+	// Name identifies the scenario in reports (stable across runs).
+	Name string
+	// Ctx and Tr define the trap; Bias the gate-bias waveform.
+	Ctx  trap.Context
+	Tr   trap.Trap
+	Bias *waveform.PWL
+	// T0 and T1 bound the simulated interval.
+	T0, T1 float64
+	// Paths is the number of independent sample paths to draw.
+	Paths int
+	// Probes are absolute instants at which the empirical occupancy is
+	// gated against the analytic p(t) with an exact binomial test.
+	Probes []float64
+	// Dwell enables the constant-bias dwell-time KS and chi-square
+	// gates (valid only when the bias is constant over [T0, T1]).
+	Dwell bool
+	// Compose enables the rtn.Compose trace gates.
+	Compose bool
+	// Note documents what the scenario stresses.
+	Note string
+}
+
+// GateCount returns how many statistical gates the scenario
+// contributes to the report — needed up front so the false-positive
+// budget can be Bonferroni-divided before any gate runs.
+func (sc Scenario) GateCount() int {
+	n := len(sc.Probes) // binomial occupancy probes
+	n += 2              // occupancy-mean CLT, transitions-mean CLT
+	n++                 // first-transition KS
+	if sc.Dwell {
+		n += 4 // filled/empty dwell KS + chi-square
+	}
+	if sc.Compose {
+		n += 2 // exact Eq(3) identity + sampled-occupancy CLT
+	}
+	return n
+}
+
+// vvCtx is the shared trap context of the synthetic scenarios: the
+// literature-default 1.9 nm oxide referenced at 1.2 V, matching the
+// markov package's own test fixtures.
+func vvCtx() trap.Context { return trap.DefaultContext(1.9e-9, 1.2) }
+
+// probeFracs positions the default occupancy probes inside a horizon.
+var probeFracs = []float64{0.1, 0.35, 0.65, 0.95}
+
+func probesAt(t0, t1 float64) []float64 {
+	out := make([]float64, len(probeFracs))
+	for i, f := range probeFracs {
+		out[i] = t0 + f*(t1-t0)
+	}
+	return out
+}
+
+// Matrix returns the standard conformance scenario matrix. Horizons
+// are expressed in units of 1/λ_s so every scenario draws a predictable
+// number of candidate events regardless of the trap parameters.
+func Matrix() ([]Scenario, error) {
+	ctx := vvCtx()
+	var out []Scenario
+
+	// 1. Constant bias, β ≈ 1: the maximally active trap. Dwell times
+	// in both states are plentiful, so every gate family applies.
+	{
+		tr := trap.Trap{Y: 0.45 * ctx.Tox, E: 0}
+		horizon := 300 / ctx.RateSum(tr)
+		out = append(out, Scenario{
+			Name: "const-active", Ctx: ctx, Tr: tr,
+			Bias: waveform.Constant(1.2), T0: 0, T1: horizon,
+			Paths: 2000, Probes: probesAt(0, horizon),
+			Dwell: true, Compose: true,
+			Note: "constant bias, beta~1, ~300 candidates/path",
+		})
+	}
+
+	// 2. Constant bias, moderately skewed β: asymmetric dwell laws.
+	{
+		tr := trap.Trap{Y: 0.45 * ctx.Tox, E: 0.03}
+		horizon := 300 / ctx.RateSum(tr)
+		out = append(out, Scenario{
+			Name: "const-beta-skew", Ctx: ctx, Tr: tr,
+			Bias: waveform.Constant(1.2), T0: 0, T1: horizon,
+			Paths: 2000, Probes: probesAt(0, horizon),
+			Dwell: true, Compose: true,
+			Note: "constant bias, beta~3, asymmetric capture/emission",
+		})
+	}
+
+	// 3. Constant bias, extreme β (~100): the trap is pinned empty
+	// ~99% of the time; occupancy probes exercise the exact binomial
+	// gate in the small-np regime where CLT gates are invalid.
+	{
+		tr := trap.Trap{Y: 0.45 * ctx.Tox, E: 0.12}
+		horizon := 300 / ctx.RateSum(tr)
+		out = append(out, Scenario{
+			Name: "const-extreme-beta", Ctx: ctx, Tr: tr,
+			Bias: waveform.Constant(1.2), T0: 0, T1: horizon,
+			Paths: 2000, Probes: probesAt(0, horizon),
+			Dwell: true,
+			Note:  "constant bias, beta~100, trap pinned empty",
+		})
+	}
+
+	// 4. Near-degenerate λ*: a horizon of only ~3 mean event times, so
+	// most paths see 0–3 candidates. Stresses censoring (first/last
+	// sojourn handling) and the conditional first-transition law.
+	{
+		tr := trap.Trap{Y: 0.45 * ctx.Tox, E: 0}
+		horizon := 3 / ctx.RateSum(tr)
+		out = append(out, Scenario{
+			Name: "near-degenerate-lambda", Ctx: ctx, Tr: tr,
+			Bias: waveform.Constant(1.2), T0: 0, T1: horizon,
+			Paths: 4000, Probes: probesAt(0, horizon),
+			Note: "~3 candidates/path; censored-sojourn regime",
+		})
+	}
+
+	// 5. Step bias: the bias jumps mid-horizon from a level that pins
+	// the trap empty to one that pins it filled. The occupancy relaxes
+	// exponentially after the step — the classic non-stationary
+	// transient of the da Silva/Wirth time-domain description.
+	{
+		tr := trap.Trap{Y: 0.45 * ctx.Tox, E: 0}
+		horizon := 300 / ctx.RateSum(tr)
+		step, err := waveform.Step(
+			[]float64{0, horizon / 2},
+			[]float64{0.95, 1.45},
+			horizon/1000)
+		if err != nil {
+			return nil, fmt.Errorf("vv: step scenario: %w", err)
+		}
+		probes := []float64{
+			0.25 * horizon,                  // settled at the low level
+			horizon/2 + 1/ctx.RateSum(tr)/2, // mid-relaxation after the step
+			0.95 * horizon,                  // settled at the high level
+		}
+		out = append(out, Scenario{
+			Name: "step-bias", Ctx: ctx, Tr: tr,
+			Bias: step, T0: 0, T1: horizon,
+			Paths: 2000, Probes: probes,
+			Note: "bias step mid-horizon; exponential occupancy relaxation",
+		})
+	}
+
+	// 6. Ramp bias: a continuous sweep across the trap's active window,
+	// so λ_c/λ_e vary smoothly all horizon long — the case where the
+	// propagator's quadrature (not a closed form) is the reference.
+	{
+		tr := trap.Trap{Y: 0.45 * ctx.Tox, E: 0}
+		horizon := 300 / ctx.RateSum(tr)
+		ramp, err := waveform.New(
+			[]float64{0, horizon},
+			[]float64{0.95, 1.45})
+		if err != nil {
+			return nil, fmt.Errorf("vv: ramp scenario: %w", err)
+		}
+		out = append(out, Scenario{
+			Name: "ramp-bias", Ctx: ctx, Tr: tr,
+			Bias: ramp, T0: 0, T1: horizon,
+			Paths: 2000, Probes: probesAt(0, horizon),
+			Note: "continuous bias ramp across the active window",
+		})
+	}
+
+	// 7. SRAM write waveform: the Fig 8 pattern's wordline, i.e. the
+	// real pulse train the methodology applies to pass-gate traps. A
+	// shallow (fast) trap sees tens of candidates inside the 18 ns
+	// pattern.
+	{
+		pat := sram.Fig8Pattern(1.2)
+		wl, _, _, err := pat.Waveforms()
+		if err != nil {
+			return nil, fmt.Errorf("vv: sram waveforms: %w", err)
+		}
+		tr := trap.Trap{Y: 1e-10, E: 0}
+		out = append(out, Scenario{
+			Name: "sram-write-wl", Ctx: ctx, Tr: tr,
+			Bias: wl, T0: 0, T1: pat.Duration(),
+			Paths: 2000, Probes: probesAt(0, pat.Duration()),
+			Note: "Fig 8 wordline pulse train on a shallow trap",
+		})
+	}
+
+	// 8. SRAM read-like pulse train: short periodic access pulses with
+	// a long quiescent fraction — the observation-window regime of the
+	// dwell-time literature (arXiv:2201.10659).
+	{
+		tr := trap.Trap{Y: 1e-10, E: 0}
+		period := 2e-9
+		var times, vals []float64
+		for i := 0; i < 8; i++ {
+			t := float64(i) * period
+			times = append(times, t, t+0.3*period)
+			vals = append(vals, 1.2, 0.2)
+		}
+		pulses, err := waveform.Step(times, vals, period/100)
+		if err != nil {
+			return nil, fmt.Errorf("vv: read-pulse scenario: %w", err)
+		}
+		horizon := 8 * period
+		out = append(out, Scenario{
+			Name: "sram-read-pulse", Ctx: ctx, Tr: tr,
+			Bias: pulses, T0: 0, T1: horizon,
+			Paths: 2000, Probes: probesAt(0, horizon),
+			Note: "periodic access pulses; observation-window dwell regime",
+		})
+	}
+
+	return out, nil
+}

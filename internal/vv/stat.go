@@ -1,0 +1,395 @@
+// Package vv is the statistical verification-and-validation layer of
+// the SAMURAI reproduction. The golden seeded tests elsewhere in the
+// tree pin *determinism* — the same seed always yields the same sample
+// path — but nothing there checks that the paths are drawn from the
+// *right law*. A thinning bug that scales every propensity by (1+ε)
+// is perfectly deterministic and passes every golden test while
+// skewing every dwell time; it is exactly the class of defect this
+// package exists to catch.
+//
+// The package has three parts:
+//
+//   - analytic references (analytic.go): a deterministic
+//     master-equation propagator for the 2-state time-inhomogeneous
+//     chain under PWL bias, plus exact dwell-time CDFs — no sampling.
+//   - a seeded statistical test kit (this file): Kolmogorov–Smirnov,
+//     chi-square and exact-binomial/CLT gates with sample-size-aware
+//     thresholds derived from an explicit false-positive budget.
+//   - conformance suites (scenario.go, conformance.go): a scenario
+//     matrix driven through markov.Uniformise, rtn.Compose and
+//     samurai.Run, with empirical distributions gated against the
+//     analytic references.
+//
+// Everything is deterministic for a fixed master seed: sampling uses
+// split rng.Streams and every p-value is computed by closed-form
+// series, so the JSON conformance report is bit-identical across runs.
+package vv
+
+import (
+	"math"
+	"sort"
+)
+
+// ---------------------------------------------------------------------
+// Normal distribution.
+
+// NormalCDF returns Φ(x), the standard normal CDF.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalTwoSidedP returns the two-sided tail probability of a standard
+// normal statistic: P(|Z| ≥ |z|) = erfc(|z|/√2).
+func NormalTwoSidedP(z float64) float64 {
+	return math.Erfc(math.Abs(z) / math.Sqrt2)
+}
+
+// NormalQuantile returns z with Φ(z) = p for p in (0, 1), by bisection
+// on NormalCDF. Bisection is slower than a rational approximation but
+// carries no tuned constants and is exactly reproducible; the kit only
+// evaluates it a handful of times per report.
+func NormalQuantile(p float64) float64 {
+	if !(p > 0 && p < 1) {
+		return math.NaN()
+	}
+	lo, hi := -40.0, 40.0
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if NormalCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// ---------------------------------------------------------------------
+// Kolmogorov–Smirnov.
+
+// KSStat returns the two-sided Kolmogorov–Smirnov statistic
+// D_n = sup_x |F_n(x) − F(x)| of the sample against the reference CDF.
+// The sample is not modified.
+func KSStat(sample []float64, cdf func(float64) float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	d := 0.0
+	for i, x := range s {
+		f := cdf(x)
+		if hi := float64(i+1)/n - f; hi > d {
+			d = hi
+		}
+		if lo := f - float64(i)/n; lo > d {
+			d = lo
+		}
+	}
+	return d
+}
+
+// KSPValue returns the p-value of a two-sided KS statistic d for sample
+// size n, using the asymptotic Kolmogorov distribution with Stephens'
+// finite-sample correction:
+//
+//	λ = (√n + 0.12 + 0.11/√n)·d,   Q(λ) = 2·Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}
+//
+// The series is alternating with super-exponentially shrinking terms,
+// so truncation after 100 terms is far below float64 resolution.
+func KSPValue(n int, d float64) float64 {
+	if n <= 0 || d <= 0 {
+		return 1
+	}
+	sn := math.Sqrt(float64(n))
+	lambda := (sn + 0.12 + 0.11/sn) * d
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := math.Exp(-2 * float64(k) * float64(k) * lambda * lambda)
+		sum += sign * term
+		sign = -sign
+		if term < 1e-300 {
+			break
+		}
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// KSPValueDKW returns the Dvoretzky–Kiefer–Wolfowitz tail bound
+// P(D_n > d) ≤ 2·e^(−2nd²), clamped to [0, 1]. Unlike the asymptotic
+// Kolmogorov distribution this is a rigorous finite-sample bound at
+// every n, so gating on it keeps the false-positive budget honest even
+// for small samples; it is slightly conservative (a true p-value is
+// never larger), which costs no detection power at the effect sizes
+// the conformance gates target.
+func KSPValueDKW(n int, d float64) float64 {
+	if n <= 0 || d <= 0 {
+		return 1
+	}
+	p := 2 * math.Exp(-2*float64(n)*d*d)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------
+// Chi-square via the regularized incomplete gamma function.
+
+// GammaQ returns the regularized upper incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a) for a > 0, x ≥ 0 — the survival function of
+// the Gamma(a, 1) distribution. Series expansion for x < a+1, Lentz
+// continued fraction otherwise (both standard, both deterministic).
+func GammaQ(a, x float64) float64 {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+// gammaPSeries evaluates P(a, x) = 1 − Q(a, x) by its power series.
+func gammaPSeries(a, x float64) float64 {
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < 1000; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-16 {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinuedFraction evaluates Q(a, x) by the modified Lentz
+// continued fraction.
+func gammaQContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 1000; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-16 {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquarePValue returns P(χ²_dof ≥ stat) = Q(dof/2, stat/2).
+func ChiSquarePValue(stat float64, dof int) float64 {
+	if dof <= 0 {
+		return math.NaN()
+	}
+	if stat <= 0 {
+		return 1
+	}
+	return GammaQ(float64(dof)/2, stat/2)
+}
+
+// ChiSquareUniform performs a chi-square goodness-of-fit test of
+// probability-integral-transformed values u (which are iid Uniform(0,1)
+// under the null hypothesis that the original sample follows the
+// reference CDF) against k equiprobable bins. It returns the statistic
+// and the degrees of freedom (k−1). Values outside [0,1) are clamped
+// into the edge bins.
+func ChiSquareUniform(u []float64, k int) (stat float64, dof int) {
+	if k < 2 || len(u) == 0 {
+		return 0, 0
+	}
+	counts := make([]int, k)
+	for _, v := range u {
+		i := int(v * float64(k))
+		if i < 0 {
+			i = 0
+		}
+		if i >= k {
+			i = k - 1
+		}
+		counts[i]++
+	}
+	expected := float64(len(u)) / float64(k)
+	for _, c := range counts {
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	return stat, k - 1
+}
+
+// PIT applies the probability integral transform cdf(x) to every
+// sample, returning the transformed slice (the input is unchanged).
+func PIT(sample []float64, cdf func(float64) float64) []float64 {
+	u := make([]float64, len(sample))
+	for i, x := range sample {
+		u[i] = cdf(x)
+	}
+	return u
+}
+
+// ---------------------------------------------------------------------
+// Binomial and CLT mean gates.
+
+// BinomTwoSidedP returns the exact two-sided p-value of observing k
+// successes in n Bernoulli(p0) trials, by the minimum-likelihood
+// convention: the summed probability of every outcome whose point mass
+// does not exceed that of k (with a small relative slack so ties are
+// included despite rounding). Exact for any (k, n, p0), including the
+// tiny np0 regimes where the normal approximation fails; cost is O(n).
+func BinomTwoSidedP(k, n int, p0 float64) float64 {
+	if n <= 0 || k < 0 || k > n {
+		return math.NaN()
+	}
+	if p0 <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p0 >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	logPMF := func(j int) float64 {
+		lgn, _ := math.Lgamma(float64(n + 1))
+		lgj, _ := math.Lgamma(float64(j + 1))
+		lgnj, _ := math.Lgamma(float64(n - j + 1))
+		return lgn - lgj - lgnj + float64(j)*math.Log(p0) + float64(n-j)*math.Log1p(-p0)
+	}
+	ref := logPMF(k)
+	p := 0.0
+	for j := 0; j <= n; j++ {
+		if lp := logPMF(j); lp <= ref+1e-7 {
+			p += math.Exp(lp)
+		}
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// WilsonInterval returns the Wilson score interval for a binomial
+// proportion with k successes in n trials at normal quantile z — the
+// interval whose coverage stays honest at small k, unlike the Wald
+// interval.
+func WilsonInterval(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	phat := float64(k) / float64(n)
+	nn := float64(n)
+	z2 := z * z
+	den := 1 + z2/nn
+	centre := (phat + z2/(2*nn)) / den
+	half := z / den * math.Sqrt(phat*(1-phat)/nn+z2/(4*nn*nn))
+	lo, hi = centre-half, centre+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// MeanZTest returns the CLT z statistic and two-sided p-value of the
+// sample mean against the reference mean mu0, using the sample's own
+// (unbiased) standard deviation. With n in the thousands the normal
+// approximation error is far below the per-gate thresholds the kit
+// runs at.
+func MeanZTest(sample []float64, mu0 float64) (z, p float64) {
+	n := len(sample)
+	if n < 2 {
+		return 0, 1
+	}
+	mean := 0.0
+	for _, v := range sample {
+		mean += v
+	}
+	mean /= float64(n)
+	ss := 0.0
+	for _, v := range sample {
+		d := v - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	if sd == 0 {
+		//lint:ignore floateq zero-variance sample: exact equality is the only sensible test
+		if mean == mu0 {
+			return 0, 1
+		}
+		return math.Inf(1), 0
+	}
+	z = (mean - mu0) / (sd / math.Sqrt(float64(n)))
+	return z, NormalTwoSidedP(z)
+}
+
+// ---------------------------------------------------------------------
+// False-positive budget.
+
+// Budget is an explicit false-positive allowance for a battery of
+// statistical gates: the total probability, under the null hypothesis
+// that the simulator is exact, that at least one gate fails. Bonferroni
+// division keeps the bound valid regardless of dependence between
+// gates: per-gate α = Alpha / Gates, and by the union bound the whole
+// battery rejects a correct simulator with probability ≤ Alpha.
+type Budget struct {
+	// Alpha is the total false-positive probability per report run.
+	Alpha float64
+	// Gates is the number of statistical gates sharing the budget.
+	Gates int
+}
+
+// PerGate returns the Bonferroni-divided per-gate significance level.
+func (b Budget) PerGate() float64 {
+	if b.Gates <= 0 {
+		return b.Alpha
+	}
+	return b.Alpha / float64(b.Gates)
+}
+
+// ExpCDF returns the CDF of the exponential distribution with the
+// given rate: F(t) = 1 − e^(−rate·t).
+func ExpCDF(rate float64) func(float64) float64 {
+	return func(t float64) float64 {
+		if t <= 0 {
+			return 0
+		}
+		return -math.Expm1(-rate * t)
+	}
+}

@@ -1,0 +1,210 @@
+package vv
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	approx(t, "Φ(0)", NormalCDF(0), 0.5, 1e-15)
+	approx(t, "Φ(1.959964)", NormalCDF(1.959964), 0.975, 1e-6)
+	approx(t, "Φ(-1.959964)", NormalCDF(-1.959964), 0.025, 1e-6)
+	approx(t, "Φ(5)", NormalCDF(5), 1-2.866516e-7, 1e-12)
+}
+
+func TestNormalTwoSidedP(t *testing.T) {
+	approx(t, "P(|Z|≥1.96)", NormalTwoSidedP(1.959964), 0.05, 1e-6)
+	approx(t, "P(|Z|≥0)", NormalTwoSidedP(0), 1, 1e-15)
+	// Symmetric in the sign of z.
+	approx(t, "sym", NormalTwoSidedP(-3.1)-NormalTwoSidedP(3.1), 0, 1e-18)
+}
+
+func TestNormalQuantile(t *testing.T) {
+	for _, p := range []float64{1e-9, 0.025, 0.5, 0.975, 1 - 1e-9} {
+		z := NormalQuantile(p)
+		approx(t, "Φ(Φ⁻¹(p))", NormalCDF(z), p, 1e-12)
+	}
+	if !math.IsNaN(NormalQuantile(0)) || !math.IsNaN(NormalQuantile(1)) {
+		t.Errorf("quantile at 0/1 should be NaN")
+	}
+}
+
+func TestKSStat(t *testing.T) {
+	uniform := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	// A perfectly spaced sample has D = 1/(2n).
+	n := 10
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = (float64(i) + 0.5) / float64(n)
+	}
+	approx(t, "D(perfect)", KSStat(s, uniform), 1.0/float64(2*n), 1e-15)
+	// A degenerate sample at 0 has D = 1.
+	approx(t, "D(degenerate)", KSStat([]float64{0, 0, 0}, uniform), 1, 1e-15)
+	if got := KSStat(nil, uniform); got > 0 {
+		t.Errorf("empty sample: D = %g, want 0", got)
+	}
+}
+
+func TestKSPValue(t *testing.T) {
+	// λ ≈ 1.358 is the classic 5% critical value of the Kolmogorov
+	// distribution; invert Stephens' λ(n, d) at n = 100.
+	n := 100
+	sn := math.Sqrt(float64(n))
+	d := 1.3581 / (sn + 0.12 + 0.11/sn)
+	approx(t, "Q at 5% critical", KSPValue(n, d), 0.05, 2e-3)
+	approx(t, "Q(d=0)", KSPValue(n, 0), 1, 1e-15)
+	if p := KSPValue(n, 1); p > 1e-80 {
+		t.Errorf("Q(D=1) = %g, want ~0", p)
+	}
+	// Monotone decreasing in d.
+	if KSPValue(50, 0.1) <= KSPValue(50, 0.2) {
+		t.Errorf("KS p-value not monotone in d")
+	}
+}
+
+func TestKSPValueDKW(t *testing.T) {
+	approx(t, "DKW(100, 0.1)", KSPValueDKW(100, 0.1), 2*math.Exp(-2), 1e-15)
+	approx(t, "DKW clamp", KSPValueDKW(10, 0.01), 1, 1e-15)
+	// The DKW bound dominates the asymptotic p-value (it is the
+	// conservative gate).
+	for _, d := range []float64{0.05, 0.1, 0.2, 0.4} {
+		if KSPValueDKW(200, d) < KSPValue(200, d) {
+			t.Errorf("DKW(200, %g) below asymptotic p-value", d)
+		}
+	}
+}
+
+func TestGammaQ(t *testing.T) {
+	// Q(1/2, x) = erfc(√x) exactly.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 20} {
+		approx(t, "Q(1/2,x)", GammaQ(0.5, x), math.Erfc(math.Sqrt(x)), 1e-12)
+	}
+	// Q(1, x) = e^{−x}.
+	for _, x := range []float64{0.3, 1, 4, 30} {
+		approx(t, "Q(1,x)", GammaQ(1, x), math.Exp(-x), 1e-12)
+	}
+	approx(t, "Q(a,0)", GammaQ(3, 0), 1, 1e-15)
+	if !math.IsNaN(GammaQ(-1, 1)) || !math.IsNaN(GammaQ(1, -1)) {
+		t.Errorf("invalid arguments should yield NaN")
+	}
+}
+
+func TestChiSquarePValue(t *testing.T) {
+	// Classic 5% critical values of the chi-square distribution.
+	approx(t, "χ²(1)", ChiSquarePValue(3.841, 1), 0.05, 1e-3)
+	approx(t, "χ²(2)", ChiSquarePValue(5.991, 2), 0.05, 1e-3)
+	approx(t, "χ²(10)", ChiSquarePValue(18.307, 10), 0.05, 1e-3)
+	approx(t, "χ² stat 0", ChiSquarePValue(0, 5), 1, 1e-15)
+	if !math.IsNaN(ChiSquarePValue(1, 0)) {
+		t.Errorf("dof 0 should yield NaN")
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	// Perfectly balanced PIT values give statistic 0.
+	k := 10
+	var u []float64
+	for bin := 0; bin < k; bin++ {
+		for j := 0; j < 7; j++ {
+			u = append(u, (float64(bin)+0.5)/float64(k))
+		}
+	}
+	stat, dof := ChiSquareUniform(u, k)
+	if dof != k-1 {
+		t.Errorf("dof = %d, want %d", dof, k-1)
+	}
+	approx(t, "balanced stat", stat, 0, 1e-12)
+	// Everything in one bin: stat = n·(k−1).
+	one := make([]float64, 50)
+	stat, _ = ChiSquareUniform(one, k)
+	approx(t, "degenerate stat", stat, float64(50*(k-1)), 1e-9)
+	// Out-of-range values clamp into edge bins rather than panic.
+	stat, _ = ChiSquareUniform([]float64{-0.5, 1.5}, 2)
+	approx(t, "clamped stat", stat, 0, 1e-12)
+}
+
+func TestBinomTwoSidedP(t *testing.T) {
+	// Reference: the minimum-likelihood two-sided test at p0 = 1/2 is
+	// the symmetric two-tail sum: k=2, n=10 → 2·(1+10+45)/1024.
+	approx(t, "binom(2,10,0.5)", BinomTwoSidedP(2, 10, 0.5), 112.0/1024, 1e-12)
+	approx(t, "binom(5,10,0.5)", BinomTwoSidedP(5, 10, 0.5), 1, 1e-12)
+	approx(t, "binom(0,20,0.5)", BinomTwoSidedP(0, 20, 0.5), 2.0/(1<<20), 1e-12)
+	// Degenerate null hypotheses.
+	approx(t, "p0=0,k=0", BinomTwoSidedP(0, 5, 0), 1, 0)
+	approx(t, "p0=0,k>0", BinomTwoSidedP(1, 5, 0), 0, 0)
+	approx(t, "p0=1,k=n", BinomTwoSidedP(5, 5, 1), 1, 0)
+	if !math.IsNaN(BinomTwoSidedP(6, 5, 0.5)) {
+		t.Errorf("k > n should yield NaN")
+	}
+	// The p-value is a valid probability for asymmetric nulls too.
+	for k := 0; k <= 30; k++ {
+		p := BinomTwoSidedP(k, 30, 0.07)
+		if p < 0 || p > 1 {
+			t.Errorf("binom(%d,30,0.07) = %g outside [0,1]", k, p)
+		}
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(50, 100, 1.959964)
+	// Known value: the 95% Wilson interval for 50/100 is (0.4038, 0.5962).
+	approx(t, "wilson lo", lo, 0.4038, 5e-4)
+	approx(t, "wilson hi", hi, 0.5962, 5e-4)
+	// Zero successes: the lower bound clamps to 0, the upper stays
+	// informative (unlike the Wald interval's degenerate [0,0]).
+	lo, hi = WilsonInterval(0, 20, 1.959964)
+	if lo > 0 || hi < 0.1 || hi > 0.3 {
+		t.Errorf("wilson(0/20) = (%g, %g), want (0, ~0.16)", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 0, 2)
+	if lo > 0 || hi < 1 {
+		t.Errorf("wilson(n=0) = (%g, %g), want (0, 1)", lo, hi)
+	}
+}
+
+func TestMeanZTest(t *testing.T) {
+	z, p := MeanZTest([]float64{1, 2, 3, 4, 5}, 3)
+	approx(t, "z(centred)", z, 0, 1e-15)
+	approx(t, "p(centred)", p, 1, 1e-15)
+	// Shifted null: mean 3, sd √2.5, n 5 ⇒ z = 1/(√2.5/√5) = √2.
+	z, _ = MeanZTest([]float64{1, 2, 3, 4, 5}, 2)
+	approx(t, "z(shifted)", z, math.Sqrt2, 1e-12)
+	// Degenerate sample.
+	_, p = MeanZTest([]float64{7, 7, 7}, 7)
+	approx(t, "p(constant, matching)", p, 1, 0)
+	_, p = MeanZTest([]float64{7, 7, 7}, 8)
+	approx(t, "p(constant, off)", p, 0, 0)
+	_, p = MeanZTest([]float64{1}, 0)
+	approx(t, "p(n<2)", p, 1, 0)
+}
+
+func TestBudget(t *testing.T) {
+	b := Budget{Alpha: 1e-6, Gates: 50}
+	approx(t, "per-gate", b.PerGate(), 2e-8, 1e-20)
+	b = Budget{Alpha: 0.01, Gates: 0}
+	approx(t, "no gates", b.PerGate(), 0.01, 0)
+}
+
+func TestPITAndExpCDF(t *testing.T) {
+	cdf := ExpCDF(2)
+	approx(t, "ExpCDF(0)", cdf(0), 0, 0)
+	approx(t, "ExpCDF(ln2/2)", cdf(math.Ln2/2), 0.5, 1e-15)
+	u := PIT([]float64{0, math.Ln2 / 2}, cdf)
+	approx(t, "PIT[0]", u[0], 0, 0)
+	approx(t, "PIT[1]", u[1], 0.5, 1e-15)
+}

@@ -103,6 +103,51 @@ func TestCursorLongForwardJumpFallsBackToSearch(t *testing.T) {
 	wantSameBits(t, w, &cur, 1.75)            // and all the way back
 }
 
+// TestCursorBoundaryBacktracking drives targeted out-of-range and
+// backward query sequences at the domain boundaries. The out-of-range
+// fast paths return without touching the remembered segment, so each
+// step also checks the stale state cannot poison the next answer.
+func TestCursorBoundaryBacktracking(t *testing.T) {
+	w, err := New([]float64{0, 1, 2, 5}, []float64{10, -4, 3, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-12
+	sequences := [][]float64{
+		// Backward sweep from past the end to before the start.
+		{6, 5, 5 - eps, 2, 1 + eps, 1, eps, 0, -3},
+		// Ping-pong across both boundaries: each out-of-range query
+		// leaves the cursor where the last in-range query put it.
+		{-1, 0, 6, 5, -1, 2.5, 6, 0.5, -1, 4.999},
+		// Land exactly on every breakpoint, then retreat just inside it.
+		{5, 5 - eps, 2, 2 - eps, 1, 1 - eps, 0, -eps},
+		// Advance deep, then query the exact left boundary (the t <=
+		// T[0] hold), then just above it with the stale high segment.
+		{4.5, 0, eps, 4.5, -7, eps},
+	}
+	for si, seq := range sequences {
+		cur := w.Cursor()
+		for qi, q := range seq {
+			want := w.Eval(q)
+			got := cur.Eval(q)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("sequence %d step %d: Cursor.Eval(%g) = %g, PWL.Eval = %g",
+					si, qi, q, got, want)
+			}
+		}
+	}
+
+	// Two-point waveform: every query resolves against the only segment.
+	w2, err := New([]float64{1, 2}, []float64{-1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := w2.Cursor()
+	for _, q := range []float64{3, 2, 1.5, 1, 0, 2, 1, 3, -5} {
+		wantSameBits(t, w2, &cur, q)
+	}
+}
+
 // FuzzCursorEquivalence drives a cursor with an arbitrary (generally
 // non-monotone) query sequence decoded from fuzz bytes and checks every
 // answer bit for bit against the stateless PWL.Eval.

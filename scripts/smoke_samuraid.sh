@@ -38,10 +38,31 @@ for _ in $(seq 1 100); do
 done
 [ -s "$ADDR_FILE" ] || { echo "samuraid never wrote its address" >&2; cat "$LOG" >&2; exit 1; }
 ADDR="$(cat "$ADDR_FILE")"
-echo "   listening on $ADDR"
+
+# The address file appears before the listener necessarily accepts
+# connections; poll /healthz with curl until the port actually serves.
+READY=0
+for _ in $(seq 1 50); do
+    if curl -fsS --max-time 2 "http://$ADDR/healthz" >/dev/null 2>&1; then
+        READY=1
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "samuraid died before /healthz came up:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ "$READY" -ne 1 ]; then
+    echo "samuraid port $ADDR never answered /healthz after 5s:" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+echo "   listening on $ADDR (healthz OK)"
 
 echo "== submitting a tiny array job"
-SUBMIT="$(curl -sS -X POST "http://$ADDR/jobs" \
+SUBMIT="$(curl -sS --max-time 10 -X POST "http://$ADDR/jobs" \
     -H 'Content-Type: application/json' \
     -d '{"type":"array","seed":7,"cells":3,"with_rtn":false}')"
 echo "   $SUBMIT"
@@ -51,7 +72,7 @@ JOB_ID="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
 echo "== polling $JOB_ID to completion"
 STATE=""
 for _ in $(seq 1 300); do
-    VIEW="$(curl -sS "http://$ADDR/jobs/$JOB_ID")"
+    VIEW="$(curl -sS --max-time 10 "http://$ADDR/jobs/$JOB_ID")"
     STATE="$(printf '%s' "$VIEW" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')"
     case "$STATE" in
         done) break ;;
@@ -62,7 +83,7 @@ done
 [ "$STATE" = done ] || { echo "job never finished (last state: $STATE)" >&2; exit 1; }
 
 echo "== fetching the result"
-RESULT="$(curl -sS "http://$ADDR/jobs/$JOB_ID/result")"
+RESULT="$(curl -sS --max-time 10 "http://$ADDR/jobs/$JOB_ID/result")"
 echo "   $RESULT"
 CELLS="$(printf '%s' "$RESULT" | grep -o '"index":' | wc -l)"
 [ "$CELLS" -eq 3 ] || { echo "result holds $CELLS cells, want 3" >&2; exit 1; }
