@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint check bench bench-smoke bench-json smoke-service vv cover fuzz-smoke
+.PHONY: build test vet race lint lint-bench suppressions check bench bench-smoke bench-json smoke-service vv cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,25 @@ race:
 lint:
 	$(GO) run ./cmd/samurailint ./...
 
+# suppressions reviews the waiver inventory: every //lint:ignore and
+# //lint:nondet-ok with rule, reason and location. Fails on an empty or
+# copy-pasted reason so each waiver stays individually justified.
+suppressions:
+	$(GO) run ./cmd/samurailint -suppressions ./...
+
+# lint-bench times a full samurailint sweep (whole-program flow
+# analysis included, call graph dumped to callgraph.txt) and fails if
+# it exceeds 60 seconds — the interprocedural pass must never quietly
+# make the lint gate unusable.
+lint-bench:
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/samurailint -graph callgraph.txt ./... || exit 1; \
+	end=$$(date +%s); dur=$$((end - start)); \
+	echo "samurailint full sweep: $${dur}s (limit 60s)"; \
+	if [ $$dur -gt 60 ]; then echo "lint-bench: sweep exceeded 60s" >&2; exit 1; fi
+
 # check is the full local gate — identical to what CI runs on every PR.
-check: build test vet race lint bench-smoke vv cover
+check: build test vet race lint suppressions bench-smoke vv cover
 
 # vv runs the statistical conformance matrix (DESIGN.md §10): simulated
 # occupancy/dwell/transition statistics against the closed-form master

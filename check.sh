@@ -12,6 +12,9 @@ go test ./...
 go vet ./...
 go test -race -short ./...
 go run ./cmd/samurailint ./...
+# Suppression inventory review: every //lint:ignore / //lint:nondet-ok
+# waiver must carry its own non-empty, non-copy-pasted justification.
+go run ./cmd/samurailint -suppressions ./...
 go test -bench=. -benchtime=1x -run='^$' . > bench.txt
 
 # Statistical V&V (DESIGN.md §10): distribution-level conformance of

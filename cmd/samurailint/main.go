@@ -1,15 +1,23 @@
 // Command samurailint runs the repository's static-analysis rules (see
-// internal/lint) over every package of the module and exits non-zero on
-// findings. It is wired into `make check` and the CI gate.
+// internal/lint and internal/lint/flow) over every package of the
+// module and exits non-zero on findings. It is wired into `make check`
+// and the CI gate.
 //
 // Usage:
 //
-//	samurailint [-rules name,name] [-list] [dir | ./...]
+//	samurailint [-rules name,name] [-list] [-graph file] [-suppressions] [dir | ./...]
 //
 // The argument selects the module root: a directory containing go.mod,
 // or the conventional "./..." (resolved against the current directory,
 // walking upward to the nearest go.mod). With no argument the current
 // module is linted.
+//
+// -graph writes a deterministic dump of the whole-module call graph the
+// flow rules analyse (CI archives it as a debugging artifact).
+// -suppressions inventories every //lint:ignore and //lint:nondet-ok
+// directive with rule, reason and location, and exits non-zero if any
+// directive has an empty reason or a reason copy-pasted from another
+// suppression — every waiver must be individually justified.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"strings"
 
 	"samurai/internal/lint"
+	"samurai/internal/lint/flow"
 )
 
 func main() {
@@ -31,6 +40,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	rulesFlag := fs.String("rules", "", "comma-separated rule names to run (default: all)")
 	listFlag := fs.Bool("list", false, "list available rules and exit")
+	graphFlag := fs.String("graph", "", "write the module call graph to this file (- for stdout)")
+	supsFlag := fs.Bool("suppressions", false, "inventory suppression directives; fail on empty or duplicated reasons")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -38,7 +49,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	all := lint.AllRules()
 	if *listFlag {
 		for _, r := range all {
-			fmt.Fprintf(stdout, "%-14s %s\n", r.Name(), r.Doc())
+			fmt.Fprintf(stdout, "%-14s %s\n", r.Name, r.Doc)
 		}
 		return 0
 	}
@@ -61,12 +72,82 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
+	if *supsFlag {
+		return reportSuppressions(pkgs, stdout, stderr)
+	}
+
+	if *graphFlag != "" {
+		if code := dumpGraph(pkgs, *graphFlag, stdout, stderr); code != 0 {
+			return code
+		}
+	}
+
 	diags := lint.Run(pkgs, rules)
 	for _, d := range diags {
 		fmt.Fprintln(stdout, d)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "samurailint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// dumpGraph writes the flow call graph to the named file (or stdout).
+func dumpGraph(pkgs []*lint.Package, target string, stdout, stderr *os.File) int {
+	g := flow.BuildGraph(pkgs)
+	if target == "-" {
+		if err := g.Dump(stdout); err != nil {
+			fmt.Fprintln(stderr, "samurailint: writing graph:", err)
+			return 2
+		}
+		return 0
+	}
+	f, err := os.Create(target)
+	if err != nil {
+		fmt.Fprintln(stderr, "samurailint:", err)
+		return 2
+	}
+	dumpErr := g.Dump(f)
+	if closeErr := f.Close(); dumpErr == nil {
+		dumpErr = closeErr
+	}
+	if dumpErr != nil {
+		fmt.Fprintln(stderr, "samurailint: writing graph:", dumpErr)
+		return 2
+	}
+	return 0
+}
+
+// reportSuppressions lists every suppression directive and enforces the
+// review policy: no empty reasons (a waiver that suppresses nothing but
+// looks like one), no duplicated reasons (copy-paste instead of a
+// justification for THIS line).
+func reportSuppressions(pkgs []*lint.Package, stdout, stderr *os.File) int {
+	sups := lint.Suppressions(pkgs)
+	byReason := map[string]int{}
+	for _, s := range sups {
+		if s.Reason != "" {
+			byReason[s.Reason]++
+		}
+	}
+	bad := 0
+	for _, s := range sups {
+		status := ""
+		switch {
+		case s.Reason == "":
+			status = "  <- EMPTY REASON"
+			bad++
+		case byReason[s.Reason] > 1:
+			status = "  <- DUPLICATED REASON"
+			bad++
+		}
+		fmt.Fprintf(stdout, "%s:%d: //lint:%s %s: %s%s\n",
+			s.Pos.Filename, s.Pos.Line, s.Directive, strings.Join(s.Rules, ","), s.Reason, status)
+	}
+	fmt.Fprintf(stdout, "%d suppression(s)\n", len(sups))
+	if bad > 0 {
+		fmt.Fprintf(stderr, "samurailint: %d suppression(s) with empty or duplicated reasons — each waiver needs its own justification\n", bad)
 		return 1
 	}
 	return 0
@@ -79,7 +160,7 @@ func selectRules(all []lint.Rule, names string) ([]lint.Rule, error) {
 	}
 	byName := map[string]lint.Rule{}
 	for _, r := range all {
-		byName[r.Name()] = r
+		byName[r.Name] = r
 	}
 	var out []lint.Rule
 	for _, n := range strings.Split(names, ",") {

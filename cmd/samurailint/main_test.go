@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -87,4 +88,130 @@ func Eq(x, y float64) bool {
 	if code := run([]string{dir}, devNull(t), devNull(t)); code != 0 {
 		t.Fatalf("exit = %d, want 0 (finding should be suppressed)", code)
 	}
+}
+
+// outFile returns a temp file usable as captured stdout plus a reader.
+func outFile(t *testing.T) (*os.File, func() string) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	return f, func() string {
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+}
+
+func TestSuppressionsModeRejectsDuplicatedReasons(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a/a.go": `package a
+
+// Eq1 and Eq2 copy-paste the same waiver text.
+func Eq1(x, y float64) bool {
+	//lint:ignore floateq exact comparison intended
+	return x == y
+}
+
+// Eq2 duplicates Eq1's reason.
+func Eq2(x, y float64) bool {
+	//lint:ignore floateq exact comparison intended
+	return x == y
+}
+`})
+	stdout, read := outFile(t)
+	if code := run([]string{"-suppressions", dir}, stdout, devNull(t)); code != 1 {
+		t.Fatalf("exit = %d, want 1 (duplicated reasons)", code)
+	}
+	if out := read(); !contains(out, "DUPLICATED REASON") {
+		t.Fatalf("output does not flag the duplicate:\n%s", out)
+	}
+}
+
+func TestSuppressionsModeRejectsEmptyReason(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a/a.go": `package a
+
+// Eq carries a reasonless (malformed, non-suppressing) waiver.
+func Eq(x, y float64) bool {
+	//lint:ignore floateq
+	return x == y
+}
+`})
+	if code := run([]string{"-suppressions", dir}, devNull(t), devNull(t)); code != 1 {
+		t.Fatalf("exit = %d, want 1 (empty reason)", code)
+	}
+}
+
+func TestSuppressionsModePassesOnUniqueReasons(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a/a.go": `package a
+
+// Eq documents its one waiver properly.
+func Eq(x, y float64) bool {
+	//lint:ignore floateq bitwise identity is the intent here
+	return x == y
+}
+`})
+	stdout, read := outFile(t)
+	if code := run([]string{"-suppressions", dir}, stdout, devNull(t)); code != 0 {
+		t.Fatalf("exit = %d, want 0:\n%s", code, read())
+	}
+	if out := read(); !contains(out, "1 suppression(s)") {
+		t.Fatalf("inventory missing from output:\n%s", out)
+	}
+}
+
+func TestGraphFlagWritesDeterministicDump(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a/a.go": `package a
+
+// B is called by A.
+func B() int { return 1 }
+
+// A calls B.
+func A() int { return B() }
+`})
+	target := dir + "/graph.txt"
+	if code := run([]string{"-graph", target, dir}, devNull(t), devNull(t)); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	first, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(string(first), "# call graph") || !contains(string(first), "samurai/a.A") {
+		t.Fatalf("dump incomplete:\n%s", first)
+	}
+	if code := run([]string{"-graph", target, dir}, devNull(t), devNull(t)); code != 0 {
+		t.Fatalf("second run exit = %d, want 0", code)
+	}
+	second, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("graph dump differs between identical runs")
+	}
+}
+
+func TestFlowRulesReachableThroughDriver(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a/a.go": `package a
+
+// Names feeds map iteration order into a slice.
+func Names(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	return names
+}
+`})
+	if code := run([]string{"-rules", "maporder", dir}, devNull(t), devNull(t)); code != 1 {
+		t.Fatalf("exit = %d, want 1 (maporder should fire via the driver)", code)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && strings.Contains(s, sub)
 }

@@ -20,41 +20,38 @@ import (
 // convention; buffered writers surface failures at Flush/Close, which
 // ARE checked), as are writes to strings.Builder and bytes.Buffer,
 // which are documented never to fail.
-type BareErr struct{}
+const bareErrName = "bareerr"
 
-// Name implements Rule.
-func (BareErr) Name() string { return "bareerr" }
-
-// Doc implements Rule.
-func (BareErr) Doc() string {
-	return "no discarded error returns (dropped calls, `_ =` drops, panic(err)) in non-test files"
+var bareErrRule = Rule{
+	Name:  bareErrName,
+	Doc:   "no discarded error returns (dropped calls, `_ =` drops, panic(err)) in non-test files",
+	Check: checkBareErr,
 }
 
 // errorIface is the built-in error interface.
 var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
 
-// Check implements Rule.
-func (r BareErr) Check(pkg *Package) []Diagnostic {
+func checkBareErr(pkg *Package) []Diagnostic {
 	if pkg.Info == nil {
 		return nil
 	}
 	var out []Diagnostic
 	flag := func(n ast.Node, msg string) {
-		out = append(out, Diagnostic{Rule: r.Name(), Pos: pkg.position(n), Message: msg})
+		out = append(out, Diagnostic{Rule: bareErrName, Pos: pkg.position(n), Message: msg})
 	}
 	pkg.eachFile(true, func(f *File) {
 		ast.Inspect(f.AST, func(n ast.Node) bool {
 			switch st := n.(type) {
 			case *ast.ExprStmt:
 				if call, ok := st.X.(*ast.CallExpr); ok {
-					r.checkDroppedCall(pkg, call, "", flag)
+					bareerrCheckDroppedCall(pkg, call, "", flag)
 				}
 			case *ast.DeferStmt:
-				r.checkDroppedCall(pkg, st.Call, "deferred ", flag)
+				bareerrCheckDroppedCall(pkg, st.Call, "deferred ", flag)
 			case *ast.GoStmt:
-				r.checkDroppedCall(pkg, st.Call, "spawned ", flag)
+				bareerrCheckDroppedCall(pkg, st.Call, "spawned ", flag)
 			case *ast.AssignStmt:
-				r.checkBlankAssign(pkg, st, flag)
+				bareerrCheckBlankAssign(pkg, st, flag)
 			case *ast.CallExpr:
 				if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "panic" && len(st.Args) == 1 {
 					if t := pkg.Info.TypeOf(st.Args[0]); t != nil && isErrorType(t) {
@@ -70,7 +67,7 @@ func (r BareErr) Check(pkg *Package) []Diagnostic {
 
 // checkDroppedCall flags a statement-position call whose error result
 // is discarded.
-func (r BareErr) checkDroppedCall(pkg *Package, call *ast.CallExpr, kind string, flag func(ast.Node, string)) {
+func bareerrCheckDroppedCall(pkg *Package, call *ast.CallExpr, kind string, flag func(ast.Node, string)) {
 	if !returnsError(pkg, call) || exemptCallee(pkg, call) {
 		return
 	}
@@ -79,7 +76,7 @@ func (r BareErr) checkDroppedCall(pkg *Package, call *ast.CallExpr, kind string,
 
 // checkBlankAssign flags blank-identifier assignments that drop an
 // error-typed value.
-func (r BareErr) checkBlankAssign(pkg *Package, st *ast.AssignStmt, flag func(ast.Node, string)) {
+func bareerrCheckBlankAssign(pkg *Package, st *ast.AssignStmt, flag func(ast.Node, string)) {
 	// Tuple form: a, _ := f()
 	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
 		call, ok := st.Rhs[0].(*ast.CallExpr)

@@ -22,7 +22,7 @@ func Drops(c Closer) {
 	_ = Fail()     // blank drop
 }
 `}
-	wantFindings(t, diags(t, files, BareErr{}), 4)
+	wantFindings(t, diags(t, files, bareErrRule), 4)
 }
 
 func TestBareErrFlagsBlankTupleSlotAndPanicErr(t *testing.T) {
@@ -42,7 +42,7 @@ func Escalate(err error) {
 	panic(err)
 }
 `}
-	wantFindings(t, diags(t, files, BareErr{}), 2)
+	wantFindings(t, diags(t, files, bareErrRule), 2)
 }
 
 func TestBareErrAllowsHandledErrors(t *testing.T) {
@@ -60,7 +60,7 @@ func Handled() (int, error) {
 	return n, nil
 }
 `}
-	wantFindings(t, diags(t, files, BareErr{}), 0)
+	wantFindings(t, diags(t, files, bareErrRule), 0)
 }
 
 func TestBareErrExemptsFmtPrintAndBuilders(t *testing.T) {
@@ -79,7 +79,7 @@ func Report(b *strings.Builder) {
 	fmt.Fprintf(b, "%d", 2)
 }
 `}
-	wantFindings(t, diags(t, files, BareErr{}), 0)
+	wantFindings(t, diags(t, files, bareErrRule), 0)
 }
 
 func TestBareErrIgnoresNonErrorBlanksAndTestFiles(t *testing.T) {
@@ -105,5 +105,5 @@ func TestishDrop() {
 	_ = Fail()
 }
 `}
-	wantFindings(t, diags(t, files, BareErr{}), 0)
+	wantFindings(t, diags(t, files, bareErrRule), 0)
 }

@@ -26,14 +26,12 @@ import (
 //
 // The rule needs type information, so it covers non-test files only;
 // tests may pin exact sample-path values on purpose.
-type FloatEq struct{}
+const floatEqName = "floateq"
 
-// Name implements Rule.
-func (FloatEq) Name() string { return "floateq" }
-
-// Doc implements Rule.
-func (FloatEq) Doc() string {
-	return "no == / != between floats outside internal/num and internal/units; use units.ApproxEqual"
+var floatEqRule = Rule{
+	Name:  floatEqName,
+	Doc:   "no == / != between floats outside internal/num and internal/units; use units.ApproxEqual",
+	Check: checkFloatEq,
 }
 
 // exemptFloatEqPkgs hold the approved tolerance helpers and the
@@ -42,8 +40,7 @@ func floatEqExempt(path string) bool {
 	return strings.HasSuffix(path, "internal/num") || strings.HasSuffix(path, "internal/units")
 }
 
-// Check implements Rule.
-func (r FloatEq) Check(pkg *Package) []Diagnostic {
+func checkFloatEq(pkg *Package) []Diagnostic {
 	if pkg.Info == nil || floatEqExempt(pkg.Path) {
 		return nil
 	}
@@ -61,7 +58,7 @@ func (r FloatEq) Check(pkg *Package) []Diagnostic {
 				return true
 			}
 			out = append(out, Diagnostic{
-				Rule:    r.Name(),
+				Rule:    floatEqName,
 				Pos:     pkg.position(be),
 				Message: fmt.Sprintf("floating-point %s comparison; use units.ApproxEqual or justify with //lint:ignore floateq", be.Op),
 			})

@@ -11,7 +11,7 @@ func Same(x, y float64) bool { return x == y }
 // Diff compares exactly with != on float32.
 func Diff(x, y float32) bool { return x != y }
 `}
-	wantFindings(t, diags(t, files, FloatEq{}), 2)
+	wantFindings(t, diags(t, files, floatEqRule), 2)
 }
 
 func TestFloatEqAllowsZeroSentinels(t *testing.T) {
@@ -23,7 +23,7 @@ func Unset(x float64) bool { return x == 0 }
 // Sign reports an exact negative-zero-safe sign test.
 func Sign(x float64) bool { return 0.0 != x }
 `}
-	wantFindings(t, diags(t, files, FloatEq{}), 0)
+	wantFindings(t, diags(t, files, floatEqRule), 0)
 }
 
 func TestFloatEqIgnoresNonFloatComparisons(t *testing.T) {
@@ -35,7 +35,7 @@ func EqInt(x, y int) bool { return x == y }
 // EqStr compares strings.
 func EqStr(x, y string) bool { return x == y }
 `}
-	wantFindings(t, diags(t, files, FloatEq{}), 0)
+	wantFindings(t, diags(t, files, floatEqRule), 0)
 }
 
 func TestFloatEqExemptsNumAndUnits(t *testing.T) {
@@ -50,7 +50,7 @@ func Approx(a, b float64) bool { return a == b }
 // Eq is a tolerance helper that legitimately compares exactly.
 func Eq(a, b float64) bool { return a == b }
 `}
-	wantFindings(t, diags(t, files, FloatEq{}), 0)
+	wantFindings(t, diags(t, files, floatEqRule), 0)
 }
 
 func TestFloatEqSkipsTestFiles(t *testing.T) {
@@ -62,5 +62,5 @@ func TestFloatEqSkipsTestFiles(t *testing.T) {
 // PinsPath pins an exact reproducible sample value.
 func PinsPath(x, y float64) bool { return x == y }
 `}
-	wantFindings(t, diags(t, files, FloatEq{}), 0)
+	wantFindings(t, diags(t, files, floatEqRule), 0)
 }

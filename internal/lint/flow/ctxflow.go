@@ -1,0 +1,159 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"samurai/internal/lint"
+)
+
+const ctxflowName = "ctxflow"
+
+var ctxflowRule = lint.Rule{
+	Name:        ctxflowName,
+	Doc:         "a function holding a context.Context must hand it (or a derived context) to every module callee that accepts one — no dropped cancellation",
+	CheckModule: checkCtxflow,
+}
+
+// checkCtxflow enforces context plumbing on the drain path: once a
+// function receives a ctx, calling a ctx-accepting module function with
+// context.Background()/TODO() (or no derived context at all) severs
+// cancellation, which is exactly the bug that would make a samuraid
+// drain hang past its deadline.
+func checkCtxflow(pkgs []*lint.Package) []lint.Diagnostic {
+	g, _ := analyze(pkgs)
+	var out []lint.Diagnostic
+	for _, n := range g.Sorted {
+		node := n
+		derived := ctxDerivedObjects(node)
+		if len(derived) == 0 {
+			continue
+		}
+		ast.Inspect(node.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callees := node.callees[call]
+			if len(callees) != 1 {
+				return true // interface/value calls are too approximate to police
+			}
+			cn := g.Nodes[callees[0]]
+			if cn == nil || !acceptsContext(cn.Fn) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if isContextExpr(node, arg) {
+					if ctxExprDerived(node, arg, derived) {
+						return true // properly plumbed
+					}
+					out = append(out, lint.Diagnostic{
+						Rule: ctxflowName,
+						Pos:  node.Pkg.Fset.Position(arg.Pos()),
+						Message: fmt.Sprintf("%s holds a context but passes a fresh one to %s, severing cancellation; pass the incoming ctx (or derive via context.With*)",
+							node.Name(), cn.Name()),
+					})
+					return true
+				}
+			}
+			// No context-typed argument at all: a nil context slipped in.
+			out = append(out, lint.Diagnostic{
+				Rule: ctxflowName,
+				Pos:  node.Pkg.Fset.Position(call.Pos()),
+				Message: fmt.Sprintf("%s holds a context but calls %s without one (nil context?); pass the incoming ctx",
+					node.Name(), cn.Name()),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// ctxDerivedObjects returns the function's context-carrying objects:
+// its context parameters plus every local assigned a context derived
+// from one (context.WithCancel and friends).
+func ctxDerivedObjects(n *Node) map[types.Object]bool {
+	derived := map[types.Object]bool{}
+	for _, p := range n.params {
+		if p != nil && isContextType(p.Type()) {
+			derived[p] = true
+		}
+	}
+	if len(derived) == 0 {
+		return nil
+	}
+	// Fixpoint over simple assignments: ctx2 := context.WithValue(ctx, ...)
+	// and ctx2 := ctx. Two passes suffice for straight-line derivation
+	// chains; deeper chains re-trigger via the repeat loop.
+	for pass := 0; pass < 3; pass++ {
+		before := len(derived)
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			as, ok := x.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				obj := rootObj(n.Pkg, lhs)
+				if obj == nil || !isContextType(obj.Type()) {
+					continue
+				}
+				ri := i
+				if len(as.Rhs) == 1 {
+					ri = 0
+				}
+				if ri < len(as.Rhs) && ctxExprDerived(n, as.Rhs[ri], derived) {
+					derived[obj] = true
+				}
+			}
+			return true
+		})
+		if len(derived) == before {
+			break
+		}
+	}
+	return derived
+}
+
+// ctxExprDerived reports whether the expression mentions a derived
+// context object (directly, or through a context.With* wrapper).
+func ctxExprDerived(n *Node, e ast.Expr, derived map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && derived[n.Pkg.Info.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextExpr reports whether the expression has type context.Context.
+func isContextExpr(n *Node, e ast.Expr) bool {
+	tv, ok := n.Pkg.Info.Types[e]
+	return ok && tv.Type != nil && isContextType(tv.Type)
+}
+
+// isContextType matches the context.Context interface type.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// acceptsContext reports whether the function has a context parameter.
+func acceptsContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

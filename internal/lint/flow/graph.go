@@ -1,0 +1,369 @@
+// Package flow implements whole-program determinism analyses for the
+// SAMURAI repository: a call graph over every module package plus an
+// interprocedural taint engine, consumed by four registered lint rules
+// (detflow, maporder, ctxflow, seedpurity). Importing this package for
+// side effects adds the rules to lint.AllRules.
+//
+// The call graph resolves static calls directly from type information,
+// interface method calls with a CHA-style approximation (every declared
+// module type implementing the interface is a candidate receiver), and
+// calls through function-typed values by matching signatures against
+// the set of address-taken module functions. Function literals do not
+// get their own nodes: a closure's calls and writes are attributed to
+// the declared function that defines it, which is the right attribution
+// for "who introduced this nondeterminism" reporting. See DESIGN.md §11
+// for the soundness limits of these approximations.
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+
+	"samurai/internal/lint"
+)
+
+// Node is one declared function or method in the module.
+type Node struct {
+	Fn   *types.Func
+	Pkg  *lint.Package
+	Decl *ast.FuncDecl
+
+	// Calls lists the node's call sites in source order with their
+	// candidate callees (module functions and externals alike).
+	Calls []Call
+
+	// recvObj and params are the declared receiver/parameter objects
+	// (nil entries for unnamed or blank parameters), used by the taint
+	// engine to model argument passing.
+	recvObj types.Object
+	params  []types.Object
+
+	// callees indexes Calls by call site for the taint walker.
+	callees map[*ast.CallExpr][]*types.Func
+}
+
+// Name returns the node's fully qualified name, e.g.
+// "(*samurai/internal/jobd.Store).append".
+func (n *Node) Name() string { return n.Fn.FullName() }
+
+// Call is one resolved call site.
+type Call struct {
+	Site    *ast.CallExpr
+	Callees []*types.Func
+}
+
+// Graph is the module call graph.
+type Graph struct {
+	Pkgs  []*lint.Package
+	Nodes map[*types.Func]*Node
+	// Sorted holds the nodes ordered by fully qualified name, the
+	// iteration order of every analysis so diagnostics are stable.
+	Sorted []*Node
+}
+
+// BuildGraph constructs the call graph for the loaded module packages.
+func BuildGraph(pkgs []*lint.Package) *Graph {
+	b := &builder{
+		g:          &Graph{Pkgs: pkgs, Nodes: map[*types.Func]*Node{}},
+		chaCache:   map[string][]*types.Func{},
+		addrTaken:  map[*types.Func]bool{},
+		namedTypes: nil,
+	}
+	b.collectNodes()
+	b.collectNamedTypes()
+	b.collectAddressTaken()
+	b.resolveCalls()
+	sort.Slice(b.g.Sorted, func(i, j int) bool {
+		return b.g.Sorted[i].Name() < b.g.Sorted[j].Name()
+	})
+	return b.g
+}
+
+type builder struct {
+	g          *Graph
+	namedTypes []*types.Named
+	addrTaken  map[*types.Func]bool
+	chaCache   map[string][]*types.Func
+}
+
+// collectNodes creates one node per declared function with a body.
+func (b *builder) collectNodes() {
+	for _, pkg := range b.g.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Fn: fn, Pkg: pkg, Decl: fd, callees: map[*ast.CallExpr][]*types.Func{}}
+				if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+					n.recvObj = pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+				}
+				for _, field := range fd.Type.Params.List {
+					if len(field.Names) == 0 {
+						n.params = append(n.params, nil)
+						continue
+					}
+					for _, name := range field.Names {
+						n.params = append(n.params, pkg.Info.Defs[name])
+					}
+				}
+				b.g.Nodes[fn] = n
+				b.g.Sorted = append(b.g.Sorted, n)
+			}
+		}
+	}
+}
+
+// collectNamedTypes gathers every named type declared in the module,
+// the candidate receiver universe for the CHA approximation.
+func (b *builder) collectNamedTypes() {
+	for _, pkg := range b.g.Pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				b.namedTypes = append(b.namedTypes, named)
+			}
+		}
+	}
+}
+
+// collectAddressTaken records every module function referenced outside
+// a direct call position — assigned to a variable, passed as an
+// argument, stored in a struct. These are the candidate targets of
+// calls through function-typed values.
+func (b *builder) collectAddressTaken() {
+	for _, pkg := range b.g.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		called := map[*ast.Ident]bool{}
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.AST, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					called[fun] = true
+				case *ast.SelectorExpr:
+					called[fun.Sel] = true
+				}
+				return true
+			})
+		}
+		for id, obj := range pkg.Info.Uses {
+			if called[id] {
+				continue
+			}
+			if fn, ok := obj.(*types.Func); ok {
+				if _, inModule := b.g.Nodes[origin(fn)]; inModule {
+					b.addrTaken[origin(fn)] = true
+				}
+			}
+		}
+	}
+}
+
+// origin maps an instantiated generic function back to its declaration.
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// resolveCalls fills every node's call list.
+func (b *builder) resolveCalls() {
+	for _, n := range b.g.Sorted {
+		node := n
+		ast.Inspect(node.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callees := b.resolve(node.Pkg, call)
+			if len(callees) > 0 {
+				node.callees[call] = callees
+				node.Calls = append(node.Calls, Call{Site: call, Callees: callees})
+			}
+			return true
+		})
+	}
+}
+
+// resolve returns the candidate callees of one call expression.
+func (b *builder) resolve(pkg *lint.Package, call *ast.CallExpr) []*types.Func {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation f[T](...) — unwrap to the function expr.
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		if _, ok := pkg.Info.Uses[identOf(ix.X)].(*types.Func); ok {
+			fun = ast.Unparen(ix.X)
+		}
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fn].(type) {
+		case *types.Func:
+			return []*types.Func{origin(obj)}
+		case *types.Var:
+			return b.funcValueTargets(obj.Type())
+		}
+		return nil // builtin, conversion, or unresolved
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fn]; ok {
+			switch obj := sel.Obj().(type) {
+			case *types.Func:
+				if types.IsInterface(sel.Recv()) {
+					return b.chaTargets(sel.Recv(), obj)
+				}
+				return []*types.Func{origin(obj)}
+			case *types.Var:
+				return b.funcValueTargets(obj.Type())
+			}
+			return nil
+		}
+		// Qualified reference pkg.Fn or pkg.Var.
+		switch obj := pkg.Info.Uses[fn.Sel].(type) {
+		case *types.Func:
+			return []*types.Func{origin(obj)}
+		case *types.Var:
+			return b.funcValueTargets(obj.Type())
+		}
+		return nil
+	case *ast.FuncLit:
+		return nil // body inlined into the enclosing node
+	default:
+		// Call of an arbitrary function-valued expression.
+		if tv, ok := pkg.Info.Types[fun]; ok && !tv.IsType() {
+			return b.funcValueTargets(tv.Type)
+		}
+		return nil
+	}
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// chaTargets approximates an interface method call: the declared method
+// itself (covers implementations outside the module) plus the matching
+// method of every module type implementing the interface.
+func (b *builder) chaTargets(recv types.Type, m *types.Func) []*types.Func {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return []*types.Func{origin(m)}
+	}
+	key := recv.String() + "." + m.Name()
+	if hit, ok := b.chaCache[key]; ok {
+		return hit
+	}
+	out := []*types.Func{origin(m)}
+	for _, named := range b.namedTypes {
+		if types.IsInterface(named) {
+			continue
+		}
+		impl := types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface)
+		if !impl {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, origin(fn))
+		}
+	}
+	b.chaCache[key] = out
+	return out
+}
+
+// funcValueTargets approximates a call through a function-typed value:
+// every address-taken module function with an identical signature.
+func (b *builder) funcValueTargets(t types.Type) []*types.Func {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for fn := range b.addrTaken {
+		fsig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		if types.Identical(sig, fsig.Underlying()) {
+			out = append(out, fn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FullName() < out[j].FullName() })
+	return out
+}
+
+// position resolves a node position against the graph's file set.
+func (g *Graph) position(pkg *lint.Package, n ast.Node) token.Position {
+	return pkg.Fset.Position(n.Pos())
+}
+
+// Dump writes a deterministic text rendering of the graph: one line per
+// node (name and definition site) followed by its sorted callees. The
+// output is stable across runs so CI can diff it between commits.
+func (g *Graph) Dump(w io.Writer) error {
+	edges := 0
+	for _, n := range g.Sorted {
+		edges += len(n.Calls)
+	}
+	if _, err := fmt.Fprintf(w, "# call graph: %d nodes, %d call sites\n", len(g.Sorted), edges); err != nil {
+		return err
+	}
+	for _, n := range g.Sorted {
+		pos := g.position(n.Pkg, n.Decl)
+		if _, err := fmt.Fprintf(w, "%s %s:%d\n", n.Name(), pos.Filename, pos.Line); err != nil {
+			return err
+		}
+		seen := map[string]bool{}
+		var names []string
+		for _, c := range n.Calls {
+			for _, fn := range c.Callees {
+				if name := fn.FullName(); !seen[name] {
+					seen[name] = true
+					names = append(names, name)
+				}
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "  -> %s\n", name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

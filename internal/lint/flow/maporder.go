@@ -1,0 +1,182 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"samurai/internal/lint"
+)
+
+const maporderName = "maporder"
+
+var maporderRule = lint.Rule{
+	Name:        maporderName,
+	Doc:         "ranging over a map while appending to or accumulating into ordered output is silently nondeterministic; sort the keys first",
+	CheckModule: checkMaporder,
+}
+
+// checkMaporder flags map-range loops whose bodies feed order-sensitive
+// outputs. Order-insensitive patterns stay silent: keyed writes
+// (out[k] = v), exact commutative accumulation (integer sums), and
+// slices that are sorted after the loop (the repo's canonical
+// sorted-keys idiom, e.g. circuit.NewRunner's source-name collection).
+func checkMaporder(pkgs []*lint.Package) []lint.Diagnostic {
+	g, _ := analyze(pkgs)
+	var out []lint.Diagnostic
+	for _, n := range g.Sorted {
+		node := n
+		var ranges []*ast.RangeStmt
+		ast.Inspect(node.Decl.Body, func(x ast.Node) bool {
+			if rs, ok := x.(*ast.RangeStmt); ok && isMapType(node, rs.X) {
+				ranges = append(ranges, rs)
+			}
+			return true
+		})
+		for _, rs := range ranges {
+			ast.Inspect(node.Decl.Body, func(y ast.Node) bool {
+				as, ok := y.(*ast.AssignStmt)
+				if !ok || innermostRange(ranges, as) != rs {
+					return true
+				}
+				out = append(out, maporderInBody(node, rs, as)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// innermostRange returns the innermost map-range statement enclosing
+// the node, nil if none — each assignment is attributed to exactly one
+// loop even when map ranges nest.
+func innermostRange(ranges []*ast.RangeStmt, n ast.Node) *ast.RangeStmt {
+	var best *ast.RangeStmt
+	for _, rs := range ranges {
+		if rs.Body.Pos() <= n.Pos() && n.End() <= rs.Body.End() {
+			if best == nil || rs.Body.Pos() > best.Body.Pos() {
+				best = rs
+			}
+		}
+	}
+	return best
+}
+
+// maporderInBody inspects one node inside a map-range body and returns
+// diagnostics for order-sensitive output it produces.
+func maporderInBody(node *Node, rs *ast.RangeStmt, y ast.Node) []lint.Diagnostic {
+	var out []lint.Diagnostic
+	flag := func(pos ast.Node, what string) {
+		out = append(out, lint.Diagnostic{
+			Rule: maporderName,
+			Pos:  node.Pkg.Fset.Position(pos.Pos()),
+			Message: fmt.Sprintf("map iteration order is nondeterministic and %s; "+
+				"collect and sort the keys first", what),
+		})
+	}
+	as, ok := y.(*ast.AssignStmt)
+	if !ok {
+		return nil
+	}
+	for i, lhs := range as.Lhs {
+		lv := ast.Unparen(lhs)
+		if _, keyed := lv.(*ast.IndexExpr); keyed {
+			continue // out[k] = v: content is order-independent
+		}
+		obj := rootObj(node.Pkg, lv)
+		if obj == nil || insideNode(rs, obj) {
+			continue // loop-local scratch cannot leak ordering
+		}
+		// append(dst, ...) growing an outer slice in visit order.
+		if i < len(as.Rhs) {
+			if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok && isAppendCall(node, call) {
+				if sortedAfter(node, rs, obj) {
+					continue
+				}
+				flag(as, fmt.Sprintf("the append to %q records it", obj.Name()))
+				continue
+			}
+		}
+		// Order-sensitive accumulation: float or string op-assign.
+		if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+			if isOrderSensitiveType(node, lv) {
+				flag(as, fmt.Sprintf("the accumulation into %q is not exact under reordering", obj.Name()))
+			}
+		}
+	}
+	return out
+}
+
+func isAppendCall(node *Node, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := node.Pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+// isMapType reports whether the expression has map type.
+func isMapType(node *Node, e ast.Expr) bool {
+	tv, ok := node.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isOrderSensitiveType reports whether accumulating into the expression
+// depends on operand order: floating-point (rounding) and strings
+// (concatenation). Integer sums are exact and commutative.
+func isOrderSensitiveType(node *Node, e ast.Expr) bool {
+	tv, ok := node.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch {
+	case b.Info()&types.IsFloat != 0, b.Info()&types.IsComplex != 0, b.Info()&types.IsString != 0:
+		return true
+	}
+	return false
+}
+
+// sortedAfter reports whether the object is passed to a sort.* or
+// slices.* call after the range loop in the same function — visit-order
+// nondeterminism is erased by the sort.
+func sortedAfter(node *Node, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(node.Decl.Body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := node.Pkg.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObj(node.Pkg, arg) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

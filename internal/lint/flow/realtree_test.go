@@ -1,0 +1,51 @@
+package flow
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"samurai/internal/lint"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRealTreeSweepsClean is the acceptance gate: the repository itself
+// must carry zero unsuppressed flow findings. Intentional
+// nondeterminism (obs timestamps, progress events) is documented with
+// //lint:nondet-ok at the source line; anything else is a regression
+// against the replayability invariants the golden tests pin.
+func TestRealTreeSweepsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load in -short mode")
+	}
+	pkgs, err := lint.LoadModule(repoRoot(t))
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	rules := []lint.Rule{detflowRule, maporderRule, ctxflowRule, seedpurityRule}
+	got := lint.Run(pkgs, rules)
+	for _, d := range got {
+		t.Errorf("%s", d)
+	}
+	if len(got) > 0 {
+		t.Fatalf("%d unsuppressed flow finding(s) in the real tree", len(got))
+	}
+}

@@ -1,0 +1,12 @@
+package flow
+
+import "samurai/internal/lint"
+
+// Registration order is the order `samurailint -list` shows the flow
+// rules after the per-package builtins.
+func init() {
+	lint.Register(detflowRule)
+	lint.Register(maporderRule)
+	lint.Register(ctxflowRule)
+	lint.Register(seedpurityRule)
+}

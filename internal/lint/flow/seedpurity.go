@@ -1,0 +1,168 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"samurai/internal/lint"
+)
+
+const seedpurityName = "seedpurity"
+
+var seedpurityRule = lint.Rule{
+	Name:        seedpurityName,
+	Doc:         "every rng.Stream created on the montecarlo/jobd path must derive from the job seed (config field, parameter, or Split/SplitInto) — never a constant or fresh source",
+	CheckModule: checkSeedpurity,
+}
+
+// seedRootPkgs are the packages whose exported functions anchor the
+// reachability sweep: anything they can call transitively is "on the
+// seeded Monte Carlo path" and must derive its streams from the job
+// seed, or sharded re-runs stop being bit-identical.
+var seedRootPkgs = map[string]bool{
+	"samurai/internal/montecarlo": true,
+	"samurai/internal/jobd":       true,
+}
+
+// streamCtors are the fresh-stream constructors whose seed argument is
+// policed.
+var streamCtors = map[string]bool{
+	"samurai/internal/rng.New":    true,
+	"samurai/internal/rng.NewSeq": true,
+}
+
+// checkSeedpurity walks the call graph from the montecarlo/jobd
+// exported surface and, for every reachable rng.New/rng.NewSeq call,
+// demands the seed expression derive from a parameter, a *Seed* field,
+// or an existing stream. The diagnostic carries the call chain that
+// makes the site reachable, so "who dragged this into the seeded path"
+// is answered in the finding.
+func checkSeedpurity(pkgs []*lint.Package) []lint.Diagnostic {
+	g, _ := analyze(pkgs)
+
+	// BFS, recording one witness parent per node, visiting in sorted
+	// order so the chosen witness chains are deterministic.
+	parent := map[*Node]*Node{}
+	reached := map[*Node]bool{}
+	var queue []*Node
+	for _, n := range g.Sorted {
+		if seedRootPkgs[n.Pkg.Path] && n.Fn.Exported() {
+			reached[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.Calls {
+			for _, fn := range c.Callees {
+				cn := g.Nodes[fn]
+				if cn == nil || reached[cn] {
+					continue
+				}
+				reached[cn] = true
+				parent[cn] = n
+				queue = append(queue, cn)
+			}
+		}
+	}
+
+	var out []lint.Diagnostic
+	var nodes []*Node
+	for n := range reached {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name() < nodes[j].Name() })
+	for _, n := range nodes {
+		node := n
+		ast.Inspect(node.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, fn := range node.callees[call] {
+				if !streamCtors[fn.FullName()] || len(call.Args) == 0 {
+					continue
+				}
+				if seedDerived(node, call.Args[0]) {
+					continue
+				}
+				out = append(out, lint.Diagnostic{
+					Rule: seedpurityName,
+					Pos:  node.Pkg.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf("%s reachable from the seeded Monte Carlo path (%s) seeds a fresh stream from %s; derive it from the job seed or Split/SplitInto",
+						fn.Name(), chainTo(parent, node), describeSeedExpr(node, call.Args[0])),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// chainTo renders the BFS witness chain root→node.
+func chainTo(parent map[*Node]*Node, n *Node) string {
+	var names []string
+	for cur := n; cur != nil; cur = parent[cur] {
+		names = append(names, cur.Fn.Name())
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}
+
+// seedDerived reports whether the seed expression traces back to an
+// acceptable origin: a parameter of the enclosing function, a field or
+// variable whose name mentions Seed, or a value produced by an
+// rng.Stream method (Split-style derivation).
+func seedDerived(n *Node, e ast.Expr) bool {
+	ok := false
+	ast.Inspect(e, func(x ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.Ident:
+			obj := n.Pkg.Info.ObjectOf(x)
+			if obj == nil {
+				return true
+			}
+			if strings.Contains(obj.Name(), "Seed") || strings.Contains(obj.Name(), "seed") {
+				ok = true
+				return false
+			}
+			for _, p := range n.params {
+				if p != nil && p == obj {
+					ok = true
+					return false
+				}
+			}
+			if n.recvObj != nil && obj == n.recvObj {
+				ok = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if sel, isSel := n.Pkg.Info.Selections[x]; isSel {
+				if fn, isFn := sel.Obj().(*types.Func); isFn && fn.Pkg() != nil &&
+					strings.HasSuffix(fn.Pkg().Path(), "internal/rng") {
+					ok = true // derived through a Stream method
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// describeSeedExpr names the offending seed origin for the diagnostic.
+func describeSeedExpr(n *Node, e ast.Expr) string {
+	if tv, ok := n.Pkg.Info.Types[e]; ok && tv.Value != nil {
+		return fmt.Sprintf("the constant %s", tv.Value.String())
+	}
+	return "a value unrelated to the job seed"
+}

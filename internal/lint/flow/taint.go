@@ -1,0 +1,553 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"samurai/internal/lint"
+)
+
+// trace is one step of a taint witness, a linked list back to the
+// source. Rendering walks to the root so every diagnostic shows the
+// full source→sink chain.
+type trace struct {
+	desc string
+	pos  token.Position
+	prev *trace
+}
+
+func (t *trace) root() *trace {
+	for t.prev != nil {
+		t = t.prev
+	}
+	return t
+}
+
+// chain renders the witness source-first: "a (f.go:3) -> b (g.go:7)".
+func (t *trace) chain() string {
+	var steps []string
+	for s := t; s != nil; s = s.prev {
+		steps = append(steps, fmt.Sprintf("%s (%s:%d)", s.desc, filepath.Base(s.pos.Filename), s.pos.Line))
+	}
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	return strings.Join(steps, " -> ")
+}
+
+// sourceFuncs are external calls whose results are nondeterministic by
+// construction, keyed by types.Func.FullName.
+var sourceFuncs = map[string]string{
+	"time.Now":             "wall-clock time",
+	"time.Since":           "wall-clock duration",
+	"time.Until":           "wall-clock duration",
+	"os.Getpid":            "process id",
+	"os.Getenv":            "environment variable",
+	"os.LookupEnv":         "environment variable",
+	"os.Environ":           "environment",
+	"os.Hostname":          "host name",
+	"runtime.NumCPU":       "host CPU count",
+	"runtime.GOMAXPROCS":   "scheduler parallelism",
+	"runtime.NumGoroutine": "live goroutine count",
+}
+
+// sourceDesc reports whether fn is a nondeterminism source and why.
+// Beyond the fixed table, every function of math/rand and math/rand/v2
+// is a source: the global generator is both unseeded and shared.
+func sourceDesc(fn *types.Func) string {
+	if d, ok := sourceFuncs[fn.FullName()]; ok {
+		return d
+	}
+	if p := fn.Pkg(); p != nil && (p.Path() == "math/rand" || p.Path() == "math/rand/v2") {
+		return "global math/rand state"
+	}
+	return ""
+}
+
+// analysis is the interprocedural taint state: a module-wide
+// object→witness map plus per-function summaries, iterated to a
+// fixpoint. Taint only ever grows and the first witness written for an
+// object is kept, so the result (and every reported chain) is
+// deterministic regardless of iteration count.
+type analysis struct {
+	g *Graph
+	// taint maps a program object (local, parameter, package var) to
+	// the witness explaining how nondeterminism reached it.
+	taint map[types.Object]*trace
+	// retTaint summarises "this function's results carry taint".
+	retTaint map[*Node]*trace
+	// paramOut summarises "calling this function taints the object
+	// passed as argument i" (writes through pointer-like parameters).
+	paramOut map[*Node]map[int]*trace
+	changed  bool
+}
+
+// analyze builds the graph and runs taint propagation to a fixpoint.
+// The result is memoised per package slice: all four flow rules run
+// against the same module load, so the expensive pass happens once.
+var memo struct {
+	pkgs []*lint.Package
+	g    *Graph
+	a    *analysis
+}
+
+func analyze(pkgs []*lint.Package) (*Graph, *analysis) {
+	if memo.g != nil && len(memo.pkgs) == len(pkgs) && (len(pkgs) == 0 || memo.pkgs[0] == pkgs[0]) {
+		return memo.g, memo.a
+	}
+	g := BuildGraph(pkgs)
+	a := &analysis{
+		g:        g,
+		taint:    map[types.Object]*trace{},
+		retTaint: map[*Node]*trace{},
+		paramOut: map[*Node]map[int]*trace{},
+	}
+	for i := 0; ; i++ {
+		a.changed = false
+		for _, n := range g.Sorted {
+			a.visit(n)
+		}
+		if !a.changed || i > 64 {
+			break
+		}
+	}
+	memo.pkgs, memo.g, memo.a = pkgs, g, a
+	return g, a
+}
+
+// mark records taint on an object, first witness wins.
+func (a *analysis) mark(obj types.Object, t *trace) {
+	if obj == nil || t == nil {
+		return
+	}
+	if _, ok := a.taint[obj]; ok {
+		return
+	}
+	a.taint[obj] = t
+	a.changed = true
+}
+
+func (a *analysis) setRet(n *Node, t *trace) {
+	if t == nil || a.retTaint[n] != nil {
+		return
+	}
+	a.retTaint[n] = t
+	a.changed = true
+}
+
+func (a *analysis) setParamOut(n *Node, i int, t *trace) {
+	if t == nil {
+		return
+	}
+	m := a.paramOut[n]
+	if m == nil {
+		m = map[int]*trace{}
+		a.paramOut[n] = m
+	}
+	if _, ok := m[i]; ok {
+		return
+	}
+	m[i] = t
+	a.changed = true
+}
+
+// step extends a witness by one hop.
+func step(prev *trace, desc string, pos token.Position) *trace {
+	return &trace{desc: desc, pos: pos, prev: prev}
+}
+
+// visit applies the flow-insensitive transfer functions to one node.
+func (a *analysis) visit(n *Node) {
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.AssignStmt:
+			a.assign(n, s)
+		case *ast.ValueSpec:
+			a.valueSpec(n, s)
+		case *ast.ReturnStmt:
+			a.returnStmt(n, s)
+		case *ast.GoStmt:
+			a.goStmt(n, s)
+		case *ast.SelectStmt:
+			a.selectStmt(n, s)
+		case *ast.RangeStmt:
+			a.rangeStmt(n, s)
+		case *ast.SendStmt:
+			a.mark(rootObj(n.Pkg, s.Chan), a.exprTaint(n, s.Value))
+		case *ast.CallExpr:
+			a.propagateCall(n, s)
+		}
+		return true
+	})
+}
+
+func (a *analysis) assign(n *Node, s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Tuple assignment: one taint for all targets.
+		t := a.exprTaint(n, s.Rhs[0])
+		for _, lhs := range s.Lhs {
+			a.assignTo(n, lhs, t)
+		}
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		t := a.exprTaint(n, s.Rhs[i])
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE && t == nil {
+			t = a.exprTaint(n, lhs) // op-assign keeps existing taint
+		}
+		a.assignTo(n, lhs, t)
+	}
+}
+
+// assignTo taints the storage root of an lvalue, and records a paramOut
+// summary when the write escapes through a parameter.
+func (a *analysis) assignTo(n *Node, lhs ast.Expr, t *trace) {
+	if t == nil {
+		return
+	}
+	obj := rootObj(n.Pkg, lhs)
+	if obj == nil {
+		return
+	}
+	a.mark(obj, t)
+	if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+		return // rebinding a local name does not escape
+	}
+	if obj == n.recvObj {
+		a.setParamOut(n, -1, t)
+	}
+	for i, p := range n.params {
+		if p != nil && p == obj {
+			a.setParamOut(n, i, t)
+		}
+	}
+}
+
+func (a *analysis) valueSpec(n *Node, s *ast.ValueSpec) {
+	if len(s.Values) == 1 && len(s.Names) > 1 {
+		t := a.exprTaint(n, s.Values[0])
+		for _, name := range s.Names {
+			a.mark(n.Pkg.Info.Defs[name], t)
+		}
+		return
+	}
+	for i, name := range s.Names {
+		if i < len(s.Values) {
+			a.mark(n.Pkg.Info.Defs[name], a.exprTaint(n, s.Values[i]))
+		}
+	}
+}
+
+func (a *analysis) returnStmt(n *Node, s *ast.ReturnStmt) {
+	pos := n.Pkg.Fset.Position(s.Pos())
+	if len(s.Results) == 0 {
+		// Naked return: named results carry whatever taint they have.
+		if res := n.Decl.Type.Results; res != nil {
+			for _, field := range res.List {
+				for _, name := range field.Names {
+					if t := a.taint[n.Pkg.Info.Defs[name]]; t != nil {
+						a.setRet(n, step(t, "returned from "+n.Name(), pos))
+					}
+				}
+			}
+		}
+		return
+	}
+	for _, r := range s.Results {
+		if t := a.exprTaint(n, r); t != nil {
+			a.setRet(n, step(t, "returned from "+n.Name(), pos))
+		}
+	}
+}
+
+// goStmt models the classic fan-out hazard: a goroutine writing to a
+// variable captured from the enclosing scope without synchronisation.
+// Index-disjoint writes (outs[i] = ...) follow the repo's sharding
+// convention and are exempt, as is any literal whose body takes a lock.
+func (a *analysis) goStmt(n *Node, s *ast.GoStmt) {
+	lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	if locksInside(lit.Body) {
+		return
+	}
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		if inner, ok := x.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		var targets []ast.Expr
+		switch s := x.(type) {
+		case *ast.AssignStmt:
+			targets = s.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{s.X}
+		default:
+			return true
+		}
+		for _, lhs := range targets {
+			lv := ast.Unparen(lhs)
+			if _, indexed := lv.(*ast.IndexExpr); indexed {
+				continue // index-disjoint sharding convention
+			}
+			obj := rootObj(n.Pkg, lv)
+			if obj == nil || insideNode(lit, obj) {
+				continue
+			}
+			pos := n.Pkg.Fset.Position(lv.Pos())
+			a.mark(obj, &trace{desc: "unsynchronised goroutine write to " + obj.Name(), pos: pos})
+		}
+		return true
+	})
+}
+
+// locksInside reports whether the block calls a Lock method — a crude
+// but effective signal that the writes are mutex-guarded.
+func locksInside(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// selectStmt taints variables assigned from channel receives when two
+// or more clauses receive values: which clause runs — and therefore
+// which value lands — is decided by the scheduler.
+func (a *analysis) selectStmt(n *Node, s *ast.SelectStmt) {
+	var recvAssigns []*ast.AssignStmt
+	for _, c := range s.Body.List {
+		comm, ok := c.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		if as, ok := comm.Comm.(*ast.AssignStmt); ok {
+			recvAssigns = append(recvAssigns, as)
+		}
+	}
+	if len(recvAssigns) < 2 {
+		return
+	}
+	for _, as := range recvAssigns {
+		pos := n.Pkg.Fset.Position(as.Pos())
+		for _, lhs := range as.Lhs {
+			a.mark(rootObj(n.Pkg, lhs), &trace{desc: "value chosen by select winner", pos: pos})
+		}
+	}
+}
+
+// rangeStmt propagates the ranged container's taint to the iteration
+// variables. Iteration-*order* nondeterminism of maps is handled by the
+// maporder rule, not by value taint.
+func (a *analysis) rangeStmt(n *Node, s *ast.RangeStmt) {
+	t := a.exprTaint(n, s.X)
+	if t == nil {
+		return
+	}
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		if e != nil {
+			a.mark(rootObj(n.Pkg, e), t)
+		}
+	}
+}
+
+// propagateCall pushes taint across one call site: tainted arguments
+// taint the callee's parameters (context-insensitively), and callee
+// paramOut summaries taint the caller's argument objects.
+func (a *analysis) propagateCall(n *Node, call *ast.CallExpr) {
+	callees := n.callees[call]
+	if len(callees) == 0 {
+		return
+	}
+	pos := n.Pkg.Fset.Position(call.Pos())
+	var recvExpr ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, isSel := n.Pkg.Info.Selections[sel]; isSel && s.Kind() == types.MethodVal {
+			recvExpr = sel.X
+		}
+	}
+	for _, fn := range callees {
+		cn := a.g.Nodes[fn]
+		if cn == nil {
+			continue // external callee: no body to propagate into
+		}
+		if recvExpr != nil && cn.recvObj != nil {
+			if t := a.exprTaint(n, recvExpr); t != nil {
+				a.mark(cn.recvObj, step(t, "receiver of "+cn.Name(), pos))
+			}
+		}
+		for i, arg := range call.Args {
+			t := a.exprTaint(n, arg)
+			if t != nil {
+				pi := i
+				if pi >= len(cn.params) && len(cn.params) > 0 {
+					pi = len(cn.params) - 1 // variadic tail
+				}
+				if pi < len(cn.params) && cn.params[pi] != nil {
+					a.mark(cn.params[pi], step(t, fmt.Sprintf("passed to %s", cn.Name()), pos))
+				}
+			}
+		}
+		// Callee writes through its parameters: taint our arguments.
+		for i, t := range a.paramOut[cn] {
+			var target ast.Expr
+			if i == -1 {
+				target = recvExpr
+			} else if i < len(call.Args) {
+				target = call.Args[i]
+			}
+			if target != nil {
+				a.mark(rootObj(n.Pkg, target), step(t, "written via call to "+cn.Name(), pos))
+			}
+		}
+	}
+}
+
+// exprTaint computes the taint of a value expression.
+func (a *analysis) exprTaint(n *Node, e ast.Expr) *trace {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *ast.Ident:
+		if obj := n.Pkg.Info.ObjectOf(e); obj != nil {
+			return a.taint[obj]
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := n.Pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				return a.taint[n.Pkg.Info.ObjectOf(e.Sel)]
+			}
+		}
+		return a.exprTaint(n, e.X) // field access carries root taint
+	case *ast.CallExpr:
+		return a.callTaint(n, e)
+	case *ast.BinaryExpr:
+		if t := a.exprTaint(n, e.X); t != nil {
+			return t
+		}
+		return a.exprTaint(n, e.Y)
+	case *ast.UnaryExpr:
+		return a.exprTaint(n, e.X)
+	case *ast.ParenExpr:
+		return a.exprTaint(n, e.X)
+	case *ast.StarExpr:
+		return a.exprTaint(n, e.X)
+	case *ast.TypeAssertExpr:
+		return a.exprTaint(n, e.X)
+	case *ast.IndexExpr:
+		if t := a.exprTaint(n, e.X); t != nil {
+			return t
+		}
+		return nil
+	case *ast.SliceExpr:
+		return a.exprTaint(n, e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if t := a.exprTaint(n, el); t != nil {
+				return t
+			}
+		}
+		return nil
+	case *ast.KeyValueExpr:
+		return a.exprTaint(n, e.Value)
+	default:
+		return nil // literals, func literals, type exprs
+	}
+}
+
+// callTaint computes the taint of a call's result value.
+func (a *analysis) callTaint(n *Node, call *ast.CallExpr) *trace {
+	pos := n.Pkg.Fset.Position(call.Pos())
+	fun := ast.Unparen(call.Fun)
+
+	// Conversion T(x): the value passes through.
+	if tv, ok := n.Pkg.Info.Types[fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return a.exprTaint(n, call.Args[0])
+		}
+		return nil
+	}
+	// Builtins (append, len, min, ...): any tainted operand taints the result.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := n.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			for _, arg := range call.Args {
+				if t := a.exprTaint(n, arg); t != nil {
+					return t
+				}
+			}
+			return nil
+		}
+	}
+
+	callees := n.callees[call]
+	for _, fn := range callees {
+		if d := sourceDesc(fn); d != "" {
+			return &trace{desc: d + " from " + fn.FullName(), pos: pos}
+		}
+		if cn := a.g.Nodes[fn]; cn != nil {
+			if t := a.retTaint[cn]; t != nil {
+				return step(t, "result of "+cn.Name(), pos)
+			}
+			continue
+		}
+		// External, non-source callee: conservative pass-through of
+		// argument and receiver taint (e.g. d.Seconds(), fmt.Sprintf).
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			if s, isSel := n.Pkg.Info.Selections[sel]; isSel && s.Kind() == types.MethodVal {
+				if t := a.exprTaint(n, sel.X); t != nil {
+					return step(t, "through "+fn.FullName(), pos)
+				}
+			}
+		}
+		for _, arg := range call.Args {
+			if t := a.exprTaint(n, arg); t != nil {
+				return step(t, "through "+fn.FullName(), pos)
+			}
+		}
+	}
+	return nil
+}
+
+// rootObj resolves an lvalue or value expression to the object that
+// stores it: x, x.f, x[i], *x, (&x).f all root at x.
+func rootObj(pkg *lint.Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pkg.Info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				return pkg.Info.ObjectOf(e.Sel)
+			}
+		}
+		return rootObj(pkg, e.X)
+	case *ast.IndexExpr:
+		return rootObj(pkg, e.X)
+	case *ast.StarExpr:
+		return rootObj(pkg, e.X)
+	case *ast.UnaryExpr:
+		return rootObj(pkg, e.X)
+	case *ast.SliceExpr:
+		return rootObj(pkg, e.X)
+	default:
+		return nil
+	}
+}
+
+// insideNode reports whether obj is declared within the given span.
+func insideNode(span ast.Node, obj types.Object) bool {
+	return obj.Pos() >= span.Pos() && obj.Pos() <= span.End()
+}

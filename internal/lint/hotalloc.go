@@ -23,18 +23,15 @@ import (
 // intra-procedural); annotate the callee too if it is part of the hot
 // loop. Error paths may use fmt.Errorf — constructing an error already
 // means the hot loop is over.
-type HotAlloc struct{}
+const hotAllocName = "hotalloc"
 
-// Name implements Rule.
-func (HotAlloc) Name() string { return "hotalloc" }
-
-// Doc implements Rule.
-func (HotAlloc) Doc() string {
-	return "functions annotated //lint:hot must not make, append, build map literals or fmt.Sprintf"
+var hotAllocRule = Rule{
+	Name:  hotAllocName,
+	Doc:   "functions annotated //lint:hot must not make, append, build map literals or fmt.Sprintf",
+	Check: checkHotAlloc,
 }
 
-// Check implements Rule.
-func (r HotAlloc) Check(pkg *Package) []Diagnostic {
+func checkHotAlloc(pkg *Package) []Diagnostic {
 	var out []Diagnostic
 	pkg.eachFile(false, func(f *File) {
 		for _, decl := range f.AST.Decls {
@@ -42,7 +39,7 @@ func (r HotAlloc) Check(pkg *Package) []Diagnostic {
 			if !ok || fd.Body == nil || !isHotAnnotated(fd) {
 				continue
 			}
-			out = append(out, r.checkBody(pkg, fd)...)
+			out = append(out, hotallocCheckBody(pkg, fd)...)
 		}
 	})
 	return out
@@ -63,11 +60,11 @@ func isHotAnnotated(fd *ast.FuncDecl) bool {
 	return false
 }
 
-func (r HotAlloc) checkBody(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+func hotallocCheckBody(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
 	var out []Diagnostic
 	flag := func(n ast.Node, format string, args ...any) {
 		out = append(out, Diagnostic{
-			Rule:    r.Name(),
+			Rule:    hotAllocName,
 			Pos:     pkg.position(n),
 			Message: fmt.Sprintf(format, args...),
 		})

@@ -19,7 +19,7 @@ func step(xs []float64, n int) string {
 	return fmt.Sprintf("n=%d", n)
 }
 `}
-	wantFindings(t, diags(t, files, HotAlloc{}), 4)
+	wantFindings(t, diags(t, files, hotAllocRule), 4)
 }
 
 func TestHotAllocIgnoresUnannotatedFunctions(t *testing.T) {
@@ -37,7 +37,7 @@ func cold(n int) string {
 	return fmt.Sprintf("n=%d", n)
 }
 `}
-	wantFindings(t, diags(t, files, HotAlloc{}), 0)
+	wantFindings(t, diags(t, files, hotAllocRule), 0)
 }
 
 func TestHotAllocAcceptsDisciplinedHotFunction(t *testing.T) {
@@ -58,7 +58,7 @@ func record(dst []float64, k int, v float64) error {
 	return nil
 }
 `}
-	wantFindings(t, diags(t, files, HotAlloc{}), 0)
+	wantFindings(t, diags(t, files, hotAllocRule), 0)
 }
 
 func TestHotAllocFlagsNamedMapLiterals(t *testing.T) {
@@ -74,7 +74,7 @@ func lookup(k string) int {
 	return index{"a": 1}[k]
 }
 `}
-	wantFindings(t, diags(t, files, HotAlloc{}), 1)
+	wantFindings(t, diags(t, files, hotAllocRule), 1)
 }
 
 func TestHotAllocSkipsShadowedBuiltins(t *testing.T) {
@@ -91,7 +91,7 @@ func hot(dst []float64, v float64) []float64 {
 	return append(dst, v)
 }
 `}
-	wantFindings(t, diags(t, files, HotAlloc{}), 0)
+	wantFindings(t, diags(t, files, hotAllocRule), 0)
 }
 
 func TestHotAllocStructLiteralsAreFine(t *testing.T) {
@@ -108,7 +108,7 @@ func hot(a, b float64) pt {
 	return pt{x: a, y: b}
 }
 `}
-	wantFindings(t, diags(t, files, HotAlloc{}), 0)
+	wantFindings(t, diags(t, files, hotAllocRule), 0)
 }
 
 func TestHotAllocSuppressible(t *testing.T) {
@@ -122,5 +122,5 @@ func hot(n int) []float64 {
 	return make([]float64, n)
 }
 `}
-	wantFindings(t, diags(t, files, HotAlloc{}), 0)
+	wantFindings(t, diags(t, files, hotAllocRule), 0)
 }

@@ -16,18 +16,15 @@ import (
 //
 // Servers that intentionally run without the timeout can suppress the
 // finding with `//lint:ignore httptimeouts reason`.
-type HTTPTimeouts struct{}
+const httpTimeoutsName = "httptimeouts"
 
-// Name implements Rule.
-func (HTTPTimeouts) Name() string { return "httptimeouts" }
-
-// Doc implements Rule.
-func (HTTPTimeouts) Doc() string {
-	return "http.Server composite literals must set ReadHeaderTimeout (Slowloris hardening)"
+var httpTimeoutsRule = Rule{
+	Name:  httpTimeoutsName,
+	Doc:   "http.Server composite literals must set ReadHeaderTimeout (Slowloris hardening)",
+	Check: checkHTTPTimeouts,
 }
 
-// Check implements Rule.
-func (r HTTPTimeouts) Check(pkg *Package) []Diagnostic {
+func checkHTTPTimeouts(pkg *Package) []Diagnostic {
 	var out []Diagnostic
 	pkg.eachFile(false, func(f *File) {
 		ast.Inspect(f.AST, func(n ast.Node) bool {
@@ -35,7 +32,7 @@ func (r HTTPTimeouts) Check(pkg *Package) []Diagnostic {
 			if !ok || lit.Type == nil {
 				return true
 			}
-			if !r.isHTTPServer(pkg, lit.Type) {
+			if !httptimeoutsIsHTTPServer(pkg, lit.Type) {
 				return true
 			}
 			for _, elt := range lit.Elts {
@@ -48,7 +45,7 @@ func (r HTTPTimeouts) Check(pkg *Package) []Diagnostic {
 				}
 			}
 			out = append(out, Diagnostic{
-				Rule:    r.Name(),
+				Rule:    httpTimeoutsName,
 				Pos:     pkg.position(lit),
 				Message: "http.Server literal without ReadHeaderTimeout; set one (Slowloris hardening)",
 			})
@@ -62,7 +59,7 @@ func (r HTTPTimeouts) Check(pkg *Package) []Diagnostic {
 // denotes net/http.Server. Type information is authoritative when
 // available (catching aliases and dot-imports); untyped files fall back
 // to the syntactic `http.Server` selector.
-func (r HTTPTimeouts) isHTTPServer(pkg *Package, typ ast.Expr) bool {
+func httptimeoutsIsHTTPServer(pkg *Package, typ ast.Expr) bool {
 	if pkg.Info != nil {
 		if t := pkg.Info.TypeOf(typ); t != nil {
 			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {

@@ -11,7 +11,7 @@ func serve() *http.Server {
 	return &http.Server{Addr: ":8080"}
 }
 `}
-	wantFindings(t, diags(t, files, HTTPTimeouts{}), 1)
+	wantFindings(t, diags(t, files, httpTimeoutsRule), 1)
 }
 
 func TestHTTPTimeoutsAcceptsReadHeaderTimeout(t *testing.T) {
@@ -26,7 +26,7 @@ func serve() *http.Server {
 	return &http.Server{Addr: ":8080", ReadHeaderTimeout: 5 * time.Second}
 }
 `}
-	wantFindings(t, diags(t, files, HTTPTimeouts{}), 0)
+	wantFindings(t, diags(t, files, httpTimeoutsRule), 0)
 }
 
 func TestHTTPTimeoutsFlagsValueLiteralAndVarDecl(t *testing.T) {
@@ -43,7 +43,7 @@ func twice() {
 	_ = p
 }
 `}
-	wantFindings(t, diags(t, files, HTTPTimeouts{}), 3)
+	wantFindings(t, diags(t, files, httpTimeoutsRule), 3)
 }
 
 func TestHTTPTimeoutsIgnoresOtherServerTypes(t *testing.T) {
@@ -57,7 +57,7 @@ func local() Server {
 	return Server{Addr: ":9"}
 }
 `}
-	wantFindings(t, diags(t, files, HTTPTimeouts{}), 0)
+	wantFindings(t, diags(t, files, httpTimeoutsRule), 0)
 }
 
 func TestHTTPTimeoutsSeesThroughImportAlias(t *testing.T) {
@@ -69,7 +69,7 @@ func serve() *web.Server {
 	return &web.Server{Addr: ":8080"}
 }
 `}
-	wantFindings(t, diags(t, files, HTTPTimeouts{}), 1)
+	wantFindings(t, diags(t, files, httpTimeoutsRule), 1)
 }
 
 func TestHTTPTimeoutsSuppressible(t *testing.T) {
@@ -82,7 +82,7 @@ func serve() *http.Server {
 	return &http.Server{Addr: ":8080"}
 }
 `}
-	wantFindings(t, diags(t, files, HTTPTimeouts{}), 0)
+	wantFindings(t, diags(t, files, httpTimeoutsRule), 0)
 }
 
 func TestHTTPTimeoutsChecksTestFiles(t *testing.T) {
@@ -96,5 +96,5 @@ func newSrv() *http.Server {
 	return &http.Server{Addr: ":0"}
 }
 `}
-	wantFindings(t, diags(t, files, HTTPTimeouts{}), 1)
+	wantFindings(t, diags(t, files, httpTimeoutsRule), 1)
 }

@@ -19,6 +19,16 @@
 //   - test files seed RNGs with fixed values only — no time/pid/env
 //     seeds and no global rand, so failures replay (testseed)
 //
+// Beyond these per-package rules, the sub-package lint/flow registers
+// whole-program call-graph rules (detflow, maporder, ctxflow,
+// seedpurity) that prove no nondeterminism source can reach a seeded
+// simulation result; importing lint/flow adds them to AllRules.
+//
+// Rules live in one registry: each is a Rule value (name, doc, run
+// function) listed in builtinRules or added via Register, so the
+// driver, the test harness and the documentation all iterate the same
+// table.
+//
 // Diagnostics are position-tracked and emitted in a deterministic order
 // (file, line, column, rule). Individual findings can be suppressed with
 // a justification comment on the offending line or the line above:
@@ -26,7 +36,13 @@
 //	//lint:ignore rulename reason the exact comparison is intentional
 //
 // The comment must name the rule (or a comma-separated list of rules)
-// and carry a non-empty reason.
+// and carry a non-empty reason. The dedicated determinism escape hatch
+//
+//	//lint:nondet-ok reason the timestamp is wall-clock metadata
+//
+// suppresses every flow rule at that line; `samurailint -suppressions`
+// inventories both directive kinds and rejects empty or copy-pasted
+// reasons.
 package lint
 
 import (
@@ -59,6 +75,10 @@ type File struct {
 	Test bool
 	// ignores maps line number -> rules suppressed on that line.
 	ignores map[int][]string
+	// suppressions records every lint:ignore / lint:nondet-ok directive
+	// in the file, including malformed ones (empty reason), for the
+	// -suppressions inventory.
+	suppressions []Suppression
 }
 
 // Package is one package unit: parsed files plus (for the non-test
@@ -80,43 +100,98 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Rule is one named check over a package.
-type Rule interface {
+// Rule is one registry entry: a named check with exactly one of Check
+// (runs per package) or CheckModule (runs once over the whole module —
+// whole-program analyses such as the lint/flow call-graph rules) set.
+type Rule struct {
 	// Name is the identifier used in diagnostics and //lint:ignore.
-	Name() string
+	Name string
 	// Doc is a one-line description shown by `samurailint -list`.
-	Doc() string
-	// Check inspects the package and returns raw findings; suppression
+	Doc string
+	// Check inspects one package and returns raw findings; suppression
 	// and ordering are handled by the framework.
-	Check(pkg *Package) []Diagnostic
+	Check func(pkg *Package) []Diagnostic
+	// CheckModule inspects the whole module at once.
+	CheckModule func(pkgs []*Package) []Diagnostic
 }
 
-// AllRules returns the full rule set in deterministic order.
-func AllRules() []Rule {
-	return []Rule{
-		NoRandGlobal{},
-		FloatEq{},
-		PanicMsg{},
-		MagicConst{},
-		BareErr{},
-		PrintfLess{},
-		HotAlloc{},
-		HTTPTimeouts{},
-		TestSeed{},
+// registered holds rules added by Register (e.g. by lint/flow's init),
+// in registration order.
+var registered []Rule
+
+// Register adds a rule to the registry. It is intended to be called
+// from init functions of rule-providing sub-packages; duplicate or
+// malformed registrations panic immediately so a bad rule table can
+// never lint anything.
+func Register(r Rule) {
+	if r.Name == "" || r.Doc == "" {
+		panic("lint: Register called with empty name or doc")
 	}
+	if (r.Check == nil) == (r.CheckModule == nil) {
+		panic("lint: rule " + r.Name + " must set exactly one of Check or CheckModule")
+	}
+	for _, have := range AllRules() {
+		if have.Name == r.Name {
+			panic("lint: duplicate rule name " + r.Name)
+		}
+	}
+	registered = append(registered, r)
+}
+
+// builtinRules is the table of per-package rules shipped by this
+// package, in the order they are listed by `samurailint -list`.
+func builtinRules() []Rule {
+	return []Rule{
+		noRandGlobalRule,
+		floatEqRule,
+		panicMsgRule,
+		magicConstRule,
+		bareErrRule,
+		printfLessRule,
+		hotAllocRule,
+		httpTimeoutsRule,
+		testSeedRule,
+	}
+}
+
+// AllRules returns the full rule set — builtins first, then rules added
+// via Register in registration order.
+func AllRules() []Rule {
+	out := builtinRules()
+	return append(out, registered...)
+}
+
+// RuleByName looks a rule up in the registry.
+func RuleByName(name string) (Rule, bool) {
+	for _, r := range AllRules() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Rule{}, false
 }
 
 // Run applies the rules to the packages, drops suppressed findings, and
 // returns the survivors sorted by (file, line, column, rule).
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	files := fileIndex(pkgs)
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		for _, r := range rules {
-			for _, d := range r.Check(pkg) {
-				if !pkg.suppressed(r.Name(), d.Pos) {
-					out = append(out, d)
-				}
+	keep := func(name string, ds []Diagnostic) {
+		for _, d := range ds {
+			if !suppressedIn(files, name, d.Pos) {
+				out = append(out, d)
 			}
+		}
+	}
+	for _, r := range rules {
+		if r.CheckModule != nil {
+			keep(r.Name, r.CheckModule(pkgs))
+		}
+		if r.Check == nil {
+			continue
+		}
+		for _, pkg := range pkgs {
+			keep(r.Name, r.Check(pkg))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -135,56 +210,137 @@ func Run(pkgs []*Package, rules []Rule) []Diagnostic {
 	return out
 }
 
-// suppressed reports whether an ignore directive covers the rule at the
-// diagnostic's line (trailing comment) or on the line directly above.
-func (p *Package) suppressed(rule string, pos token.Position) bool {
-	for _, f := range p.Files {
-		if f.Name != pos.Filename {
-			continue
+// fileIndex maps file path -> *File across all packages (test and
+// non-test), for suppression lookup of module-scope diagnostics.
+func fileIndex(pkgs []*Package) map[string]*File {
+	idx := map[string]*File{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			idx[f.Name] = f
 		}
-		for _, line := range []int{pos.Line, pos.Line - 1} {
-			for _, r := range f.ignores[line] {
-				if r == rule || r == "all" {
-					return true
-				}
+	}
+	return idx
+}
+
+// suppressedIn reports whether an ignore directive covers the rule at
+// the diagnostic's line (trailing comment) or on the line directly
+// above.
+func suppressedIn(files map[string]*File, rule string, pos token.Position) bool {
+	f := files[pos.Filename]
+	if f == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, r := range f.ignores[line] {
+			if r == rule || r == "all" {
+				return true
 			}
 		}
 	}
 	return false
 }
 
-// ignoreDirective parses "lint:ignore rule1,rule2 reason"; ok is false
-// for comments that are not directives or lack a rule list + reason.
-func ignoreDirective(text string) (rules []string, ok bool) {
-	body, found := strings.CutPrefix(strings.TrimSpace(text), "lint:ignore")
+// Suppression is one //lint:ignore or //lint:nondet-ok directive found
+// in a source file. Malformed directives (a rule list without a reason,
+// or a bare nondet-ok) are recorded with an empty Reason — they look
+// like waivers but suppress nothing, which -suppressions treats as an
+// error.
+type Suppression struct {
+	// Directive is "ignore" or "nondet-ok".
+	Directive string
+	// Rules are the rule names the directive covers.
+	Rules []string
+	// Reason is the justification text (empty for malformed directives).
+	Reason string
+	Pos    token.Position
+}
+
+// Suppressions inventories every suppression directive in the loaded
+// packages, sorted by (file, line).
+func Suppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			out = append(out, f.suppressions...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
+// flowRuleNames are the rules a //lint:nondet-ok directive waives: the
+// whole-program determinism rules provided by lint/flow. Kept here (not
+// in lint/flow) so directive parsing has no dependency on which rule
+// packages are linked in.
+var flowRuleNames = []string{"detflow", "maporder", "ctxflow", "seedpurity"}
+
+// suppressed reports whether an ignore directive covers the rule at the
+// diagnostic's line (trailing comment) or on the line directly above.
+func (p *Package) suppressed(rule string, pos token.Position) bool {
+	return suppressedIn(fileIndex([]*Package{p}), rule, pos)
+}
+
+// ignoreDirective parses "lint:ignore rule1,rule2 reason" and
+// "lint:nondet-ok reason". For well-formed directives it returns the
+// covered rules and ok=true. Malformed-but-recognisable directives
+// (missing reason) return ok=false with directive set, so they can be
+// inventoried.
+func ignoreDirective(text string) (directive string, rules []string, reason string, ok bool) {
+	text = strings.TrimSpace(text)
+	if body, found := strings.CutPrefix(text, "lint:nondet-ok"); found {
+		reason = strings.TrimSpace(body)
+		if reason == "" {
+			return "nondet-ok", nil, "", false
+		}
+		return "nondet-ok", append([]string(nil), flowRuleNames...), reason, true
+	}
+	body, found := strings.CutPrefix(text, "lint:ignore")
 	if !found {
-		return nil, false
+		return "", nil, "", false
 	}
 	fields := strings.Fields(body)
-	if len(fields) < 2 { // need a rule list AND a non-empty reason
-		return nil, false
+	if len(fields) == 0 {
+		return "ignore", nil, "", false
 	}
 	for _, r := range strings.Split(fields[0], ",") {
 		if r = strings.TrimSpace(r); r != "" {
 			rules = append(rules, r)
 		}
 	}
-	return rules, len(rules) > 0
+	reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(body), fields[0]))
+	if len(rules) == 0 || reason == "" { // need a rule list AND a reason
+		return "ignore", rules, "", false
+	}
+	return "ignore", rules, reason, true
 }
 
-// collectIgnores indexes a file's //lint:ignore directives by line.
-func collectIgnores(fset *token.FileSet, f *ast.File) map[int][]string {
-	out := map[int][]string{}
+// collectIgnores indexes a file's suppression directives by line and
+// records the full inventory (including malformed directives) on the
+// returned suppression list.
+func collectIgnores(fset *token.FileSet, f *ast.File) (map[int][]string, []Suppression) {
+	ignores := map[int][]string{}
+	var sups []Suppression
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
-			if rules, ok := ignoreDirective(text); ok {
-				line := fset.Position(c.Pos()).Line
-				out[line] = append(out[line], rules...)
+			directive, rules, reason, ok := ignoreDirective(text)
+			if directive == "" {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			sups = append(sups, Suppression{Directive: directive, Rules: rules, Reason: reason, Pos: pos})
+			if ok {
+				ignores[pos.Line] = append(ignores[pos.Line], rules...)
 			}
 		}
 	}
-	return out
+	return ignores, sups
 }
 
 // eachFile invokes fn for every file in the package, optionally

@@ -53,13 +53,13 @@ func wantFindings(t *testing.T, got []Diagnostic, want int) {
 func TestAllRulesWellFormed(t *testing.T) {
 	seen := map[string]bool{}
 	for _, r := range AllRules() {
-		if r.Name() == "" || r.Doc() == "" {
+		if r.Name == "" || r.Doc == "" {
 			t.Fatalf("rule %T has empty name or doc", r)
 		}
-		if seen[r.Name()] {
-			t.Fatalf("duplicate rule name %q", r.Name())
+		if seen[r.Name] {
+			t.Fatalf("duplicate rule name %q", r.Name)
 		}
-		seen[r.Name()] = true
+		seen[r.Name] = true
 	}
 	if len(seen) < 5 {
 		t.Fatalf("expected at least 5 rules, have %d", len(seen))
@@ -68,21 +68,28 @@ func TestAllRulesWellFormed(t *testing.T) {
 
 func TestIgnoreDirectiveParsing(t *testing.T) {
 	cases := []struct {
-		text  string
-		rules []string
-		ok    bool
+		text      string
+		directive string
+		rules     []string
+		reason    string
+		ok        bool
 	}{
-		{"lint:ignore floateq exact by construction", []string{"floateq"}, true},
-		{"lint:ignore floateq,bareerr shared reason", []string{"floateq", "bareerr"}, true},
-		{"lint:ignore floateq", nil, false}, // no reason
-		{"lint:ignore", nil, false},
-		{"nolint:whatever", nil, false},
-		{" lint:ignore all everything here is fine", []string{"all"}, true},
+		{"lint:ignore floateq exact by construction", "ignore", []string{"floateq"}, "exact by construction", true},
+		{"lint:ignore floateq,bareerr shared reason", "ignore", []string{"floateq", "bareerr"}, "shared reason", true},
+		{"lint:ignore floateq", "ignore", []string{"floateq"}, "", false}, // no reason
+		{"lint:ignore", "ignore", nil, "", false},
+		{"nolint:whatever", "", nil, "", false},
+		{" lint:ignore all everything here is fine", "ignore", []string{"all"}, "everything here is fine", true},
+		{"lint:nondet-ok wall-clock metadata only", "nondet-ok", flowRuleNames, "wall-clock metadata only", true},
+		{"lint:nondet-ok", "nondet-ok", nil, "", false}, // no reason
 	}
 	for _, c := range cases {
-		rules, ok := ignoreDirective(c.text)
-		if ok != c.ok {
-			t.Fatalf("%q: ok = %v, want %v", c.text, ok, c.ok)
+		directive, rules, reason, ok := ignoreDirective(c.text)
+		if ok != c.ok || directive != c.directive {
+			t.Fatalf("%q: (directive, ok) = (%q, %v), want (%q, %v)", c.text, directive, ok, c.directive, c.ok)
+		}
+		if c.ok && reason != c.reason {
+			t.Fatalf("%q: reason = %q, want %q", c.text, reason, c.reason)
 		}
 		if len(rules) != len(c.rules) {
 			t.Fatalf("%q: rules = %v, want %v", c.text, rules, c.rules)
@@ -105,10 +112,10 @@ func eq(x, y float64) bool {
 }
 `}
 	}
-	wantFindings(t, diags(t, src("//lint:ignore floateq bitwise identity is the intent"), FloatEq{}), 0)
-	wantFindings(t, diags(t, src("//lint:ignore bareerr wrong rule name"), FloatEq{}), 1)
-	wantFindings(t, diags(t, src("//lint:ignore floateq"), FloatEq{}), 1) // reason missing
-	wantFindings(t, diags(t, src("//lint:ignore all blanket waiver"), FloatEq{}), 0)
+	wantFindings(t, diags(t, src("//lint:ignore floateq bitwise identity is the intent"), floatEqRule), 0)
+	wantFindings(t, diags(t, src("//lint:ignore bareerr wrong rule name"), floatEqRule), 1)
+	wantFindings(t, diags(t, src("//lint:ignore floateq"), floatEqRule), 1) // reason missing
+	wantFindings(t, diags(t, src("//lint:ignore all blanket waiver"), floatEqRule), 0)
 }
 
 func TestIgnoreOnSameLine(t *testing.T) {
@@ -118,7 +125,7 @@ func eq(x, y float64) bool {
 	return x == y //lint:ignore floateq trailing justification
 }
 `}
-	wantFindings(t, diags(t, files, FloatEq{}), 0)
+	wantFindings(t, diags(t, files, floatEqRule), 0)
 }
 
 func TestDiagnosticsDeterministicallyOrdered(t *testing.T) {
@@ -134,7 +141,7 @@ func eq3(x, y float32) bool { return x != y }
 func eq1(x, y float64) bool { return x == y }
 `,
 	}
-	got := Run(load(t, files), []Rule{FloatEq{}})
+	got := Run(load(t, files), []Rule{floatEqRule})
 	wantFindings(t, got, 3)
 	for i := 1; i < len(got); i++ {
 		prev, cur := got[i-1], got[i]

@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -117,7 +119,8 @@ func modulePath(gomod string) (string, error) {
 }
 
 // packageDirs walks the module and returns every directory holding .go
-// files, skipping testdata, hidden and underscore-prefixed directories.
+// files, skipping testdata, vendor, hidden and underscore-prefixed
+// directories (the same exclusions the go tool applies).
 func packageDirs(root string) ([]string, error) {
 	var out []string
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
@@ -128,7 +131,7 @@ func packageDirs(root string) ([]string, error) {
 			return nil
 		}
 		name := d.Name()
-		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
 		ents, err := os.ReadDir(path)
@@ -170,15 +173,24 @@ func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) 
 			continue
 		}
 		full := filepath.Join(dir, name)
+		include, err := buildIncluded(full)
+		if err != nil {
+			return nil, err
+		}
+		if !include {
+			continue // excluded by a //go:build constraint on this platform
+		}
 		af, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}
+		ignores, sups := collectIgnores(fset, af)
 		f := &File{
-			Name:    full,
-			AST:     af,
-			Test:    strings.HasSuffix(name, "_test.go"),
-			ignores: collectIgnores(fset, af),
+			Name:         full,
+			AST:          af,
+			Test:         strings.HasSuffix(name, "_test.go"),
+			ignores:      ignores,
+			suppressions: sups,
 		}
 		pkg.Files = append(pkg.Files, f)
 		if !f.Test && pkg.Name == "" {
@@ -196,6 +208,52 @@ func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) 
 		return pkg.Files[i].Name < pkg.Files[j].Name
 	})
 	return pkg, nil
+}
+
+// buildIncluded evaluates the file's build constraints (//go:build and
+// legacy // +build lines above the package clause) for the current
+// platform. Without this a file like cmd/tool/gen.go carrying
+// `//go:build ignore` would be parsed into the package, fail
+// type-checking, and silently knock the whole module out of the lint
+// gate. Tags recognised as true: GOOS, GOARCH, "gc", "cgo" and every
+// go1.N version tag — mirroring what `go build` enables by default.
+func buildIncluded(path string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("lint: reading %s: %w", path, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "" || strings.HasPrefix(trimmed, "//"):
+			// Header comment or blank line: may hold a constraint.
+		default:
+			return true, nil // reached the package clause: no constraint found
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			continue // ordinary comment line
+		}
+		if !expr.Eval(defaultBuildTag) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// defaultBuildTag reports whether a build tag is satisfied on the
+// current platform.
+func defaultBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc", "cgo":
+		return true
+	}
+	if v, ok := strings.CutPrefix(tag, "go1."); ok {
+		if _, err := strconv.Atoi(v); err == nil {
+			return true // assume a current toolchain
+		}
+	}
+	return false
 }
 
 // topoSort orders packages so every module-local import precedes its

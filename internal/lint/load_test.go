@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materialises a fixture module on disk without loading it,
+// for tests that need LoadModule's error return.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if _, ok := files["go.mod"]; !ok {
+		files["go.mod"] = "module samurai\n\ngo 1.22\n"
+	}
+	for name, src := range files {
+		full := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadModuleReportsTypeErrors(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a/a.go": `package a
+
+func f() int { return "not an int" }
+`,
+	})
+	if _, err := LoadModule(dir); err == nil {
+		t.Fatal("LoadModule succeeded on a module with type errors; a loader regression here would silently lint nothing")
+	} else if !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("error does not identify the type-check phase: %v", err)
+	}
+}
+
+func TestLoadModuleReportsParseErrors(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nfunc f( {\n",
+	})
+	if _, err := LoadModule(dir); err == nil {
+		t.Fatal("LoadModule succeeded on a module with a syntax error")
+	}
+}
+
+func TestLoadModuleSkipsBuildTagExcludedFiles(t *testing.T) {
+	pkgs := load(t, map[string]string{
+		"a/a.go": `package a
+
+// F is fine.
+func F() int { return 1 }
+`,
+		// Would fail type-checking if included; //go:build ignore must
+		// exclude it exactly as the go tool does.
+		"a/gen.go": `//go:build ignore
+
+package main
+
+func main() { undefinedSymbol() }
+`,
+		// Legacy +build constraint for a foreign OS.
+		"a/other.go": `// +build plan9x
+
+package a
+
+func broken() { alsoUndefined() }
+`,
+	})
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if n := len(pkgs[0].Files); n != 1 {
+		for _, f := range pkgs[0].Files {
+			t.Logf("  loaded: %s", f.Name)
+		}
+		t.Fatalf("package has %d files, want 1 (constrained files must be skipped)", n)
+	}
+}
+
+func TestLoadModuleIncludesSatisfiedBuildTags(t *testing.T) {
+	pkgs := load(t, map[string]string{
+		"a/a.go": `//go:build gc && go1.18
+
+package a
+
+// F is guarded by tags every supported toolchain satisfies.
+func F() int { return 1 }
+`,
+	})
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("file with satisfied build tags was not loaded: %+v", pkgs)
+	}
+}
+
+func TestLoadModuleSkipsVendorTestdataAndHiddenDirs(t *testing.T) {
+	broken := `package broken
+
+func f() { thisDoesNotCompile( }
+`
+	pkgs := load(t, map[string]string{
+		"a/a.go": `package a
+
+// F anchors the one real package.
+func F() int { return 1 }
+`,
+		"vendor/dep/dep.go":     broken,
+		"a/testdata/fixture.go": broken,
+		".cache/tmp.go":         broken,
+		"_scratch/old.go":       broken,
+	})
+	if len(pkgs) != 1 || pkgs[0].Path != "samurai/a" {
+		var paths []string
+		for _, p := range pkgs {
+			paths = append(paths, p.Path)
+		}
+		t.Fatalf("loaded packages %v, want only samurai/a", paths)
+	}
+}
+
+func TestBuildIncludedStopsAtPackageClause(t *testing.T) {
+	// A //go:build-looking line after the package clause is ordinary
+	// source and must not exclude the file.
+	pkgs := load(t, map[string]string{
+		"a/a.go": `package a
+
+// The string below mentions //go:build ignore but the scan must have
+// stopped at the package clause already.
+const doc = "//go:build ignore"
+`,
+	})
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatal("file was wrongly excluded by a post-package-clause constraint")
+	}
+}

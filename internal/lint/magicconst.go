@@ -22,7 +22,13 @@ import (
 // relative tolerance wide enough to catch common truncations
 // (1.38e-23, 0.0259) but far too tight to hit ordinary engineering
 // literals.
-type MagicConst struct{}
+const magicConstName = "magicconst"
+
+var magicConstRule = Rule{
+	Name:  magicConstName,
+	Doc:   "physical-constant literals must come from internal/units, not be inlined",
+	Check: checkMagicConst,
+}
 
 // physicalConstant is one registry entry.
 type physicalConstant struct {
@@ -45,18 +51,10 @@ var magicRegistry = []physicalConstant{
 // the registry; 2e-3 catches 3-significant-figure truncations.
 const magicRelTol = 2e-3
 
-// Name implements Rule.
-func (MagicConst) Name() string { return "magicconst" }
-
-// Doc implements Rule.
-func (MagicConst) Doc() string {
-	return "physical-constant literals must come from internal/units, not be inlined"
-}
-
-// Check implements Rule. Purely syntactic, so it covers test files too;
+// checkMagicConst is purely syntactic, so it covers test files too;
 // internal/units itself (where the canonical literals live) is exempt,
 // as is this package's registry.
-func (r MagicConst) Check(pkg *Package) []Diagnostic {
+func checkMagicConst(pkg *Package) []Diagnostic {
 	if strings.HasSuffix(pkg.Path, "internal/units") || strings.HasSuffix(pkg.Path, "internal/lint") {
 		return nil
 	}
@@ -74,7 +72,7 @@ func (r MagicConst) Check(pkg *Package) []Diagnostic {
 			for _, pc := range magicRegistry {
 				if relClose(v, pc.value, magicRelTol) {
 					out = append(out, Diagnostic{
-						Rule:    r.Name(),
+						Rule:    magicConstName,
 						Pos:     pkg.position(lit),
 						Message: fmt.Sprintf("inlined physical constant %s; use %s", lit.Value, pc.replace),
 					})

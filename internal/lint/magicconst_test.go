@@ -14,7 +14,7 @@ func ThermalV() float64 { return 0.02585 }
 // Charge hand-types the elementary charge.
 func Charge() float64 { return 1.602e-19 }
 `}
-	wantFindings(t, diags(t, files, MagicConst{}), 3)
+	wantFindings(t, diags(t, files, magicConstRule), 3)
 }
 
 func TestMagicConstAllowsOrdinaryLiterals(t *testing.T) {
@@ -28,7 +28,7 @@ const (
 	tiny  = 2.5e-23 // not within tolerance of k
 )
 `}
-	wantFindings(t, diags(t, files, MagicConst{}), 0)
+	wantFindings(t, diags(t, files, magicConstRule), 0)
 }
 
 func TestMagicConstExemptsUnitsPackage(t *testing.T) {
@@ -37,7 +37,7 @@ func TestMagicConstExemptsUnitsPackage(t *testing.T) {
 // Boltzmann is the canonical literal; this is where it is allowed.
 const Boltzmann = 1.380649e-23
 `}
-	wantFindings(t, diags(t, files, MagicConst{}), 0)
+	wantFindings(t, diags(t, files, magicConstRule), 0)
 }
 
 func TestMagicConstCoversTestFiles(t *testing.T) {
@@ -49,7 +49,7 @@ func TestMagicConstCoversTestFiles(t *testing.T) {
 // kT/q inlined inside a test — still a divergence hazard.
 const vt = 0.0259
 `}
-	got := diags(t, files, MagicConst{})
+	got := diags(t, files, magicConstRule)
 	if len(got) != 1 {
 		t.Fatalf("got %d finding(s), want 1", len(got))
 	}

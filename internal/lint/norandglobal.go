@@ -7,14 +7,20 @@ import (
 	"strings"
 )
 
-// NoRandGlobal enforces the repository's core reproducibility invariant:
-// every stochastic component draws from an injected, splittable
-// *rng.Stream. It forbids importing math/rand, math/rand/v2 or
-// crypto/rand anywhere outside internal/rng itself, and it forbids
+// noRandGlobalRule enforces the repository's core reproducibility
+// invariant: every stochastic component draws from an injected,
+// splittable *rng.Stream. It forbids importing math/rand, math/rand/v2
+// or crypto/rand anywhere outside internal/rng itself, and it forbids
 // seeding a stream from the wall clock (time.Now inside the arguments
 // of rng.New / rng.NewSeq / any *.Seed call) — a time-derived seed makes
 // a sample path unrepeatable by construction.
-type NoRandGlobal struct{}
+const noRandGlobalName = "norandglobal"
+
+var noRandGlobalRule = Rule{
+	Name:  noRandGlobalName,
+	Doc:   "all randomness must flow through an injected *rng.Stream; no math/rand, crypto/rand or time-seeded streams",
+	Check: checkNoRandGlobal,
+}
 
 // forbiddenRandImports are the randomness sources that bypass rng.Stream.
 var forbiddenRandImports = map[string]string{
@@ -23,17 +29,9 @@ var forbiddenRandImports = map[string]string{
 	"crypto/rand":  "non-reproducible entropy; take a *rng.Stream instead",
 }
 
-// Name implements Rule.
-func (NoRandGlobal) Name() string { return "norandglobal" }
-
-// Doc implements Rule.
-func (NoRandGlobal) Doc() string {
-	return "all randomness must flow through an injected *rng.Stream; no math/rand, crypto/rand or time-seeded streams"
-}
-
-// Check implements Rule. The rule is purely syntactic so it covers test
-// files too — a test seeded from the clock is just as unrepeatable.
-func (r NoRandGlobal) Check(pkg *Package) []Diagnostic {
+// checkNoRandGlobal is purely syntactic so it covers test files too — a
+// test seeded from the clock is just as unrepeatable.
+func checkNoRandGlobal(pkg *Package) []Diagnostic {
 	if pkg.Path == "samurai/internal/rng" || strings.HasSuffix(pkg.Path, "/internal/rng") {
 		return nil
 	}
@@ -46,7 +44,7 @@ func (r NoRandGlobal) Check(pkg *Package) []Diagnostic {
 			}
 			if why, bad := forbiddenRandImports[path]; bad {
 				out = append(out, Diagnostic{
-					Rule:    r.Name(),
+					Rule:    noRandGlobalName,
 					Pos:     pkg.position(imp),
 					Message: fmt.Sprintf("import of %s is forbidden outside internal/rng: %s", path, why),
 				})
@@ -60,7 +58,7 @@ func (r NoRandGlobal) Check(pkg *Package) []Diagnostic {
 			for _, arg := range call.Args {
 				if tn := findTimeNow(pkg, arg); tn != nil {
 					out = append(out, Diagnostic{
-						Rule:    r.Name(),
+						Rule:    noRandGlobalName,
 						Pos:     pkg.position(tn),
 						Message: "time-seeded randomness defeats reproducibility; derive the seed from config or Stream.Split",
 					})

@@ -32,7 +32,7 @@ func Draw() uint32 {
 	return uint32(b[0])
 }
 `}
-		got := diags(t, files, NoRandGlobal{})
+		got := diags(t, files, noRandGlobalRule)
 		if len(got) == 0 {
 			t.Fatalf("import %s: expected a finding", imp)
 		}
@@ -47,7 +47,7 @@ import "math/rand"
 // Ref exposes the stdlib source for differential testing.
 func Ref(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 `}
-	wantFindings(t, diags(t, files, NoRandGlobal{}), 0)
+	wantFindings(t, diags(t, files, noRandGlobalRule), 0)
 }
 
 func TestNoRandGlobalFlagsTimeSeededStream(t *testing.T) {
@@ -71,7 +71,7 @@ func Reseed(s *rng.Stream) {
 	s.Seed(uint64(time.Now().Unix()))
 }
 `}
-	wantFindings(t, diags(t, files, NoRandGlobal{}), 2)
+	wantFindings(t, diags(t, files, noRandGlobalRule), 2)
 }
 
 func TestNoRandGlobalAllowsInjectedStreams(t *testing.T) {
@@ -86,7 +86,7 @@ func Fixed(seed uint64) *rng.Stream {
 	return rng.New(seed)
 }
 `}
-	wantFindings(t, diags(t, files, NoRandGlobal{}), 0)
+	wantFindings(t, diags(t, files, noRandGlobalRule), 0)
 }
 
 func TestNoRandGlobalCoversTestFiles(t *testing.T) {
@@ -99,7 +99,7 @@ func Noise() float64 { return rand.Float64() }
 `,
 		"sim/sim.go": `package sim
 `}
-	got := diags(t, files, NoRandGlobal{})
+	got := diags(t, files, noRandGlobalRule)
 	if len(got) == 0 {
 		t.Fatal("expected a finding in the test file")
 	}

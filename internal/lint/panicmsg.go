@@ -19,19 +19,17 @@ import (
 // panic(err) and other non-literal payloads are rejected: they lose the
 // package attribution and usually mean an error that should have been
 // returned instead (see the bareerr rule).
-type PanicMsg struct{}
+const panicMsgName = "panicmsg"
 
-// Name implements Rule.
-func (PanicMsg) Name() string { return "panicmsg" }
-
-// Doc implements Rule.
-func (PanicMsg) Doc() string {
-	return `panics in internal packages must carry a "pkg: " prefixed message`
+var panicMsgRule = Rule{
+	Name:  panicMsgName,
+	Doc:   `panics in internal packages must carry a "pkg: " prefixed message`,
+	Check: checkPanicMsg,
 }
 
-// Check implements Rule. Applies to non-test files of internal
+// The check applies to non-test files of internal
 // packages; tests may panic however they like.
-func (r PanicMsg) Check(pkg *Package) []Diagnostic {
+func checkPanicMsg(pkg *Package) []Diagnostic {
 	if !strings.Contains(pkg.Path, "/internal/") {
 		return nil
 	}
@@ -48,7 +46,7 @@ func (r PanicMsg) Check(pkg *Package) []Diagnostic {
 			}
 			if !panicArgHasPrefix(call.Args[0], prefix) {
 				out = append(out, Diagnostic{
-					Rule:    r.Name(),
+					Rule:    panicMsgName,
 					Pos:     pkg.position(call),
 					Message: fmt.Sprintf("panic message must be a string starting with %q (got %s)", prefix, describeExpr(call.Args[0])),
 				})

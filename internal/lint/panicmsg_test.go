@@ -22,7 +22,7 @@ func Bad3(n int) {
 	panic(fmt.Sprintf("other: bad n %d", n))
 }
 `}
-	wantFindings(t, diags(t, files, PanicMsg{}), 3)
+	wantFindings(t, diags(t, files, panicMsgRule), 3)
 }
 
 func TestPanicMsgAcceptsPrefixedForms(t *testing.T) {
@@ -45,7 +45,7 @@ func Good3(name string) {
 	panic("kern: unknown node " + name)
 }
 `}
-	wantFindings(t, diags(t, files, PanicMsg{}), 0)
+	wantFindings(t, diags(t, files, panicMsgRule), 0)
 }
 
 func TestPanicMsgOnlyAppliesToInternalPackages(t *testing.T) {
@@ -56,7 +56,7 @@ func Loose(err error) {
 	panic(err)
 }
 `}
-	wantFindings(t, diags(t, files, PanicMsg{}), 0)
+	wantFindings(t, diags(t, files, panicMsgRule), 0)
 }
 
 func TestPanicMsgSkipsTestFiles(t *testing.T) {
@@ -70,5 +70,5 @@ func MustFail() {
 	panic("boom")
 }
 `}
-	wantFindings(t, diags(t, files, PanicMsg{}), 0)
+	wantFindings(t, diags(t, files, panicMsgRule), 0)
 }

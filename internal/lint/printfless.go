@@ -18,22 +18,20 @@ import (
 //
 // fmt.Fprint*/Sprint* are fine — they target an explicit writer or a
 // string. Binaries under cmd/ and examples/ may print freely.
-type PrintfLess struct{}
+const printfLessName = "printfless"
 
-// Name implements Rule.
-func (PrintfLess) Name() string { return "printfless" }
-
-// Doc implements Rule.
-func (PrintfLess) Doc() string {
-	return "no fmt.Print*/log.* in internal packages; telemetry goes through internal/obs"
+var printfLessRule = Rule{
+	Name:  printfLessName,
+	Doc:   "no fmt.Print*/log.* in internal packages; telemetry goes through internal/obs",
+	Check: checkPrintfLess,
 }
 
 // fmtStdoutFuncs are the fmt functions that write to process stdout.
 var fmtStdoutFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
 
-// Check implements Rule. Applies to non-test files of internal
+// The check applies to non-test files of internal
 // packages; tests may print freely.
-func (r PrintfLess) Check(pkg *Package) []Diagnostic {
+func checkPrintfLess(pkg *Package) []Diagnostic {
 	if !strings.Contains(pkg.Path, "/internal/") {
 		return nil
 	}
@@ -51,13 +49,13 @@ func (r PrintfLess) Check(pkg *Package) []Diagnostic {
 			switch {
 			case fmtStdoutFuncs[sel.Sel.Name] && pkg.isPkgDot(sel, "fmt", sel.Sel.Name):
 				out = append(out, Diagnostic{
-					Rule:    r.Name(),
+					Rule:    printfLessName,
 					Pos:     pkg.position(call),
 					Message: fmt.Sprintf("fmt.%s writes to stdout from an internal package; emit through internal/obs or take an io.Writer", sel.Sel.Name),
 				})
 			case pkg.selectsPackage(sel, "log"):
 				out = append(out, Diagnostic{
-					Rule:    r.Name(),
+					Rule:    printfLessName,
 					Pos:     pkg.position(call),
 					Message: fmt.Sprintf("log.%s called from an internal package; emit through internal/obs instead", sel.Sel.Name),
 				})

@@ -30,7 +30,7 @@ func Bad4() {
 	log.Fatal("boom")
 }
 `}
-	wantFindings(t, diags(t, files, PrintfLess{}), 4)
+	wantFindings(t, diags(t, files, printfLessRule), 4)
 }
 
 func TestPrintfLessAcceptsExplicitWriters(t *testing.T) {
@@ -61,7 +61,7 @@ func Good3(parts []string) string {
 	return b.String()
 }
 `}
-	wantFindings(t, diags(t, files, PrintfLess{}), 0)
+	wantFindings(t, diags(t, files, printfLessRule), 0)
 }
 
 func TestPrintfLessOnlyAppliesToInternalPackages(t *testing.T) {
@@ -78,7 +78,7 @@ func Loose(n int) {
 	log.Printf("n=%d", n)
 }
 `}
-	wantFindings(t, diags(t, files, PrintfLess{}), 0)
+	wantFindings(t, diags(t, files, printfLessRule), 0)
 }
 
 func TestPrintfLessSkipsTestFiles(t *testing.T) {
@@ -94,7 +94,7 @@ func Debug(n int) {
 	fmt.Println("n =", n)
 }
 `}
-	wantFindings(t, diags(t, files, PrintfLess{}), 0)
+	wantFindings(t, diags(t, files, printfLessRule), 0)
 }
 
 func TestPrintfLessIgnoresShadowingIdentifiers(t *testing.T) {
@@ -111,7 +111,7 @@ func Fine() {
 	log.Printf("n=%d", 1)
 }
 `}
-	wantFindings(t, diags(t, files, PrintfLess{}), 0)
+	wantFindings(t, diags(t, files, printfLessRule), 0)
 }
 
 func TestPrintfLessSuppressible(t *testing.T) {
@@ -125,5 +125,5 @@ func Tolerated(n int) {
 	fmt.Println("n =", n)
 }
 `}
-	wantFindings(t, diags(t, files, PrintfLess{}), 0)
+	wantFindings(t, diags(t, files, printfLessRule), 0)
 }

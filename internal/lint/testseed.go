@@ -17,7 +17,13 @@ import (
 // *sources* flowing into rng.New / rng.NewSeq / Seed calls inside
 // _test.go files, plus any call spelled rand.<F>. Literals, named
 // constants and loop-variable-derived seeds all pass.
-type TestSeed struct{}
+const testSeedName = "testseed"
+
+var testSeedRule = Rule{
+	Name:  testSeedName,
+	Doc:   "test files must seed RNGs with fixed values; no time/pid/env-derived seeds and no global rand",
+	Check: checkTestSeed,
+}
 
 // nondeterministicSeedSources maps package ident -> function names whose
 // results must never reach a seed in a test file.
@@ -26,16 +32,7 @@ var nondeterministicSeedSources = map[string]map[string]bool{
 	"os":   {"Getpid": true, "Getenv": true, "Environ": true, "Getppid": true},
 }
 
-// Name implements Rule.
-func (TestSeed) Name() string { return "testseed" }
-
-// Doc implements Rule.
-func (TestSeed) Doc() string {
-	return "test files must seed RNGs with fixed values; no time/pid/env-derived seeds and no global rand"
-}
-
-// Check implements Rule.
-func (r TestSeed) Check(pkg *Package) []Diagnostic {
+func checkTestSeed(pkg *Package) []Diagnostic {
 	var out []Diagnostic
 	for _, f := range pkg.Files {
 		if !f.Test {
@@ -49,7 +46,7 @@ func (r TestSeed) Check(pkg *Package) []Diagnostic {
 			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "rand" {
 					out = append(out, Diagnostic{
-						Rule:    r.Name(),
+						Rule:    testSeedName,
 						Pos:     pkg.position(call),
 						Message: fmt.Sprintf("test uses global rand.%s; draw from a fixed-seed *rng.Stream instead", sel.Sel.Name),
 					})
@@ -62,7 +59,7 @@ func (r TestSeed) Check(pkg *Package) []Diagnostic {
 			for _, arg := range call.Args {
 				if bad := findNondeterministicSource(arg); bad != "" {
 					out = append(out, Diagnostic{
-						Rule:    r.Name(),
+						Rule:    testSeedName,
 						Pos:     pkg.position(call),
 						Message: fmt.Sprintf("test seeds an RNG from %s; use a fixed literal seed so failures replay", bad),
 					})

@@ -20,7 +20,7 @@ func TestNoise(t *testing.T) {
 	_ = r
 }
 `}
-	got := diags(t, files, TestSeed{})
+	got := diags(t, files, testSeedRule)
 	wantFindings(t, got, 1)
 }
 
@@ -42,7 +42,7 @@ func TestPid(t *testing.T) {
 	r.Seed(uint64(len(os.Getenv("SEED"))))
 }
 `}
-	wantFindings(t, diags(t, files, TestSeed{}), 2)
+	wantFindings(t, diags(t, files, testSeedRule), 2)
 }
 
 func TestTestSeedFlagsGlobalRand(t *testing.T) {
@@ -61,7 +61,7 @@ func TestNoise(t *testing.T) {
 	}
 }
 `}
-	wantFindings(t, diags(t, files, TestSeed{}), 1)
+	wantFindings(t, diags(t, files, testSeedRule), 1)
 }
 
 func TestTestSeedAllowsFixedAndLoopSeeds(t *testing.T) {
@@ -88,7 +88,7 @@ func TestFixed(t *testing.T) {
 	_ = r
 }
 `}
-	wantFindings(t, diags(t, files, TestSeed{}), 0)
+	wantFindings(t, diags(t, files, testSeedRule), 0)
 }
 
 func TestTestSeedIgnoresNonTestFiles(t *testing.T) {
@@ -107,7 +107,7 @@ import (
 // Fresh is the anti-pattern, but in a non-test file.
 func Fresh() *rng.Stream { return rng.New(uint64(time.Now().UnixNano())) }
 `}
-	wantFindings(t, diags(t, files, TestSeed{}), 0)
+	wantFindings(t, diags(t, files, testSeedRule), 0)
 }
 
 func TestTestSeedHonoursIgnoreDirective(t *testing.T) {
@@ -129,5 +129,5 @@ func TestSoak(t *testing.T) {
 	_ = r
 }
 `}
-	wantFindings(t, diags(t, files, TestSeed{}), 0)
+	wantFindings(t, diags(t, files, testSeedRule), 0)
 }
