@@ -70,14 +70,17 @@ bench-smoke:
 	@tail -n 3 bench.txt
 
 # bench-json records the machine-readable benchmark trajectory: a real
-# (multi-iteration) -benchmem run parsed into BENCH_4.json, diffed
-# against the pre-PR baseline saved in bench_baseline_4.txt.
+# (multi-iteration) -benchmem run parsed into BENCH_7.json, diffed
+# against the pre-PR baseline saved in bench_baseline_7.txt, with the
+# build/machine provenance manifest embedded (-runinfo) and the
+# regression gate armed: any allocs/op or B/op growth beyond 10% vs
+# the baseline exits non-zero.
 bench-json:
 	$(GO) test -bench='^(BenchmarkRun|BenchmarkFullMethodology|BenchmarkCoreUniformise|BenchmarkCellTransient|BenchmarkFig2MarginStack|BenchmarkFig3SpectralDensity|BenchmarkFig5GlitchScenarios)$$' \
 		-benchmem -benchtime=2x -run=^$$ . > bench_current.txt
-	$(GO) run ./cmd/benchjson -baseline bench_baseline_4.txt -o BENCH_4.json bench_current.txt
+	$(GO) run ./cmd/benchjson -baseline bench_baseline_7.txt -gate -runinfo -o BENCH_7.json bench_current.txt
 	@rm -f bench_current.txt
-	@echo wrote BENCH_4.json
+	@echo wrote BENCH_7.json
 
 # smoke-service exercises samuraid end to end: build -race, start on an
 # ephemeral port, run a tiny array job over HTTP, SIGTERM, assert a

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchjson [-baseline file] [-o out.json] [input.txt ...]
+//	benchjson [-baseline file] [-o out.json] [-gate] [-runinfo] [input.txt ...]
 //
 // Inputs default to stdin. Every benchmark line — name, iteration
 // count, then (value, unit) pairs including custom b.ReportMetric
@@ -12,6 +12,14 @@
 // saved bench run, each benchmark additionally carries the baseline
 // metrics and the percentage delta for every unit present in both
 // runs, so "allocs/op fell 97%" is a field, not a log-diff exercise.
+//
+// -gate turns the diff into a CI check: the exit code is 1 when any
+// gated unit (default allocs/op and B/op — the deterministic cost
+// metrics; wall-clock is too noisy for shared runners) regresses more
+// than -gate-max-pct percent against the baseline. Benchmarks absent
+// from the baseline never gate. -runinfo embeds the build/machine
+// provenance manifest in the trajectory so archived artifacts say
+// where their numbers came from.
 package main
 
 import (
@@ -22,8 +30,11 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
+
+	"samurai/internal/obs"
 )
 
 // Bench is one parsed benchmark result line.
@@ -46,6 +57,9 @@ type Bench struct {
 
 // Trajectory is the top-level output document.
 type Trajectory struct {
+	// RunInfo is the provenance manifest of the process that produced
+	// this trajectory (-runinfo).
+	RunInfo *obs.RunInfo `json:"run_info,omitempty"`
 	// BaselineSource names the file the baseline column came from.
 	BaselineSource string  `json:"baseline_source,omitempty"`
 	Benchmarks     []Bench `json:"benchmarks"`
@@ -119,9 +133,38 @@ func attachBaseline(cur, base []Bench) {
 	}
 }
 
+// gateRegressions returns one message per benchmark whose gated unit
+// regressed by more than maxPct percent against its baseline (computed
+// deltas must already be attached). Benchmarks or units missing from
+// the baseline are skipped: a gate only compares what both runs
+// measured. Messages are sorted for stable CI output.
+func gateRegressions(cur []Bench, units []string, maxPct float64) []string {
+	gated := make(map[string]bool, len(units))
+	for _, u := range units {
+		if u = strings.TrimSpace(u); u != "" {
+			gated[u] = true
+		}
+	}
+	var out []string
+	for _, b := range cur {
+		for unit, pct := range b.DeltaPct {
+			if gated[unit] && pct > maxPct {
+				out = append(out, fmt.Sprintf("%s: %s regressed %.1f%% (%.6g -> %.6g, budget %.1f%%)",
+					b.Name, unit, pct, b.Baseline[unit], b.Metrics[unit], maxPct))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 func run() error {
 	baselinePath := flag.String("baseline", "", "bench output file to diff against")
 	outPath := flag.String("o", "", "output JSON path (default stdout)")
+	gate := flag.Bool("gate", false, "exit 1 when a gated unit regresses more than -gate-max-pct vs -baseline")
+	gateUnits := flag.String("gate-units", "allocs/op,B/op", "comma-separated units the gate checks")
+	gateMaxPct := flag.Float64("gate-max-pct", 10, "regression budget per gated unit, percent")
+	runinfo := flag.Bool("runinfo", false, "embed the build/machine provenance manifest in the trajectory")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -148,6 +191,13 @@ func run() error {
 	}
 
 	traj := Trajectory{Benchmarks: cur}
+	if *runinfo {
+		ri := obs.Info(0, "")
+		traj.RunInfo = &ri
+	}
+	if *gate && *baselinePath == "" {
+		return fmt.Errorf("benchjson: -gate needs a -baseline to compare against")
+	}
 	if *baselinePath != "" {
 		f, err := os.Open(*baselinePath)
 		if err != nil {
@@ -171,11 +221,22 @@ func run() error {
 	}
 	enc = append(enc, '\n')
 	if *outPath == "" {
-		_, err = os.Stdout.Write(enc)
-		return err
-	}
-	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		if _, err = os.Stdout.Write(enc); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
 		return fmt.Errorf("benchjson: %w", err)
+	}
+
+	if *gate {
+		if regs := gateRegressions(cur, strings.Split(*gateUnits, ","), *gateMaxPct); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "benchjson: GATE", r)
+			}
+			return fmt.Errorf("benchjson: %d benchmark metric(s) over the regression budget", len(regs))
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate ok (%d benchmarks within %.1f%% of %s)\n",
+			len(cur), *gateMaxPct, *baselinePath)
 	}
 	return nil
 }

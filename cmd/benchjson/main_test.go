@@ -70,3 +70,37 @@ func TestAttachBaseline(t *testing.T) {
 		t.Fatalf("allocs/op delta = %g, want about -98", cur[0].DeltaPct["allocs/op"])
 	}
 }
+
+func TestGateRegressions(t *testing.T) {
+	cur := []Bench{
+		{
+			Name:    "BenchmarkRun/obs",
+			Metrics: map[string]float64{"allocs/op": 1200, "B/op": 1000, "ns/op": 5e6},
+		},
+		{
+			Name:    "BenchmarkRun/new",
+			Metrics: map[string]float64{"allocs/op": 9999},
+		},
+	}
+	base := []Bench{{
+		Name:    "BenchmarkRun/obs",
+		Metrics: map[string]float64{"allocs/op": 1000, "B/op": 990, "ns/op": 1e6},
+	}}
+	attachBaseline(cur, base)
+	units := []string{"allocs/op", "B/op"}
+
+	// allocs/op is +20% (over budget); B/op is ~+1% (within); ns/op is
+	// +400% but not a gated unit; the new benchmark has no baseline.
+	regs := gateRegressions(cur, units, 10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("gate flagged %v, want exactly the allocs/op regression", regs)
+	}
+	if regs = gateRegressions(cur, units, 25); len(regs) != 0 {
+		t.Fatalf("gate flagged %v under a 25%% budget", regs)
+	}
+	// Improvements never gate.
+	cur[0].DeltaPct["allocs/op"] = -40
+	if regs = gateRegressions(cur, units, 10); len(regs) != 0 {
+		t.Fatalf("gate flagged an improvement: %v", regs)
+	}
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ import (
 	samurai "samurai"
 	"samurai/internal/device"
 	"samurai/internal/obs"
+	"samurai/internal/obs/trace"
 	"samurai/internal/sram"
 	"samurai/internal/waveform"
 )
@@ -39,6 +41,7 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090)")
 		progress    = flag.Bool("progress", false, "stream structured progress events (spans, phase timings) to stderr")
+		traceOut    = flag.String("trace-out", "", "write the run's causal trace to this file (.jsonl for one span per line; anything else gets Chrome/Perfetto trace_event JSON)")
 	)
 	flag.Parse()
 	if *progress {
@@ -113,9 +116,26 @@ func main() {
 		return
 	}
 
-	res, err := samurai.Run(cfg)
+	// The trace ID is a pure function of the run's inputs, so two
+	// invocations with the same flags export the identical topology.
+	ctx := context.Background()
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		desc := fmt.Sprintf("tech=%s vdd_frac=%g scale=%g pattern=%s marginal=%v",
+			*techName, *vddFrac, *scale, *pattern, *marginal)
+		tracer = trace.New(trace.ID(*seed, []byte(desc)), trace.Options{})
+		ctx = trace.NewContext(ctx, tracer)
+	}
+
+	res, err := samurai.RunCtx(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tracer != nil {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace %016x written to %s\n", tracer.TraceID(), *traceOut)
 	}
 	fmt.Printf("trap populations: ")
 	for _, name := range sram.Transistors {
@@ -135,6 +155,24 @@ func main() {
 	if res.WriteErrors() > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeTrace exports the tracer's spans: one span per line for .jsonl
+// paths, Chrome/Perfetto trace_event JSON otherwise.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChrome(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // dumpRun writes the storage-node waveforms and every RTN trace as CSV.

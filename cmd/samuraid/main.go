@@ -33,18 +33,19 @@ func main() {
 	storePath := flag.String("store", "samuraid.jsonl", "append-only job store path")
 	maxJobs := flag.Int("max-jobs", 1, "jobs executing concurrently")
 	workers := flag.Int("workers", 0, "default per-job cell workers (0 = GOMAXPROCS)")
+	flightSize := flag.Int("flight-size", 0, "per-job flight-recorder ring capacity (0 = default, negative disables)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
 	progress := flag.Bool("progress", false, "log progress events to stderr as JSONL")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time for the HTTP server to drain on shutdown")
 	flag.Parse()
 
-	if err := run(*addr, *storePath, *addrFile, *maxJobs, *workers, *progress, *drainTimeout); err != nil {
+	if err := run(*addr, *storePath, *addrFile, *maxJobs, *workers, *flightSize, *progress, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "samuraid:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storePath, addrFile string, maxJobs, workers int, progress bool, drainTimeout time.Duration) error {
+func run(addr, storePath, addrFile string, maxJobs, workers, flightSize int, progress bool, drainTimeout time.Duration) error {
 	if progress {
 		obs.SetSink(obs.NewJSONLSink(os.Stderr))
 	}
@@ -54,8 +55,9 @@ func run(addr, storePath, addrFile string, maxJobs, workers int, progress bool, 
 		return err
 	}
 	sched := jobd.New(store, replayed, maxSeq, jobd.Options{
-		MaxJobs: maxJobs,
-		Workers: workers,
+		MaxJobs:    maxJobs,
+		Workers:    workers,
+		FlightSize: flightSize,
 	})
 	sched.Start()
 

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"sort"
+	"testing"
+
+	"samurai/internal/lint"
+	"samurai/internal/obs"
+)
+
+// TestLintWaiverProvenanceMatchesTree pins obs.LintWaivers — the
+// rule-set baked into every provenance manifest — to the suppression
+// directives actually present in this tree. When a waiver for a new
+// rule lands (or the last waiver of a rule is removed), this fails
+// until internal/obs/waivers.go is updated, so result files never
+// claim a stale set of softened guarantees.
+func TestLintWaiverProvenanceMatchesTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the full module")
+	}
+	pkgs, err := lint.LoadModule("../..")
+	if err != nil {
+		t.Fatalf("LoadModule ../..: %v", err)
+	}
+	set := map[string]bool{}
+	for _, s := range lint.Suppressions(pkgs) {
+		for _, r := range s.Rules {
+			set[r] = true
+		}
+	}
+	got := make([]string, 0, len(set))
+	for r := range set {
+		got = append(got, r)
+	}
+	sort.Strings(got)
+
+	want := obs.LintWaivers()
+	sort.Strings(want)
+
+	if len(got) != len(want) {
+		t.Fatalf("waived rules in tree %v, obs.LintWaivers() %v — update internal/obs/waivers.go", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("waived rules in tree %v, obs.LintWaivers() %v — update internal/obs/waivers.go", got, want)
+		}
+	}
+}

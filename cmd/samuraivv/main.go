@@ -60,6 +60,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "samuraivv:", err)
 		return 2
 	}
+	// Provenance is spliced in after the deterministic body is
+	// marshalled: the report's own bytes stay a pure function of the
+	// seed, with the machine-dependent manifest isolated in the leading
+	// run_info member.
+	enc = obs.SpliceJSON(enc, obs.Info(*seed, ""))
 	enc = append(enc, '\n')
 	if *out != "" {
 		if err := os.WriteFile(*out, enc, 0o644); err != nil {

@@ -31,12 +31,19 @@ func TestRunEmitsPassingReport(t *testing.T) {
 				PValue float64 `json:"p_value"`
 			} `json:"gates"`
 		} `json:"scenarios"`
+		RunInfo struct {
+			GoVersion string `json:"go_version"`
+			Seed      uint64 `json:"seed"`
+		} `json:"run_info"`
 	}
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatalf("report not valid JSON: %v", err)
 	}
 	if !rep.Pass || rep.Seed != 2 || len(rep.Scenarios) == 0 {
 		t.Fatalf("unexpected report: pass=%v seed=%d scenarios=%d", rep.Pass, rep.Seed, len(rep.Scenarios))
+	}
+	if rep.RunInfo.GoVersion == "" || rep.RunInfo.Seed != 2 {
+		t.Fatalf("report missing provenance manifest: %+v", rep.RunInfo)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 
+	"samurai/internal/obs/trace"
 	"samurai/internal/waveform"
 )
 
@@ -483,8 +484,13 @@ func (r *Runner) Result() *TransientResult {
 }
 
 // Transient runs a fixed-step implicit transient analysis and records
-// every node voltage and every MOSFET bias/current at each step.
+// every node voltage and every MOSFET bias/current at each step. When
+// spec.Options.Ctx carries a trace position, the whole analysis is
+// wrapped in a circuit.transient span (timing only — the solution is
+// bit-identical with or without tracing).
 func (c *Circuit) Transient(spec TransientSpec) (*TransientResult, error) {
+	_, span := trace.Start(spec.Options.Ctx, "circuit.transient")
+	defer span.End()
 	r, err := c.NewRunner(spec)
 	if err != nil {
 		return nil, err

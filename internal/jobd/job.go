@@ -16,12 +16,14 @@
 package jobd
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
 	"samurai"
 	"samurai/internal/device"
 	"samurai/internal/montecarlo"
+	"samurai/internal/obs/trace"
 	"samurai/internal/sram"
 )
 
@@ -224,6 +226,19 @@ func (s Spec) RunConfig() (samurai.Config, error) {
 	}, nil
 }
 
+// traceID derives the job's deterministic trace ID: the FNV hash of
+// the seed and the canonical (defaulted) spec bytes. The same spec
+// always produces the same trace ID, so a resumed or re-run job is
+// diffable against its previous trace. The trace ID doubles as the
+// spec hash in the provenance manifest.
+func (s Spec) traceID() uint64 {
+	b, err := json.Marshal(s)
+	if err != nil {
+		b = nil // unreachable: Spec is plain data
+	}
+	return trace.ID(s.Seed, b)
+}
+
 // Summary is the aggregate outcome persisted for a finished job. Run
 // jobs fill the write-cycle counters; array jobs fill the array rates.
 type Summary struct {
@@ -255,6 +270,10 @@ type Job struct {
 	// cells holds the checkpointed per-cell outcomes (array jobs),
 	// keyed by cell index. After a clean finish it covers every cell.
 	cells map[int]CellRecord
+	// tracer collects the causal trace and flight-recorder notes of the
+	// job's current (or most recent) run. Rebuilt each time the job is
+	// picked up; observability state, never persisted to the WAL.
+	tracer *trace.Tracer
 }
 
 // cellsDone returns the number of checkpointed cells.

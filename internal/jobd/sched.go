@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"samurai"
 	"samurai/internal/montecarlo"
 	"samurai/internal/obs"
+	"samurai/internal/obs/trace"
 	"samurai/internal/sram"
 )
 
@@ -33,10 +36,11 @@ func stateGauge(st State) *obs.Gauge {
 		"jobs by lifecycle state", obs.L("state", string(st)))
 }
 
-// jobCellsPerSec resolves the per-job throughput gauge.
-func jobCellsPerSec(id string) *obs.Gauge {
-	return obs.GetGauge("samurai_jobd_job_cells_per_second",
-		"fresh cells per second of the job's current run", obs.L("job", id))
+// jobScope returns the per-job label scope: every series a job's run
+// resolves through it carries job="…", so one /metrics exposition
+// distinguishes tenants.
+func jobScope(id string) *obs.Scope {
+	return obs.Default().Child(obs.L("job", id))
 }
 
 // ErrDraining is returned by Submit once Drain has begun.
@@ -56,7 +60,15 @@ type Options struct {
 	// Retry is the default per-cell retry policy for specs that do not
 	// set one.
 	Retry RetrySpec
+	// FlightSize is the per-job flight-recorder ring capacity (last N
+	// span/event notes kept for failure dumps; default
+	// DefaultFlightSize). Negative disables the recorder.
+	FlightSize int
 }
+
+// DefaultFlightSize keeps the last 4096 notes per job — enough to cover
+// the tail of a large sweep at ~48 bytes a slot.
+const DefaultFlightSize = 4096
 
 func (o Options) withDefaults() Options {
 	if o.MaxJobs <= 0 {
@@ -64,6 +76,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueCap <= 0 {
 		o.QueueCap = 256
+	}
+	if o.FlightSize == 0 {
+		o.FlightSize = DefaultFlightSize
 	}
 	o.Retry = o.Retry.withDefaults()
 	return o
@@ -233,6 +248,18 @@ func (s *Scheduler) List() []View {
 	return out
 }
 
+// Trace returns the tracer of a job's current or most recent run
+// (false until the job has started running at least once).
+func (s *Scheduler) Trace(id string) (*trace.Tracer, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.tracer == nil {
+		return nil, false
+	}
+	return j.tracer, true
+}
+
 // CellRecords returns the checkpointed cells of a job, sorted by index.
 func (s *Scheduler) CellRecords(id string) ([]CellRecord, bool) {
 	s.mu.Lock()
@@ -343,16 +370,26 @@ func (s *Scheduler) transition(j *Job, st State, errMsg string) {
 	}
 }
 
-// runJob executes one job to a final (or requeued) state.
+// runJob executes one job to a final (or requeued) state. Every run
+// gets a fresh tracer under the spec's deterministic trace ID and a
+// flight recorder that is dumped to the WAL directory when the run
+// fails or drains.
 func (s *Scheduler) runJob(j *Job) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	var flight *trace.Flight
+	if s.opts.FlightSize > 0 {
+		flight = trace.NewFlight(s.opts.FlightSize)
+	}
+	tr := trace.New(j.Spec.traceID(), trace.Options{Flight: flight})
+	ctx = trace.NewContext(ctx, tr)
 	s.mu.Lock()
 	if j.State != StateQueued {
 		// Cancelled while waiting in the queue.
 		s.mu.Unlock()
 		return
 	}
+	j.tracer = tr
 	spec := j.Spec
 	resume := j.resumeOutcomes()
 	s.cancels[j.ID] = cancel
@@ -393,12 +430,41 @@ func (s *Scheduler) runJob(j *Job) {
 	case errors.Is(err, montecarlo.ErrDrained):
 		// Graceful drain: checkpointed progress is in the store; the
 		// job resumes after the next start.
+		s.dumpFlight(j.ID, tr, "drain")
 		s.transition(j, StateQueued, "")
 	case errors.Is(err, context.Canceled):
 		s.transition(j, StateCanceled, "canceled")
 	default:
+		s.dumpFlight(j.ID, tr, "failure")
 		s.transition(j, StateFailed, err.Error())
 	}
+}
+
+// dumpFlight writes the tracer's flight-recorder contents next to the
+// WAL as <jobID>-flight-<reason>.jsonl, so the last moments of a
+// failed, retried or drained run survive for post-mortem inspection.
+// Dumps are best-effort observability: a write failure is emitted, not
+// returned.
+func (s *Scheduler) dumpFlight(id string, tr *trace.Tracer, reason string) {
+	f := tr.Flight()
+	if f == nil {
+		return
+	}
+	path := filepath.Join(filepath.Dir(s.store.Path()), id+"-flight-"+reason+".jsonl")
+	fh, err := os.Create(path)
+	if err != nil {
+		obs.Emit("jobd.flightdump", obs.F("job", id), obs.F("error", err.Error()))
+		return
+	}
+	werr := f.WriteJSONL(fh)
+	if cerr := fh.Close(); werr == nil {
+		werr = cerr
+	}
+	fields := []obs.Field{obs.F("job", id), obs.F("reason", reason), obs.F("path", path)}
+	if werr != nil {
+		fields = append(fields, obs.F("error", werr.Error()))
+	}
+	s.emit(id, "jobd.flightdump", fields...)
 }
 
 // execRun executes a single methodology run job.
@@ -438,7 +504,23 @@ func (s *Scheduler) execArray(ctx context.Context, cancel context.CancelFunc, j 
 	if retry.Max == 0 {
 		retry = s.opts.Retry
 	}
-	runner := retryRunner(samurai.ArrayRunnerCtx(), retry)
+	trc := trace.FromContext(ctx)
+	scope := jobScope(j.ID)
+	cellsPerSec := scope.Gauge("samurai_jobd_job_cells_per_second",
+		"fresh cells per second of the job's current run")
+	retries := scope.Counter("samurai_jobd_job_retries_total",
+		"per-cell retry attempts of the job's current run")
+	runner := retryRunner(samurai.ArrayRunnerCtx(), retry,
+		func(seed uint64, attempt int, err error) {
+			retries.Inc()
+			trc.Event("jobd.retry", seed, uint64(attempt), 0)
+			s.emit(j.ID, "jobd.retry",
+				obs.F("job", j.ID),
+				obs.F("seed", seed),
+				obs.F("attempt", attempt),
+				obs.F("error", err.Error()))
+			s.dumpFlight(j.ID, trc, "retry")
+		})
 
 	start := time.Now()
 	var storeErr error
@@ -462,8 +544,9 @@ func (s *Scheduler) execArray(ctx context.Context, cancel context.CancelFunc, j 
 			done := j.cellsDone()
 			total := j.CellsTotal
 			s.mu.Unlock()
+			trc.Event("jobd.cell", uint64(rec.Index), uint64(done), uint64(total))
 			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
-				jobCellsPerSec(j.ID).Set(float64(done-len(resume)) / elapsed)
+				cellsPerSec.Set(float64(done-len(resume)) / elapsed)
 			}
 			s.emit(j.ID, "jobd.cell",
 				obs.F("job", j.ID),
@@ -488,8 +571,10 @@ func (s *Scheduler) execArray(ctx context.Context, cancel context.CancelFunc, j 
 
 // retryRunner wraps a cell runner with capped exponential backoff for
 // transiently failing cells. Cancellation errors are never retried,
-// and the backoff sleep aborts as soon as ctx does.
-func retryRunner(run montecarlo.CtxRunner, r RetrySpec) montecarlo.CtxRunner {
+// and the backoff sleep aborts as soon as ctx does. onRetry (optional)
+// observes each attempt that is about to be retried, keyed by the
+// cell's seed — the one stable identifier the runner signature carries.
+func retryRunner(run montecarlo.CtxRunner, r RetrySpec, onRetry func(seed uint64, attempt int, err error)) montecarlo.CtxRunner {
 	if r.Max <= 0 {
 		return run
 	}
@@ -502,6 +587,9 @@ func retryRunner(run montecarlo.CtxRunner, r RetrySpec) montecarlo.CtxRunner {
 			if err == nil || attempt >= r.Max ||
 				errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return nerr, slow, traps, err
+			}
+			if onRetry != nil {
+				onRetry(seed, attempt, err)
 			}
 			timer := time.NewTimer(backoff)
 			select {

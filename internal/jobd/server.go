@@ -14,14 +14,19 @@ import (
 // (obs.NewMux: /metrics, /debug/pprof) and returns the combined
 // handler.
 //
-//	POST /jobs              submit a Spec, 202 + View
-//	GET  /jobs              list all jobs
-//	GET  /jobs/{id}         one job's View
-//	GET  /jobs/{id}/result  409 until done; summary + sorted cells
-//	GET  /jobs/{id}/events  progress stream: NDJSON, or SSE with
-//	                        ?format=sse / Accept: text/event-stream
-//	POST /jobs/{id}/cancel  cancel queued or running job
-//	GET  /healthz           liveness (503 while draining)
+//	POST /jobs                submit a Spec, 202 + View
+//	GET  /jobs                list all jobs
+//	GET  /jobs/{id}           one job's View
+//	GET  /jobs/{id}/result    409 until done; provenance manifest,
+//	                          summary + sorted cells
+//	GET  /jobs/{id}/trace     causal trace of the job's last run:
+//	                          Chrome/Perfetto trace_event JSON, or
+//	                          one span per line with ?format=jsonl
+//	GET  /jobs/{id}/events    progress stream: NDJSON, or SSE with
+//	                          ?format=sse / Accept: text/event-stream
+//	POST /jobs/{id}/cancel    cancel queued or running job
+//	GET  /debug/flightrecorder  recent span/event notes of every job
+//	GET  /healthz             liveness (503 while draining)
 func NewHandler(s *Scheduler) http.Handler {
 	mux := obs.NewMux(nil)
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -66,11 +71,70 @@ func NewHandler(s *Scheduler) http.Handler {
 			return
 		}
 		cells, _ := s.CellRecords(id)
+		// The provenance manifest is attached at serve time only: it is
+		// machine-dependent (CPU count, VCS revision) and must never
+		// enter the WAL, where it would poison resumed runs' records.
 		writeJSON(w, http.StatusOK, struct {
 			ID      string       `json:"id"`
+			RunInfo obs.RunInfo  `json:"run_info"`
 			Summary *Summary     `json:"summary"`
 			Cells   []CellRecord `json:"cells,omitempty"`
-		}{ID: id, Summary: v.Result, Cells: cells})
+		}{
+			ID:      id,
+			RunInfo: obs.Info(v.Spec.Seed, fmt.Sprintf("%016x", v.Spec.traceID())),
+			Summary: v.Result,
+			Cells:   cells,
+		})
+	})
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		tr, ok := s.Trace(id)
+		if !ok {
+			httpError(w, http.StatusNotFound,
+				fmt.Errorf("jobd: no trace for job %q (never started?)", id))
+			return
+		}
+		var err error
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			err = tr.WriteChrome(w)
+		case "jsonl":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			err = tr.WriteJSONL(w)
+		default:
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("jobd: unknown trace format %q (want chrome or jsonl)", format))
+			return
+		}
+		if err != nil {
+			// Mid-stream write failure: the client hung up; there is no
+			// channel left to report on.
+			return
+		}
+	})
+	mux.HandleFunc("GET /debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, v := range s.List() {
+			tr, ok := s.Trace(v.ID)
+			if !ok || tr.Flight() == nil {
+				continue
+			}
+			header := struct {
+				Job     string `json:"job"`
+				TraceID string `json:"trace_id"`
+			}{Job: v.ID, TraceID: fmt.Sprintf("%016x", tr.TraceID())}
+			hb, err := json.Marshal(header)
+			if err != nil {
+				continue // unreachable: header is plain data
+			}
+			if _, err := w.Write(append(hb, '\n')); err != nil {
+				return
+			}
+			if err := tr.Flight().WriteJSONL(w); err != nil {
+				return
+			}
+		}
 	})
 	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")

@@ -117,7 +117,7 @@ func checkDetflow(pkgs []*lint.Package) []lint.Diagnostic {
 			if n.Name() != name {
 				continue
 			}
-			if t := a.retTaint[n]; t != nil {
+			if t := a.retAny(n); t != nil {
 				pos := g.position(n.Pkg, n.Decl)
 				report(t, returnSinks[name], fmt.Sprintf("%s:%d", pos.Filename, pos.Line))
 			}

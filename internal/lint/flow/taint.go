@@ -78,8 +78,13 @@ type analysis struct {
 	// taint maps a program object (local, parameter, package var) to
 	// the witness explaining how nondeterminism reached it.
 	taint map[types.Object]*trace
-	// retTaint summarises "this function's results carry taint".
-	retTaint map[*Node]*trace
+	// retTaint summarises "result i of this function carries taint",
+	// per result index. Index -1 means "some result, index unknown" and
+	// taints every position. Per-index precision matters for APIs like
+	// trace.Start that return a clean context alongside a timed span:
+	// only the span result is tainted, so destructuring call sites keep
+	// the context clean.
+	retTaint map[*Node]map[int]*trace
 	// paramOut summarises "calling this function taints the object
 	// passed as argument i" (writes through pointer-like parameters).
 	paramOut map[*Node]map[int]*trace
@@ -103,7 +108,7 @@ func analyze(pkgs []*lint.Package) (*Graph, *analysis) {
 	a := &analysis{
 		g:        g,
 		taint:    map[types.Object]*trace{},
-		retTaint: map[*Node]*trace{},
+		retTaint: map[*Node]map[int]*trace{},
 		paramOut: map[*Node]map[int]*trace{},
 	}
 	for i := 0; ; i++ {
@@ -131,12 +136,54 @@ func (a *analysis) mark(obj types.Object, t *trace) {
 	a.changed = true
 }
 
-func (a *analysis) setRet(n *Node, t *trace) {
-	if t == nil || a.retTaint[n] != nil {
+// setRet records taint on result index i of n (first witness wins per
+// index; i == -1 taints every position).
+func (a *analysis) setRet(n *Node, i int, t *trace) {
+	if t == nil {
 		return
 	}
-	a.retTaint[n] = t
+	m := a.retTaint[n]
+	if m == nil {
+		m = map[int]*trace{}
+		a.retTaint[n] = m
+	}
+	if _, ok := m[i]; ok {
+		return
+	}
+	m[i] = t
 	a.changed = true
+}
+
+// retIndex returns the taint of result index i, falling back to the
+// index-unknown (-1) summary.
+func (a *analysis) retIndex(n *Node, i int) *trace {
+	m := a.retTaint[n]
+	if m == nil {
+		return nil
+	}
+	if t := m[i]; t != nil {
+		return t
+	}
+	return m[-1]
+}
+
+// retAny returns a witness if any result of n carries taint, preferring
+// the lowest index so the reported chain is deterministic.
+func (a *analysis) retAny(n *Node) *trace {
+	m := a.retTaint[n]
+	if len(m) == 0 {
+		return nil
+	}
+	if t, ok := m[-1]; ok {
+		return t
+	}
+	min := -1
+	for i := range m {
+		if min == -1 || i < min {
+			min = i
+		}
+	}
+	return m[min]
 }
 
 func (a *analysis) setParamOut(n *Node, i int, t *trace) {
@@ -187,7 +234,16 @@ func (a *analysis) visit(n *Node) {
 
 func (a *analysis) assign(n *Node, s *ast.AssignStmt) {
 	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
-		// Tuple assignment: one taint for all targets.
+		// Tuple assignment. For a call RHS the callee summary is
+		// per-result-index, so each target gets its own taint; other
+		// tuple forms (map/chan/type-assert comma-ok) share the operand
+		// taint across all targets.
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			for i, t := range a.callTupleTaint(n, call, len(s.Lhs)) {
+				a.assignTo(n, s.Lhs[i], t)
+			}
+			return
+		}
 		t := a.exprTaint(n, s.Rhs[0])
 		for _, lhs := range s.Lhs {
 			a.assignTo(n, lhs, t)
@@ -248,23 +304,59 @@ func (a *analysis) valueSpec(n *Node, s *ast.ValueSpec) {
 func (a *analysis) returnStmt(n *Node, s *ast.ReturnStmt) {
 	pos := n.Pkg.Fset.Position(s.Pos())
 	if len(s.Results) == 0 {
-		// Naked return: named results carry whatever taint they have.
+		// Naked return: named results carry whatever taint they have,
+		// positionally.
 		if res := n.Decl.Type.Results; res != nil {
+			idx := 0
 			for _, field := range res.List {
+				if len(field.Names) == 0 {
+					idx++
+					continue
+				}
 				for _, name := range field.Names {
 					if t := a.taint[n.Pkg.Info.Defs[name]]; t != nil {
-						a.setRet(n, step(t, "returned from "+n.Name(), pos))
+						a.setRet(n, idx, step(t, "returned from "+n.Name(), pos))
 					}
+					idx++
 				}
 			}
 		}
 		return
 	}
-	for _, r := range s.Results {
-		if t := a.exprTaint(n, r); t != nil {
-			a.setRet(n, step(t, "returned from "+n.Name(), pos))
+	if nres := resultCount(n); len(s.Results) == 1 && nres > 1 {
+		// return f(): a multi-result call forwarded whole. Propagate the
+		// callee's per-index summary.
+		if call, ok := ast.Unparen(s.Results[0]).(*ast.CallExpr); ok {
+			for i, t := range a.callTupleTaint(n, call, nres) {
+				if t != nil {
+					a.setRet(n, i, step(t, "returned from "+n.Name(), pos))
+				}
+			}
+			return
 		}
 	}
+	for i, r := range s.Results {
+		if t := a.exprTaint(n, r); t != nil {
+			a.setRet(n, i, step(t, "returned from "+n.Name(), pos))
+		}
+	}
+}
+
+// resultCount returns the number of result values of n's signature.
+func resultCount(n *Node) int {
+	res := n.Decl.Type.Results
+	if res == nil {
+		return 0
+	}
+	count := 0
+	for _, field := range res.List {
+		if len(field.Names) == 0 {
+			count++
+			continue
+		}
+		count += len(field.Names)
+	}
+	return count
 }
 
 // goStmt models the classic fan-out hazard: a goroutine writing to a
@@ -498,7 +590,7 @@ func (a *analysis) callTaint(n *Node, call *ast.CallExpr) *trace {
 			return &trace{desc: d + " from " + fn.FullName(), pos: pos}
 		}
 		if cn := a.g.Nodes[fn]; cn != nil {
-			if t := a.retTaint[cn]; t != nil {
+			if t := a.retAny(cn); t != nil {
 				return step(t, "result of "+cn.Name(), pos)
 			}
 			continue
@@ -519,6 +611,55 @@ func (a *analysis) callTaint(n *Node, call *ast.CallExpr) *trace {
 		}
 	}
 	return nil
+}
+
+// callTupleTaint computes per-result-index taint for a multi-result
+// call destructured into k targets. Sources and external pass-through
+// taint every index (which result carries the nondeterminism is
+// unknowable without a body); internal callees use their per-index
+// retTaint summary.
+func (a *analysis) callTupleTaint(n *Node, call *ast.CallExpr, k int) []*trace {
+	out := make([]*trace, k)
+	pos := n.Pkg.Fset.Position(call.Pos())
+	fun := ast.Unparen(call.Fun)
+	fill := func(t *trace) {
+		for i := range out {
+			if out[i] == nil {
+				out[i] = t
+			}
+		}
+	}
+	for _, fn := range n.callees[call] {
+		if d := sourceDesc(fn); d != "" {
+			fill(&trace{desc: d + " from " + fn.FullName(), pos: pos})
+			continue
+		}
+		if cn := a.g.Nodes[fn]; cn != nil {
+			for i := range out {
+				if out[i] == nil {
+					if t := a.retIndex(cn, i); t != nil {
+						out[i] = step(t, "result of "+cn.Name(), pos)
+					}
+				}
+			}
+			continue
+		}
+		// External, non-source callee: conservative pass-through of
+		// argument and receiver taint into every result.
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			if s, isSel := n.Pkg.Info.Selections[sel]; isSel && s.Kind() == types.MethodVal {
+				if t := a.exprTaint(n, sel.X); t != nil {
+					fill(step(t, "through "+fn.FullName(), pos))
+				}
+			}
+		}
+		for _, arg := range call.Args {
+			if t := a.exprTaint(n, arg); t != nil {
+				fill(step(t, "through "+fn.FullName(), pos))
+			}
+		}
+	}
+	return out
 }
 
 // rootObj resolves an lvalue or value expression to the object that

@@ -18,6 +18,8 @@
 //     binary can be pinned by a Slowloris client (httptimeouts)
 //   - test files seed RNGs with fixed values only — no time/pid/env
 //     seeds and no global rand, so failures replay (testseed)
+//   - every span created through internal/obs or internal/obs/trace is
+//     Ended on all paths, so traces never under-report (spanend)
 //
 // Beyond these per-package rules, the sub-package lint/flow registers
 // whole-program call-graph rules (detflow, maporder, ctxflow,
@@ -151,6 +153,7 @@ func builtinRules() []Rule {
 		hotAllocRule,
 		httpTimeoutsRule,
 		testSeedRule,
+		spanEndRule,
 	}
 }
 

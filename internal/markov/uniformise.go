@@ -1,8 +1,10 @@
 package markov
 
 import (
+	"context"
 	"errors"
 
+	"samurai/internal/obs/trace"
 	"samurai/internal/rng"
 	"samurai/internal/trap"
 	"samurai/internal/waveform"
@@ -77,6 +79,17 @@ func Uniformise(ctx trap.Context, tr trap.Trap, vgs BiasFunc, t0, tf float64, r 
 	}
 	publishPath(lambdaStar, candidates, accepts)
 	return p, nil
+}
+
+// UniformiseProfileCtx is UniformiseProfile under a traced context: the
+// whole profile simulation is wrapped in a markov.uniformise span
+// (nested under whatever span tree ctx carries). The span only
+// measures — the simulated paths are bit-identical to
+// UniformiseProfile's for the same stream.
+func UniformiseProfileCtx(ctx context.Context, pr trap.Profile, vgs BiasFunc, t0, tf float64, r *rng.Stream) ([]*Path, error) {
+	_, span := trace.Start(ctx, "markov.uniformise")
+	defer span.End()
+	return UniformiseProfile(pr, vgs, t0, tf, r)
 }
 
 // UniformiseProfile simulates every trap in a profile over [t0, tf].

@@ -19,6 +19,7 @@ import (
 	"samurai/internal/conc"
 	"samurai/internal/device"
 	"samurai/internal/obs"
+	"samurai/internal/obs/trace"
 	"samurai/internal/rng"
 	"samurai/internal/sram"
 )
@@ -210,7 +211,11 @@ func RunArrayCtx(ctx context.Context, cfg ArrayConfig, run CtxRunner, opts Array
 		nResumed++
 	}
 
-	span := obs.StartSpan("montecarlo.run_array")
+	// The array span parents every per-cell span: a tracer installed
+	// with trace.NewContext sees montecarlo.run_array → cell[i] →
+	// samurai.run → phases for the whole sweep.
+	ctx, span := trace.Start(ctx, "montecarlo.run_array")
+	defer span.End()
 	start := time.Now()
 	var done atomic.Int64      // cells simulated by this run (incl. failures)
 	var completed atomic.Int64 // cells simulated AND checkpointable (no error)
@@ -242,7 +247,9 @@ func RunArrayCtx(ctx context.Context, cfg ArrayConfig, run CtxRunner, opts Array
 				}
 				cellStart := time.Now()
 				root.SplitInto(uint64(i), &cellStream)
-				out := simulateCell(ctx, cfg, run, i, &cellStream)
+				cctx, csp := trace.StartInst(ctx, "cell", uint64(i))
+				out := simulateCell(cctx, cfg, run, i, &cellStream)
+				csp.End()
 				cellDur := time.Since(cellStart)
 				busy += cellDur
 				mCellSeconds.Observe(cellDur.Seconds())
@@ -304,7 +311,6 @@ dispatch:
 		obs.F("seconds", elapsed),
 		obs.F("cells_per_sec", float64(finished)/elapsed),
 		obs.F("workers", workers))
-	span.End()
 	if err := agg.Err(); err != nil {
 		return nil, err
 	}

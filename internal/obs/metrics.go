@@ -37,13 +37,7 @@ func (c *FloatCounter) Add(delta float64) {
 	if delta < 0 {
 		panic("obs: negative delta added to a float counter")
 	}
-	for {
-		old := c.bits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + delta)
-		if c.bits.CompareAndSwap(old, next) {
-			return
-		}
-	}
+	addFloatBits(&c.bits, delta)
 }
 
 // Value returns the accumulated total.
@@ -59,11 +53,16 @@ type Gauge struct {
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add shifts the gauge by delta.
-func (g *Gauge) Add(delta float64) {
+func (g *Gauge) Add(delta float64) { addFloatBits(&g.bits, delta) }
+
+// addFloatBits is the lock-free float accumulate loop shared by
+// FloatCounter.Add and Gauge.Add: CAS on the IEEE-754 bit pattern
+// until the delta lands exactly once.
+func addFloatBits(bits *atomic.Uint64, delta float64) {
 	for {
-		old := g.bits.Load()
+		old := bits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + delta)
-		if g.bits.CompareAndSwap(old, next) {
+		if bits.CompareAndSwap(old, next) {
 			return
 		}
 	}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed exposition sample.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePrometheus is a minimal parser for the Prometheus text
+// exposition format, written against the format spec rather than this
+// package's writer: names [a-zA-Z_:][a-zA-Z0-9_:]*, label values
+// double-quoted with \\, \" and \n escapes, one sample per line,
+// # HELP/# TYPE comments. It exists so WritePrometheus is conformance-
+// tested against an independent reading of the format.
+func parsePrometheus(text string) ([]promSample, error) {
+	var out []promSample
+	for lineNo, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "# ")
+			if !strings.HasPrefix(rest, "HELP ") && !strings.HasPrefix(rest, "TYPE ") {
+				return nil, fmt.Errorf("line %d: unknown comment form %q", lineNo+1, line)
+			}
+			continue
+		}
+		s := promSample{labels: map[string]string{}}
+		i := 0
+		for i < len(line) {
+			c := line[i]
+			ok := c == '_' || c == ':' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(i > 0 && c >= '0' && c <= '9')
+			if !ok {
+				break
+			}
+			i++
+		}
+		if i == 0 {
+			return nil, fmt.Errorf("line %d: no metric name in %q", lineNo+1, line)
+		}
+		s.name = line[:i]
+		if i < len(line) && line[i] == '{' {
+			i++
+			for {
+				if i < len(line) && line[i] == '}' {
+					i++
+					break
+				}
+				j := i
+				for j < len(line) && line[j] != '=' {
+					j++
+				}
+				if j >= len(line) {
+					return nil, fmt.Errorf("line %d: unterminated label in %q", lineNo+1, line)
+				}
+				key := line[i:j]
+				if key == "" {
+					return nil, fmt.Errorf("line %d: empty label key in %q", lineNo+1, line)
+				}
+				i = j + 1
+				if i >= len(line) || line[i] != '"' {
+					return nil, fmt.Errorf("line %d: label value not quoted in %q", lineNo+1, line)
+				}
+				i++
+				var val strings.Builder
+				for i < len(line) && line[i] != '"' {
+					if line[i] == '\\' && i+1 < len(line) {
+						i++
+						switch line[i] {
+						case 'n':
+							val.WriteByte('\n')
+						case '\\', '"':
+							val.WriteByte(line[i])
+						default:
+							return nil, fmt.Errorf("line %d: bad escape \\%c", lineNo+1, line[i])
+						}
+					} else {
+						val.WriteByte(line[i])
+					}
+					i++
+				}
+				if i >= len(line) {
+					return nil, fmt.Errorf("line %d: unterminated label value in %q", lineNo+1, line)
+				}
+				i++ // closing quote
+				s.labels[key] = val.String()
+				if i < len(line) && line[i] == ',' {
+					i++
+				}
+			}
+		}
+		rest := strings.TrimSpace(line[i:])
+		if rest == "" || strings.ContainsAny(rest, " \t") {
+			return nil, fmt.Errorf("line %d: expected exactly one sample value, got %q", lineNo+1, rest)
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad sample value %q: %v", lineNo+1, rest, err)
+		}
+		s.value = v
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// TestPrometheusConformance renders a registry holding every metric
+// type and checks the exposition through the independent parser: all
+// samples parse, histograms expose a cumulative bucket series ending
+// in an explicit le="+Inf" line equal to _count, and label values
+// round-trip through quoting.
+func TestPrometheusConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conf_jobs_total", "jobs").Add(3)
+	r.FloatCounter("conf_busy_seconds_total", "busy").Add(1.5)
+	r.Gauge("conf_depth", "queue depth", L("queue", `with"quote`)).Set(-2.5)
+	h := r.Histogram("conf_latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := parsePrometheus(b.String())
+	if err != nil {
+		t.Fatalf("exposition does not conform to the text format: %v\n%s", err, b.String())
+	}
+
+	find := func(name string, labels map[string]string) *promSample {
+		for i := range samples {
+			s := &samples[i]
+			if s.name != name || len(s.labels) != len(labels) {
+				continue
+			}
+			match := true
+			for k, v := range labels {
+				if s.labels[k] != v {
+					match = false
+				}
+			}
+			if match {
+				return s
+			}
+		}
+		t.Fatalf("no sample %s%v in:\n%s", name, labels, b.String())
+		return nil
+	}
+
+	if s := find("conf_jobs_total", nil); s.value != 3 {
+		t.Fatalf("counter value %v, want 3", s.value)
+	}
+	if s := find("conf_busy_seconds_total", nil); s.value != 1.5 {
+		t.Fatalf("float counter value %v, want 1.5", s.value)
+	}
+	if s := find("conf_depth", map[string]string{"queue": `with"quote`}); s.value != -2.5 {
+		t.Fatalf("gauge value %v, want -2.5 (label quoting must round-trip)", s.value)
+	}
+
+	// Histogram: buckets must be cumulative, the last bucket must be
+	// the explicit le="+Inf" one, and it must equal _count.
+	var buckets []promSample
+	for _, s := range samples {
+		if s.name == "conf_latency_seconds_bucket" {
+			buckets = append(buckets, s)
+		}
+	}
+	if len(buckets) != 4 { // 3 finite + +Inf
+		t.Fatalf("got %d bucket lines, want 4:\n%s", len(buckets), b.String())
+	}
+	sort.Slice(buckets, func(i, j int) bool {
+		fi, erri := strconv.ParseFloat(buckets[i].labels["le"], 64)
+		fj, errj := strconv.ParseFloat(buckets[j].labels["le"], 64)
+		if erri != nil {
+			return false
+		}
+		if errj != nil {
+			return true
+		}
+		return fi < fj
+	})
+	wantCum := []float64{1, 2, 3, 4}
+	for i, bkt := range buckets {
+		if bkt.value != wantCum[i] {
+			t.Fatalf("bucket %d (le=%q) = %v, want cumulative %v", i, bkt.labels["le"], bkt.value, wantCum[i])
+		}
+	}
+	inf := buckets[len(buckets)-1]
+	if inf.labels["le"] != "+Inf" {
+		t.Fatalf("last bucket le=%q, want explicit +Inf", inf.labels["le"])
+	}
+	if count := find("conf_latency_seconds_count", nil); inf.value != count.value {
+		t.Fatalf("+Inf bucket %v != _count %v", inf.value, count.value)
+	}
+	if sum := find("conf_latency_seconds_sum", nil); sum.value != 0.05+0.5+5+50 {
+		t.Fatalf("_sum %v, want %v", sum.value, 0.05+0.5+5+50)
+	}
+}
+
+// TestPrometheusParserRejectsGarbage pins that the conformance parser
+// is strict enough to be worth conforming to.
+func TestPrometheusParserRejectsGarbage(t *testing.T) {
+	bad := []string{
+		`metric{key=unquoted} 1`,
+		`metric 1 2 3`,
+		`metric{k="v"} notanumber`,
+		`{nolabel="x"} 1`,
+		`metric{k="unterminated} 1`,
+	}
+	for _, line := range bad {
+		if _, err := parsePrometheus(line); err == nil {
+			t.Fatalf("parser accepted malformed line %q", line)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+func TestInfoIdentifiesBuildAndRun(t *testing.T) {
+	ri := Info(42, "deadbeef")
+	if ri.GoVersion != runtime.Version() {
+		t.Fatalf("go version %q, want %q", ri.GoVersion, runtime.Version())
+	}
+	if ri.OS != runtime.GOOS || ri.Arch != runtime.GOARCH {
+		t.Fatalf("platform %s/%s, want %s/%s", ri.OS, ri.Arch, runtime.GOOS, runtime.GOARCH)
+	}
+	if ri.NumCPU < 1 {
+		t.Fatalf("NumCPU %d", ri.NumCPU)
+	}
+	if ri.Seed != 42 || ri.SpecHash != "deadbeef" {
+		t.Fatalf("run identity not carried: %+v", ri)
+	}
+	if ri.Revision == "" {
+		t.Fatalf("revision must never be empty (use \"unknown\")")
+	}
+	if len(ri.LintWaivers) == 0 {
+		t.Fatalf("waiver provenance missing")
+	}
+	// The process half is stable across calls.
+	if again := Info(42, "deadbeef"); again.NumCPU != ri.NumCPU || again.Revision != ri.Revision {
+		t.Fatalf("process provenance changed between calls")
+	}
+}
+
+func TestSpliceJSONPreservesBody(t *testing.T) {
+	body := []byte("{\n  \"result\": 1,\n  \"gates\": [true]\n}")
+	out := SpliceJSON(body, Info(7, "abc"))
+
+	var doc struct {
+		RunInfo RunInfo `json:"run_info"`
+		Result  int     `json:"result"`
+		Gates   []bool  `json:"gates"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("spliced document is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.Result != 1 || len(doc.Gates) != 1 || !doc.Gates[0] {
+		t.Fatalf("body fields damaged by splice: %s", out)
+	}
+	if doc.RunInfo.Seed != 7 || doc.RunInfo.SpecHash != "abc" {
+		t.Fatalf("run_info not spliced: %s", out)
+	}
+	// The original body bytes must appear verbatim after the inserted
+	// member — the deterministic report body stays bit-pinned.
+	if want := string(body[1:]); !containsSuffix(string(out), want) {
+		t.Fatalf("body bytes not preserved verbatim:\n%s", out)
+	}
+}
+
+func containsSuffix(s, suffix string) bool {
+	return len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix
+}
+
+func TestSpliceJSONEdgeShapes(t *testing.T) {
+	ri := Info(0, "")
+	// Empty object: no trailing comma.
+	out := SpliceJSON([]byte("{}"), ri)
+	var m map[string]any
+	if err := json.Unmarshal(out, &m); err != nil {
+		t.Fatalf("splice into {} invalid: %v\n%s", err, out)
+	}
+	if _, ok := m["run_info"]; !ok {
+		t.Fatalf("run_info missing from spliced empty object")
+	}
+	// Non-object bodies pass through untouched.
+	for _, body := range []string{"[1,2]", `"str"`, ""} {
+		if got := string(SpliceJSON([]byte(body), ri)); got != body {
+			t.Fatalf("non-object body %q modified to %q", body, got)
+		}
+	}
+	// Leading whitespace before the brace is tolerated.
+	out = SpliceJSON([]byte("  \n{\"a\":1}"), ri)
+	if err := json.Unmarshal(out, &m); err != nil {
+		t.Fatalf("splice after whitespace invalid: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+// Scope is a label-scoped view of a Registry: every series resolved
+// through it carries the scope's labels in addition to the caller's.
+// jobd gives each job a Scope labelled job_id="…" so one /metrics
+// exposition distinguishes tenants — the prerequisite for fair-share
+// scheduling.
+//
+// A Scope adds no storage of its own: series live in the parent
+// registry and appear in its Prometheus exposition alongside unscoped
+// series. Nested Child calls accumulate labels.
+type Scope struct {
+	r      *Registry
+	labels []Label
+}
+
+// Child returns a scope over r with the given labels bound. Panics on
+// duplicate or invalid label keys (same rules as direct registration).
+func (r *Registry) Child(labels ...Label) *Scope {
+	return &Scope{r: r, labels: sortedLabels(labels)}
+}
+
+// Child returns a sub-scope with additional labels bound.
+func (s *Scope) Child(labels ...Label) *Scope {
+	return &Scope{r: s.r, labels: s.merge(labels)}
+}
+
+// merge appends extra labels to the scope's bound set. The result is
+// re-validated by sortedLabels at the registration site, which also
+// rejects key collisions between scope and call-site labels.
+func (s *Scope) merge(extra []Label) []Label {
+	if len(extra) == 0 {
+		return s.labels
+	}
+	out := make([]Label, 0, len(s.labels)+len(extra))
+	out = append(out, s.labels...)
+	out = append(out, extra...)
+	return out
+}
+
+// Counter resolves a counter series carrying the scope labels.
+func (s *Scope) Counter(name, help string, labels ...Label) *Counter {
+	return s.r.Counter(name, help, s.merge(labels)...)
+}
+
+// FloatCounter resolves a float counter series carrying the scope
+// labels.
+func (s *Scope) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	return s.r.FloatCounter(name, help, s.merge(labels)...)
+}
+
+// Gauge resolves a gauge series carrying the scope labels.
+func (s *Scope) Gauge(name, help string, labels ...Label) *Gauge {
+	return s.r.Gauge(name, help, s.merge(labels)...)
+}
+
+// Histogram resolves a histogram series carrying the scope labels.
+func (s *Scope) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return s.r.Histogram(name, help, bounds, s.merge(labels)...)
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScopeLabelsAllSeries(t *testing.T) {
+	r := NewRegistry()
+	s := r.Child(L("job_id", "j1"))
+	s.Counter("scope_cells_total", "cells").Add(5)
+	s.Gauge("scope_rate", "rate").Set(2)
+	s.FloatCounter("scope_busy_seconds_total", "busy").Add(0.5)
+	s.Histogram("scope_lat_seconds", "lat", []float64{1}).Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := parsePrometheus(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]promSample{}
+	for _, smp := range samples {
+		byName[smp.name] = smp
+	}
+	for _, name := range []string{
+		"scope_cells_total", "scope_rate", "scope_busy_seconds_total",
+		"scope_lat_seconds_sum", "scope_lat_seconds_count",
+	} {
+		smp, ok := byName[name]
+		if !ok {
+			t.Fatalf("series %s missing from scoped exposition:\n%s", name, b.String())
+		}
+		if smp.labels["job_id"] != "j1" {
+			t.Fatalf("series %s missing scope label job_id: %v", name, smp.labels)
+		}
+	}
+}
+
+func TestScopeIsolatesTenants(t *testing.T) {
+	r := NewRegistry()
+	a := r.Child(L("job_id", "a"))
+	b := r.Child(L("job_id", "b"))
+	a.Counter("tenant_cells_total", "cells").Add(1)
+	b.Counter("tenant_cells_total", "cells").Add(10)
+	if got := a.Counter("tenant_cells_total", "cells").Value(); got != 1 {
+		t.Fatalf("tenant a sees %d, want its own 1", got)
+	}
+	if got := b.Counter("tenant_cells_total", "cells").Value(); got != 10 {
+		t.Fatalf("tenant b sees %d, want its own 10", got)
+	}
+}
+
+func TestScopeChildAccumulatesLabels(t *testing.T) {
+	r := NewRegistry()
+	s := r.Child(L("job_id", "j")).Child(L("worker", "3"))
+	s.Counter("nested_total", "n", L("extra", "e")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := parsePrometheus(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(samples))
+	}
+	want := map[string]string{"job_id": "j", "worker": "3", "extra": "e"}
+	for k, v := range want {
+		if samples[0].labels[k] != v {
+			t.Fatalf("label %s=%q, want %q (all levels must accumulate)", k, samples[0].labels[k], v)
+		}
+	}
+}
+
+func TestScopeDuplicateKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on scope/call-site label key collision")
+		}
+	}()
+	r := NewRegistry()
+	r.Child(L("job_id", "j")).Counter("dup_total", "d", L("job_id", "other"))
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpanChildAfterEnd pins that a span remains a valid parent after
+// it has Ended: spans are immutable name+start values, so a late Child
+// still inherits the path. (The spanend lint rule flags the leak when
+// the child itself is never Ended; the runtime behaviour here must
+// stay benign either way.)
+func TestSpanChildAfterEnd(t *testing.T) {
+	s := StartSpan("edge_parent")
+	s.End()
+	c := s.Child("late")
+	if got := c.Name(); got != "edge_parent/late" {
+		t.Fatalf("Child after End lost the path: %q", got)
+	}
+	if d := c.End(); d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+	// Double End records twice but must not panic or corrupt state.
+	if d := s.End(); d < 0 {
+		t.Fatalf("second End returned negative duration %v", d)
+	}
+}
+
+// TestSpanConcurrentChildren opens children of one parent from many
+// goroutines at once — the montecarlo worker-pool shape — and checks
+// every child lands in the histogram exactly once.
+func TestSpanConcurrentChildren(t *testing.T) {
+	parent := StartSpan("edge_fanout")
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				parent.Child("work").End()
+			}
+		}()
+	}
+	wg.Wait()
+	parent.End()
+
+	h := std.Histogram("samurai_span_seconds", "", TimeBuckets(), L("span", "edge_fanout/work"))
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Fatalf("histogram recorded %d children, want %d", got, workers*per)
+	}
+}
+
+// TestSpanPathsStayBounded pins the label-cardinality discipline on
+// the obs side: sibling children created in a loop share one series
+// when they share a name, and the series label is the full slash path.
+func TestSpanPathsStayBounded(t *testing.T) {
+	parent := StartSpan("edge_card")
+	for i := 0; i < 100; i++ {
+		parent.Child("iter").End()
+	}
+	parent.End()
+
+	var b strings.Builder
+	if err := std.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	n := strings.Count(b.String(), `span="edge_card/iter"`)
+	// One series → one bucket set: TimeBuckets has 14 finite buckets,
+	// +Inf, _sum and _count = 17 lines carrying the label.
+	if n != 17 {
+		t.Fatalf("expected exactly one edge_card/iter series (17 labelled lines), got %d", n)
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sortedSpans returns the tracer's spans in the deterministic export
+// order: by path, then instance, then span ID, then start offset (the
+// offset breaks ties between repeated same-path occurrences; for a
+// fixed job it only reorders identical topology lines).
+func (t *Tracer) sortedSpans() []SpanRec {
+	spans := t.Snapshot()
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Inst != b.Inst {
+			return a.Inst < b.Inst
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Start < b.Start
+	})
+	return spans
+}
+
+// WriteJSONL renders the trace as one JSON object per span, one per
+// line, in deterministic export order. Timestamps are offsets from the
+// trace epoch in nanoseconds.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"trace_id":"%016x","dropped":%d}`+"\n", t.traceID, t.Dropped())
+	for _, s := range t.sortedSpans() {
+		fmt.Fprintf(&b,
+			`{"span_id":"%016x","parent_id":"%016x","path":%s,"inst":%d,"start_ns":%d,"dur_ns":%d}`+"\n",
+			s.ID, s.Parent, strconv.Quote(s.Path), s.Inst,
+			s.Start.Nanoseconds(), s.Dur.Nanoseconds())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteChrome renders the trace in Chrome/Perfetto trace_event JSON
+// ("X" complete events, microsecond timestamps relative to the trace
+// epoch). Load the output at ui.perfetto.dev or chrome://tracing. The
+// instance index becomes the tid so per-cell/per-transistor work lands
+// on its own track; span and parent IDs ride along in args.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	fmt.Fprintf(&b,
+		`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"trace %016x"}}`,
+		t.traceID)
+	for _, s := range t.sortedSpans() {
+		b.WriteString(",\n")
+		fmt.Fprintf(&b,
+			`{"name":%s,"cat":"samurai","ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,`+
+				`"args":{"span_id":"%016x","parent_id":"%016x","inst":%d}}`,
+			strconv.Quote(s.Path),
+			microseconds(s.Start.Nanoseconds()), microseconds(s.Dur.Nanoseconds()),
+			s.Inst, s.ID, s.Parent, s.Inst)
+	}
+	b.WriteString("]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// microseconds renders nanoseconds as a decimal microsecond value with
+// sub-microsecond precision preserved (trace_event ts/dur are µs).
+func microseconds(ns int64) string {
+	if ns%1000 == 0 {
+		return strconv.FormatInt(ns/1000, 10)
+	}
+	return strconv.FormatFloat(float64(ns)/1000.0, 'f', 3, 64)
+}
+
+// WriteTopology renders the timestamp-free projection of the trace:
+// every span's (path, inst, span ID, parent ID), sorted. Because span
+// IDs are pure functions of the work, two runs of the same job produce
+// byte-identical topology output regardless of scheduling — the
+// property the root-package golden test pins.
+func (t *Tracer) WriteTopology(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %016x\n", t.traceID)
+	for _, s := range t.sortedSpans() {
+		fmt.Fprintf(&b, "%s inst=%d id=%016x parent=%016x\n", s.Path, s.Inst, s.ID, s.Parent)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight is a lock-free flight recorder: a fixed ring of the most
+// recent span/event notes for one job. Writers (hot path) perform only
+// atomic stores into preallocated slots — zero steady-state allocation
+// — so the recorder can stay on during production sweeps and still
+// hold the last moments before a failure. Readers (cold path: the
+// /debug/flightrecorder endpoint, the on-failure WAL dump) snapshot
+// via per-slot sequence validation and simply skip slots that were
+// being rewritten mid-read.
+//
+// Memory bound: len(slots) × 56 bytes of slot state plus the interned
+// path table (≤ maxFlightPaths strings) — a 1024-entry recorder is
+// ~60 KB regardless of how long the job runs.
+type Flight struct {
+	slots  []flightSlot
+	cursor atomic.Uint64
+
+	// paths interns slot path strings: hot-path writers publish a
+	// small uint32 index, never a string. Interning a *new* path takes
+	// a mutex, but the set of span paths is static per program, so
+	// steady state is a single lock-free map load.
+	paths   sync.Map // string -> uint32
+	pathsMu sync.Mutex
+	names   atomic.Pointer[[]string]
+}
+
+// flightSlot is one ring entry. Every field is atomic: a writer that
+// wraps onto a slot mid-read cannot race the reader, it can only cause
+// the reader's sequence check to reject the slot.
+type flightSlot struct {
+	// seq is 2·ticket+1 while the slot is being written, 2·ticket+2
+	// once complete. Readers accept a slot only when seq is even and
+	// unchanged across the field reads.
+	seq  atomic.Uint64
+	kind atomic.Uint32 // flightSpan or flightEvent
+	path atomic.Uint32 // index into the interned path table
+	inst atomic.Uint64
+	a    atomic.Uint64 // span: duration ns; event: first payload word
+	b    atomic.Uint64 // span: span ID;     event: second payload word
+}
+
+// Note kinds.
+const (
+	flightSpan  = 1
+	flightEvent = 2
+)
+
+// maxFlightPaths caps the interned path table; overflow notes intern
+// as the sentinel index 0 ("!overflow").
+const maxFlightPaths = 1024
+
+// NewFlight returns a recorder retaining the last n notes (n is
+// rounded up to at least 16).
+func NewFlight(n int) *Flight {
+	if n < 16 {
+		n = 16
+	}
+	f := &Flight{slots: make([]flightSlot, n)}
+	names := []string{"!overflow"}
+	f.names.Store(&names)
+	return f
+}
+
+// Cap returns the ring capacity.
+func (f *Flight) Cap() int { return len(f.slots) }
+
+// intern maps a path to its table index, adding it on first use.
+func (f *Flight) intern(path string) uint32 {
+	if v, ok := f.paths.Load(path); ok {
+		return v.(uint32)
+	}
+	f.pathsMu.Lock()
+	defer f.pathsMu.Unlock()
+	if v, ok := f.paths.Load(path); ok {
+		return v.(uint32)
+	}
+	names := *f.names.Load()
+	if len(names) >= maxFlightPaths {
+		return 0
+	}
+	idx := uint32(len(names))
+	next := make([]string, len(names)+1)
+	copy(next, names)
+	next[len(names)] = path
+	f.names.Store(&next)
+	f.paths.Store(path, idx)
+	return idx
+}
+
+// noteSpan records a completed span (duration in a, span ID in b).
+func (f *Flight) noteSpan(path string, id, inst uint64, d time.Duration) {
+	f.note(flightSpan, path, inst, uint64(d.Nanoseconds()), id)
+}
+
+// noteEvent records a point event with two free payload words.
+func (f *Flight) noteEvent(path string, inst, a, b uint64) {
+	f.note(flightEvent, path, inst, a, b)
+}
+
+func (f *Flight) note(kind uint32, path string, inst, a, b uint64) {
+	ticket := f.cursor.Add(1) - 1
+	s := &f.slots[ticket%uint64(len(f.slots))]
+	s.seq.Store(2*ticket + 1) // odd: write in progress
+	s.kind.Store(kind)
+	s.path.Store(f.intern(path))
+	s.inst.Store(inst)
+	s.a.Store(a)
+	s.b.Store(b)
+	s.seq.Store(2*ticket + 2) // even: complete
+}
+
+// FlightNote is one decoded recorder entry.
+type FlightNote struct {
+	Seq  uint64 // global ticket (monotone; orders notes causally)
+	Kind string // "span" or "event"
+	Path string
+	Inst uint64
+	A    uint64
+	B    uint64
+}
+
+// Snapshot decodes the currently valid ring contents, oldest first.
+// Slots concurrently being rewritten are skipped — a snapshot is a
+// best-effort consistent sample, which is all a flight recorder needs.
+func (f *Flight) Snapshot() []FlightNote {
+	names := *f.names.Load()
+	out := make([]FlightNote, 0, len(f.slots))
+	for i := range f.slots {
+		s := &f.slots[i]
+		seq1 := s.seq.Load()
+		if seq1 == 0 || seq1%2 == 1 {
+			continue // never written, or mid-write
+		}
+		n := FlightNote{
+			Seq:  seq1/2 - 1,
+			Inst: s.inst.Load(),
+			A:    s.a.Load(),
+			B:    s.b.Load(),
+		}
+		kind := s.kind.Load()
+		pathIdx := s.path.Load()
+		if s.seq.Load() != seq1 {
+			continue // rewritten underneath us
+		}
+		switch kind {
+		case flightSpan:
+			n.Kind = "span"
+		case flightEvent:
+			n.Kind = "event"
+		default:
+			continue
+		}
+		if int(pathIdx) < len(names) {
+			n.Path = names[pathIdx]
+		} else {
+			n.Path = "!overflow"
+		}
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// WriteJSONL renders a snapshot as one JSON object per line — the
+// format of the on-failure WAL-directory dumps and the
+// /debug/flightrecorder endpoint.
+func (f *Flight) WriteJSONL(w io.Writer) error {
+	var b strings.Builder
+	for _, n := range f.Snapshot() {
+		b.WriteString(`{"seq":`)
+		b.WriteString(strconv.FormatUint(n.Seq, 10))
+		b.WriteString(`,"kind":`)
+		b.WriteString(strconv.Quote(n.Kind))
+		b.WriteString(`,"path":`)
+		b.WriteString(strconv.Quote(n.Path))
+		b.WriteString(`,"inst":`)
+		b.WriteString(strconv.FormatUint(n.Inst, 10))
+		if n.Kind == "span" {
+			b.WriteString(`,"dur_ns":`)
+			b.WriteString(strconv.FormatUint(n.A, 10))
+			b.WriteString(`,"span_id":"`)
+			b.WriteString(fmt.Sprintf("%016x", n.B))
+			b.WriteString(`"`)
+		} else {
+			b.WriteString(`,"a":`)
+			b.WriteString(strconv.FormatUint(n.A, 10))
+			b.WriteString(`,"b":`)
+			b.WriteString(strconv.FormatUint(n.B, 10))
+		}
+		b.WriteString("}\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

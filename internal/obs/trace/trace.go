@@ -1,0 +1,366 @@
+// Package trace is causal tracing for the samurai pipeline, built on
+// the obs layer and sharing its determinism guarantee: tracing measures
+// and reports, it never influences the computation it observes.
+//
+// # Deterministic identifiers
+//
+// Every identifier is a pure function of the work being traced, never
+// of the clock, the scheduler or math/rand:
+//
+//   - the trace ID is an FNV-1a hash of the job seed and the canonical
+//     spec bytes (ID);
+//   - a span's ID is its parent's ID XORed with the hash of its name
+//     (and, for instanced spans, of the instance index).
+//
+// Two runs of the same job therefore produce the identical trace
+// topology — same IDs, same parent links, same paths — which is what
+// lets a trace be diffed against a replay, and what keeps the detflow
+// lint clean: no nondeterminism source feeds an ID.
+//
+// # Context propagation vs. timing
+//
+// The context carries only the pure causal position (tracer, span ID,
+// path) — never a timestamp. Wall-clock readings live exclusively in
+// the *Span value returned alongside the derived context, so contexts
+// threaded through seeded entry points (samurai.RunCtx,
+// montecarlo.RunArrayCtx) stay clean under taint analysis while spans
+// still measure real durations for export.
+//
+// # Label cardinality
+//
+// Instance indices (cell number, transistor number) are mixed into
+// span IDs but never into span paths: the samurai_span_seconds series
+// for a million-cell sweep is one histogram labelled span="…/cell",
+// not a million series. The per-path metric cache is additionally
+// capped at maxMetricPaths distinct paths; overflow records under the
+// sentinel path "!other".
+package trace
+
+import (
+	"context"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"samurai/internal/obs"
+)
+
+// offset64 and prime64 are the FNV-1a 64-bit parameters.
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// fnv1a folds bytes into an FNV-1a running hash.
+func fnv1a(h uint64, data []byte) uint64 {
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// fnv1aString is fnv1a over a string without allocation.
+func fnv1aString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// ID derives the deterministic trace ID for a run: the FNV-1a hash of
+// the seed (little-endian) followed by the canonical spec bytes.
+// Identical (seed, spec) pairs always map to the same trace ID.
+func ID(seed uint64, spec []byte) uint64 {
+	var sb [8]byte
+	binary.LittleEndian.PutUint64(sb[:], seed)
+	return fnv1a(fnv1a(offset64, sb[:]), spec)
+}
+
+// pathID hashes one path segment for span-ID derivation.
+func pathID(name string) uint64 {
+	return fnv1aString(offset64, name)
+}
+
+// instID mixes an instance index into a span ID, distinguishing
+// sibling instances of the same phase (cell 0 vs cell 1) without
+// touching the span path.
+func instID(inst uint64) uint64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], inst)
+	return fnv1a(offset64, b[:])
+}
+
+// SpanRec is one completed span as recorded by a Tracer. Start is an
+// offset from the tracer's epoch (the wall-clock start of the first
+// span recorded), so records are self-contained for export.
+type SpanRec struct {
+	ID     uint64
+	Parent uint64
+	Path   string
+	Inst   uint64
+	Start  time.Duration
+	Dur    time.Duration
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// MaxSpans caps the number of retained span records; further spans
+	// are still timed and counted (Dropped) but not retained. 0 means
+	// DefaultMaxSpans.
+	MaxSpans int
+	// Flight, when non-nil, receives a fixed-size note for every ended
+	// span so the most recent activity survives even when MaxSpans has
+	// been exhausted.
+	Flight *Flight
+}
+
+// DefaultMaxSpans bounds a tracer's memory at roughly 4 MB of span
+// records for pathological span counts.
+const DefaultMaxSpans = 65536
+
+// Tracer collects the spans of one run (one job, one CLI invocation)
+// under a single deterministic trace ID. All methods are safe for
+// concurrent use; montecarlo workers record from many goroutines.
+type Tracer struct {
+	traceID uint64
+	flight  *Flight
+
+	mu       sync.Mutex
+	epoch    time.Time
+	spans    []SpanRec
+	maxSpans int
+	dropped  uint64
+}
+
+// New returns a Tracer for the given deterministic trace ID. New never
+// reads the clock: the epoch is established by the first recorded
+// span, so a freshly built tracer is a pure value and the context it
+// is placed in stays clean under taint analysis.
+func New(traceID uint64, opts Options) *Tracer {
+	max := opts.MaxSpans
+	if max <= 0 {
+		max = DefaultMaxSpans
+	}
+	return &Tracer{traceID: traceID, maxSpans: max, flight: opts.Flight}
+}
+
+// TraceID returns the tracer's deterministic trace ID.
+func (t *Tracer) TraceID() uint64 { return t.traceID }
+
+// Flight returns the tracer's flight recorder (nil when not attached).
+func (t *Tracer) Flight() *Flight { return t.flight }
+
+// Dropped reports how many span records were discarded because
+// MaxSpans was reached.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// record retains one completed span. The first record pins the epoch.
+func (t *Tracer) record(path string, id, parent, inst uint64, start time.Time, d time.Duration) {
+	t.mu.Lock()
+	if t.epoch.IsZero() || start.Before(t.epoch) {
+		t.epoch = start
+	}
+	if len(t.spans) >= t.maxSpans {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	t.spans = append(t.spans, SpanRec{
+		ID: id, Parent: parent, Path: path, Inst: inst,
+		Start: start.Sub(t.epoch), Dur: d,
+	})
+	t.mu.Unlock()
+}
+
+// Snapshot returns a copy of the recorded spans in recording order
+// (scheduling-dependent; use Topology for the deterministic view).
+func (t *Tracer) Snapshot() []SpanRec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRec(nil), t.spans...)
+}
+
+// Event notes a point event (a cell checkpoint, a retry) in the
+// tracer's flight recorder; a and b are free payload words whose
+// meaning is the caller's. No-op without a flight recorder attached.
+func (t *Tracer) Event(path string, inst, a, b uint64) {
+	if t == nil || t.flight == nil {
+		return
+	}
+	t.flight.noteEvent(path, inst, a, b)
+}
+
+// node is the causal position carried by a context: which tracer, the
+// current span's ID and its slash-joined path. It is a pure value —
+// deliberately no timestamps — so contexts derived from it never carry
+// nondeterminism into seeded results. quiet marks per-instance work
+// (a cell, a transistor) and is inherited by every descendant span.
+type node struct {
+	t     *Tracer
+	id    uint64
+	path  string
+	quiet bool
+}
+
+type nodeKey struct{}
+
+// NewContext returns ctx carrying tr as the root of a span tree. Spans
+// started from the returned context parent at the trace ID itself.
+func NewContext(ctx context.Context, tr *Tracer) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, nodeKey{}, node{t: tr, id: tr.traceID, path: ""})
+}
+
+// FromContext returns the Tracer the context carries, or nil.
+func FromContext(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	n, _ := ctx.Value(nodeKey{}).(node)
+	return n.t
+}
+
+// Span is one live, wall-clock-timed region of a traced run. It is
+// returned alongside the derived context by Start/StartInst and must
+// be Ended on every path (the spanend lint rule enforces this). A nil
+// *Span is inert.
+type Span struct {
+	n      node
+	parent uint64
+	inst   uint64
+	start  time.Time
+}
+
+// Start opens a child span named name under the causal position ctx
+// carries and returns the derived context plus the live span. Without
+// a tracer in ctx the span is metrics-only: it still lands in the
+// samurai_span_seconds histogram and emits a "span" event (the
+// behavior instrumented code has relied on since the obs layer
+// landed), but nothing is retained for export. Start on a nil context
+// returns a nil, fully inert span.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	return start(ctx, name, 0, false)
+}
+
+// StartInst opens an instanced child span: inst (a cell index, a
+// transistor number) is mixed into the span's ID — so sibling
+// instances are distinguishable in the exported trace — but not into
+// its path, keeping metric label cardinality independent of sweep
+// size. Instanced spans — and every span nested beneath one — are
+// quiet: they record to the histogram, the tracer and the flight
+// recorder but never to the event stream, which stays a throttled
+// progress channel instead of scaling with sweep size.
+func StartInst(ctx context.Context, name string, inst uint64) (context.Context, *Span) {
+	return start(ctx, name, inst, true)
+}
+
+func start(ctx context.Context, name string, inst uint64, instanced bool) (context.Context, *Span) {
+	if ctx == nil {
+		return nil, nil
+	}
+	parent, _ := ctx.Value(nodeKey{}).(node)
+	path := name
+	if parent.path != "" {
+		path = parent.path + "/" + name
+	}
+	child := node{
+		t:     parent.t,
+		id:    parent.id ^ pathID(name) ^ instID(inst),
+		path:  path,
+		quiet: parent.quiet || instanced,
+	}
+	sp := &Span{n: child, parent: parent.id, inst: inst, start: time.Now()}
+	return context.WithValue(ctx, nodeKey{}, child), sp
+}
+
+// End closes the span: the duration lands in the samurai_span_seconds
+// histogram (labelled with the span path), a "span" event is emitted
+// when a live sink is installed (quiet per-instance spans skip the
+// event, never the histogram), the record is retained by the tracer
+// and noted in the flight recorder. End on a nil span is a no-op; End
+// is safe to call at most once.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	pathHist(s.n.path).Observe(d.Seconds())
+	if !s.n.quiet && obs.Enabled() {
+		obs.Emit("span", obs.F("span", s.n.path), obs.F("seconds", d.Seconds()))
+	}
+	if t := s.n.t; t != nil {
+		t.record(s.n.path, s.n.id, s.parent, s.inst, s.start, d)
+		if t.flight != nil {
+			t.flight.noteSpan(s.n.path, s.n.id, s.inst, d)
+		}
+	}
+	return d
+}
+
+// Path returns the span's slash-joined path ("" for nil).
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.n.path
+}
+
+// SpanID returns the span's deterministic ID (0 for nil).
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.n.id
+}
+
+// maxMetricPaths bounds the number of distinct samurai_span_seconds
+// series the trace layer will create. Span paths are static code
+// positions, so real programs sit far below the cap; a pathological
+// dynamic-path caller overflows into the "!other" sentinel series
+// instead of exploding the registry.
+const maxMetricPaths = 512
+
+var (
+	pathHists  sync.Map // path string -> *obs.Histogram
+	pathCount  atomic.Int64
+	otherHist  *obs.Histogram
+	otherOnce  sync.Once
+	histCreate sync.Mutex
+)
+
+// pathHist resolves the cached histogram for a span path, creating it
+// on first use. Steady state is one sync.Map load — no registry lock,
+// no key allocation.
+func pathHist(path string) *obs.Histogram {
+	if h, ok := pathHists.Load(path); ok {
+		return h.(*obs.Histogram)
+	}
+	histCreate.Lock()
+	defer histCreate.Unlock()
+	if h, ok := pathHists.Load(path); ok {
+		return h.(*obs.Histogram)
+	}
+	if pathCount.Load() >= maxMetricPaths {
+		otherOnce.Do(func() {
+			otherHist = obs.GetHistogram("samurai_span_seconds",
+				"wall-clock duration of named pipeline spans", obs.TimeBuckets(),
+				obs.L("span", "!other"))
+		})
+		return otherHist
+	}
+	h := obs.GetHistogram("samurai_span_seconds",
+		"wall-clock duration of named pipeline spans", obs.TimeBuckets(),
+		obs.L("span", path))
+	pathHists.Store(path, h)
+	pathCount.Add(1)
+	return h
+}

@@ -1,0 +1,357 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDDeterministic(t *testing.T) {
+	a := ID(42, []byte(`{"cells":3}`))
+	b := ID(42, []byte(`{"cells":3}`))
+	if a != b {
+		t.Fatalf("same (seed, spec) gave different trace IDs: %x vs %x", a, b)
+	}
+	if ID(43, []byte(`{"cells":3}`)) == a {
+		t.Fatalf("different seeds collided on trace ID %x", a)
+	}
+	if ID(42, []byte(`{"cells":4}`)) == a {
+		t.Fatalf("different specs collided on trace ID %x", a)
+	}
+}
+
+func TestSpanIDsAreTopologyPure(t *testing.T) {
+	build := func() []SpanRec {
+		tr := New(ID(7, []byte("spec")), Options{})
+		ctx := NewContext(context.Background(), tr)
+		ctx, root := Start(ctx, "run")
+		cctx, phase := Start(ctx, "phase")
+		_, cell := StartInst(cctx, "cell", 3)
+		cell.End()
+		phase.End()
+		root.End()
+		return tr.sortedSpans()
+	}
+	a, b := build(), build()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("expected 3 spans, got %d and %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Parent != b[i].Parent || a[i].Path != b[i].Path || a[i].Inst != b[i].Inst {
+			t.Fatalf("span %d topology differs between identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Sibling instances of the same phase get distinct IDs.
+	tr := New(1, Options{})
+	ctx := NewContext(context.Background(), tr)
+	_, s0 := StartInst(ctx, "cell", 0)
+	_, s1 := StartInst(ctx, "cell", 1)
+	if s0.SpanID() == s1.SpanID() {
+		t.Fatalf("distinct instances share span ID %x", s0.SpanID())
+	}
+	if s0.Path() != s1.Path() {
+		t.Fatalf("instance index leaked into span path: %q vs %q", s0.Path(), s1.Path())
+	}
+	s0.End()
+	s1.End()
+}
+
+func TestStartWithoutTracerIsMetricsOnly(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "orphan")
+	if sp == nil {
+		t.Fatalf("expected a metrics-only span without a tracer")
+	}
+	if sp.Path() != "orphan" {
+		t.Fatalf("metrics-only span path %q, want %q", sp.Path(), "orphan")
+	}
+	// Nesting still builds paths so the histogram series match the
+	// traced layout.
+	_, child := Start(ctx2, "phase")
+	if child.Path() != "orphan/phase" {
+		t.Fatalf("nested metrics-only path %q, want orphan/phase", child.Path())
+	}
+	child.End()
+	if d := sp.End(); d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+	if FromContext(nil) != nil || FromContext(ctx) != nil {
+		t.Fatalf("FromContext invented a tracer")
+	}
+	c2, sp2 := StartInst(nil, "x", 0)
+	if c2 != nil || sp2 != nil {
+		t.Fatalf("StartInst on nil ctx not inert")
+	}
+	if d := sp2.End(); d != 0 {
+		t.Fatalf("nil span End returned %v", d)
+	}
+}
+
+func TestMaxSpansDropsButCounts(t *testing.T) {
+	tr := New(1, Options{MaxSpans: 4})
+	ctx := NewContext(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, sp := StartInst(ctx, "s", uint64(i))
+		sp.End()
+	}
+	if got := len(tr.Snapshot()); got != 4 {
+		t.Fatalf("retained %d spans, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped %d spans, want 6", got)
+	}
+}
+
+func TestConcurrentSpansRace(t *testing.T) {
+	tr := New(1, Options{Flight: NewFlight(32)})
+	ctx := NewContext(context.Background(), tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cctx, sp := StartInst(ctx, "cell", uint64(g*50+i))
+				_, inner := Start(cctx, "inner")
+				inner.End()
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Snapshot()); got != 800 {
+		t.Fatalf("recorded %d spans, want 800", got)
+	}
+}
+
+func TestFlightWraparound(t *testing.T) {
+	f := NewFlight(16)
+	for i := 0; i < 100; i++ {
+		f.noteEvent("jobd.cell", uint64(i), uint64(i), 0)
+	}
+	notes := f.Snapshot()
+	if len(notes) != 16 {
+		t.Fatalf("snapshot has %d notes, want ring capacity 16", len(notes))
+	}
+	// The ring keeps the most recent 16 tickets, oldest first.
+	for i, n := range notes {
+		want := uint64(84 + i)
+		if n.Seq != want {
+			t.Fatalf("note %d has seq %d, want %d", i, n.Seq, want)
+		}
+		if n.Inst != want || n.A != want {
+			t.Fatalf("note %d payload (inst=%d a=%d) does not match seq %d", i, n.Inst, n.A, want)
+		}
+	}
+}
+
+func TestFlightConcurrentWrapRace(t *testing.T) {
+	f := NewFlight(16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				f.noteEvent("w", uint64(g), uint64(i), 1)
+				f.noteSpan("s", uint64(i), uint64(g), time.Microsecond)
+			}
+		}(g)
+	}
+	// Concurrent readers while writers wrap the ring hard.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, n := range f.Snapshot() {
+					if n.Kind != "span" && n.Kind != "event" {
+						t.Errorf("corrupt note kind %q", n.Kind)
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if got := len(f.Snapshot()); got != 16 {
+		t.Fatalf("final snapshot has %d notes, want 16", got)
+	}
+}
+
+func TestFlightPathInterningOverflow(t *testing.T) {
+	f := NewFlight(16)
+	// Exhaust the path table with synthetic dynamic paths.
+	long := strings.Repeat("p/", 4)
+	for i := 0; i < maxFlightPaths+10; i++ {
+		f.noteEvent(long+string(rune('a'+i%26))+strings.Repeat("x", i%7)+itoa(i), 0, 0, 0)
+	}
+	notes := f.Snapshot()
+	overflow := 0
+	for _, n := range notes {
+		if n.Path == "!overflow" {
+			overflow++
+		}
+	}
+	if overflow == 0 {
+		t.Fatalf("expected overflow sentinel paths after exhausting the intern table")
+	}
+}
+
+func itoa(i int) string {
+	return string(rune('0'+i/1000%10)) + string(rune('0'+i/100%10)) +
+		string(rune('0'+i/10%10)) + string(rune('0'+i%10))
+}
+
+func TestFlightJSONLIsValid(t *testing.T) {
+	f := NewFlight(16)
+	f.noteSpan("run/phase", 0xabc, 2, 1500*time.Nanosecond)
+	f.noteEvent("jobd.cell", 7, 1, 2)
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+	}
+}
+
+func TestChromeExportIsValidTraceEvent(t *testing.T) {
+	tr := New(ID(9, []byte("s")), Options{})
+	ctx := NewContext(context.Background(), tr)
+	ctx, root := Start(ctx, "run")
+	_, cell := StartInst(ctx, "cell", 1)
+	cell.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  uint64         `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 3 { // metadata + 2 spans
+		t.Fatalf("got %d trace events, want 3", len(doc.TraceEvents))
+	}
+	seenX := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+			seenX++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Pid != 1 {
+			t.Fatalf("event pid %d, want 1", ev.Pid)
+		}
+		if ev.Dur < 0 || ev.Ts < 0 {
+			t.Fatalf("negative ts/dur in %+v", ev)
+		}
+		if _, ok := ev.Args["span_id"]; !ok {
+			t.Fatalf("X event missing span_id args: %+v", ev)
+		}
+	}
+	if seenX != 2 {
+		t.Fatalf("got %d complete events, want 2", seenX)
+	}
+}
+
+func TestTopologyByteIdentical(t *testing.T) {
+	run := func() string {
+		tr := New(ID(5, []byte("job")), Options{Flight: NewFlight(16)})
+		ctx := NewContext(context.Background(), tr)
+		ctx, root := Start(ctx, "run")
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cctx, sp := StartInst(ctx, "cell", uint64(i))
+				_, inner := Start(cctx, "solve")
+				inner.End()
+				sp.End()
+			}(i)
+		}
+		wg.Wait()
+		root.End()
+		var buf bytes.Buffer
+		if err := tr.WriteTopology(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("trace topology differs between identical concurrent runs:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+}
+
+func TestJSONLExportParses(t *testing.T) {
+	tr := New(3, Options{})
+	ctx := NewContext(context.Background(), tr)
+	_, sp := Start(ctx, "run")
+	sp.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 { // header + 1 span
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSONL %q: %v", line, err)
+		}
+	}
+}
+
+func TestMetricPathCardinalityBounded(t *testing.T) {
+	// A million instances of the same phase must not create a million
+	// metric series: the instance index goes into the span ID only.
+	tr := New(1, Options{})
+	ctx := NewContext(context.Background(), tr)
+	before := pathCount.Load()
+	for i := 0; i < 1000; i++ {
+		_, sp := StartInst(ctx, "bounded_cell", uint64(i))
+		sp.End()
+	}
+	after := pathCount.Load()
+	if after-before > 1 {
+		t.Fatalf("1000 instances created %d new metric paths, want 1", after-before)
+	}
+}

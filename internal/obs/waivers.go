@@ -1,0 +1,21 @@
+package obs
+
+// lintWaiverRules is the set of samurailint rules that have at least
+// one active //lint:ignore waiver in this tree, baked in at commit
+// time so binaries can report it as provenance (RunInfo.LintWaivers).
+// A waived rule marks code exempted from a static guarantee — a reader
+// of a result file deserves to know which guarantees were softened.
+//
+// Kept in sync with `samurailint -suppressions ./...` by
+// TestLintWaiverProvenanceMatchesTree in cmd/samurailint; update this
+// list when a waiver for a new rule lands (the test fails otherwise).
+var lintWaiverRules = []string{
+	"bareerr",
+	"floateq",
+}
+
+// LintWaivers returns the rule names with active lint waivers, as a
+// fresh copy.
+func LintWaivers() []string {
+	return append([]string(nil), lintWaiverRules...)
+}

@@ -30,6 +30,7 @@ import (
 	"samurai/internal/device"
 	"samurai/internal/markov"
 	"samurai/internal/obs"
+	"samurai/internal/obs/trace"
 	"samurai/internal/rng"
 	"samurai/internal/rtn"
 	"samurai/internal/sram"
@@ -130,18 +131,21 @@ func Run(cfg Config) (*Result, error) {
 	return RunCtx(context.Background(), cfg)
 }
 
-// RunCtx is Run with cancellation: the context is plumbed through both
-// circuit transient passes (checked between integration steps) and the
-// per-transistor trap workers, so a cancelled run aborts within one
-// integration step. Cancellation only ever aborts — a run that
-// completes is bit-identical regardless of the context used.
+// RunCtx is Run with cancellation and causal tracing: the context is
+// plumbed through both circuit transient passes (checked between
+// integration steps) and the per-transistor trap workers, so a
+// cancelled run aborts within one integration step, and a tracer
+// installed with trace.NewContext records the run's span tree
+// (samurai.run → clean/traps/rtn → per-transistor/per-transient).
+// Neither cancellation nor tracing ever perturbs the computation — a
+// run that completes is bit-identical regardless of the context used.
 func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	span := obs.StartSpan("samurai.run")
+	ctx, span := trace.Start(ctx, "samurai.run")
 	defer span.End()
-	res, err := run(ctx, cfg, span)
+	res, err := run(ctx, cfg)
 	if err != nil {
 		mRunFailures.Inc()
 		return nil, err
@@ -156,9 +160,10 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// run is the instrumented methodology body; span is the enclosing
-// samurai.run span the three phase spans nest under.
-func run(ctx context.Context, cfg Config, span *obs.Span) (*Result, error) {
+// run is the methodology body: three phase helpers, each opening its
+// own child span (ended on every path via defer — the spanend lint
+// rule holds this shape in place).
+func run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.defaults()
 	root := rng.New(cfg.Seed)
 
@@ -167,20 +172,11 @@ func run(ctx context.Context, cfg Config, span *obs.Span) (*Result, error) {
 		return nil, fmt.Errorf("samurai: pattern: %w", err)
 	}
 
-	// Pass 1: clean simulation for bias extraction.
-	phase := span.Child("clean")
-	cleanCell, err := sram.Build(cfg.Cell, wl, bl, blb)
+	cleanCell, clean, err := cleanPass(ctx, cfg, wl, bl, blb)
 	if err != nil {
-		return nil, fmt.Errorf("samurai: cell: %w", err)
+		return nil, err
 	}
-	solver := circuit.Options{Method: cfg.Method, Ctx: ctx}
-	clean, err := cleanCell.EvaluateOpts(cfg.Pattern, cfg.Dt, solver)
-	if err != nil {
-		return nil, fmt.Errorf("samurai: clean pass: %w", err)
-	}
-	phase.End()
 
-	// Pass 2: trap sampling + uniformisation + Eq (3) per transistor.
 	res := &Result{
 		Config:   cfg,
 		Clean:    clean,
@@ -188,8 +184,43 @@ func run(ctx context.Context, cfg Config, span *obs.Span) (*Result, error) {
 		Paths:    map[string][]*markov.Path{},
 		Traces:   map[string]*rtn.Trace{},
 	}
+	rtnCell, err := trapsPass(ctx, cfg, cleanCell, clean, wl, bl, blb, root, res)
+	if err != nil {
+		return nil, err
+	}
+
+	withRTN, err := rtnPass(ctx, cfg, rtnCell)
+	if err != nil {
+		return nil, err
+	}
+	res.WithRTN = withRTN
+	return res, nil
+}
+
+// cleanPass is methodology step 1: simulate the cell without RTN to
+// extract per-transistor bias waveforms.
+func cleanPass(ctx context.Context, cfg Config, wl, bl, blb *waveform.PWL) (*sram.Cell, *sram.RunResult, error) {
+	ctx, phase := trace.Start(ctx, "clean")
+	defer phase.End()
+	cleanCell, err := sram.Build(cfg.Cell, wl, bl, blb)
+	if err != nil {
+		return nil, nil, fmt.Errorf("samurai: cell: %w", err)
+	}
+	solver := circuit.Options{Method: cfg.Method, Ctx: ctx}
+	clean, err := cleanCell.EvaluateOpts(cfg.Pattern, cfg.Dt, solver)
+	if err != nil {
+		return nil, nil, fmt.Errorf("samurai: clean pass: %w", err)
+	}
+	return cleanCell, clean, nil
+}
+
+// trapsPass is methodology step 2: per-transistor trap sampling,
+// uniformisation (Algorithm 1) and Eq (3) trace composition, with the
+// composed traces installed into the returned RTN cell.
+func trapsPass(ctx context.Context, cfg Config, cleanCell *sram.Cell, clean *sram.RunResult, wl, bl, blb *waveform.PWL, root *rng.Stream, res *Result) (*sram.Cell, error) {
+	ctx, phase := trace.Start(ctx, "traps")
+	defer phase.End()
 	t0, t1 := 0.0, cfg.Pattern.Duration()
-	phase = span.Child("traps")
 	rtnCell, err := sram.Build(cfg.Cell, wl, bl, blb)
 	if err != nil {
 		return nil, fmt.Errorf("samurai: RTN cell: %w", err)
@@ -217,6 +248,8 @@ func run(ctx context.Context, cfg Config, span *obs.Span) (*Result, error) {
 			if agg.Failed() || ctx.Err() != nil {
 				return // another device already failed (or run canceled); skip the work
 			}
+			tctx, tsp := trace.StartInst(ctx, "transistor", uint64(i))
+			defer tsp.End()
 			o := devOut{name: name}
 			dev := cleanCell.Params[name]
 			profile, ok := cfg.Profiles[name]
@@ -231,7 +264,7 @@ func run(ctx context.Context, cfg Config, span *obs.Span) (*Result, error) {
 				agg.Record(i, fmt.Errorf("samurai: bias for %s: %w", name, err))
 				return
 			}
-			o.paths, err = markov.UniformiseProfile(profile, markov.PWLBias(vgs), t0, t1, root.Split(uint64(2000+i)))
+			o.paths, err = markov.UniformiseProfileCtx(tctx, profile, markov.PWLBias(vgs), t0, t1, root.Split(uint64(2000+i)))
 			if err != nil {
 				agg.Record(i, fmt.Errorf("samurai: uniformisation for %s: %w", name, err))
 				return
@@ -268,17 +301,20 @@ func run(ctx context.Context, cfg Config, span *obs.Span) (*Result, error) {
 		}
 	}
 	mRunTraps.Add(int64(traps))
-	phase.End()
+	return rtnCell, nil
+}
 
-	// Pass 3: re-simulate with RTN injected.
-	phase = span.Child("rtn")
+// rtnPass is methodology step 3: re-simulate the cell with the I_RTN
+// current sources installed.
+func rtnPass(ctx context.Context, cfg Config, rtnCell *sram.Cell) (*sram.RunResult, error) {
+	ctx, phase := trace.Start(ctx, "rtn")
+	defer phase.End()
+	solver := circuit.Options{Method: cfg.Method, Ctx: ctx}
 	withRTN, err := rtnCell.EvaluateOpts(cfg.Pattern, cfg.Dt, solver)
 	if err != nil {
 		return nil, fmt.Errorf("samurai: RTN pass: %w", err)
 	}
-	phase.End()
-	res.WithRTN = withRTN
-	return res, nil
+	return withRTN, nil
 }
 
 // GenerateTrace is the standalone trace-generation entry point
@@ -294,9 +330,9 @@ func GenerateTrace(profile trap.Profile, dev device.MOSParams, vgs, id *waveform
 	if err != nil {
 		return nil, nil, err
 	}
-	trace, err := rtn.Compose(paths, dev, vgs, id, t0, t1, samples)
+	tr, err := rtn.Compose(paths, dev, vgs, id, t0, t1, samples)
 	if err != nil {
 		return nil, nil, err
 	}
-	return trace, paths, nil
+	return tr, paths, nil
 }

@@ -5,8 +5,12 @@
 #   2. start it on an ephemeral port with a fresh job store,
 #   3. POST a tiny array job and poll it to completion,
 #   4. fetch the result and assert every cell is present,
-#   5. SIGTERM the daemon and assert a clean (exit 0) drain,
-#   6. assert the job store is non-empty (it is uploaded as a CI
+#   5. scrape /metrics and assert the samurai_jobd_* queue/throughput
+#      series are actually exported (not just that the port answers),
+#   6. export the job's Perfetto trace to trace.json (uploaded as a CI
+#      artifact; load it at ui.perfetto.dev for post-mortems),
+#   7. SIGTERM the daemon and assert a clean (exit 0) drain,
+#   8. assert the job store is non-empty (it is uploaded as a CI
 #      artifact for post-mortems).
 #
 # Run from the repository root: ./scripts/smoke_samuraid.sh [workdir]
@@ -87,6 +91,28 @@ RESULT="$(curl -sS --max-time 10 "http://$ADDR/jobs/$JOB_ID/result")"
 echo "   $RESULT"
 CELLS="$(printf '%s' "$RESULT" | grep -o '"index":' | wc -l)"
 [ "$CELLS" -eq 3 ] || { echo "result holds $CELLS cells, want 3" >&2; exit 1; }
+
+echo "== scraping /metrics for samurai_jobd_* series"
+METRICS="$(curl -sS --max-time 10 "http://$ADDR/metrics")"
+for SERIES in samurai_jobd_queue_depth samurai_jobd_jobs samurai_jobd_cells_checkpointed_total; do
+    printf '%s' "$METRICS" | grep -q "^$SERIES" || {
+        echo "/metrics lacks the $SERIES series:" >&2
+        printf '%s\n' "$METRICS" | grep '^samurai_jobd' >&2 || echo "  (no samurai_jobd_* series at all)" >&2
+        exit 1
+    }
+done
+CHECKPOINTED="$(printf '%s' "$METRICS" | awk '/^samurai_jobd_cells_checkpointed_total/ {print $2}')"
+case "$CHECKPOINTED" in
+    ''|0) echo "samurai_jobd_cells_checkpointed_total is '$CHECKPOINTED' after a 3-cell job" >&2; exit 1 ;;
+esac
+echo "   jobd series present ($CHECKPOINTED cells checkpointed)"
+
+echo "== exporting the job's Perfetto trace"
+TRACE="$WORKDIR/trace.json"
+curl -sS --max-time 10 "http://$ADDR/jobs/$JOB_ID/trace" -o "$TRACE"
+grep -q '"traceEvents"' "$TRACE" || { echo "trace export is not trace_event JSON:" >&2; head -c 400 "$TRACE" >&2; exit 1; }
+grep -q '"ph":"X"' "$TRACE" || { echo "trace export holds no complete spans" >&2; exit 1; }
+echo "   trace written to $TRACE"
 
 echo "== draining with SIGTERM"
 kill -TERM "$PID"
