@@ -40,10 +40,18 @@ check: build test vet race lint suppressions bench-smoke vv cover
 # vv runs the statistical conformance matrix (DESIGN.md §10): simulated
 # occupancy/dwell/transition statistics against the closed-form master
 # equation, plus the samurai.Run end-to-end battery. Deterministic: the
-# fixed seed makes vv_report.json bit-identical run to run.
+# fixed seed makes vv_report.json bit-identical run to run. The second
+# invocation re-runs the synthetic scenarios through the batched SoA
+# kernel (-kernel batch); lane streams are derived identically, so the
+# two reports must differ only in the "kernel" field — the cmp pins it.
 vv:
 	$(GO) run ./cmd/samuraivv -seed 1 -o vv_report.json
-	@echo wrote vv_report.json
+	$(GO) run ./cmd/samuraivv -seed 1 -e2e=false -kernel batch -o vv_report_batch.json
+	@sed 's/"kernel": "batch"/"kernel": "sequential"/' vv_report_batch.json > vv_batch_norm.json; \
+	$(GO) run ./cmd/samuraivv -seed 1 -e2e=false -o vv_seq_norm.json; \
+	cmp vv_seq_norm.json vv_batch_norm.json || { echo "vv: batch kernel report diverges from sequential" >&2; exit 1; }; \
+	rm -f vv_seq_norm.json vv_batch_norm.json
+	@echo wrote vv_report.json vv_report_batch.json
 
 # cover publishes a coverage summary for the tier-1 tree. Coverage is
 # advisory (see check.sh for the threshold note), never a hard gate.
@@ -58,6 +66,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReplay$$' -fuzztime=10s ./internal/jobd
 	$(GO) test -run='^$$' -fuzz='^FuzzCursorEquivalence$$' -fuzztime=10s ./internal/waveform
 	$(GO) test -run='^$$' -fuzz='^FuzzParseDeck$$' -fuzztime=10s ./internal/circuit
+	$(GO) test -run='^$$' -fuzz='^FuzzSparseVsDenseLU$$' -fuzztime=10s ./internal/num
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -70,17 +79,25 @@ bench-smoke:
 	@tail -n 3 bench.txt
 
 # bench-json records the machine-readable benchmark trajectory: a real
-# (multi-iteration) -benchmem run parsed into BENCH_7.json, diffed
-# against the pre-PR baseline saved in bench_baseline_7.txt, with the
+# (multi-iteration) -benchmem run parsed into BENCH_8.json, diffed
+# against the pre-PR baseline saved in bench_baseline_8.txt, with the
 # build/machine provenance manifest embedded (-runinfo) and the
 # regression gate armed: any allocs/op or B/op growth beyond 10% vs
-# the baseline exits non-zero.
+# the baseline exits non-zero. BenchmarkBatchUniformise and
+# BenchmarkArrayTransient are new this PR (the batched SoA kernel and
+# the sparse full-array transient) — absent from the baseline, they
+# record trajectory without gating. The two uniformisation kernels run
+# at 20 iterations (the rest stay at 2x — Fig 3 alone is seconds per
+# op) so the recorded sequential-vs-batch ratio is stable enough to
+# read the ≥5x per-trap-path speedup off ns/op vs ns/trap-path.
 bench-json:
-	$(GO) test -bench='^(BenchmarkRun|BenchmarkFullMethodology|BenchmarkCoreUniformise|BenchmarkCellTransient|BenchmarkFig2MarginStack|BenchmarkFig3SpectralDensity|BenchmarkFig5GlitchScenarios)$$' \
+	$(GO) test -bench='^(BenchmarkRun|BenchmarkFullMethodology|BenchmarkArrayTransient|BenchmarkCellTransient|BenchmarkFig2MarginStack|BenchmarkFig3SpectralDensity|BenchmarkFig5GlitchScenarios)$$' \
 		-benchmem -benchtime=2x -run=^$$ . > bench_current.txt
-	$(GO) run ./cmd/benchjson -baseline bench_baseline_7.txt -gate -runinfo -o BENCH_7.json bench_current.txt
+	$(GO) test -bench='^(BenchmarkCoreUniformise|BenchmarkBatchUniformise)$$' \
+		-benchmem -benchtime=20x -run=^$$ . >> bench_current.txt
+	$(GO) run ./cmd/benchjson -baseline bench_baseline_8.txt -gate -runinfo -o BENCH_8.json bench_current.txt
 	@rm -f bench_current.txt
-	@echo wrote BENCH_7.json
+	@echo wrote BENCH_8.json
 
 # smoke-service exercises samuraid end to end: build -race, start on an
 # ephemeral port, run a tiny array job over HTTP, SIGTERM, assert a

@@ -22,6 +22,14 @@ go test -bench=. -benchtime=1x -run='^$' . > bench.txt
 # non-zero if any gate fails; the per-gate α is budgeted so a false
 # alarm on a correct simulator has probability < 1e-6 per run.
 go run ./cmd/samuraivv -seed 1 -o vv_report.json
+# The same synthetic matrix through the batched SoA kernel: after
+# normalising the kernel field the report must be byte-identical to the
+# sequential run (lane streams derive identically by construction).
+go run ./cmd/samuraivv -seed 1 -e2e=false -kernel batch -o vv_report_batch.json
+go run ./cmd/samuraivv -seed 1 -e2e=false -o vv_seq_norm.json
+sed 's/"kernel": "batch"/"kernel": "sequential"/' vv_report_batch.json > vv_batch_norm.json
+cmp vv_seq_norm.json vv_batch_norm.json
+rm -f vv_seq_norm.json vv_batch_norm.json
 
 # Coverage summary. Advisory only — the number below is a tripwire for
 # reviewers, NOT a hard gate: a drop well under ~70 % total on the

@@ -12,8 +12,15 @@
 //
 // Usage:
 //
-//	samuraivv [-seed N] [-alpha A] [-e2e=false] [-e2e-runs N]
-//	          [-o report.json] [-metrics]
+//	samuraivv [-seed N] [-alpha A] [-kernel sequential|batch]
+//	          [-e2e=false] [-e2e-runs N] [-o report.json] [-metrics]
+//
+// -kernel batch draws every scenario ensemble through the batched SoA
+// uniformisation kernel (markov.BatchState) instead of per-path
+// markov.Uniformise calls. The two kernels derive per-path streams
+// identically, so for the same seed the two reports differ only in the
+// "kernel" field — CI runs both and diffs them to pin the batch
+// kernel's statistical conformance.
 package main
 
 import (
@@ -36,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	seed := fs.Uint64("seed", 1, "master seed; the report is a pure function of it")
 	alpha := fs.Float64("alpha", vv.DefaultAlpha, "report-wide false-positive budget")
+	kernel := fs.String("kernel", vv.KernelSequential, "sampling kernel for scenario ensembles: sequential or batch")
 	e2e := fs.Bool("e2e", true, "also run the end-to-end samurai.Run suite")
 	e2eRuns := fs.Int("e2e-runs", 0, "end-to-end methodology runs (0 = default)")
 	out := fs.String("o", "", "write the report to this file instead of stdout")
@@ -47,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rep, err := vv.RunMatrix(vv.Options{
 		Seed:    *seed,
 		Alpha:   *alpha,
+		Kernel:  *kernel,
 		E2E:     *e2e,
 		E2ERuns: *e2eRuns,
 	})

@@ -27,37 +27,178 @@ func (m Method) String() string {
 }
 
 // stampCtx carries everything an element needs to contribute to one
-// Newton iteration of one (DC or transient) solve.
+// Newton iteration of one (DC or transient) solve. It owns either a
+// dense or a sparse linear-algebra backend; elements stamp through
+// addA/addB and never see which one is active.
 type stampCtx struct {
-	a      *num.Matrix // MNA matrix, Size×Size
-	b      []float64   // RHS
-	x      []float64   // current Newton iterate
-	nNodes int         // node-voltage unknowns; branch k is nNodes+k
-	time   float64     // evaluation time (end of step for implicit)
-	dt     float64     // step size; 0 means DC
+	// Dense backend (nil when sparse is active).
+	a  *num.Matrix // MNA matrix, Size×Size
+	lu *num.LU
+	// Sparse backend (nil when dense is active). The first stamping
+	// pass records the coordinate sequence; finishRecording freezes it
+	// into a CSR pattern plus a scatter list, after which addA is a
+	// single indexed accumulate. The sequence is identical for every
+	// iteration and timestep — element order is fixed and each
+	// element's A-coordinates depend only on circuit topology (the DC
+	// and transient capacitor stamps hit the same positions; only the
+	// dense RHS differs) — so one recording serves the whole run.
+	sp        *num.Sparse
+	slu       *num.SparseLU
+	recording bool
+	coords    [][2]int32 // recorded (i,j) op sequence (recording only)
+	vals      []float64  // values stamped while recording
+	scatter   []int32    // op index -> sp.Val position
+	cursor    int
+
+	b      []float64 // RHS
+	x      []float64 // current Newton iterate
+	nNodes int       // node-voltage unknowns; branch k is nNodes+k
+	time   float64   // evaluation time (end of step for implicit)
+	dt     float64   // step size; 0 means DC
 	method Method
 	gmin   float64 // conductance to ground on every node
-	// Persistent per-solve scratch: the LU workspace and the candidate
-	// iterate are owned by the context so Newton iterations never
-	// allocate (see DESIGN.md, hot-path memory discipline).
-	lu   *num.LU
-	xNew []float64
+	// Persistent per-solve scratch: the factorisation workspace, the
+	// candidate iterate and the residual column are owned by the
+	// context so Newton iterations never allocate (see DESIGN.md,
+	// hot-path memory discipline).
+	xNew  []float64
+	resid []float64
 }
 
 // newStampCtx builds a solve context with all workspaces preallocated
-// for the circuit's current size.
+// for the circuit's current size, picking the linear-algebra backend
+// per opt.Solver.
 func newStampCtx(c *Circuit, opt Options) *stampCtx {
 	n := c.Size()
-	return &stampCtx{
-		a:      num.NewMatrix(n, n),
+	st := &stampCtx{
 		b:      make([]float64, n),
 		x:      make([]float64, n),
 		nNodes: len(c.nodeNames),
 		method: opt.Method,
 		gmin:   opt.Gmin,
-		lu:     num.NewLU(n),
 		xNew:   make([]float64, n),
+		resid:  make([]float64, n),
 	}
+	if opt.useSparse(n) {
+		st.slu = num.NewSparseLU()
+		st.recording = true
+	} else {
+		st.a = num.NewMatrix(n, n)
+		st.lu = num.NewLU(n)
+	}
+	return st
+}
+
+// addA accumulates v into MNA matrix position (i, j).
+func (st *stampCtx) addA(i, j int, v float64) {
+	if st.a != nil {
+		st.a.Add(i, j, v)
+		return
+	}
+	if st.recording {
+		st.coords = append(st.coords, [2]int32{int32(i), int32(j)})
+		st.vals = append(st.vals, v)
+		return
+	}
+	st.sp.Val[st.scatter[st.cursor]] += v
+	st.cursor++
+}
+
+// addB accumulates v into RHS position i.
+func (st *stampCtx) addB(i int, v float64) {
+	st.b[i] += v
+}
+
+// beginStamp resets the assembly state for one Newton iteration.
+//
+//lint:hot
+func (st *stampCtx) beginStamp() {
+	if st.a != nil {
+		st.a.Zero()
+	} else if st.sp != nil {
+		st.sp.Zero()
+	}
+	st.cursor = 0
+	for i := range st.b {
+		st.b[i] = 0
+	}
+}
+
+// factor factorises the assembled matrix. On the sparse path the first
+// call freezes the recorded stamp sequence into the CSR pattern and
+// the scatter list; later calls verify the sequence length so a
+// diverging stamp order (a topology bug) fails loudly instead of
+// silently scattering into the wrong entries.
+func (st *stampCtx) factor() error {
+	if st.a != nil {
+		return st.lu.FactorInto(st.a)
+	}
+	if st.recording {
+		st.finishRecording()
+	} else if st.cursor != len(st.scatter) {
+		panic("circuit: sparse stamp sequence diverged from recorded pattern")
+	}
+	return st.slu.FactorInto(st.sp)
+}
+
+// finishRecording builds the frozen CSR pattern from the recorded
+// coordinate sequence, replays the recorded values into it, and drops
+// the recording buffers.
+func (st *stampCtx) finishRecording() {
+	bld := num.NewSparseBuilder(len(st.b))
+	for _, c := range st.coords {
+		bld.Entry(int(c[0]), int(c[1]))
+	}
+	st.sp = bld.Build()
+	st.scatter = make([]int32, len(st.coords))
+	for k, c := range st.coords {
+		st.scatter[k] = int32(st.sp.Index(int(c[0]), int(c[1])))
+	}
+	for k, v := range st.vals {
+		st.sp.Val[st.scatter[k]] += v
+	}
+	st.cursor = len(st.scatter)
+	st.coords, st.vals = nil, nil
+	st.recording = false
+}
+
+// solveInPlace overwrites x (initially the RHS) with the solution.
+//
+//lint:hot
+func (st *stampCtx) solveInPlace(x []float64) {
+	if st.a != nil {
+		st.lu.SolveInPlace(x)
+		return
+	}
+	st.slu.SolveInPlace(x)
+}
+
+// residualOK verifies the accepted Newton step actually solves the
+// linear system it was computed from: ‖A·x − b‖∞ ≤ tol·max(1, ‖A‖·‖x‖).
+// The scaling makes this a backward-stability guard: a healthy
+// factorisation leaves rounding-sized residuals many orders below the
+// bound even when the matrix carries huge companion conductances (a
+// drift-clamped femto-step puts C/dt ~ 1e9 in A), so it never perturbs
+// a converged solve — while a silently wrong step from an
+// ill-conditioned factorisation has residual ~‖A‖·‖x‖ itself and is
+// rejected.
+//
+//lint:hot
+func (st *stampCtx) residualOK(tol float64) bool {
+	var maxA float64
+	if st.a != nil {
+		st.a.MulVecInto(st.resid, st.xNew)
+		maxA = st.a.MaxAbs()
+	} else {
+		st.sp.MulVecInto(st.resid, st.xNew)
+		maxA = st.sp.MaxAbs()
+	}
+	num.SubInto(st.resid, st.resid, st.b)
+	scale := maxA * num.VecNormInf(st.xNew)
+	if scale < 1 {
+		scale = 1
+	}
+	return num.VecNormInf(st.resid) <= tol*scale
 }
 
 // element is the internal per-device interface. stamp adds the
@@ -87,14 +228,14 @@ func (r *resistorElem) advance(*stampCtx) {}
 
 func stampConductance(st *stampCtx, a, b int, g float64) {
 	if a >= 0 {
-		st.a.Add(a, a, g)
+		st.addA(a, a, g)
 	}
 	if b >= 0 {
-		st.a.Add(b, b, g)
+		st.addA(b, b, g)
 	}
 	if a >= 0 && b >= 0 {
-		st.a.Add(a, b, -g)
-		st.a.Add(b, a, -g)
+		st.addA(a, b, -g)
+		st.addA(b, a, -g)
 	}
 }
 
@@ -102,10 +243,10 @@ func stampConductance(st *stampCtx, a, b int, g float64) {
 // (i.e. adds +i to b's KCL inflow and −i to a's).
 func stampCurrent(st *stampCtx, a, b int, i float64) {
 	if a >= 0 {
-		st.b[a] -= i
+		st.addB(a, -i)
 	}
 	if b >= 0 {
-		st.b[b] += i
+		st.addB(b, i)
 	}
 }
 
@@ -180,14 +321,14 @@ func (e *vsourceElem) name() string { return e.id }
 func (e *vsourceElem) stamp(st *stampCtx) {
 	br := st.nNodes + e.branch
 	if e.p >= 0 {
-		st.a.Add(e.p, br, 1)
-		st.a.Add(br, e.p, 1)
+		st.addA(e.p, br, 1)
+		st.addA(br, e.p, 1)
 	}
 	if e.n >= 0 {
-		st.a.Add(e.n, br, -1)
-		st.a.Add(br, e.n, -1)
+		st.addA(e.n, br, -1)
+		st.addA(br, e.n, -1)
 	}
-	st.b[br] += e.cur.Eval(st.time)
+	st.addB(br, e.cur.Eval(st.time))
 }
 
 func (e *vsourceElem) advance(*stampCtx) {}
@@ -230,24 +371,24 @@ func (e *mosfetElem) stamp(st *stampCtx) {
 	// ieq = Ids − gm·vgs0 − gds·vds0.
 	ieq := op.Ids - op.Gm*(vg-vs) - op.Gds*(vd-vs)
 	if e.d >= 0 {
-		st.a.Add(e.d, e.d, op.Gds)
+		st.addA(e.d, e.d, op.Gds)
 		if e.g >= 0 {
-			st.a.Add(e.d, e.g, op.Gm)
+			st.addA(e.d, e.g, op.Gm)
 		}
 		if e.s >= 0 {
-			st.a.Add(e.d, e.s, -(op.Gm + op.Gds))
+			st.addA(e.d, e.s, -(op.Gm + op.Gds))
 		}
-		st.b[e.d] -= ieq
+		st.addB(e.d, -ieq)
 	}
 	if e.s >= 0 {
-		st.a.Add(e.s, e.s, op.Gm+op.Gds)
+		st.addA(e.s, e.s, op.Gm+op.Gds)
 		if e.g >= 0 {
-			st.a.Add(e.s, e.g, -op.Gm)
+			st.addA(e.s, e.g, -op.Gm)
 		}
 		if e.d >= 0 {
-			st.a.Add(e.s, e.d, -op.Gds)
+			st.addA(e.s, e.d, -op.Gds)
 		}
-		st.b[e.s] += ieq
+		st.addB(e.s, ieq)
 	}
 }
 

@@ -27,6 +27,10 @@ type Options struct {
 	Gmin float64
 	// Method selects the transient integration scheme.
 	Method Method
+	// Solver selects the linear-algebra backend for the MNA system.
+	// The zero value (SolverAuto) picks dense for small circuits and
+	// sparse for array-scale ones.
+	Solver Solver
 	// Ctx, when non-nil, cancels a transient analysis between steps:
 	// Runner.Step returns the wrapped ctx error as soon as the
 	// cancellation is observed. The sampled solution up to that point
@@ -55,6 +59,39 @@ func (o Options) Defaults() Options {
 	return o
 }
 
+// Solver selects the linear-algebra backend used for the MNA system.
+type Solver int
+
+const (
+	// SolverAuto picks dense below sparseAutoThreshold unknowns and
+	// sparse at or above it.
+	SolverAuto Solver = iota
+	// SolverDense forces the dense LU path regardless of size.
+	SolverDense
+	// SolverSparse forces the sparse LU path regardless of size.
+	SolverSparse
+)
+
+// sparseAutoThreshold is the unknown count at which SolverAuto switches
+// from dense to sparse. A 6T cell plus drivers is ~15 unknowns — dense
+// wins there by avoiding all indexing indirection — while even the
+// smallest shared-bitline array (8×8 ≈ 200+ unknowns) factors orders of
+// magnitude faster sparse. The crossover sits well between the two.
+const sparseAutoThreshold = 50
+
+// useSparse reports whether a circuit with n unknowns should use the
+// sparse backend under these options.
+func (o Options) useSparse(n int) bool {
+	switch o.Solver {
+	case SolverDense:
+		return false
+	case SolverSparse:
+		return true
+	default:
+		return n >= sparseAutoThreshold
+	}
+}
+
 // ErrNoConvergence is returned when Newton iteration fails to settle.
 var ErrNoConvergence = errors.New("circuit: Newton iteration did not converge")
 
@@ -69,24 +106,21 @@ func (c *Circuit) newtonSolve(st *stampCtx, opt Options) error {
 	n := c.Size()
 	mNewtonSolves.Inc()
 	for iter := 0; iter < opt.MaxNewton; iter++ {
-		st.a.Zero()
-		for i := range st.b {
-			st.b[i] = 0
-		}
+		st.beginStamp()
 		for _, e := range c.elems {
 			e.stamp(st)
 		}
 		// gmin on every node keeps the Jacobian nonsingular when
 		// devices are fully off.
 		for i := 0; i < st.nNodes; i++ {
-			st.a.Add(i, i, st.gmin)
+			st.addA(i, i, st.gmin)
 		}
-		if err := st.lu.FactorInto(st.a); err != nil {
+		if err := st.factor(); err != nil {
 			return fmt.Errorf("circuit: singular MNA matrix (floating node or source loop?): %w", err)
 		}
 		xNew := st.xNew
 		copy(xNew, st.b)
-		st.lu.SolveInPlace(xNew)
+		st.solveInPlace(xNew)
 		// Damp node-voltage updates; branch currents move freely.
 		maxDv := 0.0
 		for i := 0; i < st.nNodes; i++ {
@@ -108,8 +142,13 @@ func (c *Circuit) newtonSolve(st *stampCtx, opt Options) error {
 		}
 		//lint:ignore floateq scale is exactly the literal 1.0 whenever no damping step-limit was applied
 		if scale == 1.0 && maxDv < opt.VTol {
-			mNewtonIterations.Add(int64(iter + 1))
-			return nil
+			// Voltage convergence alone can be fooled by a bad linear
+			// solve; only accept the iterate if it also satisfies the
+			// system it came from to within the KCL residual tolerance.
+			if st.residualOK(opt.ResTol) {
+				mNewtonIterations.Add(int64(iter + 1))
+				return nil
+			}
 		}
 	}
 	mNewtonIterations.Add(int64(opt.MaxNewton))
@@ -342,6 +381,21 @@ func makeCols(n, length int) [][]float64 {
 
 // Time returns the current simulation time.
 func (r *Runner) Time() float64 { return r.t }
+
+// MatrixNNZ reports the number of structural nonzeros in the MNA
+// matrix pattern: the frozen CSR pattern size on the sparse backend,
+// n² on the dense one. The sparse pattern exists once the first solve
+// has stamped (NewRunner's DC seed or first step); before that it
+// reports 0.
+func (r *Runner) MatrixNNZ() int {
+	if r.st.a != nil {
+		return r.st.a.Rows * r.st.a.Cols
+	}
+	if r.st.sp == nil {
+		return 0
+	}
+	return r.st.sp.NNZ()
+}
 
 // Done reports whether the run has reached its end time.
 func (r *Runner) Done() bool { return r.t >= r.t1 }

@@ -111,6 +111,48 @@ func hot(a, b float64) pt {
 	wantFindings(t, diags(t, files, hotAllocRule), 0)
 }
 
+// TestHotAllocMethodsOnSoAStruct pins the rule's coverage of the
+// batched-kernel shape: //lint:hot methods (not just functions) on a
+// generic-free struct-of-arrays workspace. A disciplined advance that
+// index-assigns into pre-grown lane buffers is clean; growing a lane
+// slice inside the method is flagged, receiver or not.
+func TestHotAllocMethodsOnSoAStruct(t *testing.T) {
+	files := map[string]string{"internal/kern/kern.go": `package kern
+
+// soa is a lane-indexed struct-of-arrays workspace. grow (cold,
+// unannotated) owns every allocation.
+type soa struct {
+	t   []float64
+	acc []int64
+}
+
+// grow resizes the lanes outside the hot path.
+func (s *soa) grow(n int) {
+	s.t = make([]float64, n)
+	s.acc = make([]int64, n)
+}
+
+// advance is the per-lane inner loop: loads, stores and arithmetic on
+// the pre-grown arrays only.
+//
+//lint:hot
+func (s *soa) advance(k int, dt float64) float64 {
+	s.t[k] += dt
+	s.acc[k]++
+	return s.t[k]
+}
+
+// leakyAdvance grows a lane buffer per call — the allocation the
+// annotation exists to forbid.
+//
+//lint:hot
+func (s *soa) leakyAdvance(k int) {
+	s.t = append(s.t, 0)
+}
+`}
+	wantFindings(t, diags(t, files, hotAllocRule), 1)
+}
+
 func TestHotAllocSuppressible(t *testing.T) {
 	files := map[string]string{"internal/kern/kern.go": `package kern
 

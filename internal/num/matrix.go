@@ -75,6 +75,24 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 	return y
 }
 
+// MulVecInto computes dst = m·x without allocating. dst must not alias
+// x. It panics on dimension mismatch.
+//
+//lint:hot
+func (m *Matrix) MulVecInto(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("num: MulVecInto dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
 // String renders the matrix for debugging.
 func (m *Matrix) String() string {
 	var b strings.Builder
@@ -116,6 +134,18 @@ func VecNorm2(x []float64) float64 {
 		s += v * v
 	}
 	return math.Sqrt(s)
+}
+
+// SubInto computes dst = a−b without allocating. dst may alias a or b.
+//
+//lint:hot
+func SubInto(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("num: SubInto length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
 }
 
 // VecSub returns a-b as a new slice.

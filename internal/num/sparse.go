@@ -1,0 +1,164 @@
+package num
+
+import "sort"
+
+// Sparse is a square sparse matrix in compressed-sparse-row layout with
+// a frozen nonzero pattern. The pattern is fixed at Build time; values
+// are reassembled in place between factorisations (Zero + Add), which
+// is exactly the MNA stamping lifecycle — the circuit topology, and
+// therefore the pattern, never changes across Newton iterations or
+// timesteps.
+type Sparse struct {
+	N      int
+	RowPtr []int     // len N+1; row i occupies [RowPtr[i], RowPtr[i+1])
+	ColIdx []int32   // len NNZ; column indices, sorted within each row
+	Val    []float64 // len NNZ
+}
+
+// SparseBuilder accumulates the nonzero pattern of an N×N matrix.
+// Duplicate entries are merged at Build.
+type SparseBuilder struct {
+	n      int
+	coords []uint64 // i<<32 | j
+}
+
+// NewSparseBuilder returns a pattern builder for an n×n matrix.
+func NewSparseBuilder(n int) *SparseBuilder {
+	if n < 0 || n >= 1<<31 {
+		panic("num: sparse dimension out of range")
+	}
+	return &SparseBuilder{n: n}
+}
+
+// Entry records position (i, j) as structurally nonzero.
+func (b *SparseBuilder) Entry(i, j int) {
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		panic("num: sparse entry out of range")
+	}
+	b.coords = append(b.coords, uint64(i)<<32|uint64(j))
+}
+
+// Build freezes the accumulated pattern into a zero-valued Sparse. The
+// pattern is canonical (sorted, deduplicated), so it does not depend on
+// the order entries were recorded in.
+func (b *SparseBuilder) Build() *Sparse {
+	sort.Slice(b.coords, func(x, y int) bool { return b.coords[x] < b.coords[y] })
+	nnz := 0
+	for k, c := range b.coords {
+		if k == 0 || c != b.coords[k-1] {
+			nnz++
+		}
+	}
+	s := &Sparse{
+		N:      b.n,
+		RowPtr: make([]int, b.n+1),
+		ColIdx: make([]int32, 0, nnz),
+		Val:    make([]float64, nnz),
+	}
+	row := 0
+	for k, c := range b.coords {
+		if k > 0 && c == b.coords[k-1] {
+			continue
+		}
+		i := int(c >> 32)
+		for row < i {
+			row++
+			s.RowPtr[row] = len(s.ColIdx)
+		}
+		s.ColIdx = append(s.ColIdx, int32(uint32(c)))
+	}
+	for row < b.n {
+		row++
+		s.RowPtr[row] = len(s.ColIdx)
+	}
+	return s
+}
+
+// NNZ returns the number of structural nonzeros.
+func (s *Sparse) NNZ() int { return len(s.ColIdx) }
+
+// Index returns the Val position of entry (i, j), or -1 if (i, j) is
+// outside the frozen pattern.
+func (s *Sparse) Index(i, j int) int {
+	lo, hi := s.RowPtr[i], s.RowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(s.ColIdx[mid]) < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < s.RowPtr[i+1] && int(s.ColIdx[lo]) == j {
+		return lo
+	}
+	return -1
+}
+
+// Zero clears all values in place, keeping the pattern.
+func (s *Sparse) Zero() {
+	for i := range s.Val {
+		s.Val[i] = 0
+	}
+}
+
+// Add accumulates v into entry (i, j). It panics if (i, j) is outside
+// the frozen pattern — stamping a position that was never recorded is a
+// topology bug, not a numeric condition.
+func (s *Sparse) Add(i, j int, v float64) {
+	p := s.Index(i, j)
+	if p < 0 {
+		panic("num: sparse Add outside frozen pattern")
+	}
+	s.Val[p] += v
+}
+
+// At returns entry (i, j), zero if outside the pattern.
+func (s *Sparse) At(i, j int) float64 {
+	if p := s.Index(i, j); p >= 0 {
+		return s.Val[p]
+	}
+	return 0
+}
+
+// MulVecInto computes dst = s·x without allocating. dst must not alias
+// x. It panics on dimension mismatch.
+//
+//lint:hot
+func (s *Sparse) MulVecInto(dst, x []float64) {
+	if len(x) != s.N || len(dst) != s.N {
+		panic("num: sparse MulVecInto dimension mismatch")
+	}
+	for i := 0; i < s.N; i++ {
+		sum := 0.0
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			sum += s.Val[p] * x[s.ColIdx[p]]
+		}
+		dst[i] = sum
+	}
+}
+
+// MaxAbs returns the largest absolute value (the max norm).
+func (s *Sparse) MaxAbs() float64 {
+	mx := 0.0
+	for _, v := range s.Val {
+		if v < 0 {
+			v = -v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Dense expands s into a dense Matrix — for tests and debugging only.
+func (s *Sparse) Dense() *Matrix {
+	m := NewMatrix(s.N, s.N)
+	for i := 0; i < s.N; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			m.Set(i, int(s.ColIdx[p]), s.Val[p])
+		}
+	}
+	return m
+}

@@ -1,0 +1,320 @@
+package num
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"samurai/internal/rng"
+)
+
+// sparseFromDense converts a dense matrix into a Sparse holding exactly
+// the structurally nonzero entries (plus any extra pattern positions
+// requested), for cross-checking the two solvers on identical values.
+func sparseFromDense(m *Matrix) *Sparse {
+	b := NewSparseBuilder(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != 0 {
+				b.Entry(i, j)
+			}
+		}
+	}
+	s := b.Build()
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if v := m.At(i, j); v != 0 {
+				s.Add(i, j, v)
+			}
+		}
+	}
+	return s
+}
+
+// randomSparseDominant builds a random diagonally dominant matrix with
+// roughly the given fill fraction off the diagonal.
+func randomSparseDominant(r *rng.Stream, n int, fill float64) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			if i == j || r.Float64() >= fill {
+				continue
+			}
+			v := 2*r.Float64() - 1
+			a.Set(i, j, v)
+			rowSum += math.Abs(v)
+		}
+		sign := 1.0
+		if r.Float64() < 0.5 {
+			sign = -1
+		}
+		a.Set(i, i, sign*(rowSum+1+r.Float64()))
+	}
+	return a
+}
+
+func TestSparseBuilderCanonicalPattern(t *testing.T) {
+	b := NewSparseBuilder(3)
+	// Out-of-order and duplicate entries must merge into one sorted
+	// pattern.
+	b.Entry(2, 1)
+	b.Entry(0, 0)
+	b.Entry(2, 1)
+	b.Entry(0, 2)
+	b.Entry(1, 1)
+	s := b.Build()
+	if s.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4", s.NNZ())
+	}
+	wantRows := []int{0, 2, 3, 4}
+	for i, w := range wantRows {
+		if s.RowPtr[i] != w {
+			t.Fatalf("RowPtr[%d] = %d, want %d", i, s.RowPtr[i], w)
+		}
+	}
+	s.Add(2, 1, 5)
+	s.Add(2, 1, 2.5)
+	if got := s.At(2, 1); got != 7.5 {
+		t.Fatalf("At(2,1) = %g, want 7.5", got)
+	}
+	if got := s.At(1, 0); got != 0 {
+		t.Fatalf("At(1,0) = %g, want 0 (outside pattern)", got)
+	}
+	if s.Index(1, 0) != -1 {
+		t.Fatal("Index outside pattern should be -1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add outside the frozen pattern must panic")
+		}
+	}()
+	s.Add(1, 0, 1)
+}
+
+func TestSparseMulVecMatchesDense(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(20)
+		d := randomSparseDominant(r, n, 0.3)
+		s := sparseFromDense(d)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 2*r.Float64() - 1
+		}
+		want := d.MulVec(x)
+		got := make([]float64, n)
+		s.MulVecInto(got, x)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("trial %d: row %d: %g vs %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// solveResidual returns ‖A·x − b‖∞ for a dense A.
+func solveResidual(a *Matrix, x, b []float64) float64 {
+	r := a.MulVec(x)
+	mx := 0.0
+	for i := range r {
+		if d := math.Abs(r[i] - b[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+func TestSparseLUMatchesDenseSolve(t *testing.T) {
+	r := rng.New(21)
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + r.Intn(24)
+		d := randomSparseDominant(r, n, 0.25)
+		s := sparseFromDense(d)
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = 2*r.Float64() - 1
+		}
+		want, err := SolveLinear(d, rhs)
+		if err != nil {
+			t.Fatalf("trial %d: dense solve failed: %v", trial, err)
+		}
+		f := NewSparseLU()
+		if err := f.FactorInto(s); err != nil {
+			t.Fatalf("trial %d: sparse factor failed: %v", trial, err)
+		}
+		got := f.Solve(rhs)
+		scale := 1 + VecNormInf(want)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-10*scale {
+				t.Fatalf("trial %d: x[%d] = %.17g, dense %.17g", trial, i, got[i], want[i])
+			}
+		}
+		if res := solveResidual(d, got, rhs); res > 1e-12*(1+d.MaxAbs())*float64(n)*scale {
+			t.Fatalf("trial %d: sparse residual %g too large", trial, res)
+		}
+	}
+}
+
+// TestSparseLURefactorBitIdentical pins the symbolic-once/numeric-many
+// contract: refactoring the same values over the frozen pattern must
+// reproduce the analysis factorisation bit for bit, and new values must
+// solve exactly as a fresh analysis of them would.
+func TestSparseLURefactorBitIdentical(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(16)
+		d := randomSparseDominant(r, n, 0.3)
+		s := sparseFromDense(d)
+		f := NewSparseLU()
+		if err := f.FactorInto(s); err != nil {
+			t.Fatal(err)
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = 2*r.Float64() - 1
+		}
+		want := f.Solve(rhs)
+		// Same values through the numeric-replay path.
+		if err := f.FactorInto(s); err != nil {
+			t.Fatal(err)
+		}
+		got := f.Solve(rhs)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("trial %d: refactor of identical values changed x[%d]: %g vs %g",
+					trial, i, got[i], want[i])
+			}
+		}
+		// New values over the same pattern: replay must agree bitwise
+		// with a fresh workspace that analyses those values directly
+		// (the pivot order is a function of the pattern and magnitudes,
+		// which perturbing by scaling preserves).
+		for p := range s.Val {
+			s.Val[p] *= 1.5
+		}
+		if err := f.FactorInto(s); err != nil {
+			t.Fatal(err)
+		}
+		fresh := NewSparseLU()
+		if err := fresh.FactorInto(s); err != nil {
+			t.Fatal(err)
+		}
+		a := f.Solve(rhs)
+		b := fresh.Solve(rhs)
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("trial %d: replay vs fresh analysis differ at x[%d]: %g vs %g",
+					trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestSparseLUZeroDiagonal exercises the MNA shape that motivates
+// pivoting: voltage-source branch rows have a structural zero on the
+// diagonal and only ±1 couplings.
+func TestSparseLUZeroDiagonal(t *testing.T) {
+	// Node equation with a conductance, plus a source branch:
+	//   [ g  1 ] [v]   [0]
+	//   [ 1  0 ] [i] = [E]
+	d := NewMatrix(2, 2)
+	d.Set(0, 0, 1e-3)
+	d.Set(0, 1, 1)
+	d.Set(1, 0, 1)
+	s := sparseFromDense(d)
+	f := NewSparseLU()
+	if err := f.FactorInto(s); err != nil {
+		t.Fatalf("zero-diagonal factor failed: %v", err)
+	}
+	x := f.Solve([]float64{0, 1.2})
+	if math.Abs(x[0]-1.2) > 1e-12 {
+		t.Fatalf("node voltage = %g, want 1.2", x[0])
+	}
+	if math.Abs(x[1]-(-1.2e-3)) > 1e-15 {
+		t.Fatalf("branch current = %g, want -1.2e-3", x[1])
+	}
+}
+
+// TestSparseLURepivotsWhenFrozenPivotDies changes values so the pivot
+// the analysis froze becomes exactly zero; FactorInto must silently
+// re-analyse and still solve.
+func TestSparseLURepivotsWhenFrozenPivotDies(t *testing.T) {
+	b := NewSparseBuilder(2)
+	for _, c := range [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		b.Entry(c[0], c[1])
+	}
+	s := b.Build()
+	set := func(a00, a01, a10, a11 float64) {
+		s.Zero()
+		s.Add(0, 0, a00)
+		s.Add(0, 1, a01)
+		s.Add(1, 0, a10)
+		s.Add(1, 1, a11)
+	}
+	f := NewSparseLU()
+	set(4, 1, 1, 3) // analysis pivots on the dominant diagonal
+	if err := f.FactorInto(s); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the frozen (0,0)-ish pivot; the matrix stays well-posed.
+	set(0, 1, 1, 3)
+	if err := f.FactorInto(s); err != nil {
+		t.Fatalf("re-pivot path failed: %v", err)
+	}
+	x := f.Solve([]float64{1, 2})
+	// [0 1; 1 3]·x = [1 2] → x = [-1, 1]
+	if math.Abs(x[0]+1) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Fatalf("solution after re-pivot = %v, want [-1 1]", x)
+	}
+}
+
+func TestSparseLURecoversAfterSingular(t *testing.T) {
+	b := NewSparseBuilder(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			b.Entry(i, j)
+		}
+	}
+	s := b.Build() // all values zero: singular
+	f := NewSparseLU()
+	if err := f.FactorInto(s); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+	r := rng.New(9)
+	d := randomSparseDominant(r, 3, 1.0)
+	s2 := sparseFromDense(d)
+	if err := f.FactorInto(s2); err != nil {
+		t.Fatalf("workspace unusable after singular matrix: %v", err)
+	}
+	rhs := []float64{1, -2, 0.5}
+	x := f.Solve(rhs)
+	if res := solveResidual(d, x, rhs); res > 1e-10 {
+		t.Fatalf("post-recovery residual %g too large", res)
+	}
+}
+
+// TestSparseLUWorkspaceReuseAcrossPatterns rebinds one workspace to a
+// sequence of different matrices (different sizes and patterns), the
+// lifecycle a fuzzer or a multi-circuit caller produces.
+func TestSparseLUWorkspaceReuseAcrossPatterns(t *testing.T) {
+	r := rng.New(41)
+	f := NewSparseLU()
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(20)
+		d := randomSparseDominant(r, n, 0.4)
+		s := sparseFromDense(d)
+		if err := f.FactorInto(s); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = 2*r.Float64() - 1
+		}
+		x := f.Solve(rhs)
+		scale := 1 + VecNormInf(x)
+		if res := solveResidual(d, x, rhs); res > 1e-10*scale {
+			t.Fatalf("trial %d: residual %g too large", trial, res)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package num
+
+import "math"
+
+// sparsePivotTol is the threshold-pivoting relative tolerance: any row
+// whose column magnitude is within this factor of the column maximum is
+// an acceptable pivot, and among acceptable rows the one with the
+// fewest structural nonzeros (a static Markowitz cost) is chosen. This
+// is the classic SPICE trade: near-maximal numerical stability, but
+// hub rows — shared bitlines and wordlines touch every cell in a row
+// or column of the array — are eliminated last so they do not smear
+// fill across the whole factor. 0.1 bounds per-step element growth at
+// 10×, keeping residuals comfortably inside the circuit layer's 1e-9
+// KCL gate; looser thresholds (SPICE's classic 1e-3) buy little fill
+// here because the MNA stamps already put the dominant entry on or
+// near the diagonal.
+const sparsePivotTol = 0.1
+
+// SparseLU factors a Sparse matrix as P·A = L·U using the
+// Gilbert–Peierls left-looking algorithm. The expensive part — the
+// symbolic work of discovering the fill pattern and choosing a pivot
+// order — runs once, on the first FactorInto for a given matrix;
+// subsequent calls replay the elimination numerically over the frozen
+// pattern with frozen pivots. That split matches the MNA workload
+// exactly: one pattern per circuit, thousands of refactorisations
+// across Newton iterations and timesteps.
+//
+// If a frozen pivot later turns numerically zero (the operating point
+// moved far enough to change which rows are viable), FactorInto
+// silently re-analyses with fresh pivoting and only reports
+// ErrSingular if the matrix is singular under full re-pivoting too —
+// the same observable contract as the dense LU.
+type SparseLU struct {
+	n   int
+	pat *Sparse // matrix the current analysis belongs to
+
+	// CSC view of the input pattern: column j occupies
+	// [cColPtr[j], cColPtr[j+1]); entry p lives at row cRow[p] and
+	// sources its value from pat.Val[cSrc[p]].
+	cColPtr []int
+	cRow    []int32
+	cSrc    []int32
+
+	// Factors, column-major, patterns frozen by analysis.
+	// L excludes the unit diagonal and indexes original (unpermuted)
+	// rows. U's off-diagonal entries are indexed by pivot *step* and
+	// stored per column in the exact topological order the numeric
+	// replay applies them; the diagonal lives in uDiag.
+	lColPtr []int
+	lRow    []int32
+	lVal    []float64
+	uColPtr []int
+	uStep   []int32
+	uVal    []float64
+	uDiag   []float64
+	pivRow  []int // pivot step k -> original row index
+
+	rowCount []int32 // static nonzeros per row of A (Markowitz cost)
+
+	// Scratch. w is the sparse accumulator column and must be all-zero
+	// between columns; y is the solve-time intermediate.
+	w         []float64
+	y         []float64
+	pos       []int   // original row -> pivot step, -1 while non-pivotal
+	cp        []int   // per-step DFS child cursor
+	post      []int32 // DFS postorder of pivot steps
+	cand      []int32 // non-pivotal rows in the current column's pattern
+	dfs       []int32 // DFS stack
+	stepStamp []int32 // per-step visited mark, stamped by column
+	rowStamp  []int32 // per-row candidate mark, stamped by column
+}
+
+// NewSparseLU returns an empty factorisation workspace. The first
+// FactorInto sizes and analyses it.
+func NewSparseLU() *SparseLU { return &SparseLU{} }
+
+// FactorInto computes or refreshes the factorisation of a. The first
+// call for a given matrix performs symbolic analysis with threshold
+// pivoting; later calls for the same matrix replay only the numeric
+// elimination over the frozen pattern. On ErrSingular the workspace
+// remains reusable.
+func (f *SparseLU) FactorInto(a *Sparse) error {
+	if f.pat != a {
+		return f.analyze(a)
+	}
+	if f.refactor(a) {
+		return nil
+	}
+	// A frozen pivot hit exact zero (or NaN): re-pivot from scratch.
+	return f.analyze(a)
+}
+
+// analyze runs the full Gilbert–Peierls factorisation: per column, a
+// depth-first search over the partially built L discovers the fill
+// pattern and a topological application order, the numeric update runs
+// over exactly that pattern, and the pivot is chosen by threshold +
+// static Markowitz cost. Everything discovered here — patterns, pivot
+// order, application order — is frozen for refactor.
+func (f *SparseLU) analyze(a *Sparse) error {
+	n := a.N
+	f.n = n
+	f.pat = nil
+	f.buildCSC(a)
+	f.growScratch(n)
+	for i := range f.pos {
+		f.pos[i] = -1
+	}
+	f.lColPtr = append(f.lColPtr[:0], 0)
+	f.lRow = f.lRow[:0]
+	f.lVal = f.lVal[:0]
+	f.uColPtr = append(f.uColPtr[:0], 0)
+	f.uStep = f.uStep[:0]
+	f.uVal = f.uVal[:0]
+
+	for j := 0; j < n; j++ {
+		f.post = f.post[:0]
+		f.cand = f.cand[:0]
+		// Symbolic: reachability of column j's pattern through L.
+		for p := f.cColPtr[j]; p < f.cColPtr[j+1]; p++ {
+			f.visit(int(f.cRow[p]), j)
+		}
+		// Numeric: scatter A(:,j) and apply the reached pivot columns
+		// in topological (reverse-post) order.
+		for p := f.cColPtr[j]; p < f.cColPtr[j+1]; p++ {
+			f.w[f.cRow[p]] = a.Val[f.cSrc[p]]
+		}
+		for i := len(f.post) - 1; i >= 0; i-- {
+			k := int(f.post[i])
+			xk := f.w[f.pivRow[k]]
+			f.uStep = append(f.uStep, int32(k))
+			f.uVal = append(f.uVal, xk)
+			if xk != 0 {
+				for p := f.lColPtr[k]; p < f.lColPtr[k+1]; p++ {
+					f.w[f.lRow[p]] -= xk * f.lVal[p]
+				}
+			}
+		}
+		f.uColPtr = append(f.uColPtr, len(f.uStep))
+		// Pivot: threshold on magnitude, tie-break on static row count.
+		xmax := 0.0
+		for _, r := range f.cand {
+			v := math.Abs(f.w[r])
+			if math.IsNaN(v) {
+				f.clearColumn()
+				return ErrSingular
+			}
+			if v > xmax {
+				xmax = v
+			}
+		}
+		if xmax == 0 {
+			f.clearColumn()
+			return ErrSingular
+		}
+		best := -1
+		var bestCount int32
+		for _, r := range f.cand {
+			if math.Abs(f.w[r]) < sparsePivotTol*xmax {
+				continue
+			}
+			c := f.rowCount[r]
+			if best < 0 || c < bestCount || (c == bestCount && int(r) < best) {
+				best, bestCount = int(r), c
+			}
+		}
+		f.pivRow[j] = best
+		f.pos[best] = j
+		piv := f.w[best]
+		f.uDiag[j] = piv
+		for _, r := range f.cand {
+			if int(r) == best {
+				continue
+			}
+			f.lRow = append(f.lRow, r)
+			f.lVal = append(f.lVal, f.w[r]/piv)
+		}
+		f.lColPtr = append(f.lColPtr, len(f.lRow))
+		f.clearColumn()
+	}
+	f.pat = a
+	return nil
+}
+
+// visit runs the iterative DFS for one starting row of column j,
+// appending reached pivot steps to post and newly seen non-pivotal
+// rows to cand. Visit marks persist for the whole column via pos/cp
+// sentinel state: a step is on or past the stack iff cp[k] >= 0 this
+// column, tracked with the stamp convention below.
+func (f *SparseLU) visit(r0, j int) {
+	if f.pos[r0] < 0 {
+		f.markCand(int32(r0), j)
+		return
+	}
+	k0 := f.pos[r0]
+	if f.stepSeen(k0, j) {
+		return
+	}
+	f.dfs = append(f.dfs[:0], int32(k0))
+	f.cp[k0] = f.lColPtr[k0]
+	for len(f.dfs) > 0 {
+		k := int(f.dfs[len(f.dfs)-1])
+		descended := false
+		for p := f.cp[k]; p < f.lColPtr[k+1]; p++ {
+			r := int(f.lRow[p])
+			f.cp[k] = p + 1
+			if f.pos[r] < 0 {
+				f.markCand(int32(r), j)
+				continue
+			}
+			k2 := f.pos[r]
+			if !f.stepSeen(k2, j) {
+				f.cp[k2] = f.lColPtr[k2]
+				f.dfs = append(f.dfs, int32(k2))
+				descended = true
+				break
+			}
+		}
+		if !descended {
+			f.dfs = f.dfs[:len(f.dfs)-1]
+			f.post = append(f.post, int32(k))
+		}
+	}
+}
+
+// stepStamp/rowStamp implement O(1) per-column visited marks without a
+// per-column clear: a mark is valid only if stamped with the current
+// column number + 1.
+func (f *SparseLU) stepSeen(k, j int) bool {
+	if f.stepStamp[k] == int32(j+1) {
+		return true
+	}
+	f.stepStamp[k] = int32(j + 1)
+	return false
+}
+
+func (f *SparseLU) markCand(r int32, j int) {
+	if f.rowStamp[r] != int32(j+1) {
+		f.rowStamp[r] = int32(j + 1)
+		f.cand = append(f.cand, r)
+	}
+}
+
+// clearColumn restores the all-zero invariant of w after a column is
+// finished (or abandoned on ErrSingular).
+func (f *SparseLU) clearColumn() {
+	for _, k := range f.post {
+		f.w[f.pivRow[k]] = 0
+	}
+	for _, r := range f.cand {
+		f.w[r] = 0
+	}
+}
+
+// refactor replays the elimination numerically over the frozen
+// pattern, pivots, and application order. It reports false — leaving
+// the caller to re-analyse — if a frozen pivot is exactly zero or NaN.
+//
+//lint:hot
+func (f *SparseLU) refactor(a *Sparse) bool {
+	n := f.n
+	w := f.w
+	lColPtr, lRow, lVal := f.lColPtr, f.lRow, f.lVal
+	uColPtr, uStep, uVal := f.uColPtr, f.uStep, f.uVal
+	pivRow := f.pivRow
+	for j := 0; j < n; j++ {
+		for p := f.cColPtr[j]; p < f.cColPtr[j+1]; p++ {
+			w[f.cRow[p]] = a.Val[f.cSrc[p]]
+		}
+		for p := uColPtr[j]; p < uColPtr[j+1]; p++ {
+			k := int(uStep[p])
+			xk := w[pivRow[k]]
+			uVal[p] = xk
+			if xk != 0 {
+				for q := lColPtr[k]; q < lColPtr[k+1]; q++ {
+					w[lRow[q]] -= xk * lVal[q]
+				}
+			}
+		}
+		piv := w[pivRow[j]]
+		if piv == 0 || math.IsNaN(piv) {
+			// Clear w before handing control back for re-analysis.
+			for p := uColPtr[j]; p < uColPtr[j+1]; p++ {
+				w[pivRow[uStep[p]]] = 0
+			}
+			w[pivRow[j]] = 0
+			for p := lColPtr[j]; p < lColPtr[j+1]; p++ {
+				w[lRow[p]] = 0
+			}
+			return false
+		}
+		f.uDiag[j] = piv
+		for p := lColPtr[j]; p < lColPtr[j+1]; p++ {
+			lVal[p] = w[lRow[p]] / piv
+			w[lRow[p]] = 0
+		}
+		for p := uColPtr[j]; p < uColPtr[j+1]; p++ {
+			w[pivRow[uStep[p]]] = 0
+		}
+		w[pivRow[j]] = 0
+	}
+	return true
+}
+
+// SolveInPlace overwrites x (initially holding b) with the solution of
+// A·x = b using the current factors. It allocates nothing.
+//
+//lint:hot
+func (f *SparseLU) SolveInPlace(x []float64) {
+	n := f.n
+	if len(x) != n {
+		panic("num: sparse SolveInPlace dimension mismatch")
+	}
+	y := f.y
+	// Forward substitution in original row space: step k consumes the
+	// pivot row's running value and pushes its L column into the rows
+	// below (in elimination order).
+	for k := 0; k < n; k++ {
+		yk := x[f.pivRow[k]]
+		y[k] = yk
+		if yk != 0 {
+			for p := f.lColPtr[k]; p < f.lColPtr[k+1]; p++ {
+				x[f.lRow[p]] -= yk * f.lVal[p]
+			}
+		}
+	}
+	// Back substitution on U in step space, column-oriented.
+	for j := n - 1; j >= 0; j-- {
+		xj := y[j] / f.uDiag[j]
+		y[j] = xj
+		if xj != 0 {
+			for p := f.uColPtr[j]; p < f.uColPtr[j+1]; p++ {
+				y[f.uStep[p]] -= xj * f.uVal[p]
+			}
+		}
+	}
+	copy(x, y[:n])
+}
+
+// Solve returns x such that A·x = b. b is not modified.
+func (f *SparseLU) Solve(b []float64) []float64 {
+	x := make([]float64, len(b))
+	copy(x, b)
+	f.SolveInPlace(x)
+	return x
+}
+
+// FactorNNZ returns the number of stored factor entries (L + U,
+// including diagonals) — the fill the analysis settled on, and the
+// quantity per-step solve cost is linear in.
+func (f *SparseLU) FactorNNZ() int {
+	return len(f.lVal) + len(f.uVal) + 2*f.n
+}
+
+// buildCSC transposes a's pattern into the column-major view used by
+// the factorisation, with back-references into a.Val so refactor can
+// scatter straight from the stamped values.
+func (f *SparseLU) buildCSC(a *Sparse) {
+	n := a.N
+	nnz := a.NNZ()
+	if cap(f.cColPtr) < n+1 {
+		f.cColPtr = make([]int, n+1)
+	}
+	f.cColPtr = f.cColPtr[:n+1]
+	for j := range f.cColPtr {
+		f.cColPtr[j] = 0
+	}
+	if cap(f.cRow) < nnz {
+		f.cRow = make([]int32, nnz)
+		f.cSrc = make([]int32, nnz)
+	}
+	f.cRow = f.cRow[:nnz]
+	f.cSrc = f.cSrc[:nnz]
+	for _, j := range a.ColIdx {
+		f.cColPtr[j+1]++
+	}
+	for j := 0; j < n; j++ {
+		f.cColPtr[j+1] += f.cColPtr[j]
+	}
+	// Walking rows in order makes each CSC column row-sorted for free.
+	fill := make([]int, n)
+	copy(fill, f.cColPtr[:n])
+	for i := 0; i < n; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			j := int(a.ColIdx[p])
+			f.cRow[fill[j]] = int32(i)
+			f.cSrc[fill[j]] = int32(p)
+			fill[j]++
+		}
+	}
+	if cap(f.rowCount) < n {
+		f.rowCount = make([]int32, n)
+	}
+	f.rowCount = f.rowCount[:n]
+	for i := 0; i < n; i++ {
+		f.rowCount[i] = int32(a.RowPtr[i+1] - a.RowPtr[i])
+	}
+}
+
+// growScratch sizes the per-row/per-step work arrays, zeroing the
+// accumulator and the visit stamps.
+func (f *SparseLU) growScratch(n int) {
+	if cap(f.w) < n {
+		f.w = make([]float64, n)
+		f.y = make([]float64, n)
+		f.pos = make([]int, n)
+		f.cp = make([]int, n)
+		f.pivRow = make([]int, n)
+		f.uDiag = make([]float64, n)
+		f.stepStamp = make([]int32, n)
+		f.rowStamp = make([]int32, n)
+	}
+	f.w = f.w[:n]
+	f.y = f.y[:n]
+	f.pos = f.pos[:n]
+	f.cp = f.cp[:n]
+	f.pivRow = f.pivRow[:n]
+	f.uDiag = f.uDiag[:n]
+	f.stepStamp = f.stepStamp[:n]
+	f.rowStamp = f.rowStamp[:n]
+	for i := range f.w {
+		f.w[i] = 0
+	}
+	for i := range f.stepStamp {
+		f.stepStamp[i] = 0
+		f.rowStamp[i] = 0
+	}
+}

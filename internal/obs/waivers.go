@@ -12,6 +12,7 @@ package obs
 var lintWaiverRules = []string{
 	"bareerr",
 	"floateq",
+	"hotalloc",
 }
 
 // LintWaivers returns the rule names with active lint waivers, as a

@@ -140,6 +140,86 @@ func (s *Stream) Exp(rate float64) float64 {
 	return -math.Log(s.Float64Open()) / rate
 }
 
+// FillCandidates bulk-draws uniformisation candidate pairs: for each
+// entry i it draws one Exp(rate) inter-arrival into dt[i] and then one
+// accept variate into raw[i], stored as float64(Uint64()>>11) — the
+// numerator of Float64's 2⁻⁵³ lattice, so `raw[i] < p·2⁵³` decides
+// exactly like `Float64() < p`. The per-entry draw order (exp, then
+// accept) and arithmetic match the sequential consumption of
+// Exp(rate) followed by Float64() bit-for-bit, so entry i is a pure
+// prefix function of the stream: a consumer that only uses the first k
+// entries sees exactly the draws a sequential caller would have made,
+// regardless of how far the buffer over-draws. The whole fill runs on
+// register-resident generator state — the only call left per candidate
+// is math.Log. It panics if rate <= 0, like Exp.
+//
+//lint:hot
+func (s *Stream) FillCandidates(dt, raw []float64, rate float64) {
+	if rate <= 0 {
+		panic("rng: FillCandidates called with rate <= 0")
+	}
+	n := len(dt)
+	if len(raw) != n {
+		panic("rng: FillCandidates buffer length mismatch")
+	}
+	state, inc := s.state, s.inc
+	// Two-step jump constants: state_{i+2} = a²·state_i + c·(a+1)
+	// (mod 2⁶⁴), so the four state-updates per candidate form a
+	// dependency chain of two multiply-adds instead of four; the odd
+	// states hang off the chain and compute in parallel. The state
+	// values — and therefore every output — are bit-identical to four
+	// sequential next32 steps.
+	a := uint64(pcgMult)
+	a2 := a * a // wraps mod 2⁶⁴, as the chain requires
+	c2 := inc * (a + 1)
+	for i := 0; i < n; i++ {
+		s0 := state
+		s1 := s0*a + inc
+		s2 := s0*a2 + c2
+		s3 := s2*a + inc
+		state = s2*a2 + c2
+		u := float64((pcgOut(s0)<<32|pcgOut(s1))>>11) / (1 << 53)
+		if u == 0 {
+			// ~2⁻⁵³ per draw: re-enter the open-interval retry loop
+			// exactly where a sequential Float64Open would, from the
+			// state after the two consumed words.
+			state = s2
+			for {
+				old := state
+				state = old*a + inc
+				hi := pcgOut(old)
+				old = state
+				state = old*a + inc
+				lo := pcgOut(old)
+				u = float64((hi<<32|lo)>>11) / (1 << 53)
+				if u > 0 {
+					break
+				}
+			}
+			dt[i] = -math.Log(u) / rate
+			old := state
+			state = old*a + inc
+			hi := pcgOut(old)
+			old = state
+			state = old*a + inc
+			lo := pcgOut(old)
+			raw[i] = float64((hi<<32 | lo) >> 11)
+			continue
+		}
+		dt[i] = -math.Log(u) / rate
+		raw[i] = float64((pcgOut(s2)<<32 | pcgOut(s3)) >> 11)
+	}
+	s.state = state
+}
+
+// pcgOut is the PCG-XSH-RR output permutation applied to a raw state
+// word — exactly next32's transform, factored out for the bulk path.
+func pcgOut(old uint64) uint64 {
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return uint64((xorshifted >> rot) | (xorshifted << ((-rot) & 31)))
+}
+
 // Norm returns a standard normal variate (Box–Muller, polar form).
 func (s *Stream) Norm() float64 {
 	for {

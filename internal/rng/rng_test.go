@@ -202,3 +202,59 @@ func TestUniformRange(t *testing.T) {
 		}
 	}
 }
+
+// TestFillCandidatesMatchesSequentialDraws pins the bulk candidate
+// primitive to the sequential Exp-then-Float64 consumption pattern at
+// the bit level: entry i of the fill must equal the i-th sequential
+// (Exp(rate), Float64) pair from an identically seeded stream.
+func TestFillCandidatesMatchesSequentialDraws(t *testing.T) {
+	for _, rate := range []float64{0.5, 1, 3.7e4} {
+		a := New(99)
+		b := New(99)
+		const n = 257
+		dt := make([]float64, n)
+		raw := make([]float64, n)
+		a.FillCandidates(dt, raw, rate)
+		for i := 0; i < n; i++ {
+			wantDt := b.Exp(rate)
+			wantU := b.Float64()
+			if math.Float64bits(dt[i]) != math.Float64bits(wantDt) {
+				t.Fatalf("rate %g entry %d: dt %g != %g", rate, i, dt[i], wantDt)
+			}
+			// raw is the 2⁵³-lattice numerator of Float64: the exact
+			// power-of-two rescaling must reproduce the uniform draw.
+			if math.Float64bits(raw[i]/(1<<53)) != math.Float64bits(wantU) {
+				t.Fatalf("rate %g entry %d: raw %g != %g·2⁵³", rate, i, raw[i], wantU)
+			}
+		}
+	}
+}
+
+// TestFillCandidatesAdvancesState checks the stream state after a fill
+// equals the state after the equivalent sequential draws, so chunked
+// refills continue the same sequence.
+func TestFillCandidatesAdvancesState(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	dt := make([]float64, 64)
+	raw := make([]float64, 64)
+	a.FillCandidates(dt, raw, 2.0)
+	for i := 0; i < 64; i++ {
+		b.Exp(2.0)
+		b.Float64()
+	}
+	for i := 0; i < 8; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("stream state diverged after fill (draw %d)", i)
+		}
+	}
+}
+
+func TestFillCandidatesPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate <= 0 accepted")
+		}
+	}()
+	New(1).FillCandidates(make([]float64, 1), make([]float64, 1), 0)
+}

@@ -1,0 +1,192 @@
+package sram
+
+import (
+	"fmt"
+
+	"samurai/internal/circuit"
+	"samurai/internal/device"
+	"samurai/internal/waveform"
+)
+
+// ArrayConfig describes a Rows×Cols block of 6T cells wired the way a
+// real macro is: one shared wordline per row, one shared bitline pair
+// per column (with a single driver resistance and wiring capacitance
+// per line), one supply. Cell carries the per-cell sizing and
+// parasitics; its bitline fields apply to the shared lines.
+type ArrayConfig struct {
+	Rows, Cols int
+	Cell       CellConfig
+}
+
+// Array is an elaborated SRAM block ready for transient analysis. At
+// array sizes the circuit layer automatically selects the sparse MNA
+// backend — a 64×64 block is ~8.7k unknowns, far past the dense
+// crossover.
+type Array struct {
+	Cfg     ArrayConfig
+	Circuit *circuit.Circuit
+	// Params maps transistor role name ("M1".."M6") → device
+	// parameters shared by that role in every cell.
+	Params map[string]device.MOSParams
+}
+
+// Array node names.
+
+// ArrayNodeQ returns the storage node name of cell (r, c).
+func ArrayNodeQ(r, c int) string { return fmt.Sprintf("q_%d_%d", r, c) }
+
+// ArrayNodeQB returns the complementary storage node name of cell (r, c).
+func ArrayNodeQB(r, c int) string { return fmt.Sprintf("qb_%d_%d", r, c) }
+
+// ArrayNodeWL returns the shared wordline node name of row r.
+func ArrayNodeWL(r int) string { return fmt.Sprintf("wl_%d", r) }
+
+// ArrayNodeBL returns the shared (driver-side) bitline node of column c.
+func ArrayNodeBL(c int) string { return fmt.Sprintf("bl_%d", c) }
+
+// ArrayNodeBLB returns the shared complementary bitline node of column c.
+func ArrayNodeBLB(c int) string { return fmt.Sprintf("blb_%d", c) }
+
+// Internal (post-driver-resistance) bitline nodes of column c.
+func arrayNodeBLInt(c int) string  { return fmt.Sprintf("bl_i_%d", c) }
+func arrayNodeBLBInt(c int) string { return fmt.Sprintf("blb_i_%d", c) }
+
+// ArrayTransistor returns the device name of role m ("M1".."M6") in
+// cell (r, c).
+func ArrayTransistor(m string, r, c int) string { return fmt.Sprintf("%s_%d_%d", m, r, c) }
+
+// BuildArray elaborates the block. wl holds one drive waveform per row
+// and bl/blb one per column; nil entries default to an idle line
+// (wordline low, bitlines precharged to Vdd).
+func BuildArray(cfg ArrayConfig, wl, bl, blb []*waveform.PWL) (*Array, error) {
+	if cfg.Rows <= 0 || cfg.Cols <= 0 {
+		return nil, fmt.Errorf("sram: array needs positive dimensions, got %d×%d", cfg.Rows, cfg.Cols)
+	}
+	if len(wl) != cfg.Rows || len(bl) != cfg.Cols || len(blb) != cfg.Cols {
+		return nil, fmt.Errorf("sram: array drive waveform counts (%d wl, %d bl, %d blb) must match %d rows × %d cols",
+			len(wl), len(bl), len(blb), cfg.Rows, cfg.Cols)
+	}
+	cfg.Cell = cfg.Cell.Defaults()
+	params, err := DeviceParams(cfg.Cell)
+	if err != nil {
+		return nil, err
+	}
+	ckt := circuit.New()
+	if err := ckt.AddDCVSource("VDD", NodeVdd, circuit.Ground, cfg.Cell.Vdd); err != nil {
+		return nil, err
+	}
+	idleWL := waveform.Constant(0)
+	idleBL := waveform.Constant(cfg.Cell.Vdd)
+	for r := 0; r < cfg.Rows; r++ {
+		w := wl[r]
+		if w == nil {
+			w = idleWL
+		}
+		if err := ckt.AddVSource(fmt.Sprintf("VWL_%d", r), ArrayNodeWL(r), circuit.Ground, w); err != nil {
+			return nil, err
+		}
+	}
+	for c := 0; c < cfg.Cols; c++ {
+		wb, wbb := bl[c], blb[c]
+		if wb == nil {
+			wb = idleBL
+		}
+		if wbb == nil {
+			wbb = idleBL
+		}
+		steps := []func() error{
+			func() error {
+				return ckt.AddVSource(fmt.Sprintf("VBL_%d", c), ArrayNodeBL(c), circuit.Ground, wb)
+			},
+			func() error {
+				return ckt.AddVSource(fmt.Sprintf("VBLB_%d", c), ArrayNodeBLB(c), circuit.Ground, wbb)
+			},
+			func() error {
+				return ckt.AddResistor(fmt.Sprintf("RBL_%d", c), ArrayNodeBL(c), arrayNodeBLInt(c), cfg.Cell.RDriver)
+			},
+			func() error {
+				return ckt.AddResistor(fmt.Sprintf("RBLB_%d", c), ArrayNodeBLB(c), arrayNodeBLBInt(c), cfg.Cell.RDriver)
+			},
+			func() error {
+				return ckt.AddCapacitor(fmt.Sprintf("CBL_%d", c), arrayNodeBLInt(c), circuit.Ground, cfg.Cell.CBitline)
+			},
+			func() error {
+				return ckt.AddCapacitor(fmt.Sprintf("CBLB_%d", c), arrayNodeBLBInt(c), circuit.Ground, cfg.Cell.CBitline)
+			},
+		}
+		for _, s := range steps {
+			if err := s(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			q, qb := ArrayNodeQ(r, c), ArrayNodeQB(r, c)
+			type mos struct{ role, d, g, s string }
+			devicesList := []mos{
+				{"M1", q, ArrayNodeWL(r), arrayNodeBLInt(c)},
+				{"M2", qb, ArrayNodeWL(r), arrayNodeBLBInt(c)},
+				{"M3", q, qb, NodeVdd},
+				{"M4", qb, q, NodeVdd},
+				{"M5", qb, q, circuit.Ground},
+				{"M6", q, qb, circuit.Ground},
+			}
+			for _, m := range devicesList {
+				name := ArrayTransistor(m.role, r, c)
+				if err := ckt.AddMOSFET(name, m.d, m.g, m.s, params[m.role]); err != nil {
+					return nil, err
+				}
+				// Companion RTN source per device, as in the single
+				// cell (Fig 4 right): zero until a trace is installed.
+				if err := ckt.AddISource(rtnSourceName(name), m.s, m.d, waveform.Constant(0)); err != nil {
+					return nil, err
+				}
+			}
+			if err := ckt.AddCapacitor("CQ_"+q, q, circuit.Ground, cfg.Cell.CNode); err != nil {
+				return nil, err
+			}
+			if err := ckt.AddCapacitor("CQ_"+qb, qb, circuit.Ground, cfg.Cell.CNode); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Array{Cfg: cfg, Circuit: ckt, Params: params}, nil
+}
+
+// SetRTNTrace installs an RTN current waveform on a transistor's
+// companion source in cell (r, c). Passing nil clears it.
+func (a *Array) SetRTNTrace(r, c int, transistor string, w *waveform.PWL) error {
+	if _, ok := a.Params[transistor]; !ok {
+		return fmt.Errorf("sram: unknown transistor role %q", transistor)
+	}
+	if w == nil {
+		w = waveform.Constant(0)
+	}
+	return a.Circuit.SetISourceWaveform(rtnSourceName(ArrayTransistor(transistor, r, c)), w)
+}
+
+// InitialConditions returns a UIC map that stores bits(r, c) in every
+// cell with all wordlines low and all bitlines precharged high.
+func (a *Array) InitialConditions(bits func(r, c int) int) map[string]float64 {
+	vdd := a.Cfg.Cell.Vdd
+	ic := map[string]float64{NodeVdd: vdd}
+	for r := 0; r < a.Cfg.Rows; r++ {
+		ic[ArrayNodeWL(r)] = 0
+		for c := 0; c < a.Cfg.Cols; c++ {
+			vq, vqb := 0.0, vdd
+			if bits(r, c) != 0 {
+				vq, vqb = vdd, 0.0
+			}
+			ic[ArrayNodeQ(r, c)] = vq
+			ic[ArrayNodeQB(r, c)] = vqb
+		}
+	}
+	for c := 0; c < a.Cfg.Cols; c++ {
+		ic[ArrayNodeBL(c)] = vdd
+		ic[ArrayNodeBLB(c)] = vdd
+		ic[arrayNodeBLInt(c)] = vdd
+		ic[arrayNodeBLBInt(c)] = vdd
+	}
+	return ic
+}

@@ -1,0 +1,145 @@
+package sram
+
+import (
+	"math"
+	"testing"
+
+	"samurai/internal/circuit"
+	"samurai/internal/device"
+	"samurai/internal/waveform"
+)
+
+// idleDrives returns all-nil drive slices (idle lines) for an array.
+func idleDrives(rows, cols int) (wl, bl, blb []*waveform.PWL) {
+	return make([]*waveform.PWL, rows), make([]*waveform.PWL, cols), make([]*waveform.PWL, cols)
+}
+
+func checkerboard(r, c int) int { return (r + c) % 2 }
+
+func TestArrayHoldRetainsState(t *testing.T) {
+	tech := device.Node("90nm")
+	wl, bl, blb := idleDrives(4, 4)
+	arr, err := BuildArray(ArrayConfig{Rows: 4, Cols: 4, Cell: CellConfig{Tech: tech}}, wl, bl, blb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arr.Circuit.Transient(circuit.TransientSpec{
+		T0: 0, T1: 2e-9, Dt: 2e-11,
+		UIC: true, InitialV: arr.InitialConditions(checkerboard),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdd := arr.Cfg.Cell.Vdd
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			q := res.V[ArrayNodeQ(r, c)]
+			got := q[len(q)-1]
+			want := float64(checkerboard(r, c)) * vdd
+			if math.Abs(got-want) > 0.1*vdd {
+				t.Errorf("cell (%d,%d): q = %.3g, want ≈ %.3g", r, c, got, want)
+			}
+		}
+	}
+}
+
+// TestArrayWriteFlipsOnlySelectedRow pulses row 0's wordline with
+// column 1's bitlines driven to write a 0, and checks that exactly the
+// addressed cell flips: shared-line coupling must disturb neither the
+// other cells on the row (bitlines idle) nor the other cells on the
+// column (wordline low).
+func TestArrayWriteFlipsOnlySelectedRow(t *testing.T) {
+	tech := device.Node("90nm")
+	vdd := tech.Vdd
+	wl, bl, blb := idleDrives(3, 3)
+	var err error
+	// Wordline pulse on row 0, 0.2ns..1.6ns.
+	wl[0], err = waveform.Step([]float64{0, 2e-10, 1.6e-9}, []float64{0, vdd, 0}, 5e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write 0 into column 1: BL low, BLB high.
+	bl[1], err = waveform.Step([]float64{0, 1e-10}, []float64{vdd, 0}, 5e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := BuildArray(ArrayConfig{Rows: 3, Cols: 3, Cell: CellConfig{Tech: tech}}, wl, bl, blb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := arr.Circuit.Transient(circuit.TransientSpec{
+		T0: 0, T1: 2.5e-9, Dt: 2e-11,
+		UIC: true, InitialV: arr.InitialConditions(func(r, c int) int { return 1 }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			q := res.V[ArrayNodeQ(r, c)]
+			got := q[len(q)-1]
+			want := vdd // everyone started at 1
+			if r == 0 && c == 1 {
+				want = 0 // the addressed cell was written to 0
+			}
+			if math.Abs(got-want) > 0.1*vdd {
+				t.Errorf("cell (%d,%d): q = %.3g, want ≈ %.3g", r, c, got, want)
+			}
+		}
+	}
+}
+
+// TestArrayUsesSparseBackend pins the size/backend contract: even a
+// small shared-line array is past the dense crossover, and its MNA
+// pattern stays orders of magnitude below n².
+func TestArrayUsesSparseBackend(t *testing.T) {
+	tech := device.Node("90nm")
+	wl, bl, blb := idleDrives(4, 4)
+	arr, err := BuildArray(ArrayConfig{Rows: 4, Cols: 4, Cell: CellConfig{Tech: tech}}, wl, bl, blb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := arr.Circuit.Size()
+	if n < 50 {
+		t.Fatalf("4×4 array only has %d unknowns?", n)
+	}
+	r, err := arr.Circuit.NewRunner(circuit.TransientSpec{
+		T0: 0, T1: 1e-10, Dt: 2e-11,
+		UIC: true, InitialV: arr.InitialConditions(checkerboard),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Step(2e-11); err != nil {
+		t.Fatal(err)
+	}
+	nnz := r.MatrixNNZ()
+	if nnz == 0 || nnz >= n*n/4 {
+		t.Fatalf("MNA pattern nnz = %d for n = %d: expected a sparse pattern ≪ n²", nnz, n)
+	}
+}
+
+func TestArrayRTNTraceInstallAndValidation(t *testing.T) {
+	tech := device.Node("90nm")
+	wl, bl, blb := idleDrives(2, 2)
+	arr, err := BuildArray(ArrayConfig{Rows: 2, Cols: 2, Cell: CellConfig{Tech: tech}}, wl, bl, blb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := waveform.Step([]float64{0, 1e-9}, []float64{0, 1e-6}, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.SetRTNTrace(1, 0, "M5", step); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.SetRTNTrace(0, 0, "M9", step); err == nil {
+		t.Fatal("expected error for unknown transistor role")
+	}
+	if _, err := BuildArray(ArrayConfig{Rows: 0, Cols: 2}, nil, nil, nil); err == nil {
+		t.Fatal("expected error for non-positive dimensions")
+	}
+	if _, err := BuildArray(ArrayConfig{Rows: 2, Cols: 2, Cell: CellConfig{Tech: tech}}, nil, nil, nil); err == nil {
+		t.Fatal("expected error for mismatched drive slices")
+	}
+}

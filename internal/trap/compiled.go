@@ -1,0 +1,60 @@
+package trap
+
+import (
+	"math"
+
+	"samurai/internal/units"
+)
+
+// CompiledTrap caches every bias-independent subexpression of the
+// propensity formulas (Eq 1 and Eq 2) for one trap under one context:
+// the invariant rate sum λ* = λ_c+λ_e, the thermal energy kT, and the
+// effective bias-coupling prefactor of the level split. Batch kernels
+// that evaluate Rates once per candidate event compile the trap once
+// and skip the two math.Exp calls hidden in Context.RateSum and the
+// repeated coupling products — without changing a single bit of the
+// result.
+type CompiledTrap struct {
+	// Sum is λ_c+λ_e (Eq 1), exactly Context.RateSum(tr).
+	Sum float64
+	// E is the trap's reference level, eV.
+	E float64
+	// VRef is the reference gate bias, V.
+	VRef float64
+	// G is the degeneracy factor of Eq (2).
+	G float64
+	// KT is the thermal energy in eV.
+	KT float64
+	// CC is Coupling·EffectiveCoupling(tr) — the eV-per-volt slope of
+	// the level split, associated exactly as LevelSplitEV computes it.
+	CC float64
+}
+
+// Compile precomputes the bias-independent parts of the trap's
+// propensity functions. CompiledTrap.Rates(v) is bit-identical to
+// Context.Rates(tr, v) for every bias v (pinned by TestCompiledRates).
+func (c Context) Compile(tr Trap) CompiledTrap {
+	return CompiledTrap{
+		Sum:  c.RateSum(tr),
+		E:    tr.E,
+		VRef: c.VRef,
+		G:    c.G,
+		KT:   units.ThermalEnergyEV(c.TempK),
+		CC:   c.Coupling * c.EffectiveCoupling(tr),
+	}
+}
+
+// Rates returns (λ_c, λ_e) at gate bias vgs. The operation order
+// reproduces Context.Rates exactly: the level split is
+// E − CC·(vgs−VRef), divided by kT, clamped to ±500, exponentiated and
+// scaled by G to give β, and the invariant sum is split by β.
+//
+//lint:hot
+func (ct CompiledTrap) Rates(vgs float64) (lc, le float64) {
+	x := (ct.E - ct.CC*(vgs-ct.VRef)) / ct.KT
+	x = units.Clamp(x, -500, 500)
+	beta := ct.G * math.Exp(x)
+	lc = ct.Sum / (1 + beta)
+	le = ct.Sum - lc
+	return
+}

@@ -1,0 +1,47 @@
+package trap
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCompiledRates pins CompiledTrap.Rates to Context.Rates at the
+// bit level over a grid of traps and biases — the batch uniformisation
+// kernel's correctness rests on this equivalence.
+func TestCompiledRates(t *testing.T) {
+	ctx := DefaultContext(1.9e-9, 1.2)
+	for _, yFrac := range []float64{0.05, 0.3, 0.45, 0.8, 1.0} {
+		for _, e := range []float64{-0.2, -0.03, 0, 0.03, 0.2} {
+			tr := Trap{Y: yFrac * ctx.Tox, E: e}
+			ct := ctx.Compile(tr)
+			if math.Float64bits(ct.Sum) != math.Float64bits(ctx.RateSum(tr)) {
+				t.Fatalf("y=%g e=%g: compiled Sum differs from RateSum", yFrac, e)
+			}
+			for v := -1.0; v <= 2.0; v += 0.03 {
+				wantLC, wantLE := ctx.Rates(tr, v)
+				gotLC, gotLE := ct.Rates(v)
+				if math.Float64bits(gotLC) != math.Float64bits(wantLC) ||
+					math.Float64bits(gotLE) != math.Float64bits(wantLE) {
+					t.Fatalf("y=%g e=%g v=%g: compiled rates (%g,%g) != (%g,%g)",
+						yFrac, e, v, gotLC, gotLE, wantLC, wantLE)
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledRatesClampRegion checks the β exponent clamp survives
+// compilation: extreme biases must still agree bitwise.
+func TestCompiledRatesClampRegion(t *testing.T) {
+	ctx := DefaultContext(1.9e-9, 0)
+	tr := Trap{Y: 0.5 * ctx.Tox, E: 0}
+	ct := ctx.Compile(tr)
+	for _, v := range []float64{-1e4, -100, 100, 1e4} {
+		wantLC, wantLE := ctx.Rates(tr, v)
+		gotLC, gotLE := ct.Rates(v)
+		if math.Float64bits(gotLC) != math.Float64bits(wantLC) ||
+			math.Float64bits(gotLE) != math.Float64bits(wantLE) {
+			t.Fatalf("v=%g: clamped compiled rates diverge", v)
+		}
+	}
+}

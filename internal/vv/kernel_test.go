@@ -1,0 +1,86 @@
+package vv
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"samurai/internal/markov"
+	"samurai/internal/rng"
+	"samurai/internal/trap"
+	"samurai/internal/waveform"
+)
+
+// TestBatchKernelReportIdentical is the batch-kernel conformance row's
+// strongest form: because BatchState lane k splits the scenario stream
+// exactly as RunScenario's sequential loop does, the batch report must
+// be byte-identical to the sequential report apart from the kernel
+// field. Any SoA-layout or chunked-draw bug that perturbs a single
+// accept decision in any of the matrix's ensembles breaks this.
+func TestBatchKernelReportIdentical(t *testing.T) {
+	seq, err := RunMatrix(Options{Seed: 7, E2E: false})
+	if err != nil {
+		t.Fatalf("sequential RunMatrix: %v", err)
+	}
+	bat, err := RunMatrix(Options{Seed: 7, E2E: false, Kernel: KernelBatch})
+	if err != nil {
+		t.Fatalf("batch RunMatrix: %v", err)
+	}
+	if seq.Kernel != KernelSequential {
+		t.Errorf("sequential report kernel = %q", seq.Kernel)
+	}
+	if bat.Kernel != KernelBatch {
+		t.Errorf("batch report kernel = %q", bat.Kernel)
+	}
+	if !bat.Pass {
+		t.Errorf("batch kernel failed the conformance matrix")
+	}
+	bat.Kernel = seq.Kernel
+	a, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(bat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("batch and sequential reports diverge beyond the kernel field:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestRunScenarioBatchMatchesSequential pins the per-scenario identity
+// at path granularity for the first matrix row, so a divergence is
+// attributable before the whole-report diff above triggers.
+func TestRunScenarioBatchMatchesSequential(t *testing.T) {
+	sc := mustMatrix(t)[0]
+	budget := Budget{Alpha: DefaultAlpha, Gates: sc.GateCount()}
+	seq, err := RunScenario(sc, DefaultSimulator, rng.New(11), budget)
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	bat, err := RunScenarioBatch(sc, markov.NewBatchState(), rng.New(11), budget)
+	if err != nil {
+		t.Fatalf("RunScenarioBatch: %v", err)
+	}
+	a, _ := json.Marshal(seq)
+	b, _ := json.Marshal(bat)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("scenario reports differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestKernelOptionValidation: unknown kernels and a custom Simulator
+// combined with the batch kernel (which bypasses the seam) must be
+// rejected, not silently ignored.
+func TestKernelOptionValidation(t *testing.T) {
+	if _, err := RunMatrix(Options{Seed: 1, E2E: false, Kernel: "vectorised"}); err == nil {
+		t.Errorf("unknown kernel accepted")
+	}
+	sim := func(ctx trap.Context, tr trap.Trap, bias *waveform.PWL, t0, t1 float64, r *rng.Stream) (*markov.Path, error) {
+		return DefaultSimulator(ctx, tr, bias, t0, t1, r)
+	}
+	if _, err := RunMatrix(Options{Seed: 1, E2E: false, Kernel: KernelBatch, Sim: sim}); err == nil {
+		t.Errorf("custom Sim with batch kernel accepted")
+	}
+}

@@ -264,7 +264,11 @@ func trapsPass(ctx context.Context, cfg Config, cleanCell *sram.Cell, clean *sra
 				agg.Record(i, fmt.Errorf("samurai: bias for %s: %w", name, err))
 				return
 			}
-			o.paths, err = markov.UniformiseProfileCtx(tctx, profile, markov.PWLBias(vgs), t0, t1, root.Split(uint64(2000+i)))
+			// Batched SoA kernel: one shared segment walk over the bias
+			// PWL for the whole profile. Paths are bit-identical to the
+			// sequential per-trap kernel (TestBatchMatchesSequential),
+			// so goldens and resume points are unaffected.
+			o.paths, err = markov.UniformiseProfileBatchCtx(tctx, profile, vgs, t0, t1, root.Split(uint64(2000+i)))
 			if err != nil {
 				agg.Record(i, fmt.Errorf("samurai: uniformisation for %s: %w", name, err))
 				return
@@ -326,7 +330,7 @@ func GenerateTrace(profile trap.Profile, dev device.MOSParams, vgs, id *waveform
 		return nil, nil, errors.New("samurai: need at least 2 samples")
 	}
 	r := rng.New(seed)
-	paths, err := markov.UniformiseProfile(profile, markov.PWLBias(vgs), t0, t1, r)
+	paths, err := markov.UniformiseProfileBatch(profile, vgs, t0, t1, r)
 	if err != nil {
 		return nil, nil, err
 	}
