@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint lint-bench suppressions check bench bench-smoke bench-json smoke-service vv cover fuzz-smoke
+.PHONY: build test vet race lint lint-bench suppressions check bench bench-smoke bench-json smoke-service smoke-fabric vv cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -103,4 +103,12 @@ bench-json:
 # ephemeral port, run a tiny array job over HTTP, SIGTERM, assert a
 # clean drain and a non-empty job store.
 smoke-service:
-	./scripts/smoke_samuraid.sh
+	./scripts/smoke_samuraid.sh service
+
+# smoke-fabric exercises the distributed sweep fabric: a samuraid
+# coordinator with a 1s lease TTL, two samuraiw workers (one rigged to
+# crash mid-lease without releasing), a 32-cell job swept to done, and
+# assertions that the abandoned lease was stolen (steals_total >= 1 in
+# /fabric/status) and every cell is durable.
+smoke-fabric:
+	./scripts/smoke_samuraid.sh fabric

@@ -7,6 +7,12 @@
 //
 //	samuraid -addr :8437 -store samuraid.jsonl
 //
+// With -coordinator, samuraid executes nothing itself: it becomes the
+// fabric coordinator, sharding array jobs into cell-range leases for
+// samuraiw workers (see internal/fabric). The /jobs API is unchanged;
+// /fabric/lease, /fabric/checkpoint and /fabric/status carry the
+// worker protocol.
+//
 // SIGTERM/SIGINT drains gracefully: in-flight cells finish and
 // checkpoint, interrupted sweeps return to the queue (resumed on next
 // start), and the process exits 0. A second signal hard-exits.
@@ -24,59 +30,109 @@ import (
 	"syscall"
 	"time"
 
+	"samurai/internal/fabric"
 	"samurai/internal/jobd"
 	"samurai/internal/obs"
 )
 
+// config carries the parsed flags.
+type config struct {
+	addr         string
+	storePath    string
+	addrFile     string
+	maxJobs      int
+	workers      int
+	flightSize   int
+	progress     bool
+	drainTimeout time.Duration
+	compact      bool
+	coordinator  bool
+	leaseCells   int
+	leaseTTL     time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8437", "HTTP listen address (host:port; :0 picks a free port)")
-	storePath := flag.String("store", "samuraid.jsonl", "append-only job store path")
-	maxJobs := flag.Int("max-jobs", 1, "jobs executing concurrently")
-	workers := flag.Int("workers", 0, "default per-job cell workers (0 = GOMAXPROCS)")
-	flightSize := flag.Int("flight-size", 0, "per-job flight-recorder ring capacity (0 = default, negative disables)")
-	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
-	progress := flag.Bool("progress", false, "log progress events to stderr as JSONL")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time for the HTTP server to drain on shutdown")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8437", "HTTP listen address (host:port; :0 picks a free port)")
+	flag.StringVar(&cfg.storePath, "store", "samuraid.jsonl", "append-only job store path")
+	flag.IntVar(&cfg.maxJobs, "max-jobs", 1, "jobs executing concurrently")
+	flag.IntVar(&cfg.workers, "workers", 0, "default per-job cell workers (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.flightSize, "flight-size", 0, "per-job flight-recorder ring capacity (0 = default, negative disables)")
+	flag.StringVar(&cfg.addrFile, "addr-file", "", "write the bound address to this file once listening")
+	flag.BoolVar(&cfg.progress, "progress", false, "log progress events to stderr as JSONL")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "max time for the HTTP server to drain on shutdown")
+	flag.BoolVar(&cfg.compact, "compact", true, "compact the job store on startup (snapshot + truncate)")
+	flag.BoolVar(&cfg.coordinator, "coordinator", false, "run as fabric coordinator (lease work to samuraiw workers instead of executing locally)")
+	flag.IntVar(&cfg.leaseCells, "lease-cells", 0, "coordinator: max cells per lease (0 = default 32)")
+	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", 0, "coordinator: lease renewal deadline (0 = default 10s)")
 	flag.Parse()
 
-	if err := run(*addr, *storePath, *addrFile, *maxJobs, *workers, *flightSize, *progress, *drainTimeout); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "samuraid:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storePath, addrFile string, maxJobs, workers, flightSize int, progress bool, drainTimeout time.Duration) error {
-	if progress {
+func run(cfg config) error {
+	if cfg.progress {
 		obs.SetSink(obs.NewJSONLSink(os.Stderr))
 	}
 
-	store, replayed, maxSeq, err := jobd.Open(storePath)
+	store, replayed, maxSeq, err := jobd.Open(cfg.storePath)
 	if err != nil {
 		return err
 	}
-	sched := jobd.New(store, replayed, maxSeq, jobd.Options{
-		MaxJobs:    maxJobs,
-		Workers:    workers,
-		FlightSize: flightSize,
-	})
-	sched.Start()
+	if cfg.compact {
+		// Snapshot + truncate folds the replayed history (state flaps,
+		// superseded records) into a minimal replay-equivalent log before
+		// this process starts appending to it.
+		if err := store.Compact(replayed); err != nil {
+			//lint:ignore bareerr best-effort cleanup on an already-failed startup path
+			store.Close()
+			return fmt.Errorf("compacting %s: %w", cfg.storePath, err)
+		}
+	}
 
-	ln, err := net.Listen("tcp", addr)
+	var handler http.Handler
+	var drain func()
+	if cfg.coordinator {
+		co := fabric.New(store, replayed, maxSeq, fabric.Options{
+			LeaseCells: cfg.leaseCells,
+			LeaseTTL:   cfg.leaseTTL,
+		})
+		handler = fabric.NewHandler(co)
+		drain = co.Drain
+	} else {
+		sched := jobd.New(store, replayed, maxSeq, jobd.Options{
+			MaxJobs:    cfg.maxJobs,
+			Workers:    cfg.workers,
+			FlightSize: cfg.flightSize,
+		})
+		sched.Start()
+		handler = jobd.NewHandler(sched)
+		drain = sched.Drain
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
-	if addrFile != "" {
-		if werr := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); werr != nil {
+	if cfg.addrFile != "" {
+		if werr := os.WriteFile(cfg.addrFile, []byte(ln.Addr().String()+"\n"), 0o644); werr != nil {
 			return fmt.Errorf("writing addr file: %w", werr)
 		}
 	}
 	srv := &http.Server{
-		Handler:           jobd.NewHandler(sched),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	fmt.Fprintln(os.Stderr, "samuraid: listening on", ln.Addr())
+	mode := "scheduler"
+	if cfg.coordinator {
+		mode = "coordinator"
+	}
+	fmt.Fprintln(os.Stderr, "samuraid: listening on", ln.Addr(), "as", mode)
 
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
@@ -94,11 +150,13 @@ func run(addr, storePath, addrFile string, maxJobs, workers, flightSize int, pro
 		return fmt.Errorf("serve: %w", err)
 	}
 
-	// Drain order matters: stop the scheduler first (finishes and
-	// checkpoints in-flight cells, closes event streams so streaming
-	// handlers return), then the HTTP server, then the store.
-	sched.Drain()
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	// Drain order matters: stop the job layer first (the scheduler
+	// finishes and checkpoints in-flight cells; the coordinator stops
+	// granting leases but keeps accepting worker checkpoint flushes
+	// until the HTTP server drains), then the HTTP server, then the
+	// store.
+	drain()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		//lint:ignore bareerr the Shutdown error is the one worth reporting; Close severs stragglers

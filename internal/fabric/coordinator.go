@@ -1,0 +1,630 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"samurai/internal/jobd"
+	"samurai/internal/obs"
+	"samurai/internal/obs/trace"
+)
+
+// Coordinator instrumentation. Lease churn, steals and duplicate
+// checkpoints are the fabric's health signals: steals climbing means
+// workers are dying or the TTL is too tight; duplicate mismatches
+// must stay at zero forever (each one is a determinism violation).
+var (
+	mLeasesGranted = obs.GetCounter("samurai_fabric_leases_granted_total",
+		"cell-range leases handed to workers")
+	mLeasesOutstanding = obs.GetGauge("samurai_fabric_leases_outstanding",
+		"leases currently held by workers")
+	mSteals = obs.GetCounter("samurai_fabric_steals_total",
+		"expired leases whose cells were returned to the pool")
+	mDupCheckpoints = obs.GetCounter("samurai_fabric_duplicate_checkpoints_total",
+		"checkpoints for cells that were already durable (bit-verified)")
+	mDupMismatches = obs.GetCounter("samurai_fabric_duplicate_mismatches_total",
+		"duplicate checkpoints whose payload diverged bit-wise (determinism violations)")
+	mWorkers = obs.GetGauge("samurai_fabric_workers",
+		"workers that have contacted this coordinator")
+	mCellsAccepted = obs.GetCounter("samurai_fabric_cells_checkpointed_total",
+		"cells durably appended to the job store by the fabric")
+	mFabricStoreErrors = obs.GetCounter("samurai_fabric_store_errors_total",
+		"failed write-ahead store appends in the coordinator")
+)
+
+// fabricJobGauge resolves the per-state job count gauge.
+func fabricJobGauge(st jobd.State) *obs.Gauge {
+	return obs.GetGauge("samurai_fabric_jobs",
+		"coordinator jobs by lifecycle state", obs.L("state", string(st)))
+}
+
+// workerCells resolves the per-worker checkpoint counter.
+func workerCells(id string) *obs.Counter {
+	return obs.GetCounter("samurai_fabric_worker_cells_total",
+		"cells checkpointed per worker", obs.L("worker", id))
+}
+
+// workerRate resolves the per-worker throughput gauge.
+func workerRate(id string) *obs.Gauge {
+	return obs.GetGauge("samurai_fabric_worker_cells_per_second",
+		"checkpoint throughput per worker since first contact", obs.L("worker", id))
+}
+
+// Options tunes a Coordinator. The zero value is usable.
+type Options struct {
+	// LeaseCells caps the cells handed out per lease (default 32).
+	// Smaller leases steal faster after a worker death; larger ones
+	// amortise the per-lease HTTP round trips.
+	LeaseCells int
+	// LeaseTTL is the renewal deadline (default 10s). A lease not
+	// renewed within it is stolen: its cells return to the pool.
+	LeaseTTL time.Duration
+	// Now supplies the clock (default time.Now). Tests inject a fake to
+	// drive lease expiry without sleeping. The clock feeds lease
+	// deadlines and liveness only — never anything durable.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseCells <= 0 {
+		o.LeaseCells = 32
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Coordinator owns the job WAL of a distributed sweep and shards array
+// jobs into cell-range leases. It is the only writer of the Store;
+// workers are stateless and interchangeable. All lease state is
+// in-memory: after a crash the coordinator replays jobs and checkpoints
+// from the WAL and re-leases whatever is missing.
+type Coordinator struct {
+	store *jobd.Store
+	opts  Options
+
+	mu        sync.Mutex
+	jobs      map[string]*shard
+	order     []string
+	seq       uint64
+	leaseSeq  uint64
+	workerSeq uint64
+	leases    map[uint64]*lease
+	workers   map[string]*workerInfo
+	steals    int64
+	draining  bool
+}
+
+// New builds a coordinator over a freshly opened store. replayed and
+// maxSeq come from jobd.Open. Non-terminal array jobs are re-sharded
+// from their checkpointed cells; non-terminal run-type jobs (left by a
+// scheduler deployment) are failed loudly — the fabric executes array
+// sweeps only.
+func New(store *jobd.Store, replayed []*jobd.Job, maxSeq uint64, opts Options) *Coordinator {
+	c := &Coordinator{
+		store:   store,
+		opts:    opts.withDefaults(),
+		jobs:    map[string]*shard{},
+		seq:     maxSeq,
+		leases:  map[uint64]*lease{},
+		workers: map[string]*workerInfo{},
+	}
+	for _, j := range replayed {
+		sh := newShard(j)
+		c.jobs[j.ID] = sh
+		c.order = append(c.order, j.ID)
+		fabricJobGauge(j.State).Add(1)
+		if j.Spec.Type == jobd.TypeRun && !j.State.Terminal() {
+			c.transitionLocked(sh, jobd.StateFailed,
+				"fabric: coordinator executes array jobs only")
+		}
+	}
+	return c
+}
+
+// ErrDraining is returned by Submit once Drain has begun.
+var ErrDraining = errors.New("fabric: coordinator is draining; not accepting jobs")
+
+// errNotArray marks submissions the fabric cannot shard.
+var errNotArray = errors.New("fabric: coordinator accepts array jobs only")
+
+// Submit validates, persists and shards a new array job.
+func (c *Coordinator) Submit(spec jobd.Spec) (jobd.View, error) {
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return jobd.View{}, err
+	}
+	if spec.Type != jobd.TypeArray {
+		return jobd.View{}, errNotArray
+	}
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return jobd.View{}, ErrDraining
+	}
+	c.seq++
+	j := &jobd.Job{
+		ID:         fmt.Sprintf("job-%06d", c.seq),
+		Seq:        c.seq,
+		Spec:       spec,
+		State:      jobd.StateQueued,
+		CellsTotal: spec.Cells,
+	}
+	sh := newShard(j)
+	c.jobs[j.ID] = sh
+	c.order = append(c.order, j.ID)
+	v := j.View()
+	if err := c.store.AppendJob(j); err != nil {
+		mFabricStoreErrors.Inc()
+		delete(c.jobs, j.ID)
+		c.order = c.order[:len(c.order)-1]
+		c.mu.Unlock()
+		return jobd.View{}, err
+	}
+	c.mu.Unlock()
+	fabricJobGauge(jobd.StateQueued).Add(1)
+	obs.Emit("fabric.state", obs.F("job", j.ID), obs.F("state", string(jobd.StateQueued)))
+	return v, nil
+}
+
+// Get returns a snapshot of a job.
+func (c *Coordinator) Get(id string) (jobd.View, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh, ok := c.jobs[id]
+	if !ok {
+		return jobd.View{}, false
+	}
+	return sh.job.View(), true
+}
+
+// List returns snapshots of all jobs in submission order.
+func (c *Coordinator) List() []jobd.View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]jobd.View, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.jobs[id].job.View())
+	}
+	return out
+}
+
+// Records returns the checkpointed cells of a job, sorted by index.
+func (c *Coordinator) Records(id string) ([]jobd.CellRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh, ok := c.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return sh.job.Records(), true
+}
+
+// Trace returns a job's tracer (lease lifecycle spans and fabric
+// events).
+func (c *Coordinator) Trace(id string) (*trace.Tracer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh, ok := c.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return sh.tracer, true
+}
+
+// Draining reports whether Drain has begun.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// Drain stops the coordinator gracefully: no new jobs or leases are
+// handed out, but checkpoints for outstanding leases keep landing, so
+// workers flush cleanly. Incomplete jobs stay queued in the WAL and
+// resume under the next coordinator.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.draining = true
+}
+
+// touchWorker registers or refreshes a worker, assigning an id on first
+// contact (or after a coordinator restart wiped the roster — the worker
+// keeps the id it presents, so its metrics stay continuous).
+func (c *Coordinator) touchWorker(id string, now time.Time) *workerInfo {
+	if id == "" {
+		for {
+			c.workerSeq++
+			id = fmt.Sprintf("w-%03d", c.workerSeq)
+			if _, taken := c.workers[id]; !taken {
+				break
+			}
+		}
+	}
+	w, ok := c.workers[id]
+	if !ok {
+		w = &workerInfo{id: id, first: now}
+		c.workers[id] = w
+		mWorkers.Set(float64(len(c.workers)))
+	}
+	w.last = now
+	return w
+}
+
+// reapLocked steals expired leases: their unfinished cells return to
+// the pool for the next acquire. Called on every request, so a busy
+// fabric needs no background timer (and an idle one steals on the next
+// status poll).
+func (c *Coordinator) reapLocked(now time.Time) {
+	for id, l := range c.leases {
+		if !l.expires.Before(now) {
+			continue
+		}
+		sh := c.jobs[l.jobID]
+		back := sh.release(l)
+		delete(c.leases, id)
+		mLeasesOutstanding.Add(-1)
+		if back == 0 {
+			// Every cell of the range is durable; the worker just never
+			// said goodbye. Quiet completion, not a steal.
+			continue
+		}
+		sh.steals++
+		c.steals++
+		mSteals.Inc()
+		sh.tracer.Event("fabric.steal", l.id, uint64(back), 0)
+		obs.Emit("fabric.steal",
+			obs.F("job", l.jobID),
+			obs.F("lease", l.id),
+			obs.F("worker", l.worker),
+			obs.F("cells_back", back))
+	}
+}
+
+// Lease serves one POST /fabric/lease exchange: acquire, renew or
+// release. It returns the response plus the HTTP status to send.
+func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, int, error) {
+	now := c.opts.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.touchWorker(req.Worker, now)
+	c.reapLocked(now)
+
+	if req.Renew != 0 {
+		return c.renewLocked(w, req.Renew, now)
+	}
+	if req.Release != 0 {
+		return c.releaseLocked(w, req, now)
+	}
+	return c.acquireLocked(w, now)
+}
+
+// renewLocked pushes a live lease's deadline out. A lease that expired
+// (stolen) or was never granted gets 410: the worker must abandon the
+// range and re-acquire.
+func (c *Coordinator) renewLocked(w *workerInfo, id uint64, now time.Time) (LeaseResponse, int, error) {
+	l, ok := c.leases[id]
+	if !ok || l.worker != w.id {
+		return LeaseResponse{Worker: w.id}, http.StatusGone,
+			fmt.Errorf("fabric: lease %d is not held by %s (expired, stolen or released)", id, w.id)
+	}
+	l.expires = now.Add(c.opts.LeaseTTL)
+	l.renews++
+	return LeaseResponse{
+		Worker: w.id, Lease: l.id, Job: l.jobID,
+		Lo: l.lo, Hi: l.hi,
+		TTLMS: c.opts.LeaseTTL.Milliseconds(),
+	}, http.StatusOK, nil
+}
+
+// releaseLocked returns a lease's unfinished cells to the pool (the
+// graceful worker-drain path). With Error set, the job is failed loudly
+// — a worker hit a simulation error that retrying elsewhere cannot fix.
+func (c *Coordinator) releaseLocked(w *workerInfo, req LeaseRequest, now time.Time) (LeaseResponse, int, error) {
+	l, ok := c.leases[req.Release]
+	if !ok {
+		return LeaseResponse{Worker: w.id}, http.StatusGone,
+			fmt.Errorf("fabric: lease %d is unknown (expired, stolen or released)", req.Release)
+	}
+	sh := c.jobs[l.jobID]
+	back := sh.release(l)
+	delete(c.leases, l.id)
+	mLeasesOutstanding.Add(-1)
+	sh.tracer.Event("fabric.release", l.id, uint64(back), 0)
+	obs.Emit("fabric.release",
+		obs.F("job", l.jobID),
+		obs.F("lease", l.id),
+		obs.F("worker", w.id),
+		obs.F("cells_back", back))
+	if req.Error != "" && !sh.job.State.Terminal() {
+		c.transitionLocked(sh, jobd.StateFailed,
+			fmt.Sprintf("fabric: worker %s: %s", w.id, req.Error))
+	}
+	return LeaseResponse{Worker: w.id, Idle: true, Done: c.allTerminalLocked()}, http.StatusOK, nil
+}
+
+// acquireLocked grants the first available cell run, walking jobs in
+// submission order.
+func (c *Coordinator) acquireLocked(w *workerInfo, now time.Time) (LeaseResponse, int, error) {
+	if !c.draining {
+		for _, id := range c.order {
+			sh := c.jobs[id]
+			if !sh.leasable() {
+				continue
+			}
+			lo, hi, ok := sh.firstRun(c.opts.LeaseCells)
+			if !ok {
+				continue
+			}
+			c.leaseSeq++
+			l := &lease{
+				id: c.leaseSeq, jobID: id, lo: lo, hi: hi,
+				worker: w.id, expires: now.Add(c.opts.LeaseTTL),
+			}
+			sh.grant(l)
+			c.leases[l.id] = l
+			w.leases++
+			mLeasesGranted.Inc()
+			mLeasesOutstanding.Add(1)
+			if sh.job.State == jobd.StateQueued {
+				c.transitionLocked(sh, jobd.StateRunning, "")
+			}
+			sh.tracer.Event("fabric.grant", l.id, uint64(lo), uint64(hi))
+			obs.Emit("fabric.grant",
+				obs.F("job", id),
+				obs.F("lease", l.id),
+				obs.F("worker", w.id),
+				obs.F("lo", lo),
+				obs.F("hi", hi))
+			spec := sh.job.Spec
+			return LeaseResponse{
+				Worker: w.id, Lease: l.id, Job: id, Spec: &spec,
+				Lo: lo, Hi: hi,
+				TTLMS: c.opts.LeaseTTL.Milliseconds(),
+			}, http.StatusOK, nil
+		}
+	}
+	return LeaseResponse{
+		Worker: w.id, Idle: true,
+		Done: c.draining || c.allTerminalLocked(),
+	}, http.StatusOK, nil
+}
+
+// allTerminalLocked reports whether every known job finished.
+func (c *Coordinator) allTerminalLocked() bool {
+	for _, sh := range c.jobs {
+		if !sh.job.State.Terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// recordsEqual compares two checkpoints for the same cell bit-wise:
+// all integer fields, and every VtShift value via Float64bits. This is
+// the fabric's determinism assertion — two workers simulating the same
+// (seed, index) must produce indistinguishable records.
+func recordsEqual(a, b jobd.CellRecord) bool {
+	if a.Index != b.Index || a.TrapCount != b.TrapCount ||
+		a.Errors != b.Errors || a.Slow != b.Slow || a.Failed != b.Failed {
+		return false
+	}
+	if len(a.VtShift) != len(b.VtShift) {
+		return false
+	}
+	for k, av := range a.VtShift {
+		bv, ok := b.VtShift[k]
+		if !ok || math.Float64bits(av) != math.Float64bits(bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Checkpoint serves one POST /fabric/checkpoint batch. Cells are
+// appended to the WAL in request order; duplicates (stolen leases,
+// retried batches) are bit-verified against the durable record and
+// dropped. First durable checkpoint wins — a mismatch fails the job.
+func (c *Coordinator) Checkpoint(req CheckpointRequest) (CheckpointResponse, int, error) {
+	now := c.opts.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.touchWorker(req.Worker, now)
+	c.reapLocked(now)
+
+	sh, ok := c.jobs[req.Job]
+	if !ok {
+		return CheckpointResponse{}, http.StatusNotFound,
+			fmt.Errorf("fabric: no job %q", req.Job)
+	}
+	j := sh.job
+	resp := CheckpointResponse{Total: j.CellsTotal}
+	for _, rec := range req.Cells {
+		if rec.Index < 0 || rec.Index >= j.CellsTotal {
+			resp.Done, resp.State = j.Done(), j.State
+			return resp, http.StatusBadRequest,
+				fmt.Errorf("fabric: cell index %d outside [0,%d)", rec.Index, j.CellsTotal)
+		}
+		if prev, dup := j.Cell(rec.Index); dup {
+			mDupCheckpoints.Inc()
+			if !recordsEqual(prev, rec) {
+				mDupMismatches.Inc()
+				msg := fmt.Sprintf(
+					"fabric: duplicate checkpoint for job %s cell %d from worker %s diverges from the durable record (determinism violation)",
+					j.ID, rec.Index, w.id)
+				if !j.State.Terminal() {
+					c.transitionLocked(sh, jobd.StateFailed, msg)
+				}
+				resp.Done, resp.State = j.Done(), j.State
+				return resp, http.StatusConflict, errors.New(msg)
+			}
+			resp.Duplicates++
+			continue
+		}
+		if j.State.Terminal() {
+			resp.Done, resp.State = j.Done(), j.State
+			return resp, http.StatusConflict,
+				fmt.Errorf("fabric: job %s is %s; not accepting new cells", j.ID, j.State)
+		}
+		if err := c.store.AppendCell(j.ID, rec); err != nil {
+			mFabricStoreErrors.Inc()
+			resp.Done, resp.State = j.Done(), j.State
+			return resp, http.StatusInternalServerError,
+				fmt.Errorf("fabric: checkpoint store failed: %w", err)
+		}
+		j.PutCell(rec)
+		sh.settle(rec.Index)
+		resp.Accepted++
+		w.cells++
+		mCellsAccepted.Inc()
+		workerCells(w.id).Inc()
+		sh.tracer.Event("fabric.checkpoint", uint64(rec.Index), uint64(j.Done()), uint64(j.CellsTotal))
+	}
+	if elapsed := now.Sub(w.first).Seconds(); elapsed > 0 {
+		workerRate(w.id).Set(float64(w.cells) / elapsed)
+	}
+	c.settleLeasesLocked(sh)
+	if !j.State.Terminal() && j.Done() == j.CellsTotal {
+		c.finalizeLocked(sh)
+	}
+	resp.Done, resp.State = j.Done(), j.State
+	return resp, http.StatusOK, nil
+}
+
+// settleLeasesLocked retires the shard's leases whose every cell is
+// durable — the holder's own final checkpoint, or a faster thief
+// draining a re-leased range cell by cell. Without this, a finished
+// lease would linger to its TTL and read as a steal.
+func (c *Coordinator) settleLeasesLocked(sh *shard) {
+	for id, l := range c.leases {
+		if l.jobID != sh.job.ID || sh.remaining(l) > 0 {
+			continue
+		}
+		delete(c.leases, id)
+		mLeasesOutstanding.Add(-1)
+		sh.tracer.Event("fabric.complete", l.id, uint64(l.lo), uint64(l.hi))
+	}
+}
+
+// finalizeLocked completes a fully checkpointed job: the summary is
+// recomputed from the durable records with the same operations
+// single-node RunArrayCtx uses (a count and an integer sum, each
+// divided by the cell count), so the fabric's aggregate is bit-
+// identical to the single-node one.
+func (c *Coordinator) finalizeLocked(sh *shard) {
+	j := sh.job
+	numFailed, trapSum := 0, 0
+	for _, rec := range j.Records() {
+		if rec.Failed {
+			numFailed++
+		}
+		trapSum += rec.TrapCount
+	}
+	sum := jobd.Summary{
+		NumFailed: numFailed,
+		ErrorRate: float64(numFailed) / float64(j.CellsTotal),
+		MeanTraps: float64(trapSum) / float64(j.CellsTotal),
+	}
+	if err := c.store.AppendResult(j.ID, sum); err != nil {
+		mFabricStoreErrors.Inc()
+	}
+	j.Result = &sum
+	c.transitionLocked(sh, jobd.StateDone, "")
+	// Leases outlived by their job (stolen ranges re-checkpointed by
+	// someone faster) are settled now.
+	for id, l := range c.leases {
+		if l.jobID != j.ID {
+			continue
+		}
+		delete(c.leases, id)
+		mLeasesOutstanding.Add(-1)
+	}
+	sh.tracer.Event("fabric.done", uint64(numFailed), uint64(trapSum), 0)
+	obs.Emit("fabric.done",
+		obs.F("job", j.ID),
+		obs.F("num_failed", numFailed),
+		obs.F("mean_traps", sum.MeanTraps))
+}
+
+// transitionLocked moves a job to a new state, persisting first. A
+// failed append downgrades to in-memory only, mirroring the scheduler's
+// stay-truthful policy.
+func (c *Coordinator) transitionLocked(sh *shard, st jobd.State, errMsg string) {
+	if err := c.store.AppendState(sh.job.ID, st, errMsg); err != nil {
+		mFabricStoreErrors.Inc()
+	}
+	old := sh.job.State
+	sh.job.State = st
+	sh.job.Error = errMsg
+	fabricJobGauge(old).Add(-1)
+	fabricJobGauge(st).Add(1)
+	fields := []obs.Field{obs.F("job", sh.job.ID), obs.F("state", string(st))}
+	if errMsg != "" {
+		fields = append(fields, obs.F("error", errMsg))
+	}
+	obs.Emit("fabric.state", fields...)
+}
+
+// Status snapshots the fabric for GET /fabric/status.
+func (c *Coordinator) Status() Status {
+	now := c.opts.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+
+	st := Status{Draining: c.draining, StealsTotal: c.steals, Jobs: []JobStatus{}}
+	byJob := map[string][]*lease{}
+	for _, l := range c.leases {
+		byJob[l.jobID] = append(byJob[l.jobID], l)
+	}
+	for _, id := range c.order {
+		sh := c.jobs[id]
+		js := JobStatus{
+			ID:         id,
+			State:      sh.job.State,
+			CellsDone:  sh.job.Done(),
+			CellsTotal: sh.job.CellsTotal,
+			Pending:    sh.nPend,
+			Leased:     len(sh.leased),
+			Steals:     sh.steals,
+		}
+		ls := byJob[id]
+		sort.Slice(ls, func(a, b int) bool { return ls[a].id < ls[b].id })
+		for _, l := range ls {
+			js.Leases = append(js.Leases, LeaseStatus{
+				ID: l.id, Worker: l.worker, Lo: l.lo, Hi: l.hi,
+				Remaining:   sh.remaining(l),
+				ExpiresInMS: l.expires.Sub(now).Milliseconds(),
+				Renews:      l.renews,
+			})
+		}
+		st.Jobs = append(st.Jobs, js)
+	}
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		w := c.workers[id]
+		ws := WorkerState{
+			ID: id, Cells: w.cells, Leases: w.leases,
+			LastContactMS: now.Sub(w.last).Milliseconds(),
+		}
+		if elapsed := now.Sub(w.first).Seconds(); elapsed > 0 {
+			ws.CellsPerSec = float64(w.cells) / elapsed
+		}
+		st.Workers = append(st.Workers, ws)
+	}
+	return st
+}

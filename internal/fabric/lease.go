@@ -1,0 +1,146 @@
+package fabric
+
+import (
+	"time"
+
+	"samurai/internal/jobd"
+	"samurai/internal/obs/trace"
+)
+
+// lease is one outstanding grant of a contiguous cell range to one
+// worker. Leases are soft state: they exist only in coordinator memory
+// and are rebuilt from scratch (empty) after a restart — the WAL holds
+// checkpoints, never lease bookkeeping, so wall-clock deadlines stay
+// out of the durable record.
+type lease struct {
+	id     uint64
+	jobID  string
+	lo, hi int
+	worker string
+	// expires is the steal deadline; renewals push it out.
+	expires time.Time
+	renews  int
+}
+
+// shard is the coordinator's per-job sharding state: which cells still
+// need work, which are out under a lease, and the job's tracer.
+type shard struct {
+	job *jobd.Job
+	// pending marks cells neither checkpointed nor leased; nil for jobs
+	// the coordinator does not shard (terminal or non-array).
+	pending []bool
+	nPend   int
+	// leased maps a leased cell index to its lease id. Lease ids start
+	// at 1, so the zero value of a missing key never matches.
+	leased map[int]uint64
+	steals int
+	// tracer records the lease lifecycle as instants (fabric.grant /
+	// fabric.steal / fabric.release / fabric.complete events) rather
+	// than timed spans: leases are long-lived coordinator state, and a
+	// stored span would smuggle wall-clock time next to the durable
+	// record the fabric must keep deterministic.
+	tracer *trace.Tracer
+}
+
+// newShard wraps a replayed or freshly submitted job. Only live array
+// jobs get sharding state; terminal and run-type jobs are tracked for
+// the API surface but never leased.
+func newShard(j *jobd.Job) *shard {
+	sh := &shard{
+		job:    j,
+		leased: map[int]uint64{},
+		tracer: trace.New(j.Spec.TraceID(), trace.Options{}),
+	}
+	if j.Spec.Type != jobd.TypeArray || j.State.Terminal() {
+		return sh
+	}
+	sh.pending = make([]bool, j.CellsTotal)
+	for i := 0; i < j.CellsTotal; i++ {
+		if !j.Checkpointed(i) {
+			sh.pending[i] = true
+			sh.nPend++
+		}
+	}
+	return sh
+}
+
+// leasable reports whether the shard has cells to hand out.
+func (sh *shard) leasable() bool {
+	return sh.nPend > 0 && !sh.job.State.Terminal()
+}
+
+// firstRun finds the first contiguous run of pending cells, capped at
+// max. Granting low indices first keeps early cells durable earliest,
+// which is what makes a partially swept array useful for peeking.
+func (sh *shard) firstRun(max int) (lo, hi int, ok bool) {
+	for i := range sh.pending {
+		if !sh.pending[i] {
+			continue
+		}
+		lo, hi = i, i
+		for hi < len(sh.pending) && hi-lo < max && sh.pending[hi] {
+			hi++
+		}
+		return lo, hi, true
+	}
+	return 0, 0, false
+}
+
+// grant marks the lease's cells as out.
+func (sh *shard) grant(l *lease) {
+	for i := l.lo; i < l.hi; i++ {
+		if sh.pending[i] {
+			sh.pending[i] = false
+			sh.nPend--
+			sh.leased[i] = l.id
+		}
+	}
+}
+
+// release returns a lease's unfinished cells to the pool and reports
+// how many went back. Cells already checkpointed (or re-leased after a
+// steal) are untouched.
+func (sh *shard) release(l *lease) int {
+	back := 0
+	for i := l.lo; i < l.hi; i++ {
+		if sh.leased[i] == l.id {
+			delete(sh.leased, i)
+			sh.pending[i] = true
+			sh.nPend++
+			back++
+		}
+	}
+	return back
+}
+
+// remaining counts the lease's cells still out (not yet checkpointed).
+func (sh *shard) remaining(l *lease) int {
+	n := 0
+	for i := l.lo; i < l.hi; i++ {
+		if sh.leased[i] == l.id {
+			n++
+		}
+	}
+	return n
+}
+
+// settle clears the sharding state for a freshly checkpointed cell,
+// whatever its lease history: pending (stolen and not yet re-leased),
+// leased to anyone, or already settled.
+func (sh *shard) settle(i int) {
+	if sh.pending != nil && sh.pending[i] {
+		sh.pending[i] = false
+		sh.nPend--
+	}
+	delete(sh.leased, i)
+}
+
+// workerInfo is the coordinator's liveness and throughput view of one
+// worker, keyed by the id assigned at first contact.
+type workerInfo struct {
+	id     string
+	cells  int64
+	leases int64
+	first  time.Time
+	last   time.Time
+}

@@ -1,0 +1,436 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"samurai"
+	"samurai/internal/jobd"
+	"samurai/internal/montecarlo"
+	"samurai/internal/obs"
+)
+
+// Worker-side instrumentation (the worker process has its own metrics
+// surface when cmd/samuraiw serves one).
+var (
+	mwLeases = obs.GetCounter("samurai_fabricw_leases_total",
+		"leases acquired by this worker")
+	mwCellsSim = obs.GetCounter("samurai_fabricw_cells_simulated_total",
+		"cells simulated by this worker")
+	mwLost = obs.GetCounter("samurai_fabricw_leases_lost_total",
+		"leases lost to stealing (renewal refused mid-run)")
+	mwRetries = obs.GetCounter("samurai_fabricw_post_retries_total",
+		"coordinator requests retried after transport or 5xx failures")
+)
+
+// WorkerOptions configures a fabric worker. BaseURL is required; the
+// zero value of everything else is usable.
+type WorkerOptions struct {
+	// BaseURL is the coordinator's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// ID is the worker's identity; empty lets the coordinator assign
+	// one on first contact.
+	ID string
+	// Threads overrides the per-lease cell parallelism (0 keeps the
+	// job spec's Workers setting).
+	Threads int
+	// Client is the HTTP client for all coordinator calls. The default
+	// sets a 30s Timeout — every client in this tree must bound its
+	// requests (samurailint httptimeouts).
+	Client *http.Client
+	// Poll is the idle re-poll interval when no lease is available
+	// (default 500ms).
+	Poll time.Duration
+	// Runner executes one cell (default samurai.ArrayRunnerCtx()).
+	Runner montecarlo.CtxRunner
+	// ExitWhenDone makes Run return once the coordinator reports every
+	// job terminal, instead of polling for more work forever.
+	ExitWhenDone bool
+	// MaxRetries bounds the capped-exponential-backoff retries of each
+	// coordinator request (default 8).
+	MaxRetries int
+	// Backoff is the initial retry backoff (default 100ms); MaxBackoff
+	// caps the exponential growth (default 5s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// OnCheckpoint, when non-nil, observes every cell the coordinator
+	// acknowledged as durably accepted (test and chaos hooks).
+	OnCheckpoint func(job string, index int)
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.Poll <= 0 {
+		o.Poll = 500 * time.Millisecond
+	}
+	if o.Runner == nil {
+		o.Runner = samurai.ArrayRunnerCtx()
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 8
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
+	}
+	return o
+}
+
+// Worker is a fabric lease executor: it acquires cell-range leases from
+// a coordinator, simulates them with montecarlo.RunArrayCtx restricted
+// to the leased subset, and streams checkpoints back. Workers hold no
+// durable state — killing one loses nothing but the lease TTL.
+type Worker struct {
+	opts WorkerOptions
+
+	mu sync.Mutex
+	id string
+
+	drain     chan struct{}
+	drainOnce sync.Once
+}
+
+// NewWorker builds a worker; Run does the work.
+func NewWorker(opts WorkerOptions) *Worker {
+	o := opts.withDefaults()
+	return &Worker{opts: o, id: o.ID, drain: make(chan struct{})}
+}
+
+// ID returns the worker's identity (assigned by the coordinator on
+// first contact when WorkerOptions.ID was empty).
+func (w *Worker) ID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+func (w *Worker) setID(id string) {
+	if id == "" {
+		return
+	}
+	w.mu.Lock()
+	w.id = id
+	w.mu.Unlock()
+}
+
+// Drain stops the worker gracefully: in-flight cells finish and
+// checkpoint, the unfinished remainder of the current lease is released
+// back to the pool, and Run returns nil. Safe to call more than once.
+func (w *Worker) Drain() {
+	w.drainOnce.Do(func() { close(w.drain) })
+}
+
+func (w *Worker) draining() bool {
+	select {
+	case <-w.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// Run executes the lease/simulate/checkpoint loop until the context is
+// cancelled (hard abort — the coordinator steals the lease after its
+// TTL), Drain is called (graceful), or — with ExitWhenDone — the
+// coordinator reports all jobs terminal.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if w.draining() {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, err := w.acquire(ctx)
+		if err != nil {
+			if w.draining() {
+				return nil
+			}
+			return err
+		}
+		if grant.Idle {
+			if grant.Done && w.opts.ExitWhenDone {
+				return nil
+			}
+			timer := time.NewTimer(w.opts.Poll)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-w.drain:
+				timer.Stop()
+				return nil
+			}
+			continue
+		}
+		if err := w.runLease(ctx, grant); err != nil {
+			return err
+		}
+	}
+}
+
+// acquire requests a fresh lease with capped-exponential-backoff retry
+// on transport and 5xx failures.
+func (w *Worker) acquire(ctx context.Context) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := w.retry(ctx, func() (int, error) {
+		resp = LeaseResponse{}
+		return w.post(ctx, PathLease, LeaseRequest{Worker: w.ID()}, &resp)
+	})
+	if err != nil {
+		return resp, fmt.Errorf("fabric: acquiring lease: %w", err)
+	}
+	w.setID(resp.Worker)
+	if !resp.Idle {
+		mwLeases.Inc()
+	}
+	return resp, nil
+}
+
+// runLease simulates one granted cell range. Three goroutine roles:
+// the renewal heartbeat keeps the lease alive (and cancels the run the
+// moment the coordinator refuses — the lease was stolen, further work
+// is waste), the sender streams checkpoint batches with retry, and the
+// calling goroutine runs the sweep itself.
+func (w *Worker) runLease(ctx context.Context, grant LeaseResponse) error {
+	if grant.Spec == nil {
+		return fmt.Errorf("fabric: lease %d granted without a spec", grant.Lease)
+	}
+	cfg, err := grant.Spec.ArrayConfig()
+	if err != nil {
+		return fmt.Errorf("fabric: lease %d spec: %w", grant.Lease, err)
+	}
+	if w.opts.Threads > 0 {
+		cfg.Workers = w.opts.Threads
+	}
+
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var hbWG sync.WaitGroup
+	stolen := make(chan struct{})
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		w.heartbeat(lctx, cancel, grant, stolen)
+	}()
+
+	// The checkpoint channel is sized for the whole range, so OnCell
+	// (called on simulation worker goroutines) never blocks on the
+	// network: a slow coordinator stalls durability, not simulation.
+	recs := make(chan jobd.CellRecord, grant.Hi-grant.Lo)
+	var sendErr error
+	senderDone := make(chan struct{})
+	go func() {
+		defer close(senderDone)
+		sendErr = w.sendLoop(ctx, grant, recs)
+		if sendErr != nil {
+			cancel()
+		}
+	}()
+
+	sub := montecarlo.IndexRange{Lo: grant.Lo, Hi: grant.Hi}
+	_, runErr := montecarlo.RunArrayCtx(lctx, cfg, w.opts.Runner, montecarlo.ArrayOptions{
+		Subset: &sub,
+		Drain:  w.drain,
+		OnCell: func(o montecarlo.CellOutcome) {
+			mwCellsSim.Inc()
+			recs <- jobd.NewCellRecord(o)
+		},
+	})
+	close(recs)
+	<-senderDone
+	cancel()
+	hbWG.Wait()
+
+	if sendErr != nil {
+		return sendErr
+	}
+
+	wasStolen := false
+	select {
+	case <-stolen:
+		wasStolen = true
+	default:
+	}
+
+	if runErr != nil && !wasStolen {
+		// Unfinished cells go back to the pool now instead of waiting
+		// out the TTL. Best-effort: if the release is lost, stealing
+		// covers it.
+		relErr := ""
+		if !errors.Is(runErr, montecarlo.ErrDrained) && lctx.Err() == nil {
+			relErr = runErr.Error()
+		}
+		var resp LeaseResponse
+		//lint:ignore bareerr best-effort release; lease expiry recovers the cells regardless
+		w.post(ctx, PathLease, LeaseRequest{Worker: w.ID(), Release: grant.Lease, Error: relErr}, &resp)
+	}
+
+	switch {
+	case runErr == nil:
+		return nil
+	case errors.Is(runErr, montecarlo.ErrDrained):
+		// Graceful drain: Run's loop observes w.draining and exits.
+		return nil
+	case ctx.Err() != nil:
+		return ctx.Err()
+	case wasStolen:
+		// The coordinator moved on; so do we.
+		obs.Emit("fabricw.stolen",
+			obs.F("worker", w.ID()), obs.F("lease", grant.Lease))
+		return nil
+	default:
+		return fmt.Errorf("fabric: lease %d (job %s cells [%d,%d)): %w",
+			grant.Lease, grant.Job, grant.Lo, grant.Hi, runErr)
+	}
+}
+
+// heartbeat renews the lease at a third of its TTL until the lease
+// context ends. A 410 means the lease was stolen: stolen is closed and
+// the run cancelled.
+func (w *Worker) heartbeat(lctx context.Context, cancel context.CancelFunc, grant LeaseResponse, stolen chan struct{}) {
+	interval := time.Duration(grant.TTLMS) * time.Millisecond / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-lctx.Done():
+			return
+		case <-ticker.C:
+			var resp LeaseResponse
+			code, err := w.post(lctx, PathLease, LeaseRequest{Worker: w.ID(), Renew: grant.Lease}, &resp)
+			switch {
+			case err == nil:
+				continue
+			case code == http.StatusGone:
+				mwLost.Inc()
+				close(stolen)
+				cancel()
+				return
+			default:
+				// Transient: the lease survives missed renewals for the
+				// remainder of its TTL; try again next tick.
+			}
+		}
+	}
+}
+
+// sendLoop batches checkpoint records as they arrive and posts each
+// batch with retry. A post that fails permanently (409 determinism
+// mismatch, job gone, retries exhausted) aborts the lease.
+func (w *Worker) sendLoop(ctx context.Context, grant LeaseResponse, recs <-chan jobd.CellRecord) error {
+	for rec := range recs {
+		batch := []jobd.CellRecord{rec}
+	gather:
+		for {
+			select {
+			case r, ok := <-recs:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, r)
+			default:
+				break gather
+			}
+		}
+		var resp CheckpointResponse
+		err := w.retry(ctx, func() (int, error) {
+			resp = CheckpointResponse{}
+			return w.post(ctx, PathCheckpoint, CheckpointRequest{
+				Worker: w.ID(), Job: grant.Job, Lease: grant.Lease, Cells: batch,
+			}, &resp)
+		})
+		if err != nil {
+			return fmt.Errorf("fabric: checkpointing %d cells of job %s: %w", len(batch), grant.Job, err)
+		}
+		if w.opts.OnCheckpoint != nil {
+			for _, r := range batch {
+				w.opts.OnCheckpoint(grant.Job, r.Index)
+			}
+		}
+	}
+	return nil
+}
+
+// retry runs fn with capped exponential backoff. Transport errors
+// (code 0) and 5xx responses are retried; 4xx responses are protocol
+// outcomes and returned immediately.
+func (w *Worker) retry(ctx context.Context, fn func() (int, error)) error {
+	backoff := w.opts.Backoff
+	for attempt := 0; ; attempt++ {
+		code, err := fn()
+		if err == nil {
+			return nil
+		}
+		retriable := code == 0 || code >= http.StatusInternalServerError
+		if !retriable || attempt >= w.opts.MaxRetries || ctx.Err() != nil {
+			return err
+		}
+		mwRetries.Inc()
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		}
+		if backoff *= 2; backoff > w.opts.MaxBackoff {
+			backoff = w.opts.MaxBackoff
+		}
+	}
+}
+
+// post sends one JSON request and decodes the JSON response. Error
+// responses (>= 400) are folded into the returned error together with
+// the coordinator's message; the status code is returned either way
+// (0 for transport failures).
+func (w *Worker) post(ctx context.Context, path string, req, out any) (int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, fmt.Errorf("fabric: encoding %T: %w", req, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := w.opts.Client.Do(hreq)
+	if err != nil {
+		return 0, err
+	}
+	//lint:ignore bareerr response body close is best-effort after a full read
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		//lint:ignore bareerr a malformed error body degrades to the bare status code
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return resp.StatusCode, fmt.Errorf("fabric: %s: %s", path, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("fabric: decoding %s response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

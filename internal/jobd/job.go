@@ -127,6 +127,12 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
+// Normalized returns the spec with optional fields defaulted — the
+// canonical form stored in the job table. Submitting the normalized
+// spec anywhere (scheduler or fabric coordinator) yields the same
+// TraceID, so the same sweep is diffable across deployments.
+func (s Spec) Normalized() Spec { return s.withDefaults() }
+
 // Validate checks a (defaulted) spec for consistency.
 func (s Spec) Validate() error {
 	switch s.Type {
@@ -226,12 +232,13 @@ func (s Spec) RunConfig() (samurai.Config, error) {
 	}, nil
 }
 
-// traceID derives the job's deterministic trace ID: the FNV hash of
+// TraceID derives the job's deterministic trace ID: the FNV hash of
 // the seed and the canonical (defaulted) spec bytes. The same spec
 // always produces the same trace ID, so a resumed or re-run job is
-// diffable against its previous trace. The trace ID doubles as the
+// diffable against its previous trace — including a fabric worker's
+// run of the same job on another machine. The trace ID doubles as the
 // spec hash in the provenance manifest.
-func (s Spec) traceID() uint64 {
+func (s Spec) TraceID() uint64 {
 	b, err := json.Marshal(s)
 	if err != nil {
 		b = nil // unreachable: Spec is plain data
@@ -302,6 +309,43 @@ func (j *Job) cellRecords() []CellRecord {
 	sort.Slice(out, func(a, b int) bool { return out[a].Index < out[b].Index })
 	return out
 }
+
+// The exported Job accessors below exist for owners other than the
+// in-process Scheduler — the fabric coordinator keeps its own job table
+// over the same Store. The caller owns serialisation: all of them must
+// run under whatever mutex guards the job, exactly like the unexported
+// twins the Scheduler uses.
+
+// Records returns the checkpointed cells sorted by index.
+func (j *Job) Records() []CellRecord { return j.cellRecords() }
+
+// Done returns the number of checkpointed cells.
+func (j *Job) Done() int { return j.cellsDone() }
+
+// Checkpointed reports whether cell index i has a durable record.
+func (j *Job) Checkpointed(i int) bool {
+	_, ok := j.cells[i]
+	return ok
+}
+
+// Cell returns the checkpointed record for index i, if any.
+func (j *Job) Cell(i int) (CellRecord, bool) {
+	rec, ok := j.cells[i]
+	return rec, ok
+}
+
+// PutCell attaches a checkpointed cell record to the job's in-memory
+// table. The caller must have appended the record to the Store first —
+// memory never runs ahead of the WAL.
+func (j *Job) PutCell(rec CellRecord) {
+	if j.cells == nil {
+		j.cells = map[int]CellRecord{}
+	}
+	j.cells[rec.Index] = rec
+}
+
+// View snapshots the job into its immutable API form.
+func (j *Job) View() View { return j.view() }
 
 // View is an immutable snapshot of a job, JSON-shaped for the API.
 type View struct {

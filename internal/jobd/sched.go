@@ -381,7 +381,7 @@ func (s *Scheduler) runJob(j *Job) {
 	if s.opts.FlightSize > 0 {
 		flight = trace.NewFlight(s.opts.FlightSize)
 	}
-	tr := trace.New(j.Spec.traceID(), trace.Options{Flight: flight})
+	tr := trace.New(j.Spec.TraceID(), trace.Options{Flight: flight})
 	ctx = trace.NewContext(ctx, tr)
 	s.mu.Lock()
 	if j.State != StateQueued {

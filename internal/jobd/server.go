@@ -81,7 +81,7 @@ func NewHandler(s *Scheduler) http.Handler {
 			Cells   []CellRecord `json:"cells,omitempty"`
 		}{
 			ID:      id,
-			RunInfo: obs.Info(v.Spec.Seed, fmt.Sprintf("%016x", v.Spec.traceID())),
+			RunInfo: obs.Info(v.Spec.Seed, fmt.Sprintf("%016x", v.Spec.TraceID())),
 			Summary: v.Result,
 			Cells:   cells,
 		})

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 
@@ -281,6 +282,105 @@ func (s *Store) AppendCell(id string, c CellRecord) error {
 // AppendResult persists a finished job's aggregates.
 func (s *Store) AppendResult(id string, sum Summary) error {
 	return s.append(record{Rec: "result", ID: id, Summary: &sum})
+}
+
+// Compact rewrites the WAL as its minimal replay-equivalent snapshot:
+// one job record, the sorted cell checkpoints, the latest non-queued
+// state and the result (if any) per job — dropping every intermediate
+// lifecycle transition a long-lived daemon accumulates across
+// drain/resume cycles. The snapshot is written to a temp file in the
+// store's directory, fsynced, and atomically renamed over the log, so
+// a crash at any point leaves either the old or the new WAL, never a
+// mix. jobs must be the full replayed table in submission order (as
+// returned by Open) and must not be mutated concurrently — call this
+// between Open and handing the jobs to a scheduler or coordinator.
+func (s *Store) Compact(jobs []*Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("jobd: store is closed")
+	}
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(s.path)+".compact-*")
+	if err != nil {
+		return fmt.Errorf("jobd: creating compaction snapshot: %w", err)
+	}
+	//lint:ignore bareerr best-effort temp cleanup; a no-op once the snapshot is renamed into place
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	writeRec := func(rec record) error {
+		buf, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("jobd: encoding snapshot record: %w", err)
+		}
+		buf = append(buf, '\n')
+		_, err = w.Write(buf)
+		return err
+	}
+	// One closure for the whole snapshot body keeps exactly one
+	// abandon-the-temp-file error path below.
+	writeSnapshot := func() error {
+		for _, j := range jobs {
+			spec := j.Spec
+			if err := writeRec(record{Rec: "job", ID: j.ID, Seq: j.Seq, Spec: &spec}); err != nil {
+				return err
+			}
+			for _, c := range j.cellRecords() {
+				c := c
+				if err := writeRec(record{Rec: "cell", ID: j.ID, Cell: &c}); err != nil {
+					return err
+				}
+			}
+			// Queued is the replay default (normalizeReplayed also folds a
+			// torn "running" back into it), so only other states need a line.
+			if j.State != StateQueued && j.State != StateRunning {
+				if err := writeRec(record{Rec: "state", ID: j.ID, State: j.State, Error: j.Error}); err != nil {
+					return err
+				}
+			}
+			if j.Result != nil {
+				sum := *j.Result
+				if err := writeRec(record{Rec: "result", ID: j.ID, Summary: &sum}); err != nil {
+					return err
+				}
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return fmt.Errorf("jobd: flushing compaction snapshot: %w", err)
+		}
+		if err := tmp.Sync(); err != nil {
+			return fmt.Errorf("jobd: syncing compaction snapshot: %w", err)
+		}
+		return nil
+	}
+	if err := writeSnapshot(); err != nil {
+		//lint:ignore bareerr the snapshot write error is the one worth reporting; the temp file is abandoned
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobd: closing compaction snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		return fmt.Errorf("jobd: installing compaction snapshot: %w", err)
+	}
+	// The rename is durable once the directory entry is synced.
+	if d, err := os.Open(dir); err == nil {
+		//lint:ignore bareerr directory fsync is best-effort extra durability; the data file itself is synced
+		d.Sync()
+		//lint:ignore bareerr closing a read-only directory handle cannot lose data
+		d.Close()
+	}
+	old := s.f
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobd: reopening compacted store: %w", err)
+	}
+	s.f = f
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("jobd: closing pre-compaction store handle: %w", err)
+	}
+	return nil
 }
 
 // Close syncs and closes the backing file. Further appends fail.

@@ -168,16 +168,16 @@ func TestServerResultCarriesProvenance(t *testing.T) {
 
 func TestSpecTraceIDDeterministic(t *testing.T) {
 	a, b := arraySpec(4), arraySpec(4)
-	if a.traceID() != b.traceID() {
+	if a.TraceID() != b.TraceID() {
 		t.Fatal("identical specs produced different trace IDs")
 	}
 	c := arraySpec(4)
 	c.Seed = 99
-	if a.traceID() == c.traceID() {
+	if a.TraceID() == c.TraceID() {
 		t.Fatal("different seeds produced the same trace ID")
 	}
 	d := arraySpec(5)
-	if a.traceID() == d.traceID() {
+	if a.TraceID() == d.TraceID() {
 		t.Fatal("different cell counts produced the same trace ID")
 	}
 }

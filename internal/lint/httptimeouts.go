@@ -6,22 +6,49 @@ import (
 )
 
 // HTTPTimeouts requires every net/http.Server composite literal to set
-// ReadHeaderTimeout. A server without it never times out a client that
+// ReadHeaderTimeout, and every net/http.Client composite literal to set
+// Timeout.
+//
+// A server without ReadHeaderTimeout never times out a client that
 // sends headers one byte at a time (Slowloris), so a handful of idle
 // sockets can pin the daemon's listener forever — fatal for samuraid,
 // which must always stay responsive to its drain signal. The other
-// timeouts (ReadTimeout, WriteTimeout) are workload-dependent and
-// deliberately not mandated: long-lived NDJSON/SSE progress streams
-// are legitimate.
+// server timeouts (ReadTimeout, WriteTimeout) are workload-dependent
+// and deliberately not mandated: long-lived NDJSON/SSE progress
+// streams are legitimate.
 //
-// Servers that intentionally run without the timeout can suppress the
+// A client without Timeout hangs forever on a peer that accepts the
+// connection and then goes silent — for a fabric worker, one wedged
+// coordinator socket would stall the lease loop past any stealing
+// deadline, turning a recoverable network blip into a lost worker.
+// Every outbound path must bound its requests (per-request contexts
+// are complementary, not a substitute: the zero-value client has no
+// backstop at all).
+//
+// Literals that intentionally run without the timeout can suppress the
 // finding with `//lint:ignore httptimeouts reason`.
 const httpTimeoutsName = "httptimeouts"
 
 var httpTimeoutsRule = Rule{
 	Name:  httpTimeoutsName,
-	Doc:   "http.Server composite literals must set ReadHeaderTimeout (Slowloris hardening)",
+	Doc:   "http.Server literals must set ReadHeaderTimeout (Slowloris hardening); http.Client literals must set Timeout (unbounded hang hardening)",
 	Check: checkHTTPTimeouts,
+}
+
+// httptimeoutsTargets maps the net/http type to the field its literals
+// must set and the message emitted when they don't.
+var httptimeoutsTargets = map[string]struct {
+	field   string
+	message string
+}{
+	"Server": {
+		field:   "ReadHeaderTimeout",
+		message: "http.Server literal without ReadHeaderTimeout; set one (Slowloris hardening)",
+	},
+	"Client": {
+		field:   "Timeout",
+		message: "http.Client literal without Timeout; set one (a silent peer hangs the request forever)",
+	},
 }
 
 func checkHTTPTimeouts(pkg *Package) []Diagnostic {
@@ -32,7 +59,12 @@ func checkHTTPTimeouts(pkg *Package) []Diagnostic {
 			if !ok || lit.Type == nil {
 				return true
 			}
-			if !httptimeoutsIsHTTPServer(pkg, lit.Type) {
+			name, ok := httptimeoutsHTTPType(pkg, lit.Type)
+			if !ok {
+				return true
+			}
+			target, ok := httptimeoutsTargets[name]
+			if !ok {
 				return true
 			}
 			for _, elt := range lit.Elts {
@@ -40,14 +72,14 @@ func checkHTTPTimeouts(pkg *Package) []Diagnostic {
 				if !ok {
 					continue
 				}
-				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "ReadHeaderTimeout" {
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == target.field {
 					return true
 				}
 			}
 			out = append(out, Diagnostic{
 				Rule:    httpTimeoutsName,
 				Pos:     pkg.position(lit),
-				Message: "http.Server literal without ReadHeaderTimeout; set one (Slowloris hardening)",
+				Message: target.message,
 			})
 			return true
 		})
@@ -55,19 +87,26 @@ func checkHTTPTimeouts(pkg *Package) []Diagnostic {
 	return out
 }
 
-// isHTTPServer reports whether the composite literal's type expression
-// denotes net/http.Server. Type information is authoritative when
-// available (catching aliases and dot-imports); untyped files fall back
-// to the syntactic `http.Server` selector.
-func httptimeoutsIsHTTPServer(pkg *Package, typ ast.Expr) bool {
+// httptimeoutsHTTPType reports the net/http type name the composite
+// literal's type expression denotes ("Server", "Client", …), if any.
+// Type information is authoritative when available (catching aliases
+// and dot-imports); untyped files fall back to the syntactic
+// `http.<Name>` selector.
+func httptimeoutsHTTPType(pkg *Package, typ ast.Expr) (string, bool) {
 	if pkg.Info != nil {
 		if t := pkg.Info.TypeOf(typ); t != nil {
-			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
-				return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Server"
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() == "net/http" {
+				return named.Obj().Name(), true
 			}
-			// Typed but not net/http.Server (or not a named type at all).
-			return false
+			// Typed but not a net/http named type.
+			return "", false
 		}
 	}
-	return pkg.isPkgDot(typ, "net/http", "Server")
+	for name := range httptimeoutsTargets {
+		if pkg.isPkgDot(typ, "net/http", name) {
+			return name, true
+		}
+	}
+	return "", false
 }

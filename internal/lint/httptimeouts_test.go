@@ -85,6 +85,74 @@ func serve() *http.Server {
 	wantFindings(t, diags(t, files, httpTimeoutsRule), 0)
 }
 
+func TestHTTPTimeoutsFlagsBareClient(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+import "net/http"
+
+var shared = http.Client{}
+
+func dial() *http.Client {
+	return &http.Client{Transport: nil}
+}
+`}
+	wantFindings(t, diags(t, files, httpTimeoutsRule), 2)
+}
+
+func TestHTTPTimeoutsAcceptsClientTimeout(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+import (
+	"net/http"
+	"time"
+)
+
+func dial() *http.Client {
+	return &http.Client{Timeout: 30 * time.Second}
+}
+`}
+	wantFindings(t, diags(t, files, httpTimeoutsRule), 0)
+}
+
+func TestHTTPTimeoutsClientSeesThroughImportAlias(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+import web "net/http"
+
+func dial() *web.Client {
+	return &web.Client{}
+}
+`}
+	wantFindings(t, diags(t, files, httpTimeoutsRule), 1)
+}
+
+func TestHTTPTimeoutsIgnoresOtherClientTypes(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+type Client struct {
+	Addr string
+}
+
+func local() Client {
+	return Client{Addr: ":9"}
+}
+`}
+	wantFindings(t, diags(t, files, httpTimeoutsRule), 0)
+}
+
+func TestHTTPTimeoutsClientSuppressible(t *testing.T) {
+	files := map[string]string{"a/a.go": `package a
+
+import "net/http"
+
+func dial() *http.Client {
+	//lint:ignore httptimeouts requests are bounded per-call by contexts in this test harness
+	return &http.Client{}
+}
+`}
+	wantFindings(t, diags(t, files, httpTimeoutsRule), 0)
+}
+
 func TestHTTPTimeoutsChecksTestFiles(t *testing.T) {
 	files := map[string]string{
 		"a/a.go": "package a\n",

@@ -117,6 +117,18 @@ type CtxRunner func(ctx context.Context, cell sram.CellConfig, pattern sram.Patt
 // later via ArrayOptions.Resume with a bit-identical final result.
 var ErrDrained = errors.New("montecarlo: array run drained before completion")
 
+// IndexRange selects the contiguous cell subset [Lo, Hi) of an array
+// sweep — the unit of work the distributed fabric leases to one worker.
+type IndexRange struct {
+	Lo, Hi int
+}
+
+// size returns the number of cells in the range.
+func (r IndexRange) size() int { return r.Hi - r.Lo }
+
+// contains reports whether i falls inside the range.
+func (r IndexRange) contains(i int) bool { return i >= r.Lo && i < r.Hi }
+
 // ArrayOptions extends RunArrayCtx with checkpoint/resume hooks. The
 // zero value runs a plain full sweep.
 type ArrayOptions struct {
@@ -127,6 +139,14 @@ type ArrayOptions struct {
 	// seed (rng.Stream.SplitInto(i)), the combined result is
 	// bit-identical to an uninterrupted run.
 	Resume []CellOutcome
+	// Subset, when non-nil, restricts the sweep to cell indices in
+	// [Lo, Hi): only those cells are dispatched, the completion check
+	// counts only them, and the result aggregates cover only them. Cell
+	// rng streams derive from (Seed, index) exactly as in a full sweep,
+	// so a subset run's outcomes are bit-identical to the corresponding
+	// slice of a full run — the invariant that lets the fabric shard one
+	// job across workers with no coordination beyond index ranges.
+	Subset *IndexRange
 	// OnCell, when non-nil, is invoked once per freshly simulated cell
 	// that completed without a simulation error — the checkpoint hook.
 	// It is called from worker goroutines and must be safe for
@@ -192,9 +212,18 @@ func RunArrayCtx(ctx context.Context, cfg ArrayConfig, run CtxRunner, opts Array
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	sel := IndexRange{Lo: 0, Hi: cfg.Cells}
+	if opts.Subset != nil {
+		sel = *opts.Subset
+		if sel.Lo < 0 || sel.Hi > cfg.Cells || sel.Lo >= sel.Hi {
+			return nil, fmt.Errorf("montecarlo: subset [%d,%d) outside [0,%d)", sel.Lo, sel.Hi, cfg.Cells)
+		}
+	}
 	root := rng.New(cfg.Seed)
 	outcomes := make([]CellOutcome, cfg.Cells)
 	resumed := make([]bool, cfg.Cells)
+	// nResumed counts resumed cells inside the dispatched range: those
+	// are the only ones the completion check below may credit.
 	nResumed := 0
 	for _, o := range opts.Resume {
 		if o.Index < 0 || o.Index >= cfg.Cells {
@@ -208,7 +237,9 @@ func RunArrayCtx(ctx context.Context, cfg ArrayConfig, run CtxRunner, opts Array
 		}
 		resumed[o.Index] = true
 		outcomes[o.Index] = o
-		nResumed++
+		if sel.contains(o.Index) {
+			nResumed++
+		}
 	}
 
 	// The array span parents every per-cell span: a tracer installed
@@ -286,7 +317,7 @@ func RunArrayCtx(ctx context.Context, cfg ArrayConfig, run CtxRunner, opts Array
 		}(w)
 	}
 dispatch:
-	for i := 0; i < cfg.Cells; i++ {
+	for i := sel.Lo; i < sel.Hi; i++ {
 		if resumed[i] {
 			continue
 		}
@@ -317,20 +348,23 @@ dispatch:
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("montecarlo: array run canceled: %w", err)
 	}
-	if total := nResumed + int(completed.Load()); total < cfg.Cells {
-		return nil, fmt.Errorf("%w: %d of %d cells checkpointed", ErrDrained, total, cfg.Cells)
+	if total := nResumed + int(completed.Load()); total < sel.size() {
+		return nil, fmt.Errorf("%w: %d of %d cells checkpointed", ErrDrained, total, sel.size())
 	}
 
+	// Aggregates cover the dispatched range only (the whole array when
+	// no Subset is set): a fabric worker's partial run must not dilute
+	// its rates with the zero outcomes of cells it never simulated.
 	res := &ArrayResult{Config: cfg, Outcomes: outcomes}
 	trapSum := 0
-	for _, o := range outcomes {
+	for _, o := range outcomes[sel.Lo:sel.Hi] {
 		if o.Failed {
 			res.NumFailed++
 		}
 		trapSum += o.TrapCount
 	}
-	res.ErrorRate = float64(res.NumFailed) / float64(cfg.Cells)
-	res.MeanTraps = float64(trapSum) / float64(cfg.Cells)
+	res.ErrorRate = float64(res.NumFailed) / float64(sel.size())
+	res.MeanTraps = float64(trapSum) / float64(sel.size())
 	return res, nil
 }
 

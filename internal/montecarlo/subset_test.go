@@ -1,0 +1,136 @@
+package montecarlo
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestRunArrayCtxSubsetBitIdentical shards the sweep into contiguous
+// index ranges — the fabric's lease shape — runs each range as an
+// independent subset sweep, merges the fresh outcomes, and asserts the
+// merged array is bit-identical to one uninterrupted full run. This is
+// the single-process version of the fabric's headline invariant.
+func TestRunArrayCtxSubsetBitIdentical(t *testing.T) {
+	cfg := resumeTestConfig()
+	baseline, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	partitions := [][]IndexRange{
+		{{0, 32}}, // one lease covering everything
+		{{0, 16}, {16, 32}},
+		{{0, 5}, {5, 6}, {6, 20}, {20, 32}},
+		{{16, 32}, {0, 16}}, // out of order, as stolen leases are
+	}
+	for _, parts := range partitions {
+		merged := make([]CellOutcome, cfg.Cells)
+		for _, r := range parts {
+			r := r
+			res, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{Subset: &r})
+			if err != nil {
+				t.Fatalf("subset [%d,%d): %v", r.Lo, r.Hi, err)
+			}
+			for i := r.Lo; i < r.Hi; i++ {
+				merged[i] = res.Outcomes[i]
+			}
+		}
+		assertBitIdentical(t, merged, baseline.Outcomes)
+	}
+}
+
+// TestRunArrayCtxSubsetOnCellAndAggregates checks a subset run invokes
+// OnCell only for its own cells and aggregates over the subset alone.
+func TestRunArrayCtxSubsetOnCellAndAggregates(t *testing.T) {
+	cfg := resumeTestConfig()
+	r := IndexRange{Lo: 8, Hi: 20}
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	res, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{
+		Subset: &r,
+		OnCell: func(o CellOutcome) {
+			mu.Lock()
+			seen[o.Index] = true
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != r.Hi-r.Lo {
+		t.Fatalf("OnCell saw %d cells, want %d", len(seen), r.Hi-r.Lo)
+	}
+	for i := range seen {
+		if i < r.Lo || i >= r.Hi {
+			t.Fatalf("OnCell saw out-of-subset cell %d", i)
+		}
+	}
+	failed, traps := 0, 0
+	for _, o := range res.Outcomes[r.Lo:r.Hi] {
+		if o.Failed {
+			failed++
+		}
+		traps += o.TrapCount
+	}
+	if res.NumFailed != failed {
+		t.Fatalf("NumFailed = %d, want %d (subset only)", res.NumFailed, failed)
+	}
+	if want := float64(traps) / float64(r.Hi-r.Lo); res.MeanTraps != want {
+		t.Fatalf("MeanTraps = %g, want %g (subset denominator)", res.MeanTraps, want)
+	}
+}
+
+// TestRunArrayCtxSubsetResume drains a subset run mid-range and resumes
+// it — the path a fabric worker takes when its own drain fires — and
+// checks the combined subset matches the baseline slice.
+func TestRunArrayCtxSubsetResume(t *testing.T) {
+	cfg := resumeTestConfig()
+	baseline, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := IndexRange{Lo: 4, Hi: 28}
+	drain := make(chan struct{})
+	var once sync.Once
+	var mu sync.Mutex
+	var checkpointed []CellOutcome
+	_, err = RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{
+		Subset: &r,
+		Drain:  drain,
+		OnCell: func(o CellOutcome) {
+			mu.Lock()
+			checkpointed = append(checkpointed, o)
+			trip := len(checkpointed) >= 6
+			mu.Unlock()
+			if trip {
+				once.Do(func() { close(drain) })
+			}
+		},
+	})
+	if err == nil {
+		return // sweep beat the drain; nothing to resume
+	}
+	if !errors.Is(err, ErrDrained) {
+		t.Fatalf("interrupted subset run: %v", err)
+	}
+	res, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{
+		Subset: &r,
+		Resume: checkpointed,
+	})
+	if err != nil {
+		t.Fatalf("resumed subset run: %v", err)
+	}
+	assertBitIdentical(t, res.Outcomes[r.Lo:r.Hi], baseline.Outcomes[r.Lo:r.Hi])
+}
+
+func TestRunArrayCtxSubsetValidation(t *testing.T) {
+	cfg := resumeTestConfig()
+	for _, r := range []IndexRange{{-1, 4}, {0, cfg.Cells + 1}, {5, 5}, {9, 3}} {
+		r := r
+		if _, err := RunArrayCtx(context.Background(), cfg, resumeTestRunner, ArrayOptions{Subset: &r}); err == nil {
+			t.Fatalf("subset [%d,%d) accepted", r.Lo, r.Hi)
+		}
+	}
+}

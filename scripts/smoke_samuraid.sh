@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Smoke-tests the samuraid job service end to end:
+# Smoke-tests the samuraid daemon end to end, in two phases:
 #
+# service phase (single-node scheduler):
 #   1. build samuraid with the race detector,
 #   2. start it on an ephemeral port with a fresh job store,
 #   3. POST a tiny array job and poll it to completion,
@@ -13,120 +14,268 @@
 #   8. assert the job store is non-empty (it is uploaded as a CI
 #      artifact for post-mortems).
 #
-# Run from the repository root: ./scripts/smoke_samuraid.sh [workdir]
+# fabric phase (distributed sweep, internal/fabric):
+#   1. build samuraid and samuraiw with the race detector,
+#   2. start samuraid -coordinator with a short (1s) lease TTL,
+#   3. submit a 32-cell array job,
+#   4. start two workers: one rigged to hard-exit (no drain, no
+#      release) after 2 checkpoints, one healthy with -once,
+#   5. assert the chaos worker dies with its rigged exit code, the
+#      coordinator steals its abandoned lease, and the healthy worker
+#      sweeps the job to done anyway,
+#   6. snapshot GET /fabric/status to fabric_status.json (a CI
+#      artifact) and assert steals_total >= 1 and the job is done,
+#   7. SIGTERM the coordinator and assert a clean drain.
+#
+# Run from the repository root:
+#   ./scripts/smoke_samuraid.sh [service|fabric|all] [workdir]
 set -euo pipefail
 
-WORKDIR="${1:-$(mktemp -d)}"
+MODE="${1:-all}"
+case "$MODE" in
+    service|fabric|all) ;;
+    *) echo "usage: $0 [service|fabric|all] [workdir]" >&2; exit 2 ;;
+esac
+WORKDIR="${2:-$(mktemp -d)}"
 mkdir -p "$WORKDIR"
-BIN="$WORKDIR/samuraid"
-STORE="$WORKDIR/samuraid.jsonl"
-ADDR_FILE="$WORKDIR/addr"
-LOG="$WORKDIR/samuraid.log"
 
-echo "== building samuraid (race detector on)"
-go build -race -o "$BIN" ./cmd/samuraid
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
 
-echo "== starting samuraid"
-"$BIN" -addr 127.0.0.1:0 -store "$STORE" -addr-file "$ADDR_FILE" >"$LOG" 2>&1 &
-PID=$!
-trap 'kill -9 $PID 2>/dev/null || true' EXIT
+# wait_ready ADDR_FILE PID LOG — waits for the daemon to write its
+# bound address, then polls /healthz until the port actually serves
+# (the address file appears before the listener necessarily accepts).
+# Prints the address.
+wait_ready() {
+    local addr_file="$1" pid="$2" log="$3" addr
+    for _ in $(seq 1 100); do
+        [ -s "$addr_file" ] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "samuraid died during startup:" >&2
+            cat "$log" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+    [ -s "$addr_file" ] || { echo "samuraid never wrote its address" >&2; cat "$log" >&2; return 1; }
+    addr="$(cat "$addr_file")"
+    for _ in $(seq 1 50); do
+        if curl -fsS --max-time 2 "http://$addr/healthz" >/dev/null 2>&1; then
+            echo "$addr"
+            return 0
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "samuraid died before /healthz came up:" >&2
+            cat "$log" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+    echo "samuraid port $addr never answered /healthz after 5s:" >&2
+    cat "$log" >&2
+    return 1
+}
 
-for _ in $(seq 1 100); do
-    [ -s "$ADDR_FILE" ] && break
-    if ! kill -0 "$PID" 2>/dev/null; then
-        echo "samuraid died during startup:" >&2
-        cat "$LOG" >&2
-        exit 1
+# submit_job ADDR BODY — POSTs an array job and prints its id.
+submit_job() {
+    local addr="$1" body="$2" resp id
+    resp="$(curl -sS --max-time 10 -X POST "http://$addr/jobs" \
+        -H 'Content-Type: application/json' -d "$body")"
+    echo "   $resp" >&2
+    id="$(printf '%s' "$resp" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+    [ -n "$id" ] || { echo "no job id in submit response" >&2; return 1; }
+    echo "$id"
+}
+
+# poll_done ADDR JOB_ID TRIES — polls the job until done (or fails).
+poll_done() {
+    local addr="$1" job_id="$2" tries="$3" view state=""
+    for _ in $(seq 1 "$tries"); do
+        view="$(curl -sS --max-time 10 "http://$addr/jobs/$job_id")"
+        state="$(printf '%s' "$view" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')"
+        case "$state" in
+            done) return 0 ;;
+            failed|canceled) echo "job ended $state: $view" >&2; return 1 ;;
+        esac
+        sleep 0.2
+    done
+    echo "job never finished (last state: $state)" >&2
+    return 1
+}
+
+# drain_clean PID LOG — SIGTERMs the daemon and asserts a clean exit.
+drain_clean() {
+    local pid="$1" log="$2" rc=0
+    kill -TERM "$pid"
+    wait "$pid" || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "samuraid exited $rc on SIGTERM (want clean drain, exit 0):" >&2
+        cat "$log" >&2
+        return 1
     fi
-    sleep 0.1
-done
-[ -s "$ADDR_FILE" ] || { echo "samuraid never wrote its address" >&2; cat "$LOG" >&2; exit 1; }
-ADDR="$(cat "$ADDR_FILE")"
+    grep -q "drained cleanly" "$log" || { echo "log lacks drain confirmation" >&2; cat "$log" >&2; return 1; }
+}
 
-# The address file appears before the listener necessarily accepts
-# connections; poll /healthz with curl until the port actually serves.
-READY=0
-for _ in $(seq 1 50); do
-    if curl -fsS --max-time 2 "http://$ADDR/healthz" >/dev/null 2>&1; then
-        READY=1
-        break
-    fi
-    if ! kill -0 "$PID" 2>/dev/null; then
-        echo "samuraid died before /healthz came up:" >&2
-        cat "$LOG" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-if [ "$READY" -ne 1 ]; then
-    echo "samuraid port $ADDR never answered /healthz after 5s:" >&2
-    cat "$LOG" >&2
-    exit 1
-fi
-echo "   listening on $ADDR (healthz OK)"
+service_phase() {
+    local bin="$WORKDIR/samuraid"
+    local store="$WORKDIR/samuraid.jsonl"
+    local addr_file="$WORKDIR/addr"
+    local log="$WORKDIR/samuraid.log"
 
-echo "== submitting a tiny array job"
-SUBMIT="$(curl -sS --max-time 10 -X POST "http://$ADDR/jobs" \
-    -H 'Content-Type: application/json' \
-    -d '{"type":"array","seed":7,"cells":3,"with_rtn":false}')"
-echo "   $SUBMIT"
-JOB_ID="$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
-[ -n "$JOB_ID" ] || { echo "no job id in submit response" >&2; exit 1; }
+    echo "== [service] building samuraid (race detector on)"
+    go build -race -o "$bin" ./cmd/samuraid
 
-echo "== polling $JOB_ID to completion"
-STATE=""
-for _ in $(seq 1 300); do
-    VIEW="$(curl -sS --max-time 10 "http://$ADDR/jobs/$JOB_ID")"
-    STATE="$(printf '%s' "$VIEW" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')"
-    case "$STATE" in
-        done) break ;;
-        failed|canceled) echo "job ended $STATE: $VIEW" >&2; exit 1 ;;
+    echo "== [service] starting samuraid"
+    "$bin" -addr 127.0.0.1:0 -store "$store" -addr-file "$addr_file" >"$log" 2>&1 &
+    local pid=$!
+    PIDS+=("$pid")
+
+    local addr
+    addr="$(wait_ready "$addr_file" "$pid" "$log")"
+    echo "   listening on $addr (healthz OK)"
+
+    echo "== [service] submitting a tiny array job"
+    local job_id
+    job_id="$(submit_job "$addr" '{"type":"array","seed":7,"cells":3,"with_rtn":false}')"
+
+    echo "== [service] polling $job_id to completion"
+    poll_done "$addr" "$job_id" 300
+
+    echo "== [service] fetching the result"
+    local result cells
+    result="$(curl -sS --max-time 10 "http://$addr/jobs/$job_id/result")"
+    echo "   $result"
+    cells="$(printf '%s' "$result" | grep -o '"index":' | wc -l)"
+    [ "$cells" -eq 3 ] || { echo "result holds $cells cells, want 3" >&2; exit 1; }
+
+    echo "== [service] scraping /metrics for samurai_jobd_* series"
+    local metrics series checkpointed
+    metrics="$(curl -sS --max-time 10 "http://$addr/metrics")"
+    for series in samurai_jobd_queue_depth samurai_jobd_jobs samurai_jobd_cells_checkpointed_total; do
+        printf '%s' "$metrics" | grep -q "^$series" || {
+            echo "/metrics lacks the $series series:" >&2
+            printf '%s\n' "$metrics" | grep '^samurai_jobd' >&2 || echo "  (no samurai_jobd_* series at all)" >&2
+            exit 1
+        }
+    done
+    checkpointed="$(printf '%s' "$metrics" | awk '/^samurai_jobd_cells_checkpointed_total/ {print $2}')"
+    case "$checkpointed" in
+        ''|0) echo "samurai_jobd_cells_checkpointed_total is '$checkpointed' after a 3-cell job" >&2; exit 1 ;;
     esac
-    sleep 0.2
-done
-[ "$STATE" = done ] || { echo "job never finished (last state: $STATE)" >&2; exit 1; }
+    echo "   jobd series present ($checkpointed cells checkpointed)"
 
-echo "== fetching the result"
-RESULT="$(curl -sS --max-time 10 "http://$ADDR/jobs/$JOB_ID/result")"
-echo "   $RESULT"
-CELLS="$(printf '%s' "$RESULT" | grep -o '"index":' | wc -l)"
-[ "$CELLS" -eq 3 ] || { echo "result holds $CELLS cells, want 3" >&2; exit 1; }
+    echo "== [service] exporting the job's Perfetto trace"
+    local trace="$WORKDIR/trace.json"
+    curl -sS --max-time 10 "http://$addr/jobs/$job_id/trace" -o "$trace"
+    grep -q '"traceEvents"' "$trace" || { echo "trace export is not trace_event JSON:" >&2; head -c 400 "$trace" >&2; exit 1; }
+    grep -q '"ph":"X"' "$trace" || { echo "trace export holds no complete spans" >&2; exit 1; }
+    echo "   trace written to $trace"
 
-echo "== scraping /metrics for samurai_jobd_* series"
-METRICS="$(curl -sS --max-time 10 "http://$ADDR/metrics")"
-for SERIES in samurai_jobd_queue_depth samurai_jobd_jobs samurai_jobd_cells_checkpointed_total; do
-    printf '%s' "$METRICS" | grep -q "^$SERIES" || {
-        echo "/metrics lacks the $SERIES series:" >&2
-        printf '%s\n' "$METRICS" | grep '^samurai_jobd' >&2 || echo "  (no samurai_jobd_* series at all)" >&2
+    echo "== [service] draining with SIGTERM"
+    drain_clean "$pid" "$log"
+
+    [ -s "$store" ] || { echo "job store $store is empty" >&2; exit 1; }
+    echo "== [service] store records:"
+    cat "$store"
+    echo "== [service] smoke OK (store: $store)"
+}
+
+fabric_phase() {
+    local dbin="$WORKDIR/samuraid"
+    local wbin="$WORKDIR/samuraiw"
+    local store="$WORKDIR/fabric_store.jsonl"
+    local addr_file="$WORKDIR/fabric_addr"
+    local log="$WORKDIR/coordinator.log"
+    local chaos_log="$WORKDIR/worker_chaos.log"
+    local steady_log="$WORKDIR/worker_steady.log"
+    local status_json="$WORKDIR/fabric_status.json"
+
+    echo "== [fabric] building samuraid + samuraiw (race detector on)"
+    go build -race -o "$dbin" ./cmd/samuraid
+    go build -race -o "$wbin" ./cmd/samuraiw
+
+    echo "== [fabric] starting the coordinator (lease TTL 1s)"
+    "$dbin" -addr 127.0.0.1:0 -store "$store" -addr-file "$addr_file" \
+        -coordinator -lease-cells 8 -lease-ttl 1s >"$log" 2>&1 &
+    local pid=$!
+    PIDS+=("$pid")
+
+    local addr
+    addr="$(wait_ready "$addr_file" "$pid" "$log")"
+    echo "   coordinating on $addr (healthz OK)"
+
+    echo "== [fabric] submitting a 32-cell array job"
+    local job_id
+    job_id="$(submit_job "$addr" '{"type":"array","seed":99,"cells":32,"workers":1,"with_rtn":false}')"
+
+    # The chaos worker is rigged to hard-exit (no drain, no lease
+    # release) after 2 acknowledged checkpoints — the fabric must
+    # recover its abandoned lease by stealing after the TTL.
+    echo "== [fabric] starting 2 workers (one rigged to crash after 2 cells)"
+    "$wbin" -coordinator "http://$addr" -id w-chaos \
+        -chaos-exit-after-cells 2 >"$chaos_log" 2>&1 &
+    local chaos_pid=$!
+    PIDS+=("$chaos_pid")
+    "$wbin" -coordinator "http://$addr" -id w-steady -once >"$steady_log" 2>&1 &
+    local steady_pid=$!
+    PIDS+=("$steady_pid")
+
+    local chaos_rc=0
+    wait "$chaos_pid" || chaos_rc=$?
+    [ "$chaos_rc" -eq 3 ] || {
+        echo "chaos worker exited $chaos_rc, want the rigged exit code 3:" >&2
+        cat "$chaos_log" >&2
         exit 1
     }
-done
-CHECKPOINTED="$(printf '%s' "$METRICS" | awk '/^samurai_jobd_cells_checkpointed_total/ {print $2}')"
-case "$CHECKPOINTED" in
-    ''|0) echo "samurai_jobd_cells_checkpointed_total is '$CHECKPOINTED' after a 3-cell job" >&2; exit 1 ;;
+    echo "   chaos worker crashed as rigged (exit 3)"
+
+    echo "== [fabric] polling $job_id to completion (steal + resweep)"
+    poll_done "$addr" "$job_id" 600
+
+    local steady_rc=0
+    wait "$steady_pid" || steady_rc=$?
+    [ "$steady_rc" -eq 0 ] || {
+        echo "steady worker exited $steady_rc, want 0:" >&2
+        cat "$steady_log" >&2
+        exit 1
+    }
+    echo "   steady worker swept the remainder and exited cleanly"
+
+    echo "== [fabric] snapshotting /fabric/status"
+    curl -sS --max-time 10 "http://$addr/fabric/status" -o "$status_json"
+    cat "$status_json"
+    echo
+    grep -q '"state":"done"' "$status_json" || { echo "/fabric/status does not report the job done" >&2; exit 1; }
+    local steals
+    steals="$(sed -n 's/.*"steals_total":\([0-9]*\).*/\1/p' "$status_json")"
+    [ -n "$steals" ] && [ "$steals" -ge 1 ] || {
+        echo "steals_total is '$steals' after a worker crash, want >= 1" >&2
+        exit 1
+    }
+    echo "   job done with $steals lease steal(s) reported"
+
+    echo "== [fabric] checking the final result is complete"
+    local result cells
+    result="$(curl -sS --max-time 10 "http://$addr/jobs/$job_id/result")"
+    cells="$(printf '%s' "$result" | grep -o '"index":' | wc -l)"
+    [ "$cells" -eq 32 ] || { echo "result holds $cells cells, want 32" >&2; exit 1; }
+    echo "   all 32 cells durable"
+
+    echo "== [fabric] draining the coordinator with SIGTERM"
+    drain_clean "$pid" "$log"
+
+    [ -s "$store" ] || { echo "fabric store $store is empty" >&2; exit 1; }
+    echo "== [fabric] smoke OK (store: $store, status: $status_json)"
+}
+
+case "$MODE" in
+    service) service_phase ;;
+    fabric)  fabric_phase ;;
+    all)     service_phase; fabric_phase ;;
 esac
-echo "   jobd series present ($CHECKPOINTED cells checkpointed)"
-
-echo "== exporting the job's Perfetto trace"
-TRACE="$WORKDIR/trace.json"
-curl -sS --max-time 10 "http://$ADDR/jobs/$JOB_ID/trace" -o "$TRACE"
-grep -q '"traceEvents"' "$TRACE" || { echo "trace export is not trace_event JSON:" >&2; head -c 400 "$TRACE" >&2; exit 1; }
-grep -q '"ph":"X"' "$TRACE" || { echo "trace export holds no complete spans" >&2; exit 1; }
-echo "   trace written to $TRACE"
-
-echo "== draining with SIGTERM"
-kill -TERM "$PID"
-EXIT=0
-wait "$PID" || EXIT=$?
-trap - EXIT
-if [ "$EXIT" -ne 0 ]; then
-    echo "samuraid exited $EXIT on SIGTERM (want clean drain, exit 0):" >&2
-    cat "$LOG" >&2
-    exit 1
-fi
-grep -q "drained cleanly" "$LOG" || { echo "log lacks drain confirmation" >&2; cat "$LOG" >&2; exit 1; }
-
-[ -s "$STORE" ] || { echo "job store $STORE is empty" >&2; exit 1; }
-echo "== store records:"
-cat "$STORE"
-echo "== smoke OK (store: $STORE)"
+echo "== smoke OK ($MODE)"
