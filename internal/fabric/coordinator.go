@@ -332,9 +332,9 @@ func (c *Coordinator) renewLocked(w *workerInfo, id uint64, now time.Time) (Leas
 // — a worker hit a simulation error that retrying elsewhere cannot fix.
 func (c *Coordinator) releaseLocked(w *workerInfo, req LeaseRequest, now time.Time) (LeaseResponse, int, error) {
 	l, ok := c.leases[req.Release]
-	if !ok {
+	if !ok || l.worker != w.id {
 		return LeaseResponse{Worker: w.id}, http.StatusGone,
-			fmt.Errorf("fabric: lease %d is unknown (expired, stolen or released)", req.Release)
+			fmt.Errorf("fabric: lease %d is not held by %s (expired, stolen or released)", req.Release, w.id)
 	}
 	sh := c.jobs[l.jobID]
 	back := sh.release(l)

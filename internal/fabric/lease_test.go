@@ -313,6 +313,41 @@ func TestReleaseWithErrorFailsJob(t *testing.T) {
 	}
 }
 
+// TestReleaseByNonHolderRefused: only the holder may release a lease.
+// A stale or confused worker gets 410 and cannot free another worker's
+// live range — or, worse, fail the whole job by attaching an Error to a
+// lease it never held.
+func TestReleaseByNonHolderRefused(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := newClockedCoordinator(t, clk, Options{LeaseCells: 4, LeaseTTL: 10 * time.Second})
+	if _, err := c.Submit(testSpec(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	g := mustLease(t, c, "w-holder")
+
+	_, code, err := c.Lease(LeaseRequest{Worker: "w-intruder", Release: g.Lease, Error: "not my lease"})
+	if code != http.StatusGone || err == nil {
+		t.Fatalf("foreign release: code %d, err %v, want 410", code, err)
+	}
+
+	// The lease is still live under its holder and the job unharmed.
+	if _, code, err := c.Lease(LeaseRequest{Worker: "w-holder", Renew: g.Lease}); err != nil || code != http.StatusOK {
+		t.Fatalf("holder renew after foreign release: code %d, err %v", code, err)
+	}
+	v, _ := c.Get(g.Job)
+	if v.State != jobd.StateRunning || v.Error != "" {
+		t.Fatalf("job after foreign release: state %s, error %q, want running", v.State, v.Error)
+	}
+	if st := c.Status(); st.Jobs[0].Leased != 4 {
+		t.Fatalf("foreign release freed cells: %+v", st.Jobs[0])
+	}
+
+	// The rightful holder's release still works.
+	if _, code, err := c.Lease(LeaseRequest{Worker: "w-holder", Release: g.Lease}); err != nil || code != http.StatusOK {
+		t.Fatalf("holder release: code %d, err %v", code, err)
+	}
+}
+
 // TestSubmitRejectsRunJobs: the fabric shards cell index spaces; run
 // jobs have none and are refused up front.
 func TestSubmitRejectsRunJobs(t *testing.T) {

@@ -2,9 +2,11 @@ package fabric
 
 import (
 	"context"
+	"errors"
 	"math"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -13,6 +15,7 @@ import (
 	"samurai"
 	"samurai/internal/jobd"
 	"samurai/internal/montecarlo"
+	"samurai/internal/sram"
 )
 
 // testSpec is the canonical fabric test sweep: variation-only (fast)
@@ -278,6 +281,44 @@ func TestFabricCoordinatorRestart(t *testing.T) {
 	}
 	if st.Workers[0].Cells == 0 {
 		t.Fatal("re-registered worker shows no checkpoints")
+	}
+}
+
+// TestWorkerRunnerErrorFailsJob: a simulation error must travel the
+// fail-loudly path end to end — the worker attaches it to the lease
+// release and the coordinator fails the job. Without it the cells
+// silently return to the pool and the deterministically failing range
+// is re-leased (and re-failed) forever.
+func TestWorkerRunnerErrorFailsJob(t *testing.T) {
+	c, srv := newFabric(t, t.TempDir(), Options{LeaseCells: 4, LeaseTTL: time.Minute})
+	v, err := c.Submit(testSpec(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("solver diverged")
+	w := NewWorker(WorkerOptions{
+		BaseURL:      srv.URL,
+		Poll:         10 * time.Millisecond,
+		ExitWhenDone: true,
+		Runner: func(context.Context, sram.CellConfig, sram.Pattern, float64, uint64) (int, int, int, error) {
+			return 0, 0, 0, boom
+		},
+	})
+	runErr := w.Run(context.Background())
+	if runErr == nil || !errors.Is(runErr, boom) {
+		t.Fatalf("worker with failing runner returned %v, want the runner error", runErr)
+	}
+
+	jv, ok := c.Get(v.ID)
+	if !ok {
+		t.Fatalf("job %s vanished", v.ID)
+	}
+	if jv.State != jobd.StateFailed {
+		t.Fatalf("job state %s after runner error, want failed", jv.State)
+	}
+	if !strings.Contains(jv.Error, "solver diverged") {
+		t.Fatalf("job error %q does not carry the runner error", jv.Error)
 	}
 }
 

@@ -269,9 +269,11 @@ func (w *Worker) runLease(ctx context.Context, grant LeaseResponse) error {
 	if runErr != nil && !wasStolen {
 		// Unfinished cells go back to the pool now instead of waiting
 		// out the TTL. Best-effort: if the release is lost, stealing
-		// covers it.
+		// covers it. The parent context (not lctx — cancelled above
+		// unconditionally) distinguishes a genuine simulation failure,
+		// which must fail the job loudly, from an external abort.
 		relErr := ""
-		if !errors.Is(runErr, montecarlo.ErrDrained) && lctx.Err() == nil {
+		if !errors.Is(runErr, montecarlo.ErrDrained) && ctx.Err() == nil {
 			relErr = runErr.Error()
 		}
 		var resp LeaseResponse
