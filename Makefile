@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint lint-bench suppressions check bench bench-smoke bench-json smoke-service smoke-fabric vv cover fuzz-smoke
+.PHONY: build test vet race lint lint-bench suppressions check bench bench-smoke bench-json smoke-service smoke-fabric vv vv-rare cover fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,7 @@ lint-bench:
 	if [ $$dur -gt 60 ]; then echo "lint-bench: sweep exceeded 60s" >&2; exit 1; fi
 
 # check is the full local gate — identical to what CI runs on every PR.
-check: build test vet race lint suppressions bench-smoke vv cover
+check: build test vet race lint suppressions bench-smoke vv vv-rare cover
 
 # vv runs the statistical conformance matrix (DESIGN.md §10): simulated
 # occupancy/dwell/transition statistics against the closed-form master
@@ -52,6 +52,16 @@ vv:
 	cmp vv_seq_norm.json vv_batch_norm.json || { echo "vv: batch kernel report diverges from sequential" >&2; exit 1; }; \
 	rm -f vv_seq_norm.json vv_batch_norm.json
 	@echo wrote vv_report.json vv_report_batch.json
+
+# vv-rare runs the rare-event unbiasedness battery (DESIGN.md §15):
+# every importance-sampled row against the closed-form Master-equation
+# occupancy within the Bonferroni budget, the exact incremental-vs-
+# recomputed log-LR gate, and the tilt-0 bit-identity row. The report
+# carries per-row ESS / LR variance / CI half-width plus the
+# paths-to-CI speedup table. Deterministic for the fixed seed.
+vv-rare:
+	$(GO) run ./cmd/samurairare -seed 1 -o rare_report.json
+	@echo wrote rare_report.json
 
 # cover publishes a coverage summary for the tier-1 tree. Coverage is
 # advisory (see check.sh for the threshold note), never a hard gate.
@@ -79,25 +89,27 @@ bench-smoke:
 	@tail -n 3 bench.txt
 
 # bench-json records the machine-readable benchmark trajectory: a real
-# (multi-iteration) -benchmem run parsed into BENCH_8.json, diffed
-# against the pre-PR baseline saved in bench_baseline_8.txt, with the
+# (multi-iteration) -benchmem run parsed into BENCH_10.json, diffed
+# against the pre-PR baseline saved in bench_baseline_10.txt, with the
 # build/machine provenance manifest embedded (-runinfo) and the
 # regression gate armed: any allocs/op or B/op growth beyond 10% vs
-# the baseline exits non-zero. BenchmarkBatchUniformise and
-# BenchmarkArrayTransient are new this PR (the batched SoA kernel and
-# the sparse full-array transient) — absent from the baseline, they
-# record trajectory without gating. The two uniformisation kernels run
-# at 20 iterations (the rest stay at 2x — Fig 3 alone is seconds per
-# op) so the recorded sequential-vs-batch ratio is stable enough to
-# read the ≥5x per-trap-path speedup off ns/op vs ns/trap-path.
+# the baseline exits non-zero. BenchmarkRareSpeedup is new this PR
+# (the rare-event variance-reduction engine) — absent from the
+# baseline it records trajectory without gating, but the benchmark
+# itself fails below a 100x paths-to-CI speedup, so the pinned
+# paths-speedup-x metric is a floor as well as a trajectory. The two
+# uniformisation kernels run at 20 iterations (the rest stay at 2x —
+# Fig 3 alone is seconds per op) so the recorded sequential-vs-batch
+# ratio is stable enough to read the ≥5x per-trap-path speedup off
+# ns/op vs ns/trap-path.
 bench-json:
-	$(GO) test -bench='^(BenchmarkRun|BenchmarkFullMethodology|BenchmarkArrayTransient|BenchmarkCellTransient|BenchmarkFig2MarginStack|BenchmarkFig3SpectralDensity|BenchmarkFig5GlitchScenarios)$$' \
+	$(GO) test -bench='^(BenchmarkRun|BenchmarkFullMethodology|BenchmarkArrayTransient|BenchmarkCellTransient|BenchmarkFig2MarginStack|BenchmarkFig3SpectralDensity|BenchmarkFig5GlitchScenarios|BenchmarkRareSpeedup)$$' \
 		-benchmem -benchtime=2x -run=^$$ . > bench_current.txt
 	$(GO) test -bench='^(BenchmarkCoreUniformise|BenchmarkBatchUniformise)$$' \
 		-benchmem -benchtime=20x -run=^$$ . >> bench_current.txt
-	$(GO) run ./cmd/benchjson -baseline bench_baseline_8.txt -gate -runinfo -o BENCH_8.json bench_current.txt
+	$(GO) run ./cmd/benchjson -baseline bench_baseline_10.txt -gate -runinfo -o BENCH_10.json bench_current.txt
 	@rm -f bench_current.txt
-	@echo wrote BENCH_8.json
+	@echo wrote BENCH_10.json
 
 # smoke-service exercises samuraid end to end: build -race, start on an
 # ephemeral port, run a tiny array job over HTTP, SIGTERM, assert a

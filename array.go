@@ -52,6 +52,37 @@ func ArrayRunnerCtx() montecarlo.CtxRunner {
 	}
 }
 
+// RareArrayRunnerCtx adapts the methodology as the tilted per-cell
+// worker for importance-sampled array sweeps
+// (montecarlo.ArrayOptions.RareEvent): the cell runs with
+// Config.TiltEV set and reports, alongside the usual counts, the
+// exact log-likelihood ratio of its trap paths and the glitch-depth
+// level value of its Q waveform. At tiltEV == 0 the run takes the
+// same code path as ArrayRunnerCtx (the untilted batch kernel), so
+// counts and outcomes are bit-identical to the naive sweep and the
+// log-LR is exactly 0.
+func RareArrayRunnerCtx() montecarlo.RareCtxRunner {
+	return func(ctx context.Context, cell sram.CellConfig, pattern sram.Pattern, scale, tiltEV float64, seed uint64) (errors, slow, traps int, logLR, glitch float64, err error) {
+		cfg := Config{
+			Tech:    cell.Tech,
+			Cell:    cell,
+			Pattern: pattern,
+			Seed:    seed,
+			Scale:   scale,
+			TiltEV:  tiltEV,
+		}
+		res, rerr := RunCtx(ctx, cfg)
+		if rerr != nil {
+			return 0, 0, 0, 0, 0, rerr
+		}
+		total := 0
+		for _, p := range res.Profiles {
+			total += len(p.Traps)
+		}
+		return res.WithRTN.NumError, res.WithRTN.NumSlow, total, res.LogLR, res.GlitchDepth, nil
+	}
+}
+
 // ArrayRunner is ArrayRunnerCtx without cancellation — the per-cell
 // worker for the plain montecarlo.RunArray.
 func ArrayRunner() montecarlo.Runner {

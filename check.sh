@@ -31,6 +31,13 @@ sed 's/"kernel": "batch"/"kernel": "sequential"/' vv_report_batch.json > vv_batc
 cmp vv_seq_norm.json vv_batch_norm.json
 rm -f vv_seq_norm.json vv_batch_norm.json
 
+# Rare-event unbiasedness battery (DESIGN.md §15): importance-sampled
+# occupancy means vs the closed-form master equation at several tilt
+# strengths (tilt 0 bit-identical to naive), the exact incremental-vs-
+# recomputed log-LR gate, and the paths-to-CI speedup table. Exits
+# non-zero if the variance-reduction engine is biased.
+go run ./cmd/samurairare -seed 1 -o rare_report.json
+
 # Coverage summary. Advisory only — the number below is a tripwire for
 # reviewers, NOT a hard gate: a drop well under ~70 % total on the
 # tier-1 tree usually means a new subsystem landed without its tests,
@@ -39,4 +46,4 @@ rm -f vv_seq_norm.json vv_batch_norm.json
 go test -coverprofile=coverage.out -covermode=atomic ./... > /dev/null
 go tool cover -func=coverage.out | tail -n 1
 
-echo "all checks passed (bench.txt, vv_report.json, coverage.out)"
+echo "all checks passed (bench.txt, vv_report.json, rare_report.json, coverage.out)"

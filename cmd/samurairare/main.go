@@ -1,0 +1,292 @@
+// Command samurairare drives the rare-event variance-reduction engine
+// and emits a JSON report of its estimates next to the naive-Monte-
+// Carlo cost they displace.
+//
+// Two modes:
+//
+// Matrix mode (default) runs the vv rare-event unbiasedness battery
+// (internal/vv.RunRareMatrix): every importance-sampled row is checked
+// against the closed-form Master-equation occupancy within the
+// Bonferroni budget, and the report carries each row's weighted
+// aggregate — effective sample size, likelihood-ratio variance, 95%
+// CI half-width — plus the paths-to-CI speedup over a naive estimator
+// targeting the same half-width. Exit codes follow samuraivv: 0 when
+// every gate passes, 1 when any gate rejects the engine, 2 on usage
+// or runtime errors.
+//
+// Sweep mode (-cells N) runs a real tilted array sweep through the
+// full methodology (samurai.RareArrayRunnerCtx): N cells, each a
+// two-pass circuit simulation with energy-tilted trap kinetics, and
+// reports the weighted failure-probability aggregate. At -tilt 0 the
+// sweep is bit-identical to the naive array sweep of the same seed.
+//
+// Split mode (-split L1,L2,...) runs multilevel splitting on the
+// glitch-depth level function (samurai.RunSplitGlitchCtx): each
+// particle is one cell written -bursts times, branching whenever its
+// running-max glitch depth crosses a level. -tilt composes: bursts are
+// importance-sampled and the particle weights carry the exact
+// likelihood ratio.
+//
+// For a fixed seed all reports are bit-identical across runs and
+// machines (the machine-dependent provenance manifest is isolated in
+// the leading run_info member).
+//
+// Usage:
+//
+//	samurairare [-seed N] [-alpha A] [-o report.json]            # matrix mode
+//	samurairare -cells N [-tilt EV] [-tech NODE] [-scale S]
+//	            [-workers W] [-seed N] [-o report.json]          # sweep mode
+//	samurairare -split L1,L2 [-bursts B] [-particles P]
+//	            [-clones C] [-tilt EV] [-tech NODE] [-scale S]
+//	            [-seed N] [-o report.json]                       # split mode
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"samurai"
+	"samurai/internal/device"
+	"samurai/internal/montecarlo"
+	"samurai/internal/obs"
+	"samurai/internal/rareevent"
+	"samurai/internal/sram"
+	"samurai/internal/vv"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// rowSpeedup is the per-row variance-reduction summary derived from a
+// weighted aggregate: how many naive paths the same CI would cost, and
+// the ratio to the paths actually spent.
+type rowSpeedup struct {
+	Name string `json:"name"`
+	// Stats is the row's weighted aggregate.
+	Stats rareevent.ArrayStats `json:"stats"`
+	// NaivePaths is z²·p(1−p)/half² at the row's estimate and CI.
+	NaivePaths float64 `json:"naive_paths"`
+	// Speedup is NaivePaths divided by the paths spent.
+	Speedup float64 `json:"speedup"`
+}
+
+// matrixReport is the matrix-mode artifact: the vv report plus the
+// speedup table.
+type matrixReport struct {
+	Report   *vv.Report   `json:"report"`
+	Speedups []rowSpeedup `json:"speedups"`
+}
+
+// splitReport is the split-mode artifact.
+type splitReport struct {
+	Seed      uint64                 `json:"seed"`
+	Tech      string                 `json:"tech"`
+	Scale     float64                `json:"scale"`
+	TiltEV    float64                `json:"tilt_ev"`
+	Levels    []float64              `json:"levels"`
+	Bursts    int                    `json:"bursts"`
+	Particles int                    `json:"particles"`
+	Clones    int                    `json:"clones"`
+	Split     *rareevent.SplitResult `json:"split"`
+}
+
+// sweepReport is the sweep-mode artifact.
+type sweepReport struct {
+	Seed      uint64               `json:"seed"`
+	Tech      string               `json:"tech"`
+	Cells     int                  `json:"cells"`
+	Scale     float64              `json:"scale"`
+	NumFailed int                  `json:"num_failed"`
+	Rare      rareevent.ArrayStats `json:"rare"`
+	// NaivePaths / Speedup as in rowSpeedup, for the sweep aggregate.
+	NaivePaths float64 `json:"naive_paths"`
+	Speedup    float64 `json:"speedup"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("samurairare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 1, "master seed; the report is a pure function of it")
+	alpha := fs.Float64("alpha", vv.DefaultAlpha, "matrix mode: report-wide false-positive budget")
+	cells := fs.Int("cells", 0, "sweep mode: array cells (0 selects matrix mode)")
+	tilt := fs.Float64("tilt", -0.05, "sweep mode: importance-sampling energy tilt, eV")
+	tech := fs.String("tech", "90nm", "sweep mode: technology node")
+	scale := fs.Float64("scale", 1, "sweep mode: RTN amplitude scale")
+	workers := fs.Int("workers", 0, "sweep mode: cell parallelism (0 = GOMAXPROCS)")
+	split := fs.String("split", "", "split mode: comma-separated ascending glitch-depth levels")
+	bursts := fs.Int("bursts", 4, "split mode: write bursts per particle")
+	particles := fs.Int("particles", 64, "split mode: root particles")
+	clones := fs.Int("clones", 2, "split mode: branching factor per crossed level")
+	out := fs.String("o", "", "write the report to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *cells > 0 && *split != "" {
+		fmt.Fprintln(stderr, "samurairare: -cells and -split are mutually exclusive")
+		return 2
+	}
+
+	var body any
+	pass := true
+	var err error
+	switch {
+	case *split != "":
+		body, err = runSplit(*seed, *split, *bursts, *particles, *clones, *tilt, *tech, *scale)
+	case *cells > 0:
+		body, err = runSweep(*seed, *cells, *tilt, *tech, *scale, *workers)
+	default:
+		body, pass, err = runMatrix(*seed, *alpha)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "samurairare:", err)
+		return 2
+	}
+
+	enc, err := json.MarshalIndent(body, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "samurairare:", err)
+		return 2
+	}
+	enc = obs.SpliceJSON(enc, obs.Info(*seed, ""))
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(stderr, "samurairare:", err)
+			return 2
+		}
+	} else if _, err := stdout.Write(enc); err != nil {
+		fmt.Fprintln(stderr, "samurairare:", err)
+		return 2
+	}
+
+	if !pass {
+		fmt.Fprintln(stderr, "samurairare: rare-event battery rejected the engine")
+		return 1
+	}
+	return 0
+}
+
+// finiteNaivePaths is rareevent.NaivePaths clamped for JSON: a
+// degenerate aggregate (no failures observed, CI width 0) has no
+// defined naive cost, reported as 0 rather than an unencodable +Inf.
+func finiteNaivePaths(p, half float64) float64 {
+	n := rareevent.NaivePaths(p, half, rareevent.Z95)
+	if math.IsInf(n, 0) || math.IsNaN(n) {
+		return 0
+	}
+	return n
+}
+
+// runMatrix executes the unbiasedness battery and derives the speedup
+// table from its rows.
+func runMatrix(seed uint64, alpha float64) (*matrixReport, bool, error) {
+	rep, err := vv.RunRareMatrix(vv.Options{Seed: seed, Alpha: alpha})
+	if err != nil {
+		return nil, false, err
+	}
+	mr := &matrixReport{Report: rep, Speedups: []rowSpeedup{}}
+	for _, sc := range rep.Scenarios {
+		if sc.Rare == nil {
+			continue
+		}
+		st := *sc.Rare
+		naive := finiteNaivePaths(st.PFail, st.CIHalf)
+		sp := rowSpeedup{Name: sc.Name, Stats: st, NaivePaths: naive}
+		if st.N > 0 {
+			sp.Speedup = naive / float64(st.N)
+		}
+		mr.Speedups = append(mr.Speedups, sp)
+	}
+	return mr, rep.Pass, nil
+}
+
+// runSplit executes multilevel splitting on the glitch-depth level
+// function over repeated write bursts.
+func runSplit(seed uint64, levelsCSV string, bursts, particles, clones int, tilt float64, tech string, scale float64) (*splitReport, error) {
+	node, ok := device.NodeOK(tech)
+	if !ok {
+		return nil, fmt.Errorf("unknown technology node %q", tech)
+	}
+	if particles < 2 {
+		// A single root has no sample variance; the CI half-width would
+		// be +Inf, which the JSON report cannot carry.
+		return nil, fmt.Errorf("split mode needs at least 2 particles, got %d", particles)
+	}
+	var levels []float64
+	for _, f := range strings.Split(levelsCSV, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad level %q: %w", f, err)
+		}
+		levels = append(levels, v)
+	}
+	res, err := samurai.RunSplitGlitchCtx(context.Background(), samurai.SplitConfig{
+		Base:      samurai.Config{Tech: node, Scale: scale, TiltEV: tilt},
+		Seed:      seed,
+		Levels:    levels,
+		Bursts:    bursts,
+		Particles: particles,
+		Clones:    clones,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &splitReport{
+		Seed: seed, Tech: tech, Scale: scale, TiltEV: tilt,
+		Levels: levels, Bursts: bursts, Particles: particles, Clones: clones,
+		Split: res,
+	}, nil
+}
+
+// runSweep executes a real tilted array sweep through the full
+// methodology and summarises its weighted aggregate.
+func runSweep(seed uint64, cells int, tilt float64, tech string, scale float64, workers int) (*sweepReport, error) {
+	node, ok := device.NodeOK(tech)
+	if !ok {
+		return nil, fmt.Errorf("unknown technology node %q", tech)
+	}
+	if cells < 2 {
+		// A single cell has no sample variance; the CI half-width would
+		// be +Inf, which the JSON report cannot carry.
+		return nil, fmt.Errorf("sweep mode needs at least 2 cells, got %d", cells)
+	}
+	cfg := montecarlo.ArrayConfig{
+		Tech:    node,
+		Cell:    sram.CellConfig{Tech: node, Vdd: node.Vdd},
+		Pattern: sram.Fig8Pattern(node.Vdd),
+		Cells:   cells,
+		Scale:   scale,
+		Seed:    seed,
+		WithRTN: true,
+		Workers: workers,
+	}
+	res, err := montecarlo.RunArrayCtx(context.Background(), cfg, nil, montecarlo.ArrayOptions{
+		RareEvent: &montecarlo.RareEventSpec{TiltEV: tilt, Runner: samurai.RareArrayRunnerCtx()},
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := *res.Rare
+	naive := finiteNaivePaths(st.PFail, st.CIHalf)
+	sr := &sweepReport{
+		Seed:       seed,
+		Tech:       tech,
+		Cells:      cells,
+		Scale:      scale,
+		NumFailed:  res.NumFailed,
+		Rare:       st,
+		NaivePaths: naive,
+	}
+	if st.N > 0 {
+		sr.Speedup = naive / float64(st.N)
+	}
+	return sr, nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMatrixModeEmitsPassingReport: the default mode runs the
+// unbiasedness battery and the artifact carries per-row aggregates and
+// speedups, ≥ 3 tilt strengths including 0.
+func TestMatrixModeEmitsPassingReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rare battery skipped in -short")
+	}
+	out := filepath.Join(t.TempDir(), "rare.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-seed", "2", "-o", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		Report struct {
+			Seed uint64 `json:"seed"`
+			Pass bool   `json:"pass"`
+		} `json:"report"`
+		Speedups []struct {
+			Name  string `json:"name"`
+			Stats struct {
+				TiltEV float64 `json:"tilt_ev"`
+				ESS    float64 `json:"ess"`
+				CIHalf float64 `json:"ci_half"`
+			} `json:"stats"`
+			Speedup float64 `json:"speedup"`
+		} `json:"speedups"`
+		RunInfo struct {
+			Seed uint64 `json:"seed"`
+		} `json:"run_info"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if !rep.Report.Pass || rep.Report.Seed != 2 {
+		t.Fatalf("battery did not pass: %+v", rep.Report)
+	}
+	if rep.RunInfo.Seed != 2 {
+		t.Fatal("report missing provenance manifest")
+	}
+	tilts := map[float64]bool{}
+	for _, sp := range rep.Speedups {
+		tilts[sp.Stats.TiltEV] = true
+		if sp.Stats.ESS <= 0 || sp.Stats.CIHalf <= 0 {
+			t.Fatalf("row %s has degenerate aggregate: %+v", sp.Name, sp.Stats)
+		}
+	}
+	if len(tilts) < 3 || !tilts[0] {
+		t.Fatalf("want >= 3 tilt strengths including 0, got %v", tilts)
+	}
+}
+
+// TestSweepModeRuns: a tiny real tilted sweep produces a well-formed
+// aggregate, and at tilt 0 the weights are exactly unit (LR variance 0).
+func TestSweepModeRuns(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sweep.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-cells", "3", "-tilt", "0", "-seed", "7", "-o", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Cells int `json:"cells"`
+		Rare  struct {
+			N     int     `json:"n"`
+			ESS   float64 `json:"ess"`
+			LRVar float64 `json:"lr_var"`
+		} `json:"rare"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if rep.Cells != 3 || rep.Rare.N != 3 {
+		t.Fatalf("unexpected sweep report: %+v", rep)
+	}
+	if rep.Rare.ESS != 3 || rep.Rare.LRVar != 0 {
+		t.Fatalf("tilt-0 sweep should have unit weights: %+v", rep.Rare)
+	}
+}
+
+// TestSplitModeRuns: a tiny splitting campaign with an always-crossed
+// first level and an unreachable final level branches every particle
+// exactly once and reports zero hits.
+func TestSplitModeRuns(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "split.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-split", "0,1e9", "-bursts", "1", "-particles", "2", "-seed", "5", "-o", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Levels []float64 `json:"levels"`
+		Split  struct {
+			Roots     int     `json:"roots"`
+			Leaves    int     `json:"leaves"`
+			Hits      int     `json:"hits"`
+			P         float64 `json:"p"`
+			LevelHits []int   `json:"level_hits"`
+		} `json:"split"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if len(rep.Levels) != 2 || rep.Split.Roots != 2 || rep.Split.Leaves != 4 {
+		t.Fatalf("unexpected split report: %+v", rep)
+	}
+	if rep.Split.Hits != 0 || rep.Split.P != 0 || rep.Split.LevelHits[0] != 2 {
+		t.Fatalf("unexpected split outcome: %+v", rep.Split)
+	}
+}
+
+// TestSplitModeExclusive: -cells and -split cannot be combined.
+func TestSplitModeExclusive(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-cells", "3", "-split", "0,1"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+// TestUsageError: unknown flags exit 2.
+func TestUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}

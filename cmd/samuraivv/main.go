@@ -13,7 +13,8 @@
 // Usage:
 //
 //	samuraivv [-seed N] [-alpha A] [-kernel sequential|batch]
-//	          [-e2e=false] [-e2e-runs N] [-o report.json] [-metrics]
+//	          [-e2e=false] [-e2e-runs N] [-rare]
+//	          [-o report.json] [-metrics]
 //
 // -kernel batch draws every scenario ensemble through the batched SoA
 // uniformisation kernel (markov.BatchState) instead of per-path
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	alpha := fs.Float64("alpha", vv.DefaultAlpha, "report-wide false-positive budget")
 	kernel := fs.String("kernel", vv.KernelSequential, "sampling kernel for scenario ensembles: sequential or batch")
 	e2e := fs.Bool("e2e", true, "also run the end-to-end samurai.Run suite")
+	rare := fs.Bool("rare", false, "also run the rare-event unbiasedness battery (importance-sampling gates)")
 	e2eRuns := fs.Int("e2e-runs", 0, "end-to-end methodology runs (0 = default)")
 	out := fs.String("o", "", "write the report to this file instead of stdout")
 	metrics := fs.Bool("metrics", false, "append a samurai_vv_* metrics snapshot to stderr")
@@ -58,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Kernel:  *kernel,
 		E2E:     *e2e,
 		E2ERuns: *e2eRuns,
+		Rare:    *rare,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "samuraivv:", err)

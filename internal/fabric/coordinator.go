@@ -12,6 +12,7 @@ import (
 	"samurai/internal/jobd"
 	"samurai/internal/obs"
 	"samurai/internal/obs/trace"
+	"samurai/internal/rareevent"
 )
 
 // Coordinator instrumentation. Lease churn, steals and duplicate
@@ -143,7 +144,7 @@ func (c *Coordinator) Submit(spec jobd.Spec) (jobd.View, error) {
 	if err := spec.Validate(); err != nil {
 		return jobd.View{}, err
 	}
-	if spec.Type != jobd.TypeArray {
+	if !jobd.ArrayLike(spec.Type) {
 		return jobd.View{}, errNotArray
 	}
 	c.mu.Lock()
@@ -419,6 +420,10 @@ func recordsEqual(a, b jobd.CellRecord) bool {
 		a.Errors != b.Errors || a.Slow != b.Slow || a.Failed != b.Failed {
 		return false
 	}
+	if math.Float64bits(a.LogLR) != math.Float64bits(b.LogLR) ||
+		math.Float64bits(a.GlitchDepth) != math.Float64bits(b.GlitchDepth) {
+		return false
+	}
 	if len(a.VtShift) != len(b.VtShift) {
 		return false
 	}
@@ -524,16 +529,29 @@ func (c *Coordinator) settleLeasesLocked(sh *shard) {
 func (c *Coordinator) finalizeLocked(sh *shard) {
 	j := sh.job
 	numFailed, trapSum := 0, 0
+	var est rareevent.Estimator
 	for _, rec := range j.Records() {
 		if rec.Failed {
 			numFailed++
 		}
 		trapSum += rec.TrapCount
+		// Records() is sorted by index, so this accumulation order is
+		// the one single-node RunArrayCtx uses for its weighted
+		// aggregate — the fabric's rare summary is bit-identical.
+		x := 0.0
+		if rec.Failed {
+			x = 1
+		}
+		est.Add(math.Exp(rec.LogLR), x)
 	}
 	sum := jobd.Summary{
 		NumFailed: numFailed,
 		ErrorRate: float64(numFailed) / float64(j.CellsTotal),
 		MeanTraps: float64(trapSum) / float64(j.CellsTotal),
+	}
+	if j.Spec.Type == jobd.TypeRareArray {
+		stats := est.Stats(j.Spec.TiltEV)
+		sum.Rare = &stats
 	}
 	if err := c.store.AppendResult(j.ID, sum); err != nil {
 		mFabricStoreErrors.Inc()

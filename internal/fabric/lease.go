@@ -51,7 +51,7 @@ func newShard(j *jobd.Job) *shard {
 		leased: map[int]uint64{},
 		tracer: trace.New(j.Spec.TraceID(), trace.Options{}),
 	}
-	if j.Spec.Type != jobd.TypeArray || j.State.Terminal() {
+	if !jobd.ArrayLike(j.Spec.Type) || j.State.Terminal() {
 		return sh
 	}
 	sh.pending = make([]bool, j.CellsTotal)

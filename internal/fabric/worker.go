@@ -50,6 +50,9 @@ type WorkerOptions struct {
 	Poll time.Duration
 	// Runner executes one cell (default samurai.ArrayRunnerCtx()).
 	Runner montecarlo.CtxRunner
+	// RareRunner executes one cell of a rare_array lease (default
+	// samurai.RareArrayRunnerCtx()).
+	RareRunner montecarlo.RareCtxRunner
 	// ExitWhenDone makes Run return once the coordinator reports every
 	// job terminal, instead of polling for more work forever.
 	ExitWhenDone bool
@@ -74,6 +77,9 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 	}
 	if o.Runner == nil {
 		o.Runner = samurai.ArrayRunnerCtx()
+	}
+	if o.RareRunner == nil {
+		o.RareRunner = samurai.RareArrayRunnerCtx()
 	}
 	if o.MaxRetries <= 0 {
 		o.MaxRetries = 8
@@ -242,14 +248,27 @@ func (w *Worker) runLease(ctx context.Context, grant LeaseResponse) error {
 	}()
 
 	sub := montecarlo.IndexRange{Lo: grant.Lo, Hi: grant.Hi}
-	_, runErr := montecarlo.RunArrayCtx(lctx, cfg, w.opts.Runner, montecarlo.ArrayOptions{
+	aopts := montecarlo.ArrayOptions{
 		Subset: &sub,
 		Drain:  w.drain,
 		OnCell: func(o montecarlo.CellOutcome) {
 			mwCellsSim.Inc()
 			recs <- jobd.NewCellRecord(o)
 		},
-	})
+	}
+	var run montecarlo.CtxRunner
+	if grant.Spec.Type == jobd.TypeRareArray {
+		// The worker streams raw records (counts + per-cell log-LR);
+		// the weighted aggregate is the coordinator's to compute once
+		// every shard is durable, so the shard-local one is discarded.
+		aopts.RareEvent = &montecarlo.RareEventSpec{
+			TiltEV: grant.Spec.TiltEV,
+			Runner: w.opts.RareRunner,
+		}
+	} else {
+		run = w.opts.Runner
+	}
+	_, runErr := montecarlo.RunArrayCtx(lctx, cfg, run, aopts)
 	close(recs)
 	<-senderDone
 	cancel()

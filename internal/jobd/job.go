@@ -24,14 +24,23 @@ import (
 	"samurai/internal/device"
 	"samurai/internal/montecarlo"
 	"samurai/internal/obs/trace"
+	"samurai/internal/rareevent"
 	"samurai/internal/sram"
 )
 
 // Job types accepted in Spec.Type.
 const (
-	TypeRun   = "run"   // one full two-pass methodology run
-	TypeArray = "array" // Monte-Carlo array sweep
+	TypeRun       = "run"        // one full two-pass methodology run
+	TypeArray     = "array"      // Monte-Carlo array sweep
+	TypeRareArray = "rare_array" // importance-sampled rare-event array sweep
 )
+
+// ArrayLike reports whether typ executes as a cell-sharded array sweep
+// (plain or importance-sampled) — the shape the scheduler checkpoints
+// cell by cell and the fabric shards into leases.
+func ArrayLike(typ string) bool {
+	return typ == TypeArray || typ == TypeRareArray
+}
 
 // State is a job lifecycle state.
 type State string
@@ -110,6 +119,10 @@ type Spec struct {
 	Workers int `json:"workers,omitempty"`
 	// Retry is the per-cell retry policy (array jobs).
 	Retry RetrySpec `json:"retry,omitempty"`
+	// TiltEV is the importance-sampling energy tilt in eV (rare_array
+	// jobs only). 0 runs the untilted kernel — bit-identical to a plain
+	// array sweep of the same seed, with every path weight exactly 1.
+	TiltEV float64 `json:"tilt_ev,omitempty"`
 }
 
 // withDefaults normalises optional fields.
@@ -140,12 +153,23 @@ func (s Spec) Validate() error {
 		if s.Cells != 0 {
 			return fmt.Errorf("jobd: %q jobs take no cell count", TypeRun)
 		}
-	case TypeArray:
+	case TypeArray, TypeRareArray:
 		if s.Cells <= 0 {
-			return fmt.Errorf("jobd: %q jobs need a positive cell count, got %d", TypeArray, s.Cells)
+			return fmt.Errorf("jobd: %q jobs need a positive cell count, got %d", s.Type, s.Cells)
 		}
 	default:
-		return fmt.Errorf("jobd: unknown job type %q (want %q or %q)", s.Type, TypeRun, TypeArray)
+		return fmt.Errorf("jobd: unknown job type %q (want %q, %q or %q)", s.Type, TypeRun, TypeArray, TypeRareArray)
+	}
+	if s.TiltEV != 0 && s.Type != TypeRareArray {
+		return fmt.Errorf("jobd: tilt_ev is only meaningful on %q jobs", TypeRareArray)
+	}
+	if s.Type == TypeRareArray {
+		if s.WithRTN != nil && !*s.WithRTN {
+			return fmt.Errorf("jobd: %q jobs always run the RTN pass; with_rtn=false is contradictory", TypeRareArray)
+		}
+		if s.TiltEV < -2 || s.TiltEV > 2 {
+			return fmt.Errorf("jobd: tilt_ev %g out of [-2, 2] eV", s.TiltEV)
+		}
 	}
 	if _, ok := device.NodeOK(s.Tech); !ok {
 		return fmt.Errorf("jobd: unknown technology node %q", s.Tech)
@@ -191,7 +215,7 @@ func (s Spec) ArrayConfig() (montecarlo.ArrayConfig, error) {
 	if err := s.Validate(); err != nil {
 		return montecarlo.ArrayConfig{}, err
 	}
-	if s.Type != TypeArray {
+	if !ArrayLike(s.Type) {
 		return montecarlo.ArrayConfig{}, fmt.Errorf("jobd: ArrayConfig on a %q job", s.Type)
 	}
 	tech := device.Node(s.Tech)
@@ -257,6 +281,9 @@ type Summary struct {
 	NumFailed int     `json:"num_failed,omitempty"`
 	ErrorRate float64 `json:"error_rate,omitempty"`
 	MeanTraps float64 `json:"mean_traps,omitempty"`
+	// Rare-event array jobs additionally carry the weighted aggregate
+	// (ESS, likelihood-ratio variance, CI width).
+	Rare *rareevent.ArrayStats `json:"rare,omitempty"`
 }
 
 // Job is the scheduler's mutable record of one submitted job. All

@@ -1,0 +1,157 @@
+package jobd
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"samurai"
+	"samurai/internal/montecarlo"
+)
+
+// rareSpec is a real-but-small importance-sampled sweep: every cell
+// runs the full two-pass methodology with the tilted kernel.
+func rareSpec(cells int, tilt float64) Spec {
+	return Spec{Type: TypeRareArray, Seed: 4321, Cells: cells, Workers: 2, TiltEV: tilt}
+}
+
+// rareBaseline runs the spec's sweep directly through RunArrayCtx with
+// the production rare runner — the reference a jobd execution must
+// reproduce bit-for-bit.
+func rareBaseline(t *testing.T, spec Spec) *montecarlo.ArrayResult {
+	t.Helper()
+	cfg, err := spec.ArrayConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := montecarlo.RunArrayCtx(context.Background(), cfg, nil, montecarlo.ArrayOptions{
+		RareEvent: &montecarlo.RareEventSpec{TiltEV: spec.TiltEV, Runner: samurai.RareArrayRunnerCtx()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRareArrayJobMatchesDirect is the jobd integration contract of the
+// rare-event engine: a rare_array job executes the tilted sweep, its
+// checkpointed cells round-trip the WAL with bit-exact log-LR and
+// glitch-depth fields, and the persisted summary carries the weighted
+// aggregate bit-identical to a direct RunArrayCtx of the same spec.
+func TestRareArrayJobMatchesDirect(t *testing.T) {
+	spec := rareSpec(4, -0.05)
+	want := rareBaseline(t, spec)
+
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	st, jobs, seq := mustOpen(t, path)
+	s := New(st, jobs, seq, Options{MaxJobs: 1})
+	s.Start()
+	v, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rare job to finish", func() bool {
+		cur, ok := s.Get(v.ID)
+		return ok && cur.State == StateDone
+	})
+	cells, _ := s.CellRecords(v.ID)
+	if len(cells) != spec.Cells {
+		t.Fatalf("checkpointed %d cells, want %d", len(cells), spec.Cells)
+	}
+	for i, c := range cells {
+		w := want.Outcomes[i]
+		if c.Index != w.Index || c.Errors != w.Errors || c.Slow != w.Slow ||
+			c.TrapCount != w.TrapCount || c.Failed != w.Failed {
+			t.Fatalf("cell %d counts differ from direct run: got %+v want %+v", i, c, w)
+		}
+		if math.Float64bits(c.LogLR) != math.Float64bits(w.LogLR) {
+			t.Fatalf("cell %d LogLR not bit-identical: %x vs %x",
+				i, math.Float64bits(c.LogLR), math.Float64bits(w.LogLR))
+		}
+		if math.Float64bits(c.GlitchDepth) != math.Float64bits(w.GlitchDepth) {
+			t.Fatalf("cell %d GlitchDepth not bit-identical", i)
+		}
+	}
+	cur, _ := s.Get(v.ID)
+	if cur.Result == nil || cur.Result.Rare == nil {
+		t.Fatalf("done rare job has no weighted aggregate: %+v", cur.Result)
+	}
+	g, w := cur.Result.Rare, want.Rare
+	if g.N != w.N ||
+		math.Float64bits(g.PFail) != math.Float64bits(w.PFail) ||
+		math.Float64bits(g.ESS) != math.Float64bits(w.ESS) ||
+		math.Float64bits(g.LRVar) != math.Float64bits(w.LRVar) ||
+		math.Float64bits(g.CIHalf) != math.Float64bits(w.CIHalf) {
+		t.Fatalf("summary aggregate not bit-identical:\n got %+v\nwant %+v", g, w)
+	}
+	s.Drain()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// WAL replay: the rare fields and the summary survive a "restart".
+	st2, replayed, _ := mustOpen(t, path)
+	defer func() {
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if len(replayed) != 1 {
+		t.Fatalf("replayed %d jobs", len(replayed))
+	}
+	j := replayed[0]
+	if j.State != StateDone || j.Result == nil || j.Result.Rare == nil {
+		t.Fatalf("replayed rare job lost its result: state %s result %+v", j.State, j.Result)
+	}
+	if math.Float64bits(j.Result.Rare.PFail) != math.Float64bits(w.PFail) {
+		t.Fatal("replayed rare aggregate not bit-identical")
+	}
+	for i, rec := range j.Records() {
+		if math.Float64bits(rec.LogLR) != math.Float64bits(want.Outcomes[i].LogLR) {
+			t.Fatalf("replayed cell %d LogLR not bit-identical", i)
+		}
+	}
+}
+
+// TestRareSpecValidation pins the rare_array spec gate: tilts on plain
+// jobs, contradictory with_rtn and out-of-range tilts are rejected;
+// well-formed specs pass.
+func TestRareSpecValidation(t *testing.T) {
+	if err := rareSpec(4, -0.05).withDefaults().Validate(); err != nil {
+		t.Fatalf("valid rare spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Type: TypeArray, Seed: 1, Cells: 4, TiltEV: -0.1},
+		{Type: TypeRun, Seed: 1, TiltEV: -0.1},
+		{Type: TypeRareArray, Seed: 1, Cells: 0, TiltEV: -0.1},
+		{Type: TypeRareArray, Seed: 1, Cells: 4, TiltEV: -3},
+		func() Spec {
+			withRTN := false
+			return Spec{Type: TypeRareArray, Seed: 1, Cells: 4, WithRTN: &withRTN}
+		}(),
+	}
+	for i, spec := range bad {
+		if err := spec.withDefaults().Validate(); err == nil {
+			t.Fatalf("bad spec %d accepted: %+v", i, spec)
+		}
+	}
+}
+
+// TestRareCellRecordGuards: non-finite rare fields must never reach the
+// WAL — they cannot round-trip JSON.
+func TestRareCellRecordGuards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	st, _, _ := mustOpen(t, path)
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := st.AppendCell("job-1", CellRecord{Index: 0, LogLR: math.Inf(-1)}); err == nil {
+		t.Fatal("infinite log-LR accepted")
+	}
+	if err := st.AppendCell("job-1", CellRecord{Index: 0, GlitchDepth: math.NaN()}); err == nil {
+		t.Fatal("NaN glitch depth accepted")
+	}
+}

@@ -203,7 +203,7 @@ func (s *Scheduler) Submit(spec Spec) (View, error) {
 		State: StateQueued,
 		cells: map[int]CellRecord{},
 	}
-	if spec.Type == TypeArray {
+	if ArrayLike(spec.Type) {
 		j.CellsTotal = spec.Cells
 	}
 	s.jobs[j.ID] = j
@@ -407,7 +407,7 @@ func (s *Scheduler) runJob(j *Job) {
 	switch spec.Type {
 	case TypeRun:
 		sum, err = s.execRun(ctx, spec)
-	case TypeArray:
+	case TypeArray, TypeRareArray:
 		sum, err = s.execArray(ctx, cancel, j, spec, resume)
 	default:
 		err = fmt.Errorf("jobd: unknown job type %q", spec.Type)
@@ -510,24 +510,34 @@ func (s *Scheduler) execArray(ctx context.Context, cancel context.CancelFunc, j 
 		"fresh cells per second of the job's current run")
 	retries := scope.Counter("samurai_jobd_job_retries_total",
 		"per-cell retry attempts of the job's current run")
-	runner := retryRunner(samurai.ArrayRunnerCtx(), retry,
-		func(seed uint64, attempt int, err error) {
-			retries.Inc()
-			trc.Event("jobd.retry", seed, uint64(attempt), 0)
-			s.emit(j.ID, "jobd.retry",
-				obs.F("job", j.ID),
-				obs.F("seed", seed),
-				obs.F("attempt", attempt),
-				obs.F("error", err.Error()))
-			s.dumpFlight(j.ID, trc, "retry")
-		})
+	onRetry := func(seed uint64, attempt int, err error) {
+		retries.Inc()
+		trc.Event("jobd.retry", seed, uint64(attempt), 0)
+		s.emit(j.ID, "jobd.retry",
+			obs.F("job", j.ID),
+			obs.F("seed", seed),
+			obs.F("attempt", attempt),
+			obs.F("error", err.Error()))
+		s.dumpFlight(j.ID, trc, "retry")
+	}
+	var runner montecarlo.CtxRunner
+	var rare *montecarlo.RareEventSpec
+	if spec.Type == TypeRareArray {
+		rare = &montecarlo.RareEventSpec{
+			TiltEV: spec.TiltEV,
+			Runner: retryRareRunner(samurai.RareArrayRunnerCtx(), retry, onRetry),
+		}
+	} else {
+		runner = retryRunner(samurai.ArrayRunnerCtx(), retry, onRetry)
+	}
 
 	start := time.Now()
 	var storeErr error
 	var storeErrOnce sync.Once
 	opts := montecarlo.ArrayOptions{
-		Resume: resume,
-		Drain:  s.drainCh,
+		Resume:    resume,
+		Drain:     s.drainCh,
+		RareEvent: rare,
 		OnCell: func(o montecarlo.CellOutcome) {
 			rec := NewCellRecord(o)
 			if aerr := s.store.AppendCell(j.ID, rec); aerr != nil {
@@ -566,7 +576,44 @@ func (s *Scheduler) execArray(ctx context.Context, cancel context.CancelFunc, j 
 		NumFailed: res.NumFailed,
 		ErrorRate: res.ErrorRate,
 		MeanTraps: res.MeanTraps,
+		Rare:      res.Rare,
 	}, nil
+}
+
+// retryRareRunner is retryRunner for the tilted rare-event cell runner.
+// The same determinism argument applies: a rare cell's outcome —
+// including its log-LR and glitch depth — is a pure function of
+// (seed, tiltEV), so a retry either reproduces the failure or yields
+// the one true result.
+func retryRareRunner(run montecarlo.RareCtxRunner, r RetrySpec, onRetry func(seed uint64, attempt int, err error)) montecarlo.RareCtxRunner {
+	if r.Max <= 0 {
+		return run
+	}
+	r = r.withDefaults()
+	return func(ctx context.Context, cell sram.CellConfig, pattern sram.Pattern, scale, tiltEV float64, seed uint64) (int, int, int, float64, float64, error) {
+		backoff := time.Duration(r.BackoffMS) * time.Millisecond
+		maxBackoff := time.Duration(r.MaxBackoffMS) * time.Millisecond
+		for attempt := 0; ; attempt++ {
+			nerr, slow, traps, logLR, glitch, err := run(ctx, cell, pattern, scale, tiltEV, seed)
+			if err == nil || attempt >= r.Max ||
+				errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nerr, slow, traps, logLR, glitch, err
+			}
+			if onRetry != nil {
+				onRetry(seed, attempt, err)
+			}
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return nerr, slow, traps, logLR, glitch, err
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+	}
 }
 
 // retryRunner wraps a cell runner with capped exponential backoff for

@@ -27,6 +27,11 @@ type CellRecord struct {
 	Errors    int                `json:"errors"`
 	Slow      int                `json:"slow"`
 	Failed    bool               `json:"failed"`
+	// LogLR and GlitchDepth carry the rare-event fields of tilted
+	// sweeps; both are exactly 0 for plain array cells, so the omitempty
+	// keeps existing WALs and their golden fixtures byte-identical.
+	LogLR       float64 `json:"log_lr,omitempty"`
+	GlitchDepth float64 `json:"glitch_depth,omitempty"`
 }
 
 // NewCellRecord converts a completed outcome into its checkpoint form.
@@ -37,24 +42,28 @@ func NewCellRecord(o montecarlo.CellOutcome) CellRecord {
 		panic("jobd: checkpointing a failed cell outcome")
 	}
 	return CellRecord{
-		Index:     o.Index,
-		VtShift:   o.VtShift,
-		TrapCount: o.TrapCount,
-		Errors:    o.Errors,
-		Slow:      o.Slow,
-		Failed:    o.Failed,
+		Index:       o.Index,
+		VtShift:     o.VtShift,
+		TrapCount:   o.TrapCount,
+		Errors:      o.Errors,
+		Slow:        o.Slow,
+		Failed:      o.Failed,
+		LogLR:       o.LogLR,
+		GlitchDepth: o.GlitchDepth,
 	}
 }
 
 // Outcome converts the checkpoint back into the montecarlo outcome.
 func (c CellRecord) Outcome() montecarlo.CellOutcome {
 	return montecarlo.CellOutcome{
-		Index:     c.Index,
-		VtShift:   c.VtShift,
-		TrapCount: c.TrapCount,
-		Errors:    c.Errors,
-		Slow:      c.Slow,
-		Failed:    c.Failed,
+		Index:       c.Index,
+		VtShift:     c.VtShift,
+		TrapCount:   c.TrapCount,
+		Errors:      c.Errors,
+		Slow:        c.Slow,
+		Failed:      c.Failed,
+		LogLR:       c.LogLR,
+		GlitchDepth: c.GlitchDepth,
 	}
 }
 
@@ -176,7 +185,7 @@ func apply(byID map[string]*Job, jobs *[]*Job, rec record) error {
 			State: StateQueued,
 			cells: map[int]CellRecord{},
 		}
-		if rec.Spec.Type == TypeArray {
+		if ArrayLike(rec.Spec.Type) {
 			j.CellsTotal = rec.Spec.Cells
 		}
 		byID[rec.ID] = j
@@ -275,6 +284,12 @@ func (s *Store) AppendCell(id string, c CellRecord) error {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("jobd: cell %d %s shift %v is not JSON-representable", c.Index, k, v)
 		}
+	}
+	if math.IsNaN(c.LogLR) || math.IsInf(c.LogLR, 0) {
+		return fmt.Errorf("jobd: cell %d log-LR %v is not JSON-representable", c.Index, c.LogLR)
+	}
+	if math.IsNaN(c.GlitchDepth) || math.IsInf(c.GlitchDepth, 0) {
+		return fmt.Errorf("jobd: cell %d glitch depth %v is not JSON-representable", c.Index, c.GlitchDepth)
 	}
 	return s.append(record{Rec: "cell", ID: id, Cell: &c})
 }

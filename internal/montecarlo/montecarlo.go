@@ -20,6 +20,7 @@ import (
 	"samurai/internal/device"
 	"samurai/internal/obs"
 	"samurai/internal/obs/trace"
+	"samurai/internal/rareevent"
 	"samurai/internal/rng"
 	"samurai/internal/sram"
 )
@@ -82,7 +83,14 @@ type CellOutcome struct {
 	Errors    int
 	Slow      int
 	Failed    bool // any write error
-	Err       error
+	// LogLR is the importance-sampling log-likelihood ratio of the
+	// cell's trap paths (exactly 0 outside rare-event sweeps and at
+	// tilt 0 — see markov.UniformiseTilted).
+	LogLR float64
+	// GlitchDepth is the rare-event level function sram.GlitchDepth of
+	// the cell's Q waveform; 0 outside rare-event sweeps.
+	GlitchDepth float64
+	Err         error
 }
 
 // ArrayResult aggregates the array run.
@@ -95,6 +103,10 @@ type ArrayResult struct {
 	// MeanTraps is the average trap population per cell (all six
 	// transistors).
 	MeanTraps float64
+	// Rare carries the importance-sampling aggregate (unbiased failure
+	// probability, ESS, LR variance, CI) when the sweep ran with
+	// ArrayOptions.RareEvent; nil otherwise.
+	Rare *rareevent.ArrayStats
 }
 
 // Runner executes the methodology on one cell instance and reports the
@@ -110,6 +122,26 @@ type Runner func(cell sram.CellConfig, pattern sram.Pattern, scale float64, seed
 // scale, seed) must not depend on ctx — cancellation may only abort,
 // never perturb.
 type CtxRunner func(ctx context.Context, cell sram.CellConfig, pattern sram.Pattern, scale float64, seed uint64) (errors, slow, traps int, err error)
+
+// RareCtxRunner is the tilted counterpart of CtxRunner: the cell is
+// simulated with trap propensities importance-tilted by tiltEV and the
+// runner reports, alongside the usual counts, the exact per-cell
+// log-likelihood ratio of the sampled trap paths and the glitch-depth
+// level value of the resulting Q waveform. At tiltEV == 0 the runner
+// must be bit-identical to the naive CtxRunner with logLR exactly 0.
+// samurai.RareArrayRunnerCtx provides the standard implementation.
+type RareCtxRunner func(ctx context.Context, cell sram.CellConfig, pattern sram.Pattern, scale, tiltEV float64, seed uint64) (errors, slow, traps int, logLR, glitch float64, err error)
+
+// RareEventSpec switches an array sweep into importance-sampling mode:
+// every cell is simulated under the tilt and the result carries the
+// weighted (unbiased) failure-probability aggregate in ArrayResult.Rare.
+type RareEventSpec struct {
+	// TiltEV is the per-trap energy tilt in eV (0 reproduces the naive
+	// sweep bit for bit, weights all exactly 1).
+	TiltEV float64
+	// Runner is the tilted cell runner.
+	Runner RareCtxRunner
+}
 
 // ErrDrained is returned (wrapped) by RunArrayCtx when the drain
 // channel closed before every cell was simulated: in-flight cells were
@@ -157,6 +189,12 @@ type ArrayOptions struct {
 	// RunArrayCtx returns ErrDrained. Closing Drain after the last cell
 	// was dispatched has no effect — the run completes normally.
 	Drain <-chan struct{}
+	// RareEvent, when non-nil, runs the sweep in importance-sampling
+	// mode through spec.Runner (the plain run argument is ignored) and
+	// attaches the weighted aggregate to ArrayResult.Rare. Composes
+	// with Resume/Subset/OnCell/Drain — outcomes carry their LogLR, so
+	// resumed and sharded rare sweeps stay bit-identical.
+	RareEvent *RareEventSpec
 }
 
 // SampleVtShifts draws independent N(0, σ) threshold shifts for the six
@@ -205,7 +243,11 @@ func RunArrayCtx(ctx context.Context, cfg ArrayConfig, run CtxRunner, opts Array
 	if cfg.Cells <= 0 {
 		return nil, fmt.Errorf("montecarlo: need a positive cell count, got %d", cfg.Cells)
 	}
-	if run == nil {
+	if opts.RareEvent != nil {
+		if opts.RareEvent.Runner == nil {
+			return nil, fmt.Errorf("montecarlo: rare-event sweep with nil runner")
+		}
+	} else if run == nil {
 		return nil, fmt.Errorf("montecarlo: nil runner")
 	}
 	workers := cfg.Workers
@@ -279,7 +321,7 @@ func RunArrayCtx(ctx context.Context, cfg ArrayConfig, run CtxRunner, opts Array
 				cellStart := time.Now()
 				root.SplitInto(uint64(i), &cellStream)
 				cctx, csp := trace.StartInst(ctx, "cell", uint64(i))
-				out := simulateCell(cctx, cfg, run, i, &cellStream)
+				out := simulateCell(cctx, cfg, run, opts.RareEvent, i, &cellStream)
 				csp.End()
 				cellDur := time.Since(cellStart)
 				busy += cellDur
@@ -365,10 +407,27 @@ dispatch:
 	}
 	res.ErrorRate = float64(res.NumFailed) / float64(sel.size())
 	res.MeanTraps = float64(trapSum) / float64(sel.size())
+	if opts.RareEvent != nil {
+		// The weighted aggregate is accumulated sequentially in index
+		// order over the dispatched range — never inside the workers —
+		// so it is independent of scheduling and identical whether the
+		// outcomes were simulated here, resumed, or merged by the
+		// fabric from per-shard records.
+		var est rareevent.Estimator
+		for _, o := range outcomes[sel.Lo:sel.Hi] {
+			x := 0.0
+			if o.Failed {
+				x = 1
+			}
+			est.Add(math.Exp(o.LogLR), x)
+		}
+		stats := est.Stats(opts.RareEvent.TiltEV)
+		res.Rare = &stats
+	}
 	return res, nil
 }
 
-func simulateCell(ctx context.Context, cfg ArrayConfig, run CtxRunner, i int, r *rng.Stream) CellOutcome {
+func simulateCell(ctx context.Context, cfg ArrayConfig, run CtxRunner, rare *RareEventSpec, i int, r *rng.Stream) CellOutcome {
 	cell := cfg.Cell
 	cell.Tech = cfg.Tech
 	cell = cell.Defaults()
@@ -383,6 +442,14 @@ func simulateCell(ctx context.Context, cfg ArrayConfig, run CtxRunner, i int, r 
 		scale = 0
 	}
 	r.SplitInto(2, &seedStream)
+	if rare != nil {
+		errs, slow, traps, logLR, glitch, err := rare.Runner(ctx, cell, cfg.Pattern, scale, rare.TiltEV, seedStream.Uint64())
+		return CellOutcome{
+			Index: i, VtShift: cell.VtShift,
+			TrapCount: traps, Errors: errs, Slow: slow,
+			Failed: errs > 0, LogLR: logLR, GlitchDepth: glitch, Err: err,
+		}
+	}
 	errs, slow, traps, err := run(ctx, cell, cfg.Pattern, scale, seedStream.Uint64())
 	return CellOutcome{
 		Index: i, VtShift: cell.VtShift,

@@ -1,0 +1,287 @@
+package rareevent
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"samurai/internal/rng"
+)
+
+// TestEstimatorUnitWeights: with all weights exactly 1 the estimator
+// degenerates to the naive MC estimator — mean weight exactly 1, ESS
+// exactly n, LR variance exactly 0, and the CI half-width matches the
+// hand-computed CLT width.
+func TestEstimatorUnitWeights(t *testing.T) {
+	var e Estimator
+	xs := []float64{0, 1, 0, 0, 1, 0, 0, 0}
+	for _, x := range xs {
+		e.Add(1, x)
+	}
+	if e.N() != len(xs) {
+		t.Fatalf("n = %d", e.N())
+	}
+	if math.Float64bits(e.MeanWeight()) != math.Float64bits(1.0) {
+		t.Fatalf("unit-weight mean weight %g, want exactly 1", e.MeanWeight())
+	}
+	if math.Float64bits(e.ESS()) != math.Float64bits(float64(len(xs))) {
+		t.Fatalf("unit-weight ESS %g, want exactly %d", e.ESS(), len(xs))
+	}
+	if math.Float64bits(e.WeightVariance()) != 0 {
+		t.Fatalf("unit-weight LR variance %g, want exactly 0", e.WeightVariance())
+	}
+	if got, want := e.Mean(), 0.25; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("mean %g, want %g", got, want)
+	}
+	// Hand CLT: var = (Σx² − n·mean²)/(n−1) = (2 − 8·1/16)/7 = 3/14.
+	want := Z95 * math.Sqrt((3.0/14)/8)
+	if math.Abs(e.CIHalfWidth(Z95)-want) > 1e-15 {
+		t.Fatalf("CI half %g, want %g", e.CIHalfWidth(Z95), want)
+	}
+}
+
+// TestEstimatorWeighted checks the weighted aggregates against direct
+// formula evaluation on a small fixed sample.
+func TestEstimatorWeighted(t *testing.T) {
+	var e Estimator
+	ws := []float64{0.5, 2.0, 1.5, 0.25}
+	xs := []float64{1, 0, 1, 1}
+	sw, sw2, swx := 0.0, 0.0, 0.0
+	for i := range ws {
+		e.Add(ws[i], xs[i])
+		sw += ws[i]
+		sw2 += ws[i] * ws[i]
+		swx += ws[i] * xs[i]
+	}
+	n := float64(len(ws))
+	if got := e.Mean(); math.Abs(got-swx/n) > 1e-15 {
+		t.Fatalf("mean %g, want %g", got, swx/n)
+	}
+	if got := e.MeanWeight(); math.Abs(got-sw/n) > 1e-15 {
+		t.Fatalf("mean weight %g, want %g", got, sw/n)
+	}
+	if got := e.ESS(); math.Abs(got-sw*sw/sw2) > 1e-15 {
+		t.Fatalf("ESS %g, want %g", got, sw*sw/sw2)
+	}
+}
+
+// TestControlAdjustedDegenerate: with constant weights the control
+// variate has zero variance and the adjusted estimate must fall back
+// to the plain mean, not divide by zero.
+func TestControlAdjustedDegenerate(t *testing.T) {
+	var e Estimator
+	for i := 0; i < 10; i++ {
+		e.Add(1, float64(i%2))
+	}
+	if math.Float64bits(e.ControlAdjusted()) != math.Float64bits(e.Mean()) {
+		t.Fatalf("degenerate control adjustment %g != mean %g", e.ControlAdjusted(), e.Mean())
+	}
+}
+
+// TestNaivePaths pins the naive-paths formula on a known point:
+// p = 1e-6, half = 1e-7 at z ≈ 1.96 needs ~3.84e14·1e-6 ≈ 3.84e8.
+func TestNaivePaths(t *testing.T) {
+	got := NaivePaths(1e-6, 1e-7, Z95)
+	want := Z95 * Z95 * 1e-6 * (1 - 1e-6) / 1e-14
+	if math.Abs(got-want) > want*1e-12 {
+		t.Fatalf("NaivePaths = %g, want %g", got, want)
+	}
+	if !math.IsInf(NaivePaths(0.5, 0, Z95), 1) {
+		t.Fatal("zero half-width should need infinitely many paths")
+	}
+}
+
+// splitWalkState is the toy state for the splitting tests: a running
+// sum of unit-rate exponential increments, so the level (the sum) is
+// monotone and crossing probabilities are easy to reason about.
+type splitWalkState struct{ sum float64 }
+
+func splitWalkStep(stage int, state any, r *rng.Stream) (any, float64, float64, error) {
+	s := state.(splitWalkState)
+	s.sum += r.Exp(1)
+	return s, s.sum, 0, nil
+}
+
+func splitWalkInit(i int, r *rng.Stream) (any, error) { return splitWalkState{}, nil }
+
+// TestSplitWeightConservation is the exact-conservation property test:
+// over every root particle, the leaf weights 1/den must sum to exactly
+// 1 — verified in exact rational arithmetic (big.Rat), so any clone
+// miscount or denominator slip fails regardless of float rounding.
+// Swept across clone factors, including non-powers-of-two.
+func TestSplitWeightConservation(t *testing.T) {
+	for _, m := range []int{2, 3, 5} {
+		perRoot := make(map[int]*big.Rat)
+		cur := -1
+		spec := SplitSpec{
+			Levels:    []float64{1.0, 2.5, 4.0, 6.0},
+			Clones:    m,
+			Particles: 40,
+			Stages:    12,
+			OnLeaf: func(level float64, den uint64, logLR float64) {
+				if perRoot[cur] == nil {
+					perRoot[cur] = new(big.Rat)
+				}
+				perRoot[cur].Add(perRoot[cur], new(big.Rat).SetFrac64(1, int64(den)))
+			},
+		}
+		init := func(i int, r *rng.Stream) (any, error) {
+			cur = i
+			return splitWalkInit(i, r)
+		}
+		res, err := RunSplit(spec, init, splitWalkStep, rng.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		one := big.NewRat(1, 1)
+		for i := 0; i < spec.Particles; i++ {
+			if perRoot[i] == nil {
+				t.Fatalf("m=%d: root %d produced no leaves", m, i)
+			}
+			if perRoot[i].Cmp(one) != 0 {
+				t.Fatalf("m=%d: root %d leaf weights sum to %s, want exactly 1", m, i, perRoot[i].RatString())
+			}
+		}
+		if res.Leaves <= res.Roots {
+			t.Fatalf("m=%d: no splitting happened (%d leaves from %d roots)", m, res.Leaves, res.Roots)
+		}
+	}
+}
+
+// TestSplitDeterministic: two runs from the same seed are bit-identical
+// in every reported float and count.
+func TestSplitDeterministic(t *testing.T) {
+	run := func() *SplitResult {
+		spec := SplitSpec{Levels: []float64{1.5, 3.0, 5.0}, Particles: 64, Stages: 10}
+		res, err := RunSplit(spec, splitWalkInit, splitWalkStep, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if math.Float64bits(a.P) != math.Float64bits(b.P) || math.Float64bits(a.CIHalf) != math.Float64bits(b.CIHalf) {
+		t.Fatalf("splitting not deterministic: %v vs %v", a, b)
+	}
+	if a.Leaves != b.Leaves || a.Hits != b.Hits {
+		t.Fatalf("splitting counts not deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestSplitUnbiasedVsDirect compares the splitting estimate of
+// P[Σ_{i<k} Exp(1) ≥ L] against a plain Monte-Carlo estimate of the
+// same walk — they must agree within combined CLT error bars. This is
+// the estimator-level unbiasedness check for the branching scheme.
+func TestSplitUnbiasedVsDirect(t *testing.T) {
+	const stages = 8
+	const level = 12.0
+	spec := SplitSpec{
+		Levels:    []float64{3.0, 6.0, 9.0, level},
+		Particles: 1500,
+		Stages:    stages,
+	}
+	res, err := RunSplit(spec, splitWalkInit, splitWalkStep, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct MC with many paths (the event P[Gamma(8,1) ≥ 12] ≈ 0.089
+	// is not rare, so direct MC converges fine here).
+	const n = 200000
+	root := rng.New(123)
+	var child rng.Stream
+	hits := 0
+	for i := 0; i < n; i++ {
+		root.SplitInto(uint64(i), &child)
+		sum := 0.0
+		for s := 0; s < stages; s++ {
+			sum += child.Exp(1)
+		}
+		if sum >= level {
+			hits++
+		}
+	}
+	direct := float64(hits) / n
+	directHalf := Z95 * math.Sqrt(direct*(1-direct)/n)
+	tol := res.CIHalf + directHalf
+	if math.Abs(res.P-direct) > 1.5*tol {
+		t.Fatalf("splitting P = %g ± %g vs direct %g ± %g — outside combined bars",
+			res.P, res.CIHalf, direct, directHalf)
+	}
+	if res.Hits == 0 {
+		t.Fatal("splitting produced no hits on a non-rare event")
+	}
+}
+
+// TestSplitValidation: malformed specs fail loudly.
+func TestSplitValidation(t *testing.T) {
+	if _, err := RunSplit(SplitSpec{Stages: 4}, splitWalkInit, splitWalkStep, rng.New(1)); err == nil {
+		t.Fatal("no levels accepted")
+	}
+	if _, err := RunSplit(SplitSpec{Levels: []float64{2, 1}, Stages: 4}, splitWalkInit, splitWalkStep, rng.New(1)); err == nil {
+		t.Fatal("descending levels accepted")
+	}
+	if _, err := RunSplit(SplitSpec{Levels: []float64{1}}, splitWalkInit, splitWalkStep, rng.New(1)); err == nil {
+		t.Fatal("zero stages accepted")
+	}
+}
+
+// TestEstimatorEmpty pins the zero-path guards: estimates are NaN (no
+// data is not zero probability), ESS is 0, the weight variance is 0
+// and the CI half-width is +Inf — never a divide-by-zero.
+func TestEstimatorEmpty(t *testing.T) {
+	var e Estimator
+	if e.N() != 0 {
+		t.Fatalf("fresh estimator has %d paths", e.N())
+	}
+	if !math.IsNaN(e.Mean()) || !math.IsNaN(e.MeanWeight()) {
+		t.Fatalf("empty estimates not NaN: mean %g, mean weight %g", e.Mean(), e.MeanWeight())
+	}
+	if e.ESS() != 0 || e.WeightVariance() != 0 {
+		t.Fatalf("empty ESS %g / weight variance %g, want 0/0", e.ESS(), e.WeightVariance())
+	}
+	if !math.IsInf(e.CIHalfWidth(Z95), 1) {
+		t.Fatalf("empty CI half-width %g, want +Inf", e.CIHalfWidth(Z95))
+	}
+	if !math.IsNaN(e.ControlAdjusted()) {
+		t.Fatalf("empty control-adjusted estimate %g, want NaN", e.ControlAdjusted())
+	}
+}
+
+// TestEstimatorSinglePath: one path is an estimate without a variance —
+// the CI half-width must be +Inf and the weight variance 0.
+func TestEstimatorSinglePath(t *testing.T) {
+	var e Estimator
+	e.Add(0.5, 1)
+	if got := e.Mean(); got != 0.5 {
+		t.Fatalf("single-path mean %g, want 0.5", got)
+	}
+	if !math.IsInf(e.CIHalfWidth(Z95), 1) || e.WeightVariance() != 0 {
+		t.Fatalf("single-path CI %g / variance %g", e.CIHalfWidth(Z95), e.WeightVariance())
+	}
+	if math.Float64bits(e.ControlAdjusted()) != math.Float64bits(e.Mean()) {
+		t.Fatal("single-path control adjustment must fall back to the mean")
+	}
+}
+
+// TestStatsSnapshot: the reportable block mirrors every accessor bit
+// for bit and carries the tilt through.
+func TestStatsSnapshot(t *testing.T) {
+	var e Estimator
+	for i := 0; i < 8; i++ {
+		w := 0.8 + 0.05*float64(i)
+		x := float64(i % 3 / 2)
+		e.Add(w, x)
+	}
+	st := e.Stats(-0.07)
+	if st.TiltEV != -0.07 || st.N != 8 {
+		t.Fatalf("snapshot header %+v", st)
+	}
+	if math.Float64bits(st.PFail) != math.Float64bits(e.Mean()) ||
+		math.Float64bits(st.ESS) != math.Float64bits(e.ESS()) ||
+		math.Float64bits(st.LRVar) != math.Float64bits(e.WeightVariance()) ||
+		math.Float64bits(st.CIHalf) != math.Float64bits(e.CIHalfWidth(Z95)) ||
+		math.Float64bits(st.CVAdjusted) != math.Float64bits(e.ControlAdjusted()) {
+		t.Fatalf("snapshot diverges from accessors: %+v", st)
+	}
+}

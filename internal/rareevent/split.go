@@ -1,0 +1,210 @@
+package rareevent
+
+import (
+	"fmt"
+	"math"
+
+	"samurai/internal/obs"
+	"samurai/internal/rng"
+)
+
+// Multilevel splitting (fixed branching): particles advance stage by
+// stage through a monotone level function; every time a particle's
+// running level crosses the next threshold it is branched into Clones
+// children, each carrying 1/Clones of the parent's weight. No particle
+// is ever killed, so the estimator is unbiased by construction — each
+// branching conserves conditional expectation exactly — and weights
+// stay exact rationals 1/Clones^k, tracked as integer denominators so
+// conservation is checkable to the bit.
+//
+// Determinism: root particle i draws from root.SplitInto(i); child j
+// of a branching draws from the parent stream's Split at the moment of
+// the branching (child 0 simply continues the parent's stream). Every
+// stream is therefore a pure function of (seed, particle genealogy),
+// which is what keeps splitting runs bit-reproducible and replayable.
+
+var mRareClones = obs.GetCounter("samurai_rare_clones_total",
+	"child particles spawned by multilevel splitting")
+
+// maxLeaves bounds the particle population so a mis-specified level
+// schedule fails loudly instead of exhausting memory.
+const maxLeaves = 1 << 20
+
+// StageFunc advances one particle through stage k: it consumes draws
+// from r, returns the successor state, the stage's level value (the
+// engine keeps the running max) and the stage's log-likelihood-ratio
+// increment (0 when sampling untilted). The state passed in must be
+// treated as immutable — branched siblings share it.
+type StageFunc func(stage int, state any, r *rng.Stream) (next any, level, dLogLR float64, err error)
+
+// InitFunc builds root particle i's initial state from its stream.
+type InitFunc func(i int, r *rng.Stream) (any, error)
+
+// SplitSpec configures a splitting run.
+type SplitSpec struct {
+	// Levels are the ascending thresholds of the (running-max) level
+	// function. The last level defines the rare event itself — a leaf
+	// counts as a hit when its running level reaches it; the levels
+	// before it are the branching stages.
+	Levels []float64
+	// Clones is the branching factor per crossed level (default 2;
+	// powers of two keep the float weights exact as well as the
+	// integer denominators).
+	Clones int
+	// Particles is the number of root particles (default 64).
+	Particles int
+	// Stages is the number of StageFunc advances per path.
+	Stages int
+	// OnLeaf, when non-nil, observes every terminal particle: its
+	// final running level, integer weight denominator and accumulated
+	// log-LR. Used by the conservation property tests and diagnostics.
+	OnLeaf func(level float64, den uint64, logLR float64)
+}
+
+func (s SplitSpec) withDefaults() SplitSpec {
+	if s.Clones == 0 {
+		s.Clones = 2
+	}
+	if s.Particles == 0 {
+		s.Particles = 64
+	}
+	return s
+}
+
+// SplitResult aggregates a splitting run.
+type SplitResult struct {
+	// Roots and Leaves count the initial and terminal particles.
+	Roots  int `json:"roots"`
+	Leaves int `json:"leaves"`
+	// Hits counts leaves whose running level reached the final level.
+	Hits int `json:"hits"`
+	// P is the unbiased estimate of P[level reaches Levels[last]]:
+	// the per-root mean of Σ_leaf exp(logLR)/den over hit leaves.
+	P float64 `json:"p"`
+	// CIHalf is the 95% CLT half-width over per-root contributions
+	// (roots are iid; leaves within a root are not).
+	CIHalf float64 `json:"ci_half"`
+	// LevelHits counts, per level, the particles that crossed it.
+	LevelHits []int `json:"level_hits"`
+}
+
+// splitState carries the run-wide bookkeeping shared by the recursion.
+type splitState struct {
+	spec      SplitSpec
+	step      StageFunc
+	leaves    int
+	hits      int
+	levelHits []int
+}
+
+type splitParticle struct {
+	state  any
+	stream rng.Stream
+	den    uint64
+	logLR  float64
+	level  float64
+	lvlIdx int // next un-crossed level index
+}
+
+// RunSplit executes fixed multilevel splitting and returns the
+// unbiased estimate of the rare event {running level ≥ Levels[last]}.
+func RunSplit(spec SplitSpec, init InitFunc, step StageFunc, root *rng.Stream) (*SplitResult, error) {
+	spec = spec.withDefaults()
+	if len(spec.Levels) == 0 {
+		return nil, fmt.Errorf("rareevent: splitting needs at least one level (the rare event itself)")
+	}
+	for i := 1; i < len(spec.Levels); i++ {
+		if spec.Levels[i] <= spec.Levels[i-1] {
+			return nil, fmt.Errorf("rareevent: levels must be strictly ascending")
+		}
+	}
+	if spec.Clones < 1 {
+		return nil, fmt.Errorf("rareevent: clone factor %d < 1", spec.Clones)
+	}
+	if spec.Stages <= 0 {
+		return nil, fmt.Errorf("rareevent: need a positive stage count, got %d", spec.Stages)
+	}
+	ss := &splitState{spec: spec, step: step, levelHits: make([]int, len(spec.Levels))}
+	var est Estimator
+	for i := 0; i < spec.Particles; i++ {
+		var stream rng.Stream
+		root.SplitInto(uint64(i), &stream)
+		st, err := init(i, &stream)
+		if err != nil {
+			return nil, fmt.Errorf("rareevent: root %d init: %w", i, err)
+		}
+		y, err := ss.run(splitParticle{state: st, stream: stream, den: 1, level: math.Inf(-1)}, 0)
+		if err != nil {
+			return nil, fmt.Errorf("rareevent: root %d: %w", i, err)
+		}
+		est.Add(1, y)
+	}
+	return &SplitResult{
+		Roots:     spec.Particles,
+		Leaves:    ss.leaves,
+		Hits:      ss.hits,
+		P:         est.Mean(),
+		CIHalf:    est.CIHalfWidth(Z95),
+		LevelHits: ss.levelHits,
+	}, nil
+}
+
+// run advances one particle from the given stage to the end,
+// branching on level crossings, and returns the particle's total
+// contribution Σ_leaf exp(logLR)/den·1{hit} (the per-root estimator
+// term once divided by nothing — roots carry den 1).
+func (ss *splitState) run(p splitParticle, stage int) (float64, error) {
+	m := ss.spec.Clones
+	last := len(ss.spec.Levels) - 1
+	total := 0.0
+	for ; stage < ss.spec.Stages; stage++ {
+		next, level, dlr, err := ss.step(stage, p.state, &p.stream)
+		if err != nil {
+			return 0, fmt.Errorf("stage %d: %w", stage, err)
+		}
+		p.state = next
+		p.logLR += dlr
+		if level > p.level {
+			p.level = level
+		}
+		// Branch once per intermediate level newly crossed by the
+		// running max. The final level is the event itself, never a
+		// branching stage.
+		for p.lvlIdx < last && p.level >= ss.spec.Levels[p.lvlIdx] {
+			lvl := p.lvlIdx
+			ss.levelHits[lvl]++
+			p.lvlIdx++
+			p.den *= uint64(m)
+			for j := 1; j < m; j++ {
+				child := p
+				// Child j's stream derives from the parent stream's
+				// state at the branching instant; the id folds in the
+				// level index so two crossings inside one stage (no
+				// draws in between) still yield distinct children.
+				child.stream = *p.stream.Split(uint64(lvl+1)<<8 | uint64(j))
+				y, err := ss.run(child, stage+1)
+				if err != nil {
+					return 0, err
+				}
+				mRareClones.Inc()
+				total += y
+			}
+		}
+	}
+	ss.leaves++
+	if ss.leaves > maxLeaves {
+		return 0, fmt.Errorf("particle population exceeded %d leaves — level schedule too aggressive", maxLeaves)
+	}
+	hit := p.level >= ss.spec.Levels[last]
+	if hit {
+		ss.hits++
+		if p.lvlIdx == last {
+			ss.levelHits[last]++
+		}
+		total += math.Exp(p.logLR) / float64(p.den)
+	}
+	if ss.spec.OnLeaf != nil {
+		ss.spec.OnLeaf(p.level, p.den, p.logLR)
+	}
+	return total, nil
+}

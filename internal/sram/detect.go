@@ -109,6 +109,46 @@ func ClassifyCycles(p Pattern, q *waveform.PWL) []CycleResult {
 	return out
 }
 
+// CycleMargins returns, per write cycle, the signed margin (in volts)
+// of the end-of-cycle storage-node sample to the Vdd/2 decision
+// threshold, measured toward the cycle's target: positive means the
+// bit landed on the correct side, negative means a write error. The
+// sample instant is exactly classifyCycle's (cycle end − 2% of the
+// cycle), so sign(margin) agrees with CycleResult.Written except at
+// the exact-threshold tie, where classifyCycle resolves bit-0 writes
+// in favour of Written and margin is exactly 0.
+func CycleMargins(p Pattern, q *waveform.PWL) []float64 {
+	out := make([]float64, len(p.Bits))
+	vdd := p.Vdd
+	for i, bit := range p.Bits {
+		cycleEnd := p.CycleStart(i) + p.Timing.Cycle
+		qEnd := q.Eval(cycleEnd - p.Timing.Cycle*0.02)
+		if bit != 0 {
+			out[i] = qEnd - vdd/2
+		} else {
+			out[i] = vdd/2 - qEnd
+		}
+	}
+	return out
+}
+
+// GlitchDepth is the rare-event level function derived from the write
+// detector: the deepest normalised excursion toward write failure over
+// the pattern's cycles. A cycle ending exactly on target scores 0, one
+// ending exactly at the Vdd/2 decision threshold scores exactly 1, and
+// a failed write scores > 1 — so the multilevel-splitting stages can
+// place their thresholds in (0, 1) and "level ≥ 1" coincides with the
+// failure event itself. An empty pattern has no excursion: depth 0.
+func GlitchDepth(p Pattern, q *waveform.PWL) float64 {
+	depth := 0.0
+	for _, m := range CycleMargins(p, q) {
+		if d := 1 - 2*m/p.Vdd; d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
 func classifyCycle(p Pattern, i, bit int, q *waveform.PWL) CycleResult {
 	vdd := p.Vdd
 	target := 0.0

@@ -1,0 +1,137 @@
+package sram
+
+import (
+	"math"
+	"testing"
+
+	"samurai/internal/waveform"
+)
+
+// glitchPattern is a 3-cycle pattern with default timing — small
+// enough to hand-build Q waveforms for.
+func glitchPattern(bits ...int) Pattern {
+	return Pattern{Bits: bits, Timing: DefaultTiming(), Vdd: 1.0}
+}
+
+// flatQ builds a constant storage-node waveform.
+func flatQ(v float64) *waveform.PWL { return waveform.Constant(v) }
+
+// stepsQ builds a Q waveform taking value vals[i] throughout cycle i
+// of p (piecewise constant with sharp edges at cycle boundaries).
+func stepsQ(t *testing.T, p Pattern, vals []float64) *waveform.PWL {
+	t.Helper()
+	times := make([]float64, 0, 2*len(vals))
+	vs := make([]float64, 0, 2*len(vals))
+	eps := p.Timing.Cycle * 1e-6
+	for i, v := range vals {
+		start := p.CycleStart(i)
+		if i > 0 {
+			times = append(times, start+eps)
+			vs = append(vs, v)
+		} else {
+			times = append(times, start)
+			vs = append(vs, v)
+		}
+		times = append(times, start+p.Timing.Cycle)
+		vs = append(vs, v)
+	}
+	w, err := waveform.New(times, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestGlitchDepthEmptyPattern: no cycles means no excursion — the
+// level function is exactly 0, not NaN or -Inf.
+func TestGlitchDepthEmptyPattern(t *testing.T) {
+	p := glitchPattern()
+	if d := GlitchDepth(p, flatQ(1.0)); math.Float64bits(d) != 0 {
+		t.Fatalf("empty-pattern glitch depth = %g, want exactly 0", d)
+	}
+	if m := CycleMargins(p, flatQ(1.0)); len(m) != 0 {
+		t.Fatalf("empty pattern produced %d margins", len(m))
+	}
+}
+
+// TestGlitchDepthExactThresholdTie: a cycle sampled exactly at Vdd/2
+// sits exactly on the decision threshold — depth exactly 1, margin
+// exactly 0 — and the classifier's tie-break (bit 0 written, bit 1
+// failed) stays consistent with the margin's sign convention.
+func TestGlitchDepthExactThresholdTie(t *testing.T) {
+	for _, bit := range []int{0, 1} {
+		p := glitchPattern(bit)
+		q := flatQ(p.Vdd / 2)
+		m := CycleMargins(p, q)
+		if math.Float64bits(m[0]) != 0 {
+			t.Fatalf("bit %d: tie margin = %g, want exactly 0", bit, m[0])
+		}
+		if d := GlitchDepth(p, q); math.Float64bits(d) != math.Float64bits(1.0) {
+			t.Fatalf("bit %d: tie depth = %g, want exactly 1", bit, d)
+		}
+		cr := classifyCycle(p, 0, bit, q)
+		if wantWritten := bit == 0; cr.Written != wantWritten {
+			t.Fatalf("bit %d: tie classified Written=%v, want %v", bit, cr.Written, wantWritten)
+		}
+	}
+}
+
+// TestGlitchDepthMultiGlitch: with several cycles excursing by
+// different amounts the level function takes the deepest one, and a
+// failed cycle pushes it past 1.
+func TestGlitchDepthMultiGlitch(t *testing.T) {
+	p := glitchPattern(1, 1, 1)
+	// Cycle ends at 1.0 (perfect), 0.7 (shallow glitch), 0.6 (deeper).
+	q := stepsQ(t, p, []float64{1.0, 0.7, 0.6})
+	d := GlitchDepth(p, q)
+	want := 1 - 2*(0.6-0.5)/1.0 // deepest cycle: margin 0.1 → depth 0.8
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("multi-glitch depth = %g, want %g", d, want)
+	}
+
+	// A failing cycle (bit 1 ending below Vdd/2) exceeds 1.
+	qFail := stepsQ(t, p, []float64{1.0, 0.4, 0.9})
+	if d := GlitchDepth(p, qFail); d <= 1 {
+		t.Fatalf("failed-write depth = %g, want > 1", d)
+	}
+	// And the detector agrees that depth > 1 ⟺ a write error.
+	cycles := ClassifyCycles(p, qFail)
+	failed := false
+	for _, c := range cycles {
+		if !c.Written {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("detector saw no write error despite depth > 1")
+	}
+}
+
+// TestGlitchDepthMatchesDetector cross-checks the level function
+// against the classifier on both bit polarities: depth > 1 exactly
+// when some cycle failed (margin < 0), modulo the documented tie.
+func TestGlitchDepthMatchesDetector(t *testing.T) {
+	cases := []struct {
+		bits []int
+		q    []float64
+	}{
+		{[]int{1, 0}, []float64{0.9, 0.1}},  // both clean
+		{[]int{1, 0}, []float64{0.45, 0.1}}, // first fails
+		{[]int{0, 1}, []float64{0.55, 0.9}}, // first fails (bit 0 high)
+		{[]int{0, 0}, []float64{0.2, 0.3}},  // both clean
+	}
+	for ci, c := range cases {
+		p := glitchPattern(c.bits...)
+		q := stepsQ(t, p, c.q)
+		nErr := 0
+		for _, cr := range ClassifyCycles(p, q) {
+			if !cr.Written {
+				nErr++
+			}
+		}
+		d := GlitchDepth(p, q)
+		if (d > 1) != (nErr > 0) {
+			t.Fatalf("case %d: depth %g vs %d errors — level/failure mismatch", ci, d, nErr)
+		}
+	}
+}

@@ -49,6 +49,19 @@ func (c Context) Compile(tr Trap) CompiledTrap {
 // E − CC·(vgs−VRef), divided by kT, clamped to ±500, exponentiated and
 // scaled by G to give β, and the invariant sum is split by β.
 //
+// Tilted returns the trap's constants with the energy level shifted by
+// dE (eV) — the importance-sampling tilt hook. Shifting E changes only
+// how the invariant sum λ* splits into λ_c/λ_e (Eq 2): Sum is
+// untouched, so the uniformisation majorant of the nominal process
+// stays an exact majorant of the tilted one and the thinning
+// likelihood ratio is computable candidate by candidate. Tilted(0)
+// returns the receiver unchanged (E+0.0 == E to the bit), which is
+// what makes the tilt-0 sampler bit-identical to the naive kernel.
+func (ct CompiledTrap) Tilted(dE float64) CompiledTrap {
+	ct.E += dE
+	return ct
+}
+
 //lint:hot
 func (ct CompiledTrap) Rates(vgs float64) (lc, le float64) {
 	x := (ct.E - ct.CC*(vgs-ct.VRef)) / ct.KT

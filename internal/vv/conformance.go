@@ -9,6 +9,7 @@ import (
 	"samurai/internal/device"
 	"samurai/internal/markov"
 	"samurai/internal/obs"
+	"samurai/internal/rareevent"
 	"samurai/internal/rng"
 	"samurai/internal/rtn"
 	"samurai/internal/sram"
@@ -66,7 +67,11 @@ type ScenarioReport struct {
 	Note  string `json:"note"`
 	Paths int    `json:"paths"`
 	Gates []Gate `json:"gates"`
-	Pass  bool   `json:"pass"`
+	// Rare carries the importance-sampling aggregate (ESS, LR
+	// variance, CI width) of rare-event rows; absent on naive rows, so
+	// existing report goldens are unaffected.
+	Rare *rareevent.ArrayStats `json:"rare,omitempty"`
+	Pass bool                  `json:"pass"`
 }
 
 // add records a gate in the report and the obs counters.
@@ -152,6 +157,12 @@ type Options struct {
 	E2E bool
 	// E2ERuns is the number of end-to-end methodology runs (default 32).
 	E2ERuns int
+	// Rare appends the rare-event unbiasedness rows (RareMatrix) to
+	// the report. The rows always draw through the sequential tilted
+	// kernel regardless of Kernel — the rare battery gates the
+	// importance-sampling layer, not the naive kernels — so sequential
+	// and batch reports still differ only in their "kernel" field.
+	Rare bool
 }
 
 func (o Options) defaults() Options {
@@ -200,6 +211,9 @@ func RunMatrix(opts Options) (*Report, error) {
 	if opts.E2E {
 		total += e2eGateCount
 	}
+	if opts.Rare {
+		total += rareGateCount()
+	}
 	budget := Budget{Alpha: opts.Alpha, Gates: total}
 	root := rng.New(opts.Seed)
 	rep := &Report{
@@ -230,6 +244,19 @@ func RunMatrix(opts Options) (*Report, error) {
 			rep.Pass = false
 		}
 		rep.Scenarios = append(rep.Scenarios, sr)
+	}
+	if opts.Rare {
+		for i, sc := range RareMatrix() {
+			sr, err := RunRareScenario(sc, DefaultRareSimulator, root.Split(uint64(500+i)), budget)
+			if err != nil {
+				return nil, err
+			}
+			mVVScenarios.Inc()
+			if !sr.Pass {
+				rep.Pass = false
+			}
+			rep.Scenarios = append(rep.Scenarios, sr)
+		}
 	}
 	if opts.E2E {
 		sr, err := runE2E(opts, root.Split(999), budget)

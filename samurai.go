@@ -81,6 +81,12 @@ type Config struct {
 	// (keys "M1".."M6"); transistors not present get a population
 	// sampled from the technology's statistical profiler.
 	Profiles map[string]trap.Profile
+	// TiltEV, when non-zero, samples every trap path under the
+	// importance-sampling energy tilt E → E+TiltEV (eV) and accumulates
+	// the exact log-likelihood ratio into Result.LogLR. Zero runs the
+	// untilted batch kernel — the tilted path with TiltEV == 0 is the
+	// same code path as a naive run, so results are bit-identical.
+	TiltEV float64
 }
 
 func (c Config) defaults() Config {
@@ -117,6 +123,14 @@ type Result struct {
 	Profiles map[string]trap.Profile
 	Paths    map[string][]*markov.Path
 	Traces   map[string]*rtn.Trace
+	// LogLR is the run's total importance-sampling log-likelihood
+	// ratio, summed over all transistors' trap paths — exactly 0 when
+	// Config.TiltEV is 0.
+	LogLR float64
+	// GlitchDepth is the rare-event level function of the RTN run's Q
+	// waveform (sram.GlitchDepth): 0 for a perfect write, exactly 1 at
+	// the Vdd/2 decision threshold, > 1 on a write error.
+	GlitchDepth float64
 }
 
 // WriteErrors returns the number of failed write cycles in the RTN run.
@@ -194,6 +208,7 @@ func run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res.WithRTN = withRTN
+	res.GlitchDepth = sram.GlitchDepth(cfg.Pattern, withRTN.Q)
 	return res, nil
 }
 
@@ -237,6 +252,7 @@ func trapsPass(ctx context.Context, cfg Config, cleanCell *sram.Cell, clean *sra
 		paths   []*markov.Path
 		trace   *rtn.Trace
 		pwl     *waveform.PWL
+		logLR   float64
 	}
 	outs := make([]devOut, len(sram.Transistors))
 	var agg conc.FirstFail
@@ -264,11 +280,18 @@ func trapsPass(ctx context.Context, cfg Config, cleanCell *sram.Cell, clean *sra
 				agg.Record(i, fmt.Errorf("samurai: bias for %s: %w", name, err))
 				return
 			}
-			// Batched SoA kernel: one shared segment walk over the bias
-			// PWL for the whole profile. Paths are bit-identical to the
-			// sequential per-trap kernel (TestBatchMatchesSequential),
-			// so goldens and resume points are unaffected.
-			o.paths, err = markov.UniformiseProfileBatchCtx(tctx, profile, vgs, t0, t1, root.Split(uint64(2000+i)))
+			if cfg.TiltEV != 0 {
+				// Importance-sampling pass: the tilted kernel draws
+				// from the same child stream the batch kernel would,
+				// and accumulates the exact per-profile log-LR.
+				o.paths, o.logLR, err = markov.UniformiseProfileTilted(profile, markov.PWLBias(vgs), t0, t1, cfg.TiltEV, root.Split(uint64(2000+i)))
+			} else {
+				// Batched SoA kernel: one shared segment walk over the bias
+				// PWL for the whole profile. Paths are bit-identical to the
+				// sequential per-trap kernel (TestBatchMatchesSequential),
+				// so goldens and resume points are unaffected.
+				o.paths, err = markov.UniformiseProfileBatchCtx(tctx, profile, vgs, t0, t1, root.Split(uint64(2000+i)))
+			}
 			if err != nil {
 				agg.Record(i, fmt.Errorf("samurai: uniformisation for %s: %w", name, err))
 				return
@@ -299,6 +322,7 @@ func trapsPass(ctx context.Context, cfg Config, cleanCell *sram.Cell, clean *sra
 		res.Profiles[o.name] = o.profile
 		res.Paths[o.name] = o.paths
 		res.Traces[o.name] = o.trace
+		res.LogLR += o.logLR
 		traps += len(o.profile.Traps)
 		if err := rtnCell.SetRTNTrace(o.name, o.pwl); err != nil {
 			return nil, fmt.Errorf("samurai: installing trace for %s: %w", o.name, err)

@@ -1,0 +1,91 @@
+package samurai
+
+import (
+	"context"
+	"fmt"
+
+	"samurai/internal/rareevent"
+	"samurai/internal/rng"
+	"samurai/internal/trap"
+)
+
+// SplitConfig configures multilevel splitting on the glitch-depth level
+// function (sram.GlitchDepth, surfaced as Result.GlitchDepth). Each
+// root particle is one cell: its trap population is sampled on the
+// first write burst and frozen for every later burst, so only the trap
+// occupancy paths re-randomise between bursts — repeated writes to the
+// same physical cell. The estimated event is first passage of the
+// running-max glitch depth over a campaign of Bursts writes:
+//
+//	P[ max_{b ≤ Bursts} GlitchDepth_b ≥ Levels[last] ]
+//
+// Base.TiltEV composes with the splitting: every burst contributes its
+// exact log-likelihood ratio to the particle weight, so importance
+// sampling and splitting can attack the same rare event together.
+type SplitConfig struct {
+	// Base is the per-burst methodology configuration. Base.Seed is
+	// ignored — burst seeds are drawn from the particle streams so the
+	// whole run is a pure function of Seed and the particle genealogy.
+	Base Config
+	// Seed is the master seed of the particle genealogy.
+	Seed uint64
+	// Levels are the ascending glitch-depth thresholds; the last one is
+	// the rare event, the ones before it are branching stages. The
+	// Vdd/2 decision threshold is depth 1, so Levels ending in 1 ask
+	// for the write-error probability itself.
+	Levels []float64
+	// Bursts is the number of write bursts per particle path.
+	Bursts int
+	// Particles and Clones are passed to rareevent.SplitSpec (defaults
+	// 64 and 2).
+	Particles int
+	Clones    int
+	// OnLeaf, when non-nil, observes every terminal particle (level,
+	// integer weight denominator, accumulated log-LR) — the hook the
+	// weight-conservation tests use.
+	OnLeaf func(level float64, den uint64, logLR float64)
+}
+
+// RunSplitGlitch is RunSplitGlitchCtx without cancellation.
+func RunSplitGlitch(cfg SplitConfig) (*rareevent.SplitResult, error) {
+	return RunSplitGlitchCtx(context.Background(), cfg)
+}
+
+// RunSplitGlitchCtx runs multilevel splitting over repeated write
+// bursts of the full two-pass methodology and returns the unbiased
+// estimate of the campaign-level rare event. For a fixed SplitConfig
+// the result is bit-identical across runs and machines.
+func RunSplitGlitchCtx(ctx context.Context, cfg SplitConfig) (*rareevent.SplitResult, error) {
+	if cfg.Bursts <= 0 {
+		return nil, fmt.Errorf("samurai: splitting needs a positive burst count, got %d", cfg.Bursts)
+	}
+	base := cfg.Base.defaults()
+	spec := rareevent.SplitSpec{
+		Levels:    cfg.Levels,
+		Clones:    cfg.Clones,
+		Particles: cfg.Particles,
+		Stages:    cfg.Bursts,
+		OnLeaf:    cfg.OnLeaf,
+	}
+	init := func(int, *rng.Stream) (any, error) {
+		// The particle state is the cell's trap population; nil until
+		// the first burst samples it.
+		return (map[string]trap.Profile)(nil), nil
+	}
+	step := func(stage int, state any, r *rng.Stream) (any, float64, float64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, 0, err
+		}
+		c := base
+		c.Profiles = state.(map[string]trap.Profile)
+		c.Seed = r.Uint64()
+		res, err := RunCtx(ctx, c)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("burst %d: %w", stage, err)
+		}
+		// Freeze the population sampled by the first burst; branched
+		// siblings share the map read-only.
+		return res.Profiles, res.GlitchDepth, res.LogLR, nil
+	}
+	return rareevent.RunSplit(spec, init, step, rng.New(cfg.Seed))
+}

@@ -1,0 +1,154 @@
+package samurai
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"samurai/internal/rng"
+)
+
+// leaf is one OnLeaf observation, captured for bit comparison.
+type leaf struct {
+	level float64
+	den   uint64
+	logLR float64
+}
+
+func collectLeaves(dst *[]leaf) func(float64, uint64, float64) {
+	return func(level float64, den uint64, logLR float64) {
+		*dst = append(*dst, leaf{level, den, logLR})
+	}
+}
+
+// TestSplitGlitchDeterministicBranching: with an always-crossed first
+// level (glitch depth is ≥ 0 by construction) and an unreachable final
+// level, every root branches exactly once, the leaf weights conserve
+// the root count exactly, untilted bursts carry log-LR exactly 0, and
+// the whole run — result and leaf-by-leaf — is bit-identical on rerun.
+func TestSplitGlitchDeterministicBranching(t *testing.T) {
+	run := func() (*leafRun, error) {
+		var leaves []leaf
+		res, err := RunSplitGlitchCtx(context.Background(), SplitConfig{
+			Seed:      21,
+			Levels:    []float64{0, 1e9},
+			Bursts:    2,
+			Particles: 2,
+			Clones:    2,
+			OnLeaf:    collectLeaves(&leaves),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &leafRun{res.Roots, res.Leaves, res.Hits, res.P, res.LevelHits, leaves}, nil
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.roots != 2 || a.leaves != 4 {
+		t.Fatalf("want 2 roots branching once into 4 leaves, got %d/%d", a.roots, a.leaves)
+	}
+	if a.hits != 0 || a.p != 0 {
+		t.Fatalf("unreachable final level was hit: hits=%d p=%g", a.hits, a.p)
+	}
+	if a.levelHits[0] != 2 || a.levelHits[1] != 0 {
+		t.Fatalf("level hits %v, want [2 0]", a.levelHits)
+	}
+	mass := 0.0
+	for _, l := range a.leafs {
+		if l.logLR != 0 {
+			t.Fatalf("untilted leaf carries log-LR %g", l.logLR)
+		}
+		if l.level < 0 {
+			t.Fatalf("negative glitch depth %g", l.level)
+		}
+		// den is a power of two, so the float sum is exact.
+		mass += 1 / float64(l.den)
+	}
+	if mass != float64(a.roots) {
+		t.Fatalf("leaf weights sum to %g, want %d exactly", mass, a.roots)
+	}
+
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.leaves != a.leaves || math.Float64bits(b.p) != math.Float64bits(a.p) {
+		t.Fatal("rerun not bit-identical")
+	}
+	for i := range a.leafs {
+		if math.Float64bits(a.leafs[i].level) != math.Float64bits(b.leafs[i].level) ||
+			a.leafs[i].den != b.leafs[i].den ||
+			math.Float64bits(a.leafs[i].logLR) != math.Float64bits(b.leafs[i].logLR) {
+			t.Fatalf("leaf %d differs across reruns: %+v vs %+v", i, a.leafs[i], b.leafs[i])
+		}
+	}
+}
+
+type leafRun struct {
+	roots, leaves, hits int
+	p                   float64
+	levelHits           []int
+	leafs               []leaf
+}
+
+// TestSplitGlitchGenealogyPinned: the single-particle single-burst run
+// reproduces, bit for bit, a direct RunCtx at the seed derived from the
+// documented genealogy (root.SplitInto(i), then one Uint64 per burst) —
+// including the tilt's log-likelihood ratio, pinning the composition of
+// importance sampling with splitting.
+func TestSplitGlitchGenealogyPinned(t *testing.T) {
+	const seed, tilt = 77, -0.05
+	var leaves []leaf
+	_, err := RunSplitGlitchCtx(context.Background(), SplitConfig{
+		Base:      Config{TiltEV: tilt},
+		Seed:      seed,
+		Levels:    []float64{1e9},
+		Bursts:    1,
+		Particles: 1,
+		OnLeaf:    collectLeaves(&leaves),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) != 1 {
+		t.Fatalf("want 1 leaf, got %d", len(leaves))
+	}
+	var stream rng.Stream
+	rng.New(seed).SplitInto(0, &stream)
+	res, err := RunCtx(context.Background(), Config{Seed: stream.Uint64(), TiltEV: tilt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(leaves[0].level) != math.Float64bits(res.GlitchDepth) {
+		t.Fatalf("leaf level %x, direct glitch depth %x",
+			math.Float64bits(leaves[0].level), math.Float64bits(res.GlitchDepth))
+	}
+	if math.Float64bits(leaves[0].logLR) != math.Float64bits(res.LogLR) {
+		t.Fatal("leaf log-LR not bit-identical to the direct tilted run")
+	}
+	if res.LogLR == 0 {
+		t.Fatal("tilted run carries no likelihood ratio — tilt not applied")
+	}
+}
+
+// TestSplitGlitchValidation: non-positive burst counts are rejected
+// before any simulation runs.
+func TestSplitGlitchValidation(t *testing.T) {
+	if _, err := RunSplitGlitch(SplitConfig{Levels: []float64{1}}); err == nil {
+		t.Fatal("zero bursts accepted")
+	}
+}
+
+// TestSplitGlitchCancel: a cancelled context aborts the run with the
+// context's error.
+func TestSplitGlitchCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSplitGlitchCtx(ctx, SplitConfig{
+		Levels: []float64{1}, Bursts: 1, Particles: 1,
+	}); err == nil {
+		t.Fatal("cancelled split run succeeded")
+	}
+}
